@@ -1,0 +1,111 @@
+// Ablation D — hardware sensitivity ("different hardware configurations",
+// §1). Two sweeps on synthetic mc2 variants:
+//
+//   1. PCIe bandwidth: transfers are what keep memory-bound kernels on the
+//      CPU; this sweep locates the link speed at which the GPU default
+//      overtakes the CPU default (and shows the oracle adapting earlier).
+//   2. GPU count: 1 vs 2 GPUs — how much of the multi-device headroom the
+//      second GPU contributes across the suite.
+//
+// Both reuse the full sweep machinery, just with modified MachineConfigs —
+// demonstrating that the pipeline is machine-agnostic.
+
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "common/stats.hpp"
+#include "harness_util.hpp"
+#include "suite/benchmark.hpp"
+
+namespace {
+
+using namespace tp;
+
+/// Full sweep of the suite on one machine only.
+runtime::FeatureDatabase sweepOn(const sim::MachineConfig& machine,
+                                 const runtime::PartitioningSpace& space) {
+  auto db = runtime::FeatureDatabase::withDefaultSchema(space.size());
+  for (const auto& bench : suite::allBenchmarks()) {
+    for (const std::size_t n : bench.sizes) {
+      auto inst = bench.make(n);
+      db.add(runtime::measureLaunch(inst.task, machine, space,
+                                    "n=" + std::to_string(n)));
+    }
+  }
+  return db;
+}
+
+}  // namespace
+
+int main() {
+  common::setLogLevel(common::LogLevel::Warn);
+
+  std::printf("=== Hardware-sensitivity ablation (mc2 variants) ===\n\n");
+
+  // ---- sweep 1: PCIe bandwidth ---------------------------------------------
+  {
+    std::printf("-- PCIe bandwidth sweep (both GPUs) --\n");
+    tp::bench::TablePrinter table({"PCIe GB/s", "CPU wins", "GPU wins",
+                                   "oracle vs CPU-only"});
+    const runtime::PartitioningSpace space(3, 10);
+    for (const double gbps : {1.0, 2.0, 4.0, 5.6, 8.0, 16.0}) {
+      auto machine = sim::makeMc2();
+      machine.name = "mc2-pcie";
+      for (const std::size_t g : machine.gpuIndices()) {
+        machine.devices[g].transferBandwidth = gbps * 1e9;
+      }
+      const auto db = sweepOn(machine, space);
+      const std::size_t cpuIdx = space.cpuOnlyIndex();
+      const std::size_t gpuIdx = space.singleDeviceIndex(1);
+      int cpuWins = 0, gpuWins = 0;
+      std::vector<double> gains;
+      for (const auto* r : db.forMachine(machine.name)) {
+        (r->times[cpuIdx] < r->times[gpuIdx] ? cpuWins : gpuWins)++;
+        gains.push_back(r->times[cpuIdx] / r->bestTime());
+      }
+      table.addRow({tp::bench::fmt(gbps, 1), std::to_string(cpuWins),
+                    std::to_string(gpuWins),
+                    tp::bench::fmt(common::geomean(gains))});
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  // ---- sweep 2: GPU count ----------------------------------------------------
+  {
+    std::printf("-- GPU count sweep --\n");
+    tp::bench::TablePrinter table(
+        {"devices", "|space|", "oracle vs CPU-only", "oracle vs 1-GPU-best"});
+    // Baseline: CPU + 1 GPU.
+    auto oneGpu = sim::makeMc2();
+    oneGpu.name = "mc2-1gpu";
+    oneGpu.devices.pop_back();
+    const runtime::PartitioningSpace space2(2, 10);
+    const auto db1 = sweepOn(oneGpu, space2);
+
+    auto twoGpu = sim::makeMc2();
+    twoGpu.name = "mc2-2gpu";
+    const runtime::PartitioningSpace space3(3, 10);
+    const auto db2 = sweepOn(twoGpu, space3);
+
+    std::vector<double> gain1, gain2, second;
+    const auto r1 = db1.forMachine("mc2-1gpu");
+    const auto r2 = db2.forMachine("mc2-2gpu");
+    for (std::size_t i = 0; i < r1.size(); ++i) {
+      gain1.push_back(r1[i]->times[space2.cpuOnlyIndex()] / r1[i]->bestTime());
+      gain2.push_back(r2[i]->times[space3.cpuOnlyIndex()] / r2[i]->bestTime());
+      second.push_back(r1[i]->bestTime() / r2[i]->bestTime());
+    }
+    table.addRow({"CPU + 1 GPU", std::to_string(space2.size()),
+                  tp::bench::fmt(common::geomean(gain1)), "1.00"});
+    table.addRow({"CPU + 2 GPU", std::to_string(space3.size()),
+                  tp::bench::fmt(common::geomean(gain2)),
+                  tp::bench::fmt(common::geomean(second))});
+    table.print();
+  }
+
+  std::printf("\nexpectation: faster links shift the CPU/GPU crossover and "
+              "grow the oracle's headroom; the second GPU helps mainly "
+              "where the first one already won.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation C — robustness to measurement noise. The paper trains on real
+// hardware timings, which are noisy; our simulator is exact. This harness
+// re-labels the training set from timings perturbed by multiplicative
+// lognormal noise of increasing strength and measures how the deployed
+// quality degrades — i.e., how much timing jitter the labeling scheme
+// (argmin over 66 measured partitionings) can absorb.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "harness_util.hpp"
+
+namespace {
+
+/// Copy of `db` with every measured time multiplied by exp(N(0, sigma)).
+tp::runtime::FeatureDatabase withNoise(const tp::runtime::FeatureDatabase& db,
+                                       double sigma, std::uint64_t seed) {
+  using tp::runtime::FeatureDatabase;
+  tp::common::Rng rng(seed);
+  FeatureDatabase noisy = FeatureDatabase::withDefaultSchema(
+      db.numPartitionings());
+  for (const auto& rec : db.records()) {
+    auto copy = rec;
+    for (double& t : copy.times) {
+      t *= std::exp(rng.gaussian(0.0, sigma));
+    }
+    noisy.add(std::move(copy));
+  }
+  return noisy;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tp;
+  common::setLogLevel(common::LogLevel::Warn);
+
+  std::printf("=== Noise ablation: training on jittered measurements ===\n\n");
+
+  const runtime::PartitioningSpace space(3, 10);
+  const auto clean = tp::bench::fullSweep(space);
+  const auto factory = [] { return ml::makeClassifier("forest:64"); };
+
+  tp::bench::TablePrinter table({"noise sigma", "exact acc (mc2)",
+                                 "oracle frac (mc2)", "vs CPU-only (mc2)"});
+
+  for (const double sigma : {0.0, 0.05, 0.10, 0.20, 0.40}) {
+    const auto noisy = sigma == 0.0 ? clean : withNoise(clean, sigma, 1234);
+    // Train with noisy labels...
+    ml::Dataset noisyData = noisy.toDataset("mc2",
+                                            runtime::FeatureSet::Combined);
+    const auto cv = ml::leaveOneGroupOut(noisyData, factory);
+    // ...but score predictions against the *true* (clean) timings.
+    const auto records = clean.forMachine("mc2");
+    const std::size_t cpuIdx = space.cpuOnlyIndex();
+    std::vector<double> overCpu, overOracle;
+    std::size_t exact = 0;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const auto& r = *records[i];
+      const auto predicted = static_cast<std::size_t>(cv.predictions[i]);
+      overCpu.push_back(r.times[cpuIdx] / r.times[predicted]);
+      overOracle.push_back(r.bestTime() / r.times[predicted]);
+      if (static_cast<int>(predicted) == r.bestLabel()) ++exact;
+    }
+    table.addRow({tp::bench::fmt(sigma),
+                  tp::bench::fmt(static_cast<double>(exact) /
+                                 static_cast<double>(records.size())),
+                  tp::bench::fmt(common::geomean(overOracle)),
+                  tp::bench::fmt(common::geomean(overCpu))});
+  }
+  table.print();
+  std::printf("\nexpectation: labels flip only between near-equivalent "
+              "partitionings at moderate noise, so delivered performance "
+              "degrades far slower than exact-label accuracy.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation B — partitioning-space step size. The paper fixes a 10% step
+// (§2.1); this harness quantifies that choice: coarser spaces are easier to
+// learn but lose oracle headroom, finer spaces add little performance while
+// multiplying the search/training cost.
+
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "common/stats.hpp"
+#include "harness_util.hpp"
+
+int main() {
+  using namespace tp;
+  common::setLogLevel(common::LogLevel::Warn);
+
+  std::printf("=== Step-size ablation (discretization of the partitioning "
+              "space) ===\n\n");
+
+  tp::bench::TablePrinter table({"step", "divisions", "|space|",
+                                 "oracle vs CPU-only (mc1)",
+                                 "oracle vs CPU-only (mc2)",
+                                 "predicted vs CPU-only (mc2)"});
+
+  for (const int divisions : {1, 2, 5, 10, 20}) {
+    const runtime::PartitioningSpace space(3, divisions);
+    const auto db = tp::bench::fullSweep(space);
+
+    double oracleGain[2] = {0.0, 0.0};
+    int mi = 0;
+    for (const char* machine : {"mc1", "mc2"}) {
+      const std::size_t cpuIdx = space.cpuOnlyIndex();
+      std::vector<double> gains;
+      for (const auto* r : db.forMachine(machine)) {
+        gains.push_back(r->times[cpuIdx] / r->bestTime());
+      }
+      oracleGain[mi++] = common::geomean(gains);
+    }
+
+    const auto result = runtime::evaluateFigure1(
+        db, "mc2", space, [] { return ml::makeClassifier("forest:64"); });
+
+    char stepLabel[16];
+    std::snprintf(stepLabel, sizeof(stepLabel), "%d%%", 100 / divisions);
+    table.addRow({stepLabel, std::to_string(divisions),
+                  std::to_string(space.size()),
+                  tp::bench::fmt(oracleGain[0]),
+                  tp::bench::fmt(oracleGain[1]),
+                  tp::bench::fmt(result.meanSpeedupOverCpu)});
+  }
+  table.print();
+  std::printf("\nexpectation: most of the oracle headroom is reached by the "
+              "10%% step; finer steps grow the space (and the training "
+              "sweep) with diminishing returns.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 1 reproduction (the paper's headline result).
+//
+// For each of the two machines: run the full training sweep, evaluate the
+// ML-guided partitioning with leave-one-program-out cross-validation, and
+// print, per program, the speedup of the predicted partitioning over the
+// CPU-only and GPU-only default strategies (geometric mean across problem
+// sizes), plus the suite-wide averages the figure annotates.
+//
+// Expected shape (not absolute numbers — our devices are analytic models):
+//   * the ML approach beats both defaults on average on both machines;
+//   * CPU-only is the stronger default on mc1, GPU-only on mc2;
+//   * a few programs show order-of-magnitude outliers against the
+//     unfavourable default (the paper labels 13.5, 19.8, 5.7, 4.9).
+
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "harness_util.hpp"
+#include "ml/classifier.hpp"
+
+int main() {
+  using namespace tp;
+  common::setLogLevel(common::LogLevel::Warn);
+
+  std::printf("=== Figure 1: speedup of ML-guided task partitioning over "
+              "CPU-only / GPU-only ===\n\n");
+
+  const runtime::PartitioningSpace space(3, 10);
+  std::printf("partitioning space: %zu partitionings (10%% steps, 3 "
+              "devices)\n\n",
+              space.size());
+  const auto db = tp::bench::fullSweep(space);
+
+  const auto factory = [] { return ml::makeClassifier("forest:64"); };
+
+  for (const char* machine : {"mc1", "mc2"}) {
+    const auto result =
+        runtime::evaluateFigure1(db, machine, space, factory);
+
+    std::printf("--- %s ---\n", machine);
+    tp::bench::TablePrinter table(
+        {"program", "vs CPU-only", "vs GPU-only", "oracle frac"});
+    for (const auto& row : result.rows) {
+      table.addRow({row.program, tp::bench::fmt(row.speedupOverCpu),
+                    tp::bench::fmt(row.speedupOverGpu),
+                    tp::bench::fmt(row.speedupOverOracle)});
+    }
+    table.print();
+    std::printf(
+        "geomean speedup over CPU-only: %.2fx   over GPU-only: %.2fx\n",
+        result.meanSpeedupOverCpu, result.meanSpeedupOverGpu);
+    std::printf("oracle fraction (geomean): %.2f   exact-label accuracy: "
+                "%.2f\n",
+                result.oracleFraction, result.exactLabelAccuracy);
+    std::printf("default-strategy wins: CPU-only %d, GPU-only %d  (paper: "
+                "CPU usually wins on mc1, GPU on mc2)\n",
+                result.cpuDefaultWins, result.gpuDefaultWins);
+
+    double maxOverCpu = 0.0, maxOverGpu = 0.0;
+    std::string argCpu, argGpu;
+    for (const auto& row : result.rows) {
+      if (row.speedupOverCpu > maxOverCpu) {
+        maxOverCpu = row.speedupOverCpu;
+        argCpu = row.program;
+      }
+      if (row.speedupOverGpu > maxOverGpu) {
+        maxOverGpu = row.speedupOverGpu;
+        argGpu = row.program;
+      }
+    }
+    std::printf("outliers: %.1fx over CPU-only (%s), %.1fx over GPU-only "
+                "(%s)\n\n",
+                maxOverCpu, argCpu.c_str(), maxOverGpu, argGpu.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "harness_util.hpp"
+
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "common/str.hpp"
+#include "sim/machine.hpp"
+#include "suite/benchmark.hpp"
+
+namespace tp::bench {
+
+runtime::FeatureDatabase fullSweep(const runtime::PartitioningSpace& space,
+                                   std::size_t sizesPerProgram) {
+  auto db = runtime::FeatureDatabase::withDefaultSchema(space.size());
+  const auto machines = sim::evaluationMachines();
+  for (const auto& bench : suite::allBenchmarks()) {
+    const std::size_t count = sizesPerProgram == 0
+                                  ? bench.sizes.size()
+                                  : std::min(sizesPerProgram,
+                                             bench.sizes.size());
+    for (std::size_t s = 0; s < count; ++s) {
+      const std::size_t n = bench.sizes[s];
+      // One instance serves both machines: tasks are machine-independent.
+      auto inst = bench.make(n);
+      const std::string sizeLabel = "n=" + std::to_string(n);
+      for (const auto& machine : machines) {
+        db.add(runtime::measureLaunch(inst.task, machine, space, sizeLabel));
+      }
+    }
+  }
+  return db;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::addRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      if (c < row.size()) widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto printRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      std::printf("%-*s  ", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  printRow(headers_);
+  std::size_t total = headers_.size() * 2;
+  for (const auto w : widths) total += w;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) printRow(row);
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace tp::bench

@@ -1,0 +1,35 @@
+#pragma once
+
+// Shared infrastructure for the reproduction harnesses in bench/: the full
+// training sweep over the 23-program suite and aligned-table printing.
+
+#include <string>
+#include <vector>
+
+#include "runtime/database.hpp"
+#include "runtime/evaluation.hpp"
+#include "runtime/partitioning.hpp"
+
+namespace tp::bench {
+
+/// Run the full training sweep: every suite program × its size ladder ×
+/// every partitioning × both machines (TimeOnly). `sizesPerProgram` 0 means
+/// the full ladder. Deterministic.
+runtime::FeatureDatabase fullSweep(const runtime::PartitioningSpace& space,
+                                   std::size_t sizesPerProgram = 0);
+
+/// Fixed-width table printer (plain text, reproducible in logs).
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> headers);
+  void addRow(std::vector<std::string> cells);
+  void print() const;
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt(double v, int precision = 2);
+
+}  // namespace tp::bench

@@ -1,0 +1,72 @@
+// §3 claim reproduction: "Of these two default strategies, in almost all
+// test cases, the CPU-only strategy delivers a higher performance on mc1,
+// while on mc2 the GPU-only strategy usually performs better."
+//
+// Prints, per machine, how often each default wins (per launch and per
+// program) and the geomean ratio between them.
+
+#include <cstdio>
+#include <map>
+
+#include "common/log.hpp"
+#include "common/stats.hpp"
+#include "harness_util.hpp"
+
+int main() {
+  using namespace tp;
+  common::setLogLevel(common::LogLevel::Warn);
+
+  std::printf("=== Default strategies: CPU-only vs GPU-only (paper §3) "
+              "===\n\n");
+
+  const runtime::PartitioningSpace space(3, 10);
+  const auto db = tp::bench::fullSweep(space);
+  const std::size_t cpuIdx = space.cpuOnlyIndex();
+  const std::size_t gpuIdx = space.singleDeviceIndex(1);
+
+  for (const char* machine : {"mc1", "mc2"}) {
+    const auto records = db.forMachine(machine);
+
+    int cpuWins = 0, gpuWins = 0;
+    std::map<std::string, std::pair<int, int>> perProgram;  // (cpu, gpu) wins
+    std::vector<double> ratios;  // tGpu / tCpu (>1 → CPU better)
+    for (const auto* r : records) {
+      const double tCpu = r->times[cpuIdx];
+      const double tGpu = r->times[gpuIdx];
+      ratios.push_back(tGpu / tCpu);
+      if (tCpu < tGpu) {
+        ++cpuWins;
+        ++perProgram[r->program].first;
+      } else {
+        ++gpuWins;
+        ++perProgram[r->program].second;
+      }
+    }
+
+    int cpuProgs = 0, gpuProgs = 0;
+    for (const auto& [program, wins] : perProgram) {
+      (void)program;
+      if (wins.first >= wins.second) {
+        ++cpuProgs;
+      } else {
+        ++gpuProgs;
+      }
+    }
+
+    std::printf("--- %s ---\n", machine);
+    tp::bench::TablePrinter table({"metric", "CPU-only", "GPU-only"});
+    table.addRow({"launch wins", std::to_string(cpuWins),
+                  std::to_string(gpuWins)});
+    table.addRow({"program-majority wins", std::to_string(cpuProgs),
+                  std::to_string(gpuProgs)});
+    table.print();
+    std::printf("geomean tGPU/tCPU: %.2f  (>1 means the CPU default is "
+                "faster)\n",
+                common::geomean(ratios));
+    const char* expected = std::string(machine) == "mc1"
+                               ? "CPU-only should dominate"
+                               : "GPU-only should win more often";
+    std::printf("paper expectation: %s\n\n", expected);
+  }
+  return 0;
+}

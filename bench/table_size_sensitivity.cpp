@@ -1,0 +1,73 @@
+// §1/§4 claim reproduction: "the optimal task partitioning does depend on
+// the program, the target architecture, as well as the problem size."
+//
+// Prints, for every program, the oracle-best partitioning (CPU/GPU0/GPU1
+// percentages) at each problem size on both machines, and summarizes how
+// many programs change their optimum across sizes / across machines.
+
+#include <cstdio>
+#include <set>
+
+#include "common/log.hpp"
+#include "harness_util.hpp"
+
+int main() {
+  using namespace tp;
+  common::setLogLevel(common::LogLevel::Warn);
+
+  std::printf("=== Size sensitivity of the optimal partitioning ===\n\n");
+
+  const runtime::PartitioningSpace space(3, 10);
+  const auto db = tp::bench::fullSweep(space);
+
+  tp::bench::TablePrinter table(
+      {"program", "size", "best on mc1", "best on mc2"});
+
+  // Records alternate mc1/mc2 per (program, size) in sweep order.
+  const auto mc1 = db.forMachine("mc1");
+  const auto mc2 = db.forMachine("mc2");
+  int sizeSensitive1 = 0, sizeSensitive2 = 0, machineSensitive = 0;
+  std::string current;
+  std::set<int> labels1, labels2;
+  int machineDiffers = 0;
+
+  auto flushProgram = [&]() {
+    if (current.empty()) return;
+    if (labels1.size() > 1) ++sizeSensitive1;
+    if (labels2.size() > 1) ++sizeSensitive2;
+    if (machineDiffers > 0) ++machineSensitive;
+    labels1.clear();
+    labels2.clear();
+    machineDiffers = 0;
+  };
+
+  for (std::size_t i = 0; i < mc1.size(); ++i) {
+    const auto* r1 = mc1[i];
+    const auto* r2 = mc2[i];
+    if (r1->program != current) {
+      flushProgram();
+      current = r1->program;
+    }
+    const int b1 = r1->bestLabel();
+    const int b2 = r2->bestLabel();
+    labels1.insert(b1);
+    labels2.insert(b2);
+    if (b1 != b2) ++machineDiffers;
+    table.addRow({r1->program, r1->sizeLabel,
+                  space.at(static_cast<std::size_t>(b1)).toString(),
+                  space.at(static_cast<std::size_t>(b2)).toString()});
+  }
+  flushProgram();
+
+  table.print();
+  std::printf(
+      "\nprograms whose optimum changes with problem size:  mc1: %d/23, "
+      "mc2: %d/23\n",
+      sizeSensitive1, sizeSensitive2);
+  std::printf(
+      "programs whose optimum differs between machines (some size): %d/23\n",
+      machineSensitive);
+  std::printf("paper expectation: the optimum depends on program, size AND "
+              "machine\n");
+  return 0;
+}

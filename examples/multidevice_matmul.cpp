@@ -1,0 +1,59 @@
+// Multi-device execution under the hood: runs one SGEMM across every
+// single-device and several mixed partitionings in Compute mode, verifies
+// that all of them produce identical (correct) results, and shows the
+// per-device timeline the scheduler built — transfers, kernel chunk, and
+// the concurrent makespan.
+
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "runtime/scheduler.hpp"
+#include "sim/machine.hpp"
+#include "suite/benchmark.hpp"
+
+using namespace tp;
+
+int main() {
+  common::setLogLevel(common::LogLevel::Warn);
+
+  const auto& bench = suite::benchmarkByName("matmul");
+  const std::size_t n = 256;
+  const auto machine = sim::makeMc2();
+
+  std::printf("matmul %zux%zu on %s (%zu devices)\n\n", n, n,
+              machine.name.c_str(), machine.numDevices());
+
+  const std::vector<std::vector<int>> partitionings = {
+      {10, 0, 0}, {0, 10, 0}, {0, 5, 5}, {2, 4, 4}, {4, 3, 3}, {6, 2, 2},
+  };
+
+  for (const auto& units : partitionings) {
+    // Fresh instance per run: instances are single-use.
+    auto inst = bench.make(n);
+    vcl::Context ctx(machine, vcl::ExecMode::Compute);
+    runtime::Scheduler scheduler(ctx);
+    const runtime::Partitioning p{units, 10};
+    const auto result = scheduler.execute(inst.task, p);
+
+    std::string error;
+    const bool ok = inst.verify(&error);
+
+    std::printf("partitioning %-10s makespan %8.3f ms   %s\n",
+                p.toString().c_str(), result.makespan * 1e3,
+                ok ? "results OK" : ("WRONG: " + error).c_str());
+    for (const auto& d : result.devices) {
+      const auto& dev = machine.devices[d.device];
+      std::printf("    %-28s groups [%5zu, %5zu)  in %6.3f ms  kernel "
+                  "%7.3f ms  out %6.3f ms\n",
+                  dev.name.c_str(), d.groupBegin, d.groupEnd,
+                  d.transferInSeconds * 1e3, d.kernelSeconds * 1e3,
+                  d.transferOutSeconds * 1e3);
+    }
+    if (!ok) return 1;
+  }
+
+  std::printf("\nall partitionings computed identical, verified results — "
+              "the access classification (A, B replicated; C split) makes "
+              "any split safe.\n");
+  return 0;
+}

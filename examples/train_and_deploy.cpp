@@ -1,0 +1,85 @@
+// The paper's two phases as a command-line workflow:
+//
+//   training phase:    full sweep over the suite → feature database (CSV)
+//                      → offline model per machine (text files on disk)
+//   deployment phase:  reload the model and predict partitionings for a
+//                      program that was held out of training.
+//
+// Artifacts land in the current directory: taskpart_db.csv,
+// taskpart_model_mc1.txt, taskpart_model_mc2.txt.
+
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "runtime/evaluation.hpp"
+#include "runtime/strategy.hpp"
+#include "sim/machine.hpp"
+#include "suite/benchmark.hpp"
+
+using namespace tp;
+
+int main() {
+  common::setLogLevel(common::LogLevel::Info);
+
+  const runtime::PartitioningSpace space(3, 10);
+  const std::string holdout = "blackscholes";
+
+  // ---- training phase ------------------------------------------------------
+  auto db = runtime::FeatureDatabase::withDefaultSchema(space.size());
+  for (const auto& bench : suite::allBenchmarks()) {
+    if (bench.name == holdout) continue;  // "new program" for deployment
+    for (const std::size_t n : bench.sizes) {
+      auto inst = bench.make(n);
+      for (const auto& machine : sim::evaluationMachines()) {
+        db.add(runtime::measureLaunch(inst.task, machine, space,
+                                      "n=" + std::to_string(n)));
+      }
+    }
+  }
+  db.saveCsv("taskpart_db.csv");
+  std::printf("training phase: %zu launches recorded → taskpart_db.csv\n",
+              db.size());
+
+  for (const auto& machine : sim::evaluationMachines()) {
+    const auto model =
+        runtime::trainDeploymentModel(db, machine.name, "forest:64");
+    const std::string path = "taskpart_model_" + machine.name + ".txt";
+    model->saveFile(path);
+    std::printf("trained model for %s → %s\n", machine.name.c_str(),
+                path.c_str());
+  }
+
+  // ---- deployment phase -----------------------------------------------------
+  std::printf("\ndeployment phase: predicting for held-out program '%s'\n",
+              holdout.c_str());
+  const auto& bench = suite::benchmarkByName(holdout);
+
+  for (const auto& machine : sim::evaluationMachines()) {
+    std::shared_ptr<const ml::Classifier> model = ml::loadClassifierFile(
+        "taskpart_model_" + machine.name + ".txt");
+    runtime::PredictedStrategy strategy(model);
+    vcl::Context ctx(machine, vcl::ExecMode::TimeOnly, nullptr);
+    runtime::Scheduler scheduler(ctx);
+
+    std::printf("--- %s ---\n", machine.name.c_str());
+    std::printf("%-12s %-12s %-10s %-10s %-10s %s\n", "size", "partition",
+                "t_pred", "t_cpu", "t_gpu", "speedups");
+    for (const std::size_t n : bench.sizes) {
+      auto inst = bench.make(n);
+      const std::size_t choice = strategy.choose(inst.task, ctx, space);
+      const double tPred =
+          scheduler.execute(inst.task, space.at(choice)).makespan;
+      const double tCpu =
+          scheduler.execute(inst.task, space.at(space.cpuOnlyIndex()))
+              .makespan;
+      const double tGpu =
+          scheduler
+              .execute(inst.task, space.at(space.singleDeviceIndex(1)))
+              .makespan;
+      std::printf("%-12zu %-12s %8.3fms %8.3fms %8.3fms  %.2fx / %.2fx\n", n,
+                  space.at(choice).toString().c_str(), tPred * 1e3,
+                  tCpu * 1e3, tGpu * 1e3, tCpu / tPred, tGpu / tPred);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,184 @@
+#include "common/csv.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tp::common {
+
+namespace {
+
+bool needsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void writeField(std::ostream& os, const std::string& s) {
+  if (!needsQuoting(s)) {
+    os << s;
+    return;
+  }
+  os << '"';
+  for (char c : s) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+/// Parse one CSV record (handles quoted fields spanning lines).
+bool readRecord(std::istream& is, std::vector<std::string>& fields) {
+  fields.clear();
+  std::string field;
+  bool inQuotes = false;
+  bool sawAnything = false;
+  int c;
+  while ((c = is.get()) != EOF) {
+    sawAnything = true;
+    const char ch = static_cast<char>(c);
+    if (inQuotes) {
+      if (ch == '"') {
+        if (is.peek() == '"') {
+          field.push_back('"');
+          is.get();
+        } else {
+          inQuotes = false;
+        }
+      } else {
+        field.push_back(ch);
+      }
+    } else if (ch == '"') {
+      inQuotes = true;
+    } else if (ch == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\r') {
+      // tolerate CRLF
+    } else if (ch == '\n') {
+      fields.push_back(std::move(field));
+      return true;
+    } else {
+      field.push_back(ch);
+    }
+  }
+  if (!sawAnything) return false;
+  fields.push_back(std::move(field));
+  return true;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  TP_REQUIRE(!columns_.empty(), "Table requires at least one column");
+}
+
+std::size_t Table::columnIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return i;
+  }
+  throw IoError("Table: no such column: " + name);
+}
+
+bool Table::hasColumn(const std::string& name) const {
+  for (const auto& c : columns_) {
+    if (c == name) return true;
+  }
+  return false;
+}
+
+void Table::addRow(std::vector<std::string> cells) {
+  TP_REQUIRE(cells.size() == columns_.size(),
+             "Table::addRow: expected " << columns_.size() << " cells, got "
+                                        << cells.size());
+  rows_.push_back(std::move(cells));
+}
+
+const std::string& Table::cell(std::size_t row, std::size_t col) const {
+  TP_ASSERT(row < rows_.size() && col < columns_.size());
+  return rows_[row][col];
+}
+
+const std::string& Table::cell(std::size_t row,
+                               const std::string& column) const {
+  return cell(row, columnIndex(column));
+}
+
+double Table::cellDouble(std::size_t row, const std::string& column) const {
+  const std::string& s = cell(row, column);
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    throw IoError("Table: cell is not a double: '" + s + "' in column " +
+                  column);
+  }
+  return v;
+}
+
+long long Table::cellInt(std::size_t row, const std::string& column) const {
+  const std::string& s = cell(row, column);
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    throw IoError("Table: cell is not an integer: '" + s + "' in column " +
+                  column);
+  }
+  return v;
+}
+
+void Table::setCell(std::size_t row, const std::string& column,
+                    std::string value) {
+  TP_ASSERT(row < rows_.size());
+  rows_[row][columnIndex(column)] = std::move(value);
+}
+
+std::vector<double> Table::columnDoubles(const std::string& column) const {
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out.push_back(cellDouble(r, column));
+  }
+  return out;
+}
+
+void Table::writeCsv(std::ostream& os) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) os << ',';
+    writeField(os, columns_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ',';
+      writeField(os, row[i]);
+    }
+    os << '\n';
+  }
+}
+
+void Table::writeCsvFile(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw IoError("cannot open for writing: " + path);
+  writeCsv(os);
+  if (!os) throw IoError("write failed: " + path);
+}
+
+Table Table::readCsv(std::istream& is) {
+  std::vector<std::string> fields;
+  if (!readRecord(is, fields)) throw IoError("CSV: empty input");
+  Table t(fields);
+  while (readRecord(is, fields)) {
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    t.addRow(fields);
+  }
+  return t;
+}
+
+Table Table::readCsvFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw IoError("cannot open for reading: " + path);
+  return readCsv(is);
+}
+
+}  // namespace tp::common

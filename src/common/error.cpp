@@ -1,0 +1,16 @@
+#include "common/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tp::detail {
+
+void assertFail(const char* expr, const char* file, int line,
+                const std::string& message) {
+  std::fprintf(stderr, "taskpart: assertion failed: %s at %s:%d%s%s\n", expr,
+               file, line, message.empty() ? "" : ": ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace tp::detail

@@ -1,0 +1,90 @@
+#pragma once
+
+// Error handling primitives used across all taskpart libraries.
+//
+// Conventions (see DESIGN.md):
+//  - Programming errors / violated invariants  -> TP_ASSERT (aborts in all
+//    build types; simulator state would be meaningless after a violation).
+//  - Recoverable, caller-visible failures (bad kernel source, malformed CSV,
+//    unknown device name, ...) -> throw tp::Error via TP_THROW / TP_REQUIRE.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tp {
+
+/// Base exception for all recoverable taskpart errors.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown by the frontend on malformed kernel source.
+class ParseError : public Error {
+public:
+  ParseError(const std::string& message, int line, int column)
+      : Error("parse error at " + std::to_string(line) + ":" +
+              std::to_string(column) + ": " + message),
+        line_(line),
+        column_(column) {}
+
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+private:
+  int line_;
+  int column_;
+};
+
+/// Thrown when a model/database file cannot be read or has a bad schema.
+class IoError : public Error {
+public:
+  using Error::Error;
+};
+
+namespace detail {
+
+[[noreturn]] void assertFail(const char* expr, const char* file, int line,
+                             const std::string& message);
+
+}  // namespace detail
+
+}  // namespace tp
+
+/// Hard invariant; aborts with a diagnostic. Always enabled.
+#define TP_ASSERT(expr)                                              \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::tp::detail::assertFail(#expr, __FILE__, __LINE__, "");       \
+    }                                                                \
+  } while (0)
+
+/// Hard invariant with a streamed message: TP_ASSERT_MSG(x > 0, "x=" << x).
+#define TP_ASSERT_MSG(expr, stream_expr)                             \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream tp_assert_os_;                              \
+      tp_assert_os_ << stream_expr;                                  \
+      ::tp::detail::assertFail(#expr, __FILE__, __LINE__,            \
+                               tp_assert_os_.str());                 \
+    }                                                                \
+  } while (0)
+
+/// Throw a tp::Error built from a stream expression.
+#define TP_THROW(stream_expr)                 \
+  do {                                        \
+    std::ostringstream tp_throw_os_;          \
+    tp_throw_os_ << stream_expr;              \
+    throw ::tp::Error(tp_throw_os_.str());    \
+  } while (0)
+
+/// Recoverable precondition: throws tp::Error when violated.
+#define TP_REQUIRE(expr, stream_expr)                        \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      std::ostringstream tp_req_os_;                         \
+      tp_req_os_ << stream_expr;                             \
+      throw ::tp::Error(tp_req_os_.str());                   \
+    }                                                        \
+  } while (0)

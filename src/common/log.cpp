@@ -1,0 +1,35 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace tp::common {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
+std::mutex g_mutex;
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel logLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+const char* logLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::ErrorLevel: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+void logMessage(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[tp:%s] %s\n", logLevelName(level), message.c_str());
+}
+
+}  // namespace tp::common

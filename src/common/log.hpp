@@ -1,0 +1,36 @@
+#pragma once
+
+// Minimal leveled logger. Thread-safe, writes to stderr.
+// Level is process-global; benchmarks lower it to Warn to keep output clean.
+
+#include <sstream>
+#include <string>
+
+namespace tp::common {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, ErrorLevel = 4, Off = 5 };
+
+/// Set the global log threshold; messages below it are dropped.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Emit one log record (used by the TP_LOG macro; callable directly too).
+void logMessage(LogLevel level, const std::string& message);
+
+const char* logLevelName(LogLevel level);
+
+}  // namespace tp::common
+
+#define TP_LOG(level, stream_expr)                                      \
+  do {                                                                  \
+    if (static_cast<int>(level) >=                                      \
+        static_cast<int>(::tp::common::logLevel())) {                   \
+      std::ostringstream tp_log_os_;                                    \
+      tp_log_os_ << stream_expr;                                        \
+      ::tp::common::logMessage(level, tp_log_os_.str());                \
+    }                                                                   \
+  } while (0)
+
+#define TP_INFO(stream_expr) TP_LOG(::tp::common::LogLevel::Info, stream_expr)
+#define TP_WARN(stream_expr) TP_LOG(::tp::common::LogLevel::Warn, stream_expr)
+#define TP_DEBUG(stream_expr) TP_LOG(::tp::common::LogLevel::Debug, stream_expr)

@@ -1,0 +1,120 @@
+#include "common/thread_pool.hpp"
+
+#include <exception>
+
+#include "common/error.hpp"
+
+namespace tp::common {
+
+ThreadPool::ThreadPool(std::size_t numThreads) {
+  if (numThreads == 0) {
+    numThreads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(numThreads);
+  for (std::size_t i = 0; i < numThreads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::workerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (tasks_.empty() && active_ == 0) idleCv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TP_ASSERT(!stop_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::waitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idleCv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                             const std::function<void(std::size_t)>& fn,
+                             std::size_t grain) {
+  if (begin >= end) return;
+  TP_ASSERT(grain > 0);
+  const std::size_t total = end - begin;
+  if (total <= grain || workers_.size() == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // Atomic chunk dispenser: workers grab [next, next+grain) slices.
+  auto next = std::make_shared<std::atomic<std::size_t>>(begin);
+  auto pending = std::make_shared<std::atomic<std::size_t>>(0);
+  auto firstError = std::make_shared<std::mutex>();
+  auto error = std::make_shared<std::exception_ptr>();
+  std::mutex doneMutex;
+  std::condition_variable doneCv;
+  bool done = false;
+
+  const std::size_t numTasks =
+      std::min(workers_.size(), (total + grain - 1) / grain);
+  pending->store(numTasks);
+
+  auto body = [=, &doneMutex, &doneCv, &done] {
+    try {
+      while (true) {
+        const std::size_t lo = next->fetch_add(grain);
+        if (lo >= end) break;
+        const std::size_t hi = std::min(lo + grain, end);
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(*firstError);
+      if (!*error) *error = std::current_exception();
+      // Drain the dispenser so other workers stop promptly.
+      next->store(end);
+    }
+    if (pending->fetch_sub(1) == 1) {
+      std::lock_guard<std::mutex> lock(doneMutex);
+      done = true;
+      doneCv.notify_all();
+    }
+  };
+
+  for (std::size_t t = 0; t < numTasks; ++t) submit(body);
+  {
+    std::unique_lock<std::mutex> lock(doneMutex);
+    doneCv.wait(lock, [&] { return done; });
+  }
+  if (*error) std::rethrow_exception(*error);
+}
+
+ThreadPool& globalThreadPool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace tp::common

@@ -1,0 +1,59 @@
+#pragma once
+
+// Fixed-size worker pool with a blocking parallelFor.
+//
+// The virtual OpenCL devices (src/ocl) execute work-groups on this pool in
+// Compute mode. The pool is deliberately simple: static partitioning with
+// atomic chunk stealing, which is plenty for the regular kernels in the
+// suite and keeps behaviour easy to reason about.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tp::common {
+
+class ThreadPool {
+public:
+  /// numThreads == 0 selects hardware_concurrency().
+  explicit ThreadPool(std::size_t numThreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t numThreads() const noexcept { return workers_.size(); }
+
+  /// Run fn(i) for i in [begin, end) across the pool; blocks until done.
+  /// Exceptions from fn propagate (the first one observed is rethrown).
+  void parallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& fn,
+                   std::size_t grain = 64);
+
+  /// Enqueue a single task (fire and forget).
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have completed.
+  void waitIdle();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idleCv_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Process-wide pool (lazily constructed, sized to hardware concurrency).
+ThreadPool& globalThreadPool();
+
+}  // namespace tp::common

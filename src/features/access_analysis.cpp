@@ -1,0 +1,383 @@
+#include "features/access_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "features/static_features.hpp"
+
+namespace tp::features {
+
+using namespace tp::ir;
+
+const char* accessKindName(AccessKind k) {
+  switch (k) {
+    case AccessKind::Split: return "split";
+    case AccessKind::Replicate: return "replicate";
+    case AccessKind::MergeSum: return "merge_sum";
+    case AccessKind::Unused: return "unused";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr const char* kGidVar = "__gid";
+constexpr const char* kOpaqueVar = "__opaque";
+
+/// One recorded subscript of a buffer.
+struct Subscript {
+  WorkExpr poly;    ///< subscript as polynomial over __gid/params/loop vars
+  bool isWrite = false;
+  bool analyzable = true;  ///< false if the subscript contained __opaque
+};
+
+/// Symbolic subscript analysis: converts index expressions into polynomials
+/// over the gid pseudo-variable, kernel parameters, and loop variables.
+/// Simple copy propagation handles the ubiquitous
+/// `int i = get_global_id(0);` idiom.
+class SubscriptCollector {
+public:
+  explicit SubscriptCollector(const KernelDecl& kernel) : kernel_(kernel) {
+    collectReassigned(kernel.body());
+  }
+
+  void run() { walkStmt(kernel_.body()); }
+
+  const std::map<std::string, std::vector<Subscript>>& accesses() const {
+    return accesses_;
+  }
+  const std::map<std::string, WorkExpr>& loopBounds() const {
+    return loopBounds_;
+  }
+
+private:
+  /// Variables that are assigned outside their declaration; those are not
+  /// safe to copy-propagate.
+  void collectReassigned(const Stmt& s) {
+    switch (s.kind()) {
+      case StmtKind::Assign: {
+        const auto& a = static_cast<const AssignStmt&>(s);
+        if (a.target().kind() == ExprKind::VarRef) {
+          reassigned_.insert(static_cast<const VarRef&>(a.target()).name());
+        }
+        break;
+      }
+      case StmtKind::Compound:
+        for (const auto& st : static_cast<const CompoundStmt&>(s).stmts()) {
+          collectReassigned(*st);
+        }
+        break;
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(s);
+        collectReassigned(i.thenBody());
+        if (i.elseBody() != nullptr) collectReassigned(*i.elseBody());
+        break;
+      }
+      case StmtKind::For:
+        collectReassigned(static_cast<const ForStmt&>(s).body());
+        break;
+      case StmtKind::While:
+        collectReassigned(static_cast<const WhileStmt&>(s).body());
+        break;
+      default:
+        break;
+    }
+  }
+
+  WorkExpr exprToPoly(const Expr& e, bool* analyzable) const {
+    switch (e.kind()) {
+      case ExprKind::IntLit:
+        return WorkExpr::constant(
+            static_cast<double>(static_cast<const IntLit&>(e).value()));
+      case ExprKind::VarRef: {
+        const auto& v = static_cast<const VarRef&>(e);
+        const auto env = env_.find(v.name());
+        if (env != env_.end()) return env->second;
+        if (kernel_.findParam(v.name()) != nullptr && v.type().isIntegral()) {
+          return WorkExpr::variable(v.name());
+        }
+        if (loopBounds_.count(v.name()) != 0) {
+          return WorkExpr::variable(v.name());
+        }
+        *analyzable = false;
+        return WorkExpr::variable(kOpaqueVar);
+      }
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        const WorkExpr lhs = exprToPoly(b.lhs(), analyzable);
+        const WorkExpr rhs = exprToPoly(b.rhs(), analyzable);
+        switch (b.op()) {
+          case BinaryOp::Add: return lhs + rhs;
+          case BinaryOp::Sub: return lhs - rhs;
+          case BinaryOp::Mul: return lhs * rhs;
+          default:
+            *analyzable = false;
+            return WorkExpr::variable(kOpaqueVar);
+        }
+      }
+      case ExprKind::Call: {
+        const auto& c = static_cast<const CallExpr&>(e);
+        if (c.callee() == "get_global_id" && c.args().size() == 1 &&
+            c.args()[0]->kind() == ExprKind::IntLit &&
+            static_cast<const IntLit&>(*c.args()[0]).value() == 0) {
+          return WorkExpr::variable(kGidVar);
+        }
+        if (c.callee() == "get_global_size") {
+          return WorkExpr::variable(kGlobalSizeParam);
+        }
+        *analyzable = false;
+        return WorkExpr::variable(kOpaqueVar);
+      }
+      case ExprKind::Cast:
+        return exprToPoly(static_cast<const CastExpr&>(e).value(), analyzable);
+      default:
+        *analyzable = false;
+        return WorkExpr::variable(kOpaqueVar);
+    }
+  }
+
+  void recordAccess(const IndexExpr& ix, bool isWrite) {
+    if (ix.base().kind() != ExprKind::VarRef) return;
+    const auto& base = static_cast<const VarRef&>(ix.base());
+    if (ix.addrSpace() != AddrSpace::Global) return;
+    Subscript sub;
+    sub.isWrite = isWrite;
+    sub.analyzable = true;
+    sub.poly = exprToPoly(ix.index(), &sub.analyzable);
+    accesses_[base.name()].push_back(std::move(sub));
+  }
+
+  void walkExpr(const Expr& e, bool isAtomicArg = false) {
+    switch (e.kind()) {
+      case ExprKind::IntLit:
+      case ExprKind::FloatLit:
+      case ExprKind::VarRef:
+        break;
+      case ExprKind::Unary:
+        walkExpr(static_cast<const UnaryExpr&>(e).operand());
+        break;
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        walkExpr(b.lhs());
+        walkExpr(b.rhs());
+        break;
+      }
+      case ExprKind::Call: {
+        const auto& c = static_cast<const CallExpr&>(e);
+        const bool isAtomic =
+            c.callee() == "atomic_add" || c.callee() == "atomic_inc";
+        for (std::size_t i = 0; i < c.args().size(); ++i) {
+          walkExpr(*c.args()[i], isAtomic && i == 0);
+        }
+        break;
+      }
+      case ExprKind::Index: {
+        const auto& ix = static_cast<const IndexExpr&>(e);
+        // Atomic first arguments are read-modify-write accesses.
+        recordAccess(ix, /*isWrite=*/isAtomicArg);
+        if (isAtomicArg) recordAccess(ix, /*isWrite=*/false);
+        walkExpr(ix.index());
+        break;
+      }
+      case ExprKind::Cast:
+        walkExpr(static_cast<const CastExpr&>(e).value());
+        break;
+      case ExprKind::Select: {
+        const auto& s = static_cast<const SelectExpr&>(e);
+        walkExpr(s.cond());
+        walkExpr(s.ifTrue());
+        walkExpr(s.ifFalse());
+        break;
+      }
+    }
+  }
+
+  void walkStmt(const Stmt& s) {
+    switch (s.kind()) {
+      case StmtKind::Decl: {
+        const auto& d = static_cast<const DeclStmt&>(s);
+        if (d.init() != nullptr) {
+          walkExpr(*d.init());
+          if (d.declType().isIntegral() && reassigned_.count(d.name()) == 0) {
+            bool ok = true;
+            const WorkExpr poly = exprToPoly(*d.init(), &ok);
+            if (ok) env_[d.name()] = poly;
+          }
+        }
+        break;
+      }
+      case StmtKind::Assign: {
+        const auto& a = static_cast<const AssignStmt&>(s);
+        walkExpr(a.value());
+        if (a.target().kind() == ExprKind::Index) {
+          const auto& ix = static_cast<const IndexExpr&>(a.target());
+          recordAccess(ix, /*isWrite=*/true);
+          walkExpr(ix.index());
+        }
+        break;
+      }
+      case StmtKind::ExprEval:
+        walkExpr(static_cast<const ExprStmt&>(s).expr());
+        break;
+      case StmtKind::Compound:
+        for (const auto& st : static_cast<const CompoundStmt&>(s).stmts()) {
+          walkStmt(*st);
+        }
+        break;
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(s);
+        walkExpr(i.cond());
+        walkStmt(i.thenBody());
+        if (i.elseBody() != nullptr) walkStmt(*i.elseBody());
+        break;
+      }
+      case StmtKind::For: {
+        const auto& l = static_cast<const ForStmt&>(s);
+        walkExpr(l.init());
+        walkExpr(l.bound());
+        bool ok = true;
+        loopBounds_[l.var()] = exprToPoly(l.bound(), &ok);
+        if (!ok) loopBounds_[l.var()] = WorkExpr::variable(kOpaqueVar);
+        walkStmt(l.body());
+        break;
+      }
+      case StmtKind::While: {
+        const auto& w = static_cast<const WhileStmt&>(s);
+        walkExpr(w.cond());
+        walkStmt(w.body());
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  const KernelDecl& kernel_;
+  std::set<std::string> reassigned_;
+  std::map<std::string, WorkExpr> env_;        ///< copy-propagated int vars
+  std::map<std::string, WorkExpr> loopBounds_; ///< loop var → bound poly
+  std::map<std::string, std::vector<Subscript>> accesses_;
+};
+
+/// Numeric probing: evaluate `poly` with all size parameters set to `value`
+/// and loop variables at their extreme points, returning [min, max].
+struct Range {
+  double lo;
+  double hi;
+};
+
+Range remainderRange(const WorkExpr& poly,
+                     const std::map<std::string, WorkExpr>& loopBounds,
+                     double paramValue) {
+  std::map<std::string, double> base;
+  // Bind every non-loop variable to paramValue.
+  for (const auto& name : poly.parameters()) {
+    if (loopBounds.count(name) == 0) base[name] = paramValue;
+  }
+  std::vector<std::string> loopVars;
+  for (const auto& name : poly.parameters()) {
+    if (loopBounds.count(name) != 0) loopVars.push_back(name);
+  }
+  // Affine-in-loop-vars polynomials attain extremes at corner points;
+  // enumerate all 2^L corners (L is tiny in practice).
+  TP_ASSERT(loopVars.size() <= 8);
+  Range r{1e300, -1e300};
+  const std::size_t corners = 1ull << loopVars.size();
+  for (std::size_t mask = 0; mask < corners; ++mask) {
+    std::map<std::string, double> bind = base;
+    for (std::size_t i = 0; i < loopVars.size(); ++i) {
+      const double bound =
+          std::max(1.0, loopBounds.at(loopVars[i]).eval(base, paramValue));
+      bind[loopVars[i]] = (mask >> i) & 1 ? bound - 1.0 : 0.0;
+    }
+    const double v = poly.eval(bind, paramValue);
+    r.lo = std::min(r.lo, v);
+    r.hi = std::max(r.hi, v);
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<BufferAccess> analyzeBufferAccesses(const KernelDecl& kernel) {
+  SubscriptCollector collector(kernel);
+  collector.run();
+  const auto& accesses = collector.accesses();
+  const auto& loopBounds = collector.loopBounds();
+
+  std::vector<BufferAccess> out;
+  for (const auto& p : kernel.params()) {
+    if (!p.type.isPointer() || p.type.addrSpace() != AddrSpace::Global) {
+      continue;
+    }
+    BufferAccess acc;
+    acc.param = p.name;
+
+    const auto it = accesses.find(p.name);
+    if (it == accesses.end() || it->second.empty()) {
+      acc.kind = AccessKind::Unused;
+      out.push_back(std::move(acc));
+      continue;
+    }
+
+    for (const auto& sub : it->second) {
+      acc.isWritten = acc.isWritten || sub.isWrite;
+      acc.isRead = acc.isRead || !sub.isWrite;
+    }
+
+    // Try to prove Split: all subscripts linear in gid with one coefficient
+    // and remainders confined to the per-item block (numeric probing at
+    // several parameter scales; the runtime's bounds-checked views are the
+    // dynamic backstop).
+    bool splittable = true;
+    WorkExpr coeff;
+    bool haveCoeff = false;
+    double worstOverhang = 0.0;
+    for (const auto& sub : it->second) {
+      if (!sub.analyzable || sub.poly.degreeIn(kGidVar) != 1) {
+        splittable = false;
+        break;
+      }
+      const WorkExpr c = sub.poly.coefficientOf(kGidVar);
+      if (c.contains(kGidVar) || c.contains(kOpaqueVar)) {
+        splittable = false;
+        break;
+      }
+      if (!haveCoeff) {
+        coeff = c;
+        haveCoeff = true;
+      } else if (!(coeff == c)) {
+        splittable = false;
+        break;
+      }
+      const WorkExpr remainder = sub.poly.without(kGidVar);
+      if (remainder.contains(kOpaqueVar)) {
+        splittable = false;
+        break;
+      }
+      // Probe remainder ∈ [0, c) at several parameter magnitudes.
+      for (const double paramValue : {16.0, 64.0, 256.0, 1024.0}) {
+        const Range r = remainderRange(remainder, loopBounds, paramValue);
+        const double cv = coeff.eval({}, paramValue);
+        if (r.lo < -1e-9 || r.hi > cv - 1.0 + 1e-9) {
+          worstOverhang =
+              std::max({worstOverhang, -r.lo, r.hi - (cv - 1.0)});
+        }
+      }
+    }
+    if (splittable && haveCoeff && worstOverhang == 0.0) {
+      acc.kind = AccessKind::Split;
+      acc.blockSize = coeff;
+    } else if (!acc.isWritten) {
+      acc.kind = AccessKind::Replicate;
+    } else {
+      acc.kind = AccessKind::MergeSum;
+    }
+    out.push_back(std::move(acc));
+  }
+  return out;
+}
+
+}  // namespace tp::features

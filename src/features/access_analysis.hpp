@@ -1,0 +1,55 @@
+#pragma once
+
+// Buffer access analysis — the "backend" half of the source-to-source
+// compiler that turns a single-device kernel into a multi-device one.
+//
+// To split an NDRange across devices, the runtime must know, for every
+// __global buffer parameter, which part of it a contiguous range of work
+// items touches:
+//
+//   - Split(c):   every subscript is affine in get_global_id(0) with a
+//                 uniform symbolic stride c, i.e. work item g accesses only
+//                 indices in [g*c, (g+1)*c). Device d working on items
+//                 [b, e) receives exactly the slice [b*c, e*c).
+//   - Replicate:  read-only buffer whose subscripts are not gid-affine
+//                 (e.g. matmul's B matrix) — every device gets a full copy.
+//   - MergeSum:   buffer written at data-dependent indices (histogram bins,
+//                 reduction outputs addressed by group) — every device gets
+//                 a private full-size copy, combined element-wise afterward.
+//
+// The analysis proves Split where it can and conservatively degrades to
+// Replicate (reads) / MergeSum (writes) otherwise. The suite cross-checks
+// these results against each benchmark's declared access modes, and the
+// bounds-checked vcl::BufferView catches any misclassification at runtime.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/node.hpp"
+#include "ir/workexpr.hpp"
+
+namespace tp::features {
+
+enum class AccessKind {
+  Split,      ///< contiguous per-item block; distributable
+  Replicate,  ///< read-only, full copy per device
+  MergeSum,   ///< written non-affinely; private copies merged by summation
+  Unused,     ///< parameter never accessed
+};
+
+const char* accessKindName(AccessKind k);
+
+struct BufferAccess {
+  std::string param;
+  AccessKind kind = AccessKind::Unused;
+  /// For Split: per-work-item element stride (symbolic; often constant 1).
+  ir::WorkExpr blockSize;
+  bool isWritten = false;
+  bool isRead = false;
+};
+
+/// Analyze every __global pointer parameter of the kernel.
+std::vector<BufferAccess> analyzeBufferAccesses(const ir::KernelDecl& kernel);
+
+}  // namespace tp::features

@@ -1,0 +1,72 @@
+#include "features/runtime_features.hpp"
+
+#include <cmath>
+
+namespace tp::features {
+
+std::vector<std::string> runtimeFeatureNames() {
+  return {
+      "r_global_size",
+      "r_local_size",
+      "r_per_item_ops",
+      "r_per_item_flops",
+      "r_per_item_special",
+      "r_per_item_loads",
+      "r_per_item_stores",
+      "r_per_item_branches",
+      "r_total_ops",
+      "r_bytes_to_device",
+      "r_bytes_from_device",
+      "r_arith_intensity",
+      "r_transfer_compute_ratio",
+  };
+}
+
+std::vector<double> runtimeFeatureVector(const KernelFeatures& f,
+                                         const LaunchInfo& launch) {
+  std::map<std::string, double> bindings = launch.sizeBindings;
+  bindings[kGlobalSizeParam] = static_cast<double>(launch.globalSize);
+
+  const double perItemOps = f.arithmeticOps().eval(bindings);
+  const double perItemFlops = f.floatOps.eval(bindings);
+  const double perItemSpecial = f.specialOps.eval(bindings);
+  const double perItemLoads = f.globalLoads.eval(bindings);
+  const double perItemStores = f.globalStores.eval(bindings);
+  const double perItemBranches = f.branches.eval(bindings);
+  const double items = static_cast<double>(launch.globalSize);
+  const double totalOps = perItemOps * items;
+  const double transfer = launch.bytesToDevice + launch.bytesFromDevice;
+
+  return {
+      items,
+      static_cast<double>(launch.localSize),
+      perItemOps,
+      perItemFlops,
+      perItemSpecial,
+      perItemLoads,
+      perItemStores,
+      perItemBranches,
+      totalOps,
+      launch.bytesToDevice,
+      launch.bytesFromDevice,
+      f.arithmeticIntensity(bindings),
+      totalOps > 0.0 ? transfer / totalOps : 0.0,
+  };
+}
+
+std::vector<std::string> combinedFeatureNames() {
+  auto names = staticFeatureNames();
+  const auto rt = runtimeFeatureNames();
+  names.insert(names.end(), rt.begin(), rt.end());
+  return names;
+}
+
+std::vector<double> combinedFeatureVector(const KernelFeatures& f,
+                                          const LaunchInfo& launch) {
+  auto v = staticFeatureVector(f);
+  const auto rt = runtimeFeatureVector(f, launch);
+  v.insert(v.end(), rt.begin(), rt.end());
+  return v;
+}
+
+}  // namespace tp::features

@@ -1,0 +1,40 @@
+#pragma once
+
+// Problem-size dependent runtime features (paper §2: "runtime features,
+// whose values are collected during program execution").
+//
+// At kernel launch the runtime knows the NDRange, the scalar argument
+// values, and the buffer transfer volumes. Binding those into the symbolic
+// static counts yields the input-sensitive half of the model's feature
+// vector.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "features/static_features.hpp"
+
+namespace tp::features {
+
+/// Everything the runtime knows at launch time.
+struct LaunchInfo {
+  /// Integer kernel arguments by parameter name (e.g. {"K", 512}).
+  std::map<std::string, double> sizeBindings;
+  std::size_t globalSize = 0;  ///< total work items (dimension 0)
+  std::size_t localSize = 0;   ///< work-group size
+  double bytesToDevice = 0.0;  ///< host→device transfer volume (all buffers)
+  double bytesFromDevice = 0.0;  ///< device→host transfer volume
+};
+
+std::vector<std::string> runtimeFeatureNames();
+
+/// Evaluate the symbolic features under the launch bindings.
+std::vector<double> runtimeFeatureVector(const KernelFeatures& f,
+                                         const LaunchInfo& launch);
+
+/// Combined schema: staticFeatureNames() ++ runtimeFeatureNames().
+std::vector<std::string> combinedFeatureNames();
+std::vector<double> combinedFeatureVector(const KernelFeatures& f,
+                                          const LaunchInfo& launch);
+
+}  // namespace tp::features

@@ -1,0 +1,371 @@
+#include "features/static_features.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "frontend/builtins.hpp"
+
+namespace tp::features {
+
+using namespace tp::ir;
+
+double KernelFeatures::arithmeticIntensity(
+    const std::map<std::string, double>& bindings) const {
+  const double bytes = globalBytes().eval(bindings);
+  if (bytes <= 0.0) return 0.0;
+  return arithmeticOps().eval(bindings) / bytes;
+}
+
+namespace {
+
+/// Converts an integer-valued IR expression into a symbolic WorkExpr for
+/// trip-count analysis. Anything not analyzable becomes the unknown-trip
+/// pseudo-parameter.
+class TripCountAnalyzer {
+public:
+  explicit TripCountAnalyzer(const KernelDecl& kernel) : kernel_(kernel) {}
+
+  WorkExpr analyze(const Expr& e, bool* exact) const {
+    switch (e.kind()) {
+      case ExprKind::IntLit:
+        return WorkExpr::constant(
+            static_cast<double>(static_cast<const IntLit&>(e).value()));
+      case ExprKind::VarRef: {
+        const auto& v = static_cast<const VarRef&>(e);
+        if (kernel_.findParam(v.name()) != nullptr &&
+            !v.type().isPointer() && v.type().isIntegral()) {
+          return WorkExpr::variable(v.name());
+        }
+        *exact = false;
+        return WorkExpr::variable(kUnknownTripParam);
+      }
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        const WorkExpr lhs = analyze(b.lhs(), exact);
+        const WorkExpr rhs = analyze(b.rhs(), exact);
+        switch (b.op()) {
+          case BinaryOp::Add: return lhs + rhs;
+          case BinaryOp::Sub: return lhs - rhs;
+          case BinaryOp::Mul: return lhs * rhs;
+          case BinaryOp::Div:
+            if (rhs.isConstant() && rhs.constantTerm() != 0.0) {
+              return lhs * (1.0 / rhs.constantTerm());
+            }
+            *exact = false;
+            return WorkExpr::variable(kUnknownTripParam);
+          case BinaryOp::Shr:
+            if (rhs.isConstant()) {
+              return lhs * (1.0 / static_cast<double>(
+                                      1ll << static_cast<long long>(
+                                          rhs.constantTerm())));
+            }
+            *exact = false;
+            return WorkExpr::variable(kUnknownTripParam);
+          case BinaryOp::Shl:
+            if (rhs.isConstant()) {
+              return lhs * static_cast<double>(
+                               1ll << static_cast<long long>(
+                                   rhs.constantTerm()));
+            }
+            [[fallthrough]];
+          default:
+            *exact = false;
+            return WorkExpr::variable(kUnknownTripParam);
+        }
+      }
+      case ExprKind::Call: {
+        const auto& c = static_cast<const CallExpr&>(e);
+        if (c.callee() == "get_global_size") {
+          return WorkExpr::variable(kGlobalSizeParam);
+        }
+        *exact = false;
+        return WorkExpr::variable(kUnknownTripParam);
+      }
+      case ExprKind::Cast:
+        return analyze(static_cast<const CastExpr&>(e).value(), exact);
+      default:
+        *exact = false;
+        return WorkExpr::variable(kUnknownTripParam);
+    }
+  }
+
+private:
+  const KernelDecl& kernel_;
+};
+
+class Extractor {
+public:
+  explicit Extractor(const KernelDecl& kernel)
+      : kernel_(kernel), trips_(kernel) {}
+
+  KernelFeatures run() {
+    f_.numParams = static_cast<int>(kernel_.params().size());
+    for (const auto& p : kernel_.params()) {
+      if (p.type.isPointer() && p.type.addrSpace() == AddrSpace::Global) {
+        ++f_.numBuffers;
+      }
+      if (p.type.isPointer() && p.type.addrSpace() == AddrSpace::Local) {
+        f_.usesLocalMemory = true;
+      }
+    }
+    countStmt(kernel_.body(), WorkExpr::constant(1.0), 0);
+    return std::move(f_);
+  }
+
+private:
+  /// Count all operations in an rvalue expression, scaled by `mult`.
+  void countExpr(const Expr& e, const WorkExpr& mult) {
+    switch (e.kind()) {
+      case ExprKind::IntLit:
+      case ExprKind::FloatLit:
+        break;
+      case ExprKind::VarRef:
+        break;
+      case ExprKind::Unary: {
+        const auto& u = static_cast<const UnaryExpr&>(e);
+        addArith(u.type(), mult);
+        countExpr(u.operand(), mult);
+        break;
+      }
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        // Comparison cost follows the operand type, not the bool result.
+        if (isComparison(b.op()) &&
+            (b.lhs().type().isFloat() || b.rhs().type().isFloat())) {
+          f_.floatOps += mult;
+        } else {
+          addArith(b.type(), mult);
+        }
+        countExpr(b.lhs(), mult);
+        countExpr(b.rhs(), mult);
+        break;
+      }
+      case ExprKind::Call: {
+        const auto& c = static_cast<const CallExpr&>(e);
+        countCall(c, mult);
+        break;
+      }
+      case ExprKind::Index: {
+        const auto& ix = static_cast<const IndexExpr&>(e);
+        addMemoryAccess(ix.addrSpace(), mult, /*isStore=*/false);
+        countExpr(ix.index(), mult);
+        // Address computation: one integer op per subscript.
+        f_.intOps += mult;
+        break;
+      }
+      case ExprKind::Cast: {
+        const auto& c = static_cast<const CastExpr&>(e);
+        // int<->float conversions cost one ALU op; same-class casts are free.
+        if (c.type().isFloat() != c.value().type().isFloat()) {
+          f_.intOps += mult;
+        }
+        countExpr(c.value(), mult);
+        break;
+      }
+      case ExprKind::Select: {
+        const auto& s = static_cast<const SelectExpr&>(e);
+        // Selects are usually compiled to predication: cheaper than a real
+        // branch but still a divergence point — count half a branch.
+        f_.branches += mult * 0.5;
+        countExpr(s.cond(), mult);
+        countExpr(s.ifTrue(), mult * kBalancedBranchWeight);
+        countExpr(s.ifFalse(), mult * kBalancedBranchWeight);
+        break;
+      }
+    }
+  }
+
+  void countCall(const CallExpr& c, const WorkExpr& mult) {
+    const auto builtin = frontend::findBuiltin(c.callee());
+    TP_ASSERT_MSG(builtin.has_value(), "unknown builtin " << c.callee());
+    switch (builtin->cls) {
+      case frontend::BuiltinClass::WorkItemQuery:
+        // Reads a register set up by the runtime: ~one integer op.
+        f_.intOps += mult;
+        break;
+      case frontend::BuiltinClass::MathLight:
+        if (c.type().isFloat()) {
+          f_.floatOps += mult;
+        } else {
+          f_.intOps += mult;
+        }
+        break;
+      case frontend::BuiltinClass::MathHeavy:
+        f_.specialOps += mult;
+        break;
+      case frontend::BuiltinClass::Atomic: {
+        f_.atomics += mult;
+        // atomic_add(&buf[i], v) appears in the IR as
+        // atomic_add(buf[i], v); the IndexExpr argument is the RMW access.
+        break;
+      }
+    }
+    for (const auto& a : c.args()) {
+      if (builtin->cls == frontend::BuiltinClass::Atomic &&
+          a->kind() == ExprKind::Index) {
+        const auto& ix = static_cast<const IndexExpr&>(*a);
+        // The atomic performs the load+store itself.
+        addMemoryAccess(ix.addrSpace(), mult, false);
+        addMemoryAccess(ix.addrSpace(), mult, true);
+        countExpr(ix.index(), mult);
+        continue;
+      }
+      countExpr(*a, mult);
+    }
+  }
+
+  void addArith(const Type& t, const WorkExpr& mult) {
+    if (t.isFloat()) {
+      f_.floatOps += mult;
+    } else {
+      f_.intOps += mult;
+    }
+  }
+
+  void addMemoryAccess(AddrSpace space, const WorkExpr& mult, bool isStore) {
+    switch (space) {
+      case AddrSpace::Global:
+        if (isStore) {
+          f_.globalStores += mult;
+        } else {
+          f_.globalLoads += mult;
+        }
+        break;
+      case AddrSpace::Local:
+        f_.usesLocalMemory = true;
+        f_.localAccesses += mult;
+        break;
+      case AddrSpace::Private:
+        f_.privateAccesses += mult;
+        break;
+      case AddrSpace::None:
+        TP_ASSERT(false);
+    }
+  }
+
+  void countStmt(const Stmt& s, const WorkExpr& mult, int loopDepth) {
+    f_.maxLoopDepth = std::max(f_.maxLoopDepth, loopDepth);
+    switch (s.kind()) {
+      case StmtKind::Decl: {
+        const auto& d = static_cast<const DeclStmt&>(s);
+        if (d.init() != nullptr) countExpr(*d.init(), mult);
+        break;
+      }
+      case StmtKind::Assign: {
+        const auto& a = static_cast<const AssignStmt&>(s);
+        countExpr(a.value(), mult);
+        if (a.target().kind() == ExprKind::Index) {
+          const auto& ix = static_cast<const IndexExpr&>(a.target());
+          addMemoryAccess(ix.addrSpace(), mult, /*isStore=*/true);
+          countExpr(ix.index(), mult);
+          f_.intOps += mult;  // address computation
+        }
+        break;
+      }
+      case StmtKind::ExprEval:
+        countExpr(static_cast<const ExprStmt&>(s).expr(), mult);
+        break;
+      case StmtKind::Compound:
+        for (const auto& st : static_cast<const CompoundStmt&>(s).stmts()) {
+          countStmt(*st, mult, loopDepth);
+        }
+        break;
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(s);
+        countExpr(i.cond(), mult);
+        f_.branches += mult;
+        if (i.elseBody() == nullptr) {
+          countStmt(i.thenBody(), mult * kThenOnlyWeight, loopDepth);
+        } else {
+          countStmt(i.thenBody(), mult * kBalancedBranchWeight, loopDepth);
+          countStmt(*i.elseBody(), mult * kBalancedBranchWeight, loopDepth);
+        }
+        break;
+      }
+      case StmtKind::For: {
+        const auto& l = static_cast<const ForStmt&>(s);
+        ++f_.numLoops;
+        bool exact = true;
+        const WorkExpr init = trips_.analyze(l.init(), &exact);
+        const WorkExpr bound = trips_.analyze(l.bound(), &exact);
+        WorkExpr trip = (bound - init) * (1.0 / static_cast<double>(l.step()));
+        if (!exact) f_.hasUnboundedLoop = true;
+        countExpr(l.init(), mult);
+        const WorkExpr bodyMult = mult * trip;
+        // Per iteration: condition test + increment.
+        countExpr(l.bound(), bodyMult);
+        f_.intOps += bodyMult;  // comparison
+        f_.intOps += bodyMult;  // increment
+        // The backward branch of a counted loop is uniform across work items
+        // (no divergence) and perfectly predicted — not counted as a branch.
+        countStmt(l.body(), bodyMult, loopDepth + 1);
+        break;
+      }
+      case StmtKind::While: {
+        const auto& w = static_cast<const WhileStmt&>(s);
+        ++f_.numLoops;
+        f_.hasUnboundedLoop = true;
+        const WorkExpr trip = WorkExpr::variable(kUnknownTripParam);
+        const WorkExpr bodyMult = mult * trip;
+        countExpr(w.cond(), bodyMult);
+        f_.branches += bodyMult;
+        countStmt(w.body(), bodyMult, loopDepth + 1);
+        break;
+      }
+      case StmtKind::Barrier:
+        f_.barriers += mult;
+        break;
+      case StmtKind::Return:
+      case StmtKind::Break:
+      case StmtKind::Continue:
+        // Control-transfer: a branch decision.
+        f_.branches += mult * 0.5;
+        break;
+    }
+  }
+
+  const KernelDecl& kernel_;
+  TripCountAnalyzer trips_;
+  KernelFeatures f_;
+};
+
+}  // namespace
+
+KernelFeatures extractFeatures(const KernelDecl& kernel) {
+  return Extractor(kernel).run();
+}
+
+std::vector<std::string> staticFeatureNames() {
+  return {
+      "s_int_ops",     "s_float_ops",      "s_special_ops",
+      "s_global_loads", "s_global_stores", "s_local_accesses",
+      "s_private_accesses", "s_branches",  "s_atomics",
+      "s_barriers",    "s_num_loops",      "s_max_loop_depth",
+      "s_num_buffers", "s_uses_local_mem", "s_arith_intensity",
+  };
+}
+
+std::vector<double> staticFeatureVector(const KernelFeatures& f,
+                                        double structuralDefault) {
+  const std::map<std::string, double> none;
+  auto ev = [&](const ir::WorkExpr& e) { return e.eval(none, structuralDefault); };
+  return {
+      ev(f.intOps),
+      ev(f.floatOps),
+      ev(f.specialOps),
+      ev(f.globalLoads),
+      ev(f.globalStores),
+      ev(f.localAccesses),
+      ev(f.privateAccesses),
+      ev(f.branches),
+      ev(f.atomics),
+      ev(f.barriers),
+      static_cast<double>(f.numLoops),
+      static_cast<double>(f.maxLoopDepth),
+      static_cast<double>(f.numBuffers),
+      f.usesLocalMemory ? 1.0 : 0.0,
+      f.arithmeticIntensity(none),
+  };
+}
+
+}  // namespace tp::features

@@ -1,0 +1,75 @@
+#pragma once
+
+// Static program feature extraction (paper §2: "static program features,
+// whose values can be extracted from the source code at compile time").
+//
+// Features are *symbolic*: per-work-item operation counts are polynomials
+// (ir::WorkExpr) over the kernel's integer parameters. A matmul kernel with
+// inner dimension K yields floatOps = 2*K per work item. Binding K at launch
+// time turns the static description into the paper's problem-size dependent
+// *runtime features* — see runtime_features.hpp.
+
+#include <map>
+#include <string>
+
+#include "ir/node.hpp"
+#include "ir/workexpr.hpp"
+
+namespace tp::features {
+
+/// Per-work-item symbolic operation counts plus structural counters.
+struct KernelFeatures {
+  // Symbolic per-work-item counts.
+  ir::WorkExpr intOps;        ///< integer ALU ops (incl. address arithmetic)
+  ir::WorkExpr floatOps;      ///< float add/sub/mul/div + light math builtins
+  ir::WorkExpr specialOps;    ///< sqrt/exp/log/sin/cos/pow/rsqrt
+  ir::WorkExpr globalLoads;   ///< loads from __global buffers
+  ir::WorkExpr globalStores;  ///< stores to __global buffers
+  ir::WorkExpr localAccesses; ///< loads+stores on __local memory
+  ir::WorkExpr privateAccesses; ///< accesses to __private arrays
+  ir::WorkExpr branches;      ///< control-flow decisions (if/select/loop exits)
+  ir::WorkExpr atomics;       ///< atomic RMW ops on global memory
+  ir::WorkExpr barriers;      ///< work-group barriers executed per item
+
+  // Structural (plain integers).
+  int numLoops = 0;
+  int maxLoopDepth = 0;
+  int numParams = 0;
+  int numBuffers = 0;       ///< __global pointer parameters
+  bool usesLocalMemory = false;
+  bool hasUnboundedLoop = false;  ///< contains a while / unknown-trip loop
+
+  /// Bytes moved per work item between the device and global memory.
+  ir::WorkExpr globalBytes() const {
+    return (globalLoads + globalStores) * 4.0;
+  }
+
+  /// Total "useful" arithmetic per work item.
+  ir::WorkExpr arithmeticOps() const { return floatOps + intOps + specialOps; }
+
+  /// Compute-to-memory ratio evaluated with the given parameter bindings
+  /// (flops per byte; 0 when the kernel touches no global memory).
+  double arithmeticIntensity(const std::map<std::string, double>& bindings) const;
+};
+
+/// Weight applied to the body of an `if` without an `else` (bounds-check
+/// guards almost always pass).
+inline constexpr double kThenOnlyWeight = 0.9;
+/// Weight applied to each arm of an if/else.
+inline constexpr double kBalancedBranchWeight = 0.5;
+/// Name of the pseudo-parameter standing in for unknown loop trip counts.
+inline constexpr const char* kUnknownTripParam = "__unknown_loop";
+/// Pseudo-parameter bound to get_global_size(0) at launch.
+inline constexpr const char* kGlobalSizeParam = "__global_size_0";
+
+/// Extract features from a verified kernel.
+KernelFeatures extractFeatures(const ir::KernelDecl& kernel);
+
+/// Names/values of the static feature vector used by the ML model. The
+/// symbolic counts are evaluated with every parameter at `structuralDefault`
+/// so the vector characterizes code structure independent of problem size.
+std::vector<std::string> staticFeatureNames();
+std::vector<double> staticFeatureVector(const KernelFeatures& f,
+                                        double structuralDefault = 16.0);
+
+}  // namespace tp::features

@@ -1,0 +1,62 @@
+#include "frontend/builtins.hpp"
+
+#include <array>
+
+namespace tp::frontend {
+
+namespace {
+
+using ir::Scalar;
+
+// Scalar::Void in `result` means "same scalar type as first argument".
+const std::array<Builtin, 28> kBuiltins = {{
+    {"get_global_id", 1, BuiltinClass::WorkItemQuery, Scalar::Int},
+    {"get_local_id", 1, BuiltinClass::WorkItemQuery, Scalar::Int},
+    {"get_group_id", 1, BuiltinClass::WorkItemQuery, Scalar::Int},
+    {"get_global_size", 1, BuiltinClass::WorkItemQuery, Scalar::Int},
+    {"get_local_size", 1, BuiltinClass::WorkItemQuery, Scalar::Int},
+    {"get_num_groups", 1, BuiltinClass::WorkItemQuery, Scalar::Int},
+
+    {"fabs", 1, BuiltinClass::MathLight, Scalar::Float},
+    {"floor", 1, BuiltinClass::MathLight, Scalar::Float},
+    {"ceil", 1, BuiltinClass::MathLight, Scalar::Float},
+    {"fmin", 2, BuiltinClass::MathLight, Scalar::Float},
+    {"fmax", 2, BuiltinClass::MathLight, Scalar::Float},
+    {"min", 2, BuiltinClass::MathLight, Scalar::Void},
+    {"max", 2, BuiltinClass::MathLight, Scalar::Void},
+    {"abs", 1, BuiltinClass::MathLight, Scalar::Void},
+    {"clamp", 3, BuiltinClass::MathLight, Scalar::Void},
+    {"mad", 3, BuiltinClass::MathLight, Scalar::Float},
+    {"fma", 3, BuiltinClass::MathLight, Scalar::Float},
+
+    {"sqrt", 1, BuiltinClass::MathHeavy, Scalar::Float},
+    {"native_sqrt", 1, BuiltinClass::MathHeavy, Scalar::Float},
+    {"rsqrt", 1, BuiltinClass::MathHeavy, Scalar::Float},
+    {"exp", 1, BuiltinClass::MathHeavy, Scalar::Float},
+    {"native_exp", 1, BuiltinClass::MathHeavy, Scalar::Float},
+    {"log", 1, BuiltinClass::MathHeavy, Scalar::Float},
+    {"sin", 1, BuiltinClass::MathHeavy, Scalar::Float},
+    {"cos", 1, BuiltinClass::MathHeavy, Scalar::Float},
+    {"pow", 2, BuiltinClass::MathHeavy, Scalar::Float},
+
+    {"atomic_add", 2, BuiltinClass::Atomic, Scalar::Int},
+    {"atomic_inc", 1, BuiltinClass::Atomic, Scalar::Int},
+}};
+
+}  // namespace
+
+std::optional<Builtin> findBuiltin(const std::string& name) {
+  for (const auto& b : kBuiltins) {
+    if (b.name == name) return b;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> builtinNames() {
+  std::vector<std::string> out;
+  out.reserve(kBuiltins.size());
+  for (const auto& b : kBuiltins) out.push_back(b.name);
+  return out;
+}
+
+}  // namespace tp::frontend

@@ -1,0 +1,40 @@
+#pragma once
+
+// Table of builtin functions known to the OpenCL-C-subset frontend.
+//
+// Each builtin carries a cost class that the feature extractor maps to one
+// of the static program features (cheap transcendental-free math counts as
+// float ops; sqrt/exp/... count as "special function" ops with much higher
+// device-dependent cost; work-item queries are free index arithmetic).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/type.hpp"
+
+namespace tp::frontend {
+
+enum class BuiltinClass {
+  WorkItemQuery,  ///< get_global_id etc. — resolved by the runtime, ~free
+  MathLight,      ///< fabs, fmin, fmax, min, max, clamp, mad, fma
+  MathHeavy,      ///< sqrt, exp, log, sin, cos, pow, rsqrt — "special" ops
+  Atomic,         ///< atomic_add / atomic_inc on global memory
+};
+
+struct Builtin {
+  std::string name;
+  int arity;
+  BuiltinClass cls;
+  /// Result type rule: Void => same as first argument (math builtins);
+  /// anything else is the fixed result type.
+  ir::Scalar result;
+};
+
+/// Look up a builtin by name; nullopt if unknown.
+std::optional<Builtin> findBuiltin(const std::string& name);
+
+/// All builtin names (for diagnostics and tests).
+std::vector<std::string> builtinNames();
+
+}  // namespace tp::frontend

@@ -1,0 +1,199 @@
+#include "frontend/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace tp::frontend {
+
+namespace {
+
+const std::array<std::string_view, 19> kKeywords = {
+    "__kernel", "kernel",   "__global", "global", "__local",   "local",
+    "__private", "const",   "void",     "int",    "uint",      "unsigned",
+    "float",    "bool",     "if",       "else",   "for",       "while",
+    "return",
+};
+
+// Multi-char punctuation, longest first so maximal munch works.
+const std::array<std::string_view, 19> kMultiPunct = {
+    "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=",  "/=",  "%=", "++", "--", "<<", ">>", "&=", "|=",
+};
+
+}  // namespace
+
+bool isKeywordWord(std::string_view word) {
+  for (const auto& k : kKeywords) {
+    if (k == word) return true;
+  }
+  // `break` / `continue` / `barrier` are handled as identifiers-with-meaning
+  // by the parser, but break/continue are reserved to avoid use as names.
+  return word == "break" || word == "continue";
+}
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  int line = 1;
+  int column = 1;
+
+  auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (i < source.size() && source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Comments
+    if (c == '/' && i + 1 < source.size()) {
+      if (source[i + 1] == '/') {
+        while (i < source.size() && source[i] != '\n') advance(1);
+        continue;
+      }
+      if (source[i + 1] == '*') {
+        const int startLine = line;
+        const int startCol = column;
+        advance(2);
+        bool closed = false;
+        while (i + 1 < source.size()) {
+          if (source[i] == '*' && source[i + 1] == '/') {
+            advance(2);
+            closed = true;
+            break;
+          }
+          advance(1);
+        }
+        if (!closed) {
+          throw ParseError("unterminated block comment", startLine, startCol);
+        }
+        continue;
+      }
+    }
+
+    Token tok;
+    tok.line = line;
+    tok.column = column;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[j])) ||
+              source[j] == '_')) {
+        ++j;
+      }
+      tok.text = std::string(source.substr(i, j - i));
+      tok.kind = isKeywordWord(tok.text) && tok.text != "break" &&
+                         tok.text != "continue"
+                     ? TokenKind::Keyword
+                     : TokenKind::Identifier;
+      // break/continue stay identifiers kind-wise but are reserved; the
+      // parser matches on spelling.
+      advance(j - i);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < source.size() &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      std::size_t j = i;
+      bool isFloat = false;
+      while (j < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[j]))) {
+        ++j;
+      }
+      if (j < source.size() && source[j] == '.') {
+        isFloat = true;
+        ++j;
+        while (j < source.size() &&
+               std::isdigit(static_cast<unsigned char>(source[j]))) {
+          ++j;
+        }
+      }
+      if (j < source.size() && (source[j] == 'e' || source[j] == 'E')) {
+        std::size_t k = j + 1;
+        if (k < source.size() && (source[k] == '+' || source[k] == '-')) ++k;
+        if (k < source.size() &&
+            std::isdigit(static_cast<unsigned char>(source[k]))) {
+          isFloat = true;
+          j = k;
+          while (j < source.size() &&
+                 std::isdigit(static_cast<unsigned char>(source[j]))) {
+            ++j;
+          }
+        }
+      }
+      std::string text(source.substr(i, j - i));
+      // Suffixes: f/F forces float, u/U marks unsigned int.
+      bool isUnsigned = false;
+      if (j < source.size() && (source[j] == 'f' || source[j] == 'F')) {
+        isFloat = true;
+        ++j;
+      } else if (j < source.size() && (source[j] == 'u' || source[j] == 'U')) {
+        isUnsigned = true;
+        ++j;
+      }
+      tok.text = text;
+      if (isFloat) {
+        tok.kind = TokenKind::FloatLiteral;
+        tok.floatValue = std::strtod(text.c_str(), nullptr);
+      } else {
+        tok.kind = TokenKind::IntLiteral;
+        tok.intValue = std::strtoll(text.c_str(), nullptr, 10);
+        if (isUnsigned) tok.text += 'u';
+      }
+      advance(j - i);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    // Punctuation: try multi-char first.
+    bool matched = false;
+    for (const auto& p : kMultiPunct) {
+      if (source.substr(i, p.size()) == p) {
+        tok.kind = TokenKind::Punct;
+        tok.text = std::string(p);
+        advance(p.size());
+        tokens.push_back(std::move(tok));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+
+    static const std::string_view kSingle = "+-*/%<>=!&|^~?:;,.()[]{}";
+    if (kSingle.find(c) != std::string_view::npos) {
+      tok.kind = TokenKind::Punct;
+      tok.text = std::string(1, c);
+      advance(1);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    throw ParseError(std::string("unexpected character '") + c + "'", line,
+                     column);
+  }
+
+  Token eof;
+  eof.kind = TokenKind::EndOfFile;
+  eof.line = line;
+  eof.column = column;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace tp::frontend

@@ -1,0 +1,43 @@
+#pragma once
+
+// Lexer for the OpenCL-C subset. Produces the full token stream up front
+// (kernels are small); the parser indexes into it with one-token lookahead.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tp::frontend {
+
+enum class TokenKind {
+  Identifier,
+  Keyword,
+  IntLiteral,
+  FloatLiteral,
+  Punct,
+  EndOfFile,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::EndOfFile;
+  std::string text;      ///< spelling ("for", "x", "42", "+=", ...)
+  long long intValue = 0;
+  double floatValue = 0.0;
+  int line = 0;
+  int column = 0;
+
+  bool is(TokenKind k, std::string_view t) const {
+    return kind == k && text == t;
+  }
+  bool isPunct(std::string_view t) const { return is(TokenKind::Punct, t); }
+  bool isKeyword(std::string_view t) const { return is(TokenKind::Keyword, t); }
+};
+
+/// Tokenize; throws tp::ParseError on bad input (unterminated comment,
+/// stray character, malformed number).
+std::vector<Token> tokenize(std::string_view source);
+
+/// True if `word` is one of the subset's reserved words.
+bool isKeywordWord(std::string_view word);
+
+}  // namespace tp::frontend

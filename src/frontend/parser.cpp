@@ -1,0 +1,658 @@
+#include "frontend/parser.hpp"
+
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "frontend/builtins.hpp"
+#include "frontend/lexer.hpp"
+#include "ir/clone.hpp"
+
+namespace tp::frontend {
+
+namespace {
+
+using namespace tp::ir;
+
+class Parser {
+public:
+  explicit Parser(const std::string& source) : tokens_(tokenize(source)) {}
+
+  std::unique_ptr<Program> parseProgram() {
+    std::vector<std::unique_ptr<KernelDecl>> kernels;
+    while (!peek().is(TokenKind::EndOfFile, "") &&
+           peek().kind != TokenKind::EndOfFile) {
+      kernels.push_back(parseKernel());
+    }
+    if (kernels.empty()) fail("expected at least one __kernel function");
+    return std::make_unique<Program>(std::move(kernels));
+  }
+
+private:
+  // -- token helpers --------------------------------------------------------
+
+  const Token& peek(int ahead = 0) const {
+    const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  const Token& advance() { return tokens_[pos_++]; }
+
+  bool acceptPunct(std::string_view p) {
+    if (peek().isPunct(p)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool acceptKeyword(std::string_view k) {
+    if (peek().isKeyword(k)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expectPunct(std::string_view p) {
+    if (!acceptPunct(p)) {
+      fail(std::string("expected '") + std::string(p) + "', got '" +
+           peek().text + "'");
+    }
+  }
+
+  void expectKeyword(std::string_view k) {
+    if (!acceptKeyword(k)) {
+      fail(std::string("expected '") + std::string(k) + "', got '" +
+           peek().text + "'");
+    }
+  }
+
+  std::string expectIdentifier(const char* what) {
+    if (peek().kind != TokenKind::Identifier) {
+      fail(std::string("expected ") + what + ", got '" + peek().text + "'");
+    }
+    return advance().text;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message, peek().line, peek().column);
+  }
+
+  // -- scopes ---------------------------------------------------------------
+
+  void pushScope() { scopes_.emplace_back(); }
+  void popScope() { scopes_.pop_back(); }
+
+  void declare(const std::string& name, Type type) {
+    scopes_.back()[name] = type;
+  }
+
+  const Type* lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    return nullptr;
+  }
+
+  // -- types ----------------------------------------------------------------
+
+  bool peekIsTypeStart() const {
+    const Token& t = peek();
+    if (t.kind != TokenKind::Keyword) return false;
+    return t.text == "int" || t.text == "uint" || t.text == "unsigned" ||
+           t.text == "float" || t.text == "bool" || t.text == "void" ||
+           t.text == "const" || t.text == "__local" || t.text == "local" ||
+           t.text == "__private" || t.text == "__global" || t.text == "global";
+  }
+
+  Scalar parseScalarType() {
+    const Token& t = peek();
+    if (t.isKeyword("int")) {
+      advance();
+      return Scalar::Int;
+    }
+    if (t.isKeyword("uint")) {
+      advance();
+      return Scalar::UInt;
+    }
+    if (t.isKeyword("unsigned")) {
+      advance();
+      acceptKeyword("int");
+      return Scalar::UInt;
+    }
+    if (t.isKeyword("float")) {
+      advance();
+      return Scalar::Float;
+    }
+    if (t.isKeyword("bool")) {
+      advance();
+      return Scalar::Bool;
+    }
+    if (t.isKeyword("void")) {
+      advance();
+      return Scalar::Void;
+    }
+    fail("expected a type, got '" + t.text + "'");
+  }
+
+  // -- kernels --------------------------------------------------------------
+
+  std::unique_ptr<KernelDecl> parseKernel() {
+    if (!acceptKeyword("__kernel")) expectKeyword("kernel");
+    expectKeyword("void");
+    const std::string name = expectIdentifier("kernel name");
+    expectPunct("(");
+
+    std::vector<Param> params;
+    pushScope();
+    if (!peek().isPunct(")")) {
+      do {
+        params.push_back(parseParam());
+      } while (acceptPunct(","));
+    }
+    expectPunct(")");
+    for (const auto& p : params) declare(p.name, p.type);
+
+    auto body = parseCompound();
+    popScope();
+    return std::make_unique<KernelDecl>(name, std::move(params),
+                                        std::move(body));
+  }
+
+  Param parseParam() {
+    AddrSpace space = AddrSpace::None;
+    // Qualifiers may appear in any order before the scalar type.
+    while (true) {
+      if (acceptKeyword("const")) continue;
+      if (acceptKeyword("__global") || acceptKeyword("global")) {
+        space = AddrSpace::Global;
+        continue;
+      }
+      if (acceptKeyword("__local") || acceptKeyword("local")) {
+        space = AddrSpace::Local;
+        continue;
+      }
+      break;
+    }
+    const Scalar scalar = parseScalarType();
+    acceptKeyword("const");
+    Type type;
+    if (acceptPunct("*")) {
+      if (space == AddrSpace::None) {
+        fail("pointer parameters must be __global or __local");
+      }
+      type = Type::pointer(scalar, space);
+    } else {
+      if (space != AddrSpace::None) {
+        fail("address-space qualifier on a value parameter");
+      }
+      type = Type::scalar(scalar);
+    }
+    const std::string name = expectIdentifier("parameter name");
+    return Param{name, type};
+  }
+
+  // -- statements -----------------------------------------------------------
+
+  std::unique_ptr<CompoundStmt> parseCompound() {
+    expectPunct("{");
+    pushScope();
+    auto block = std::make_unique<CompoundStmt>();
+    while (!peek().isPunct("}")) {
+      if (peek().kind == TokenKind::EndOfFile) fail("unterminated block");
+      block->append(parseStmt());
+    }
+    expectPunct("}");
+    popScope();
+    return block;
+  }
+
+  StmtPtr parseStmt() {
+    const Token& t = peek();
+    if (t.isPunct("{")) return parseCompound();
+    if (t.isKeyword("if")) return parseIf();
+    if (t.isKeyword("for")) return parseFor();
+    if (t.isKeyword("while")) return parseWhile();
+    if (t.isKeyword("return")) {
+      advance();
+      ExprPtr value;
+      if (!peek().isPunct(";")) value = parseExpr();
+      expectPunct(";");
+      return std::make_unique<ReturnStmt>(std::move(value));
+    }
+    if (t.kind == TokenKind::Identifier && t.text == "break") {
+      advance();
+      expectPunct(";");
+      return std::make_unique<BreakStmt>();
+    }
+    if (t.kind == TokenKind::Identifier && t.text == "continue") {
+      advance();
+      expectPunct(";");
+      return std::make_unique<ContinueStmt>();
+    }
+    if (t.kind == TokenKind::Identifier && t.text == "barrier") {
+      return parseBarrier();
+    }
+    if (peekIsTypeStart()) return parseDecl();
+    return parseExprOrAssign();
+  }
+
+  StmtPtr parseBarrier() {
+    advance();  // barrier
+    expectPunct("(");
+    int depth = 1;
+    while (depth > 0) {
+      const Token& t = advance();
+      if (t.kind == TokenKind::EndOfFile) fail("unterminated barrier(...)");
+      if (t.isPunct("(")) ++depth;
+      if (t.isPunct(")")) --depth;
+    }
+    expectPunct(";");
+    return std::make_unique<BarrierStmt>();
+  }
+
+  StmtPtr parseDecl() {
+    AddrSpace space = AddrSpace::Private;
+    bool sawLocal = false;
+    while (true) {
+      if (acceptKeyword("const") || acceptKeyword("__private")) continue;
+      if (acceptKeyword("__local") || acceptKeyword("local")) {
+        sawLocal = true;
+        space = AddrSpace::Local;
+        continue;
+      }
+      break;
+    }
+    const Scalar scalar = parseScalarType();
+    if (scalar == Scalar::Void) fail("cannot declare a void variable");
+    const std::string name = expectIdentifier("variable name");
+
+    if (acceptPunct("[")) {
+      // Array declaration: __local float tile[256]; or private scratch.
+      if (peek().kind != TokenKind::IntLiteral) {
+        fail("array size must be an integer literal");
+      }
+      const long long size = advance().intValue;
+      if (size <= 0) fail("array size must be positive");
+      expectPunct("]");
+      expectPunct(";");
+      const Type type = Type::pointer(scalar, space);
+      auto decl = std::make_unique<DeclStmt>(name, type, nullptr);
+      decl->setArraySize(size);
+      declare(name, type);
+      return decl;
+    }
+    if (sawLocal) fail("__local scalar variables are not supported");
+
+    ExprPtr init;
+    if (acceptPunct("=")) {
+      init = parseExpr();
+      init = coerce(std::move(init), Type::scalar(scalar));
+    }
+    expectPunct(";");
+    const Type type = Type::scalar(scalar);
+    declare(name, type);
+    return std::make_unique<DeclStmt>(name, type, std::move(init));
+  }
+
+  StmtPtr parseIf() {
+    expectKeyword("if");
+    expectPunct("(");
+    auto cond = parseExpr();
+    expectPunct(")");
+    auto thenBody = parseStmt();
+    StmtPtr elseBody;
+    if (acceptKeyword("else")) elseBody = parseStmt();
+    return std::make_unique<IfStmt>(std::move(cond), std::move(thenBody),
+                                    std::move(elseBody));
+  }
+
+  StmtPtr parseWhile() {
+    expectKeyword("while");
+    expectPunct("(");
+    auto cond = parseExpr();
+    expectPunct(")");
+    auto body = parseStmt();
+    return std::make_unique<WhileStmt>(std::move(cond), std::move(body));
+  }
+
+  /// Only canonical loops are accepted:
+  ///   for (int i = <init>; i <|<= <bound>; i++|i += <lit>) <stmt>
+  StmtPtr parseFor() {
+    expectKeyword("for");
+    expectPunct("(");
+    acceptKeyword("int");  // `for (i = ...` also allowed if i is declared
+    const std::string var = expectIdentifier("loop variable");
+    expectPunct("=");
+    pushScope();
+    declare(var, Type::intTy());
+    auto init = parseExpr();
+    expectPunct(";");
+
+    const std::string condVar = expectIdentifier("loop variable in condition");
+    if (condVar != var) {
+      fail("non-canonical for loop: condition must test the loop variable");
+    }
+    bool inclusive = false;
+    if (acceptPunct("<")) {
+      inclusive = false;
+    } else if (acceptPunct("<=")) {
+      inclusive = true;
+    } else {
+      fail("non-canonical for loop: expected '<' or '<='");
+    }
+    auto bound = parseExpr();
+    if (inclusive) {
+      bound = std::make_unique<BinaryExpr>(BinaryOp::Add, std::move(bound),
+                                           std::make_unique<IntLit>(1),
+                                           Type::intTy());
+    }
+    expectPunct(";");
+
+    const std::string stepVar = expectIdentifier("loop variable in step");
+    if (stepVar != var) {
+      fail("non-canonical for loop: step must update the loop variable");
+    }
+    long long step = 1;
+    if (acceptPunct("++")) {
+      step = 1;
+    } else if (acceptPunct("+=")) {
+      if (peek().kind != TokenKind::IntLiteral) {
+        fail("for-loop step must be an integer literal");
+      }
+      step = advance().intValue;
+      if (step <= 0) fail("for-loop step must be positive");
+    } else {
+      fail("non-canonical for loop: expected '++' or '+= <literal>'");
+    }
+    expectPunct(")");
+
+    auto body = parseStmt();
+    popScope();
+    return std::make_unique<ForStmt>(var, std::move(init), std::move(bound),
+                                     step, std::move(body));
+  }
+
+  StmtPtr parseExprOrAssign() {
+    auto lhs = parseExpr();
+    const Token& t = peek();
+
+    auto requireLvalue = [&](const Expr& e) {
+      if (e.kind() != ExprKind::VarRef && e.kind() != ExprKind::Index) {
+        fail("left-hand side of assignment is not assignable");
+      }
+    };
+
+    if (t.isPunct("=")) {
+      advance();
+      requireLvalue(*lhs);
+      auto rhs = parseExpr();
+      rhs = coerce(std::move(rhs), lhs->type());
+      expectPunct(";");
+      return std::make_unique<AssignStmt>(std::move(lhs), std::move(rhs));
+    }
+
+    struct CompoundOp {
+      std::string_view spelling;
+      BinaryOp op;
+    };
+    static constexpr CompoundOp kCompound[] = {
+        {"+=", BinaryOp::Add}, {"-=", BinaryOp::Sub}, {"*=", BinaryOp::Mul},
+        {"/=", BinaryOp::Div}, {"%=", BinaryOp::Mod}, {"&=", BinaryOp::BitAnd},
+        {"|=", BinaryOp::BitOr},
+    };
+    for (const auto& c : kCompound) {
+      if (t.isPunct(c.spelling)) {
+        advance();
+        requireLvalue(*lhs);
+        auto rhs = parseExpr();
+        expectPunct(";");
+        auto lhsCopy = cloneExpr(*lhs);
+        const Type resultType = lhs->type();
+        rhs = coerce(std::move(rhs), resultType);
+        auto value = std::make_unique<BinaryExpr>(
+            c.op, std::move(lhsCopy), std::move(rhs), resultType);
+        return std::make_unique<AssignStmt>(std::move(lhs), std::move(value));
+      }
+    }
+
+    if (t.isPunct("++") || t.isPunct("--")) {
+      const bool inc = t.isPunct("++");
+      advance();
+      requireLvalue(*lhs);
+      expectPunct(";");
+      auto lhsCopy = cloneExpr(*lhs);
+      const Type resultType = lhs->type();
+      auto value = std::make_unique<BinaryExpr>(
+          inc ? BinaryOp::Add : BinaryOp::Sub, std::move(lhsCopy),
+          std::make_unique<IntLit>(1), resultType);
+      return std::make_unique<AssignStmt>(std::move(lhs), std::move(value));
+    }
+
+    expectPunct(";");
+    return std::make_unique<ExprStmt>(std::move(lhs));
+  }
+
+  // -- expressions ----------------------------------------------------------
+
+  /// Insert a cast if `e` does not already have type `to` (scalars only).
+  ExprPtr coerce(ExprPtr e, Type to) {
+    if (e->type() == to || to.isPointer() || e->type().isPointer()) return e;
+    return std::make_unique<CastExpr>(to, std::move(e));
+  }
+
+  static Type arithmeticResult(const Type& a, const Type& b) {
+    if (a.isFloat() || b.isFloat()) return Type::floatTy();
+    if (a.scalarKind() == Scalar::UInt || b.scalarKind() == Scalar::UInt) {
+      return Type::uintTy();
+    }
+    return Type::intTy();
+  }
+
+  ExprPtr parseExpr() { return parseTernary(); }
+
+  ExprPtr parseTernary() {
+    auto cond = parseBinary(0);
+    if (!acceptPunct("?")) return cond;
+    auto ifTrue = parseExpr();
+    expectPunct(":");
+    auto ifFalse = parseExpr();
+    // Unify arm types so SelectExpr is well-typed.
+    if (ifTrue->type() != ifFalse->type()) {
+      const Type t = arithmeticResult(ifTrue->type(), ifFalse->type());
+      ifTrue = coerce(std::move(ifTrue), t);
+      ifFalse = coerce(std::move(ifFalse), t);
+    }
+    return std::make_unique<SelectExpr>(std::move(cond), std::move(ifTrue),
+                                        std::move(ifFalse));
+  }
+
+  struct OpLevel {
+    std::string_view spelling;
+    BinaryOp op;
+    int precedence;
+  };
+
+  static const OpLevel* matchBinaryOp(const Token& t) {
+    static constexpr OpLevel kOps[] = {
+        {"||", BinaryOp::LogicalOr, 1},  {"&&", BinaryOp::LogicalAnd, 2},
+        {"|", BinaryOp::BitOr, 3},       {"^", BinaryOp::BitXor, 4},
+        {"&", BinaryOp::BitAnd, 5},      {"==", BinaryOp::Eq, 6},
+        {"!=", BinaryOp::Ne, 6},         {"<", BinaryOp::Lt, 7},
+        {"<=", BinaryOp::Le, 7},         {">", BinaryOp::Gt, 7},
+        {">=", BinaryOp::Ge, 7},         {"<<", BinaryOp::Shl, 8},
+        {">>", BinaryOp::Shr, 8},        {"+", BinaryOp::Add, 9},
+        {"-", BinaryOp::Sub, 9},         {"*", BinaryOp::Mul, 10},
+        {"/", BinaryOp::Div, 10},        {"%", BinaryOp::Mod, 10},
+    };
+    if (t.kind != TokenKind::Punct) return nullptr;
+    for (const auto& o : kOps) {
+      if (t.text == o.spelling) return &o;
+    }
+    return nullptr;
+  }
+
+  ExprPtr parseBinary(int minPrecedence) {
+    auto lhs = parseUnary();
+    while (true) {
+      const OpLevel* op = matchBinaryOp(peek());
+      if (op == nullptr || op->precedence < minPrecedence) break;
+      advance();
+      auto rhs = parseBinary(op->precedence + 1);
+      Type resultType;
+      if (isComparison(op->op) || isLogical(op->op)) {
+        resultType = Type::boolTy();
+      } else if (op->op == BinaryOp::Shl || op->op == BinaryOp::Shr ||
+                 op->op == BinaryOp::BitAnd || op->op == BinaryOp::BitOr ||
+                 op->op == BinaryOp::BitXor || op->op == BinaryOp::Mod) {
+        resultType = arithmeticResult(lhs->type(), rhs->type());
+        if (resultType.isFloat() && op->op != BinaryOp::Mod) {
+          fail("bitwise operator applied to float operands");
+        }
+      } else {
+        resultType = arithmeticResult(lhs->type(), rhs->type());
+      }
+      lhs = std::make_unique<BinaryExpr>(op->op, std::move(lhs),
+                                         std::move(rhs), resultType);
+    }
+    return lhs;
+  }
+
+  ExprPtr parseUnary() {
+    if (acceptPunct("-")) {
+      return std::make_unique<UnaryExpr>(UnaryOp::Neg, parseUnary());
+    }
+    if (acceptPunct("!")) {
+      return std::make_unique<UnaryExpr>(UnaryOp::Not, parseUnary());
+    }
+    if (acceptPunct("+")) return parseUnary();
+    return parsePostfix();
+  }
+
+  ExprPtr parsePostfix() {
+    auto e = parsePrimary();
+    while (true) {
+      if (peek().isPunct("[")) {
+        advance();
+        auto index = parseExpr();
+        expectPunct("]");
+        if (!e->type().isPointer()) fail("subscript on non-pointer value");
+        e = std::make_unique<IndexExpr>(std::move(e), std::move(index));
+        continue;
+      }
+      break;
+    }
+    return e;
+  }
+
+  ExprPtr parsePrimary() {
+    const Token& t = peek();
+
+    if (t.kind == TokenKind::IntLiteral) {
+      advance();
+      const bool isUnsigned = !t.text.empty() && t.text.back() == 'u';
+      return std::make_unique<IntLit>(
+          t.intValue, isUnsigned ? Type::uintTy() : Type::intTy());
+    }
+    if (t.kind == TokenKind::FloatLiteral) {
+      advance();
+      return std::make_unique<FloatLit>(t.floatValue);
+    }
+
+    if (t.isPunct("(")) {
+      // Cast or parenthesized expression.
+      const Token& after = peek(1);
+      if (after.kind == TokenKind::Keyword &&
+          (after.text == "int" || after.text == "uint" ||
+           after.text == "unsigned" || after.text == "float" ||
+           after.text == "bool")) {
+        advance();  // (
+        const Scalar scalar = parseScalarType();
+        expectPunct(")");
+        return std::make_unique<CastExpr>(Type::scalar(scalar), parseUnary());
+      }
+      advance();
+      auto e = parseExpr();
+      expectPunct(")");
+      return e;
+    }
+
+    if (t.kind == TokenKind::Identifier) {
+      // Builtin call?
+      if (peek(1).isPunct("(")) {
+        const std::string name = advance().text;
+        const auto builtin = findBuiltin(name);
+        if (!builtin.has_value()) {
+          fail("call to unknown function '" + name +
+               "' (user functions are not part of the subset)");
+        }
+        expectPunct("(");
+        std::vector<ExprPtr> args;
+        if (!peek().isPunct(")")) {
+          do {
+            args.push_back(parseExpr());
+          } while (acceptPunct(","));
+        }
+        expectPunct(")");
+        if (static_cast<int>(args.size()) != builtin->arity) {
+          fail("builtin '" + name + "' expects " +
+               std::to_string(builtin->arity) + " argument(s), got " +
+               std::to_string(args.size()));
+        }
+        Type resultType;
+        if (builtin->result == Scalar::Void) {
+          resultType = args.empty() ? Type::intTy()
+                                    : Type::scalar(args[0]->type().isPointer()
+                                                       ? args[0]->type().element().scalarKind()
+                                                       : args[0]->type().scalarKind());
+        } else {
+          resultType = Type::scalar(builtin->result);
+        }
+        // Math builtins that operate on float coerce their scalar args.
+        if (builtin->cls == BuiltinClass::MathHeavy ||
+            (builtin->cls == BuiltinClass::MathLight &&
+             builtin->result == Scalar::Float)) {
+          for (auto& a : args) {
+            if (!a->type().isPointer()) {
+              a = coerce(std::move(a), Type::floatTy());
+            }
+          }
+        }
+        return std::make_unique<CallExpr>(name, std::move(args), resultType);
+      }
+
+      const std::string name = advance().text;
+      const Type* type = lookup(name);
+      if (type == nullptr) fail("use of undeclared identifier '" + name + "'");
+      return std::make_unique<VarRef>(name, *type);
+    }
+
+    fail("unexpected token '" + t.text + "' in expression");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::vector<std::map<std::string, Type>> scopes_;
+};
+
+}  // namespace
+
+std::unique_ptr<ir::Program> parseProgram(const std::string& source) {
+  Parser parser(source);
+  return parser.parseProgram();
+}
+
+std::unique_ptr<ir::KernelDecl> parseSingleKernel(const std::string& source) {
+  auto program = parseProgram(source);
+  TP_REQUIRE(program->kernels().size() == 1,
+             "expected exactly one kernel, found "
+                 << program->kernels().size());
+  // Transfer ownership of the lone kernel out of the program.
+  auto& kernels = const_cast<std::vector<std::unique_ptr<ir::KernelDecl>>&>(
+      program->kernels());
+  return std::move(kernels[0]);
+}
+
+}  // namespace tp::frontend

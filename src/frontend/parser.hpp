@@ -1,0 +1,33 @@
+#pragma once
+
+// Recursive-descent parser for the OpenCL-C subset → INSPIRE-lite IR.
+//
+// Accepted language (rich enough for all 23 suite kernels):
+//   - kernels:       __kernel void name(qualified params) { ... }
+//   - types:         int, uint/unsigned int, float, bool; pointers with
+//                    __global/__local qualifiers on parameters
+//   - statements:    declarations (incl. __private/__local arrays),
+//                    assignments (=, +=, -=, *=, /=, ++/--), if/else,
+//                    canonical for loops, while loops, barrier(...),
+//                    break, continue, return
+//   - expressions:   full C operator precedence incl. ternary, casts,
+//                    builtin calls (see builtins.hpp)
+//
+// Deliberately rejected: user function definitions/calls, structs, vector
+// types, goto, switch, non-canonical for loops. Every rejection is a
+// ParseError with line/column.
+
+#include <memory>
+#include <string>
+
+#include "ir/node.hpp"
+
+namespace tp::frontend {
+
+/// Parse a translation unit (one or more kernels).
+std::unique_ptr<ir::Program> parseProgram(const std::string& source);
+
+/// Parse a source expected to contain exactly one kernel.
+std::unique_ptr<ir::KernelDecl> parseSingleKernel(const std::string& source);
+
+}  // namespace tp::frontend

@@ -1,0 +1,54 @@
+#include "ir/clone.hpp"
+
+namespace tp::ir {
+
+ExprPtr cloneExpr(const Expr& e) {
+  switch (e.kind()) {
+    case ExprKind::IntLit: {
+      const auto& n = static_cast<const IntLit&>(e);
+      return std::make_unique<IntLit>(n.value(), n.type());
+    }
+    case ExprKind::FloatLit:
+      return std::make_unique<FloatLit>(
+          static_cast<const FloatLit&>(e).value());
+    case ExprKind::VarRef: {
+      const auto& n = static_cast<const VarRef&>(e);
+      return std::make_unique<VarRef>(n.name(), n.type());
+    }
+    case ExprKind::Unary: {
+      const auto& n = static_cast<const UnaryExpr&>(e);
+      return std::make_unique<UnaryExpr>(n.op(), cloneExpr(n.operand()));
+    }
+    case ExprKind::Binary: {
+      const auto& n = static_cast<const BinaryExpr&>(e);
+      return std::make_unique<BinaryExpr>(n.op(), cloneExpr(n.lhs()),
+                                          cloneExpr(n.rhs()), n.type());
+    }
+    case ExprKind::Call: {
+      const auto& n = static_cast<const CallExpr&>(e);
+      std::vector<ExprPtr> args;
+      args.reserve(n.args().size());
+      for (const auto& a : n.args()) args.push_back(cloneExpr(*a));
+      return std::make_unique<CallExpr>(n.callee(), std::move(args), n.type());
+    }
+    case ExprKind::Index: {
+      const auto& n = static_cast<const IndexExpr&>(e);
+      return std::make_unique<IndexExpr>(cloneExpr(n.base()),
+                                         cloneExpr(n.index()));
+    }
+    case ExprKind::Cast: {
+      const auto& n = static_cast<const CastExpr&>(e);
+      return std::make_unique<CastExpr>(n.type(), cloneExpr(n.value()));
+    }
+    case ExprKind::Select: {
+      const auto& n = static_cast<const SelectExpr&>(e);
+      return std::make_unique<SelectExpr>(cloneExpr(n.cond()),
+                                          cloneExpr(n.ifTrue()),
+                                          cloneExpr(n.ifFalse()));
+    }
+  }
+  TP_ASSERT(false);
+  return nullptr;
+}
+
+}  // namespace tp::ir

@@ -1,0 +1,12 @@
+#pragma once
+
+// Deep copy of expression trees. The parser uses this to desugar compound
+// assignments (a[i] += x  →  a[i] = a[i] + x) without re-parsing.
+
+#include "ir/node.hpp"
+
+namespace tp::ir {
+
+ExprPtr cloneExpr(const Expr& e);
+
+}  // namespace tp::ir

@@ -1,0 +1,53 @@
+#include "ir/type.hpp"
+
+namespace tp::ir {
+
+const char* scalarName(Scalar s) {
+  switch (s) {
+    case Scalar::Void: return "void";
+    case Scalar::Bool: return "bool";
+    case Scalar::Int: return "int";
+    case Scalar::UInt: return "uint";
+    case Scalar::Float: return "float";
+  }
+  return "?";
+}
+
+const char* addrSpaceName(AddrSpace s) {
+  switch (s) {
+    case AddrSpace::None: return "";
+    case AddrSpace::Global: return "__global";
+    case AddrSpace::Local: return "__local";
+    case AddrSpace::Private: return "__private";
+  }
+  return "?";
+}
+
+std::string Type::toString() const {
+  std::string out;
+  if (pointer_) {
+    const char* space = addrSpaceName(space_);
+    if (*space) {
+      out += space;
+      out += ' ';
+    }
+    out += scalarName(scalar_);
+    out += '*';
+  } else {
+    out = scalarName(scalar_);
+  }
+  return out;
+}
+
+int Type::elementBytes() const noexcept {
+  switch (scalar_) {
+    case Scalar::Void: return 0;
+    case Scalar::Bool: return 1;
+    case Scalar::Int:
+    case Scalar::UInt:
+    case Scalar::Float: return 4;
+  }
+  return 0;
+}
+
+}  // namespace tp::ir

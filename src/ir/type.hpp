@@ -1,0 +1,71 @@
+#pragma once
+
+// Types for the INSPIRE-lite kernel IR.
+//
+// The frontend (src/frontend) accepts an OpenCL-C subset; its type system is
+// deliberately small: scalar bool/int/uint/float plus pointers into one of
+// the OpenCL address spaces. This is rich enough to express every kernel in
+// the 23-program suite while keeping analysis (feature extraction, buffer
+// access classification) simple.
+
+#include <string>
+
+namespace tp::ir {
+
+enum class Scalar { Void, Bool, Int, UInt, Float };
+
+enum class AddrSpace { None, Global, Local, Private };
+
+/// Value type: either a scalar or a pointer-to-scalar in an address space.
+class Type {
+public:
+  Type() = default;
+
+  static Type scalar(Scalar s) { return Type(s, false, AddrSpace::None); }
+  static Type voidTy() { return scalar(Scalar::Void); }
+  static Type boolTy() { return scalar(Scalar::Bool); }
+  static Type intTy() { return scalar(Scalar::Int); }
+  static Type uintTy() { return scalar(Scalar::UInt); }
+  static Type floatTy() { return scalar(Scalar::Float); }
+  static Type pointer(Scalar elem, AddrSpace space) {
+    return Type(elem, true, space);
+  }
+
+  Scalar scalarKind() const noexcept { return scalar_; }
+  bool isPointer() const noexcept { return pointer_; }
+  AddrSpace addrSpace() const noexcept { return space_; }
+
+  bool isVoid() const noexcept { return !pointer_ && scalar_ == Scalar::Void; }
+  bool isFloat() const noexcept { return !pointer_ && scalar_ == Scalar::Float; }
+  bool isIntegral() const noexcept {
+    return !pointer_ && (scalar_ == Scalar::Int || scalar_ == Scalar::UInt ||
+                         scalar_ == Scalar::Bool);
+  }
+  bool isArithmetic() const noexcept { return isFloat() || isIntegral(); }
+
+  /// Element type of a pointer.
+  Type element() const { return scalar(scalar_); }
+
+  bool operator==(const Type& o) const noexcept {
+    return scalar_ == o.scalar_ && pointer_ == o.pointer_ && space_ == o.space_;
+  }
+  bool operator!=(const Type& o) const noexcept { return !(*this == o); }
+
+  std::string toString() const;
+
+  /// Size of one element in bytes (pointers report their element size).
+  int elementBytes() const noexcept;
+
+private:
+  Type(Scalar s, bool ptr, AddrSpace space)
+      : scalar_(s), pointer_(ptr), space_(space) {}
+
+  Scalar scalar_ = Scalar::Void;
+  bool pointer_ = false;
+  AddrSpace space_ = AddrSpace::None;
+};
+
+const char* scalarName(Scalar s);
+const char* addrSpaceName(AddrSpace s);
+
+}  // namespace tp::ir

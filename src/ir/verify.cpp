@@ -1,0 +1,192 @@
+#include "ir/verify.hpp"
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/str.hpp"
+
+namespace tp::ir {
+
+namespace {
+
+class VerifyContext {
+public:
+  explicit VerifyContext(const KernelDecl& kernel) : kernel_(kernel) {
+    std::set<std::string> names;
+    for (const auto& p : kernel.params()) {
+      if (!names.insert(p.name).second) {
+        problems_.push_back("duplicate parameter name: " + p.name);
+      }
+    }
+    scopes_.push_back(std::move(names));
+  }
+
+  std::vector<std::string> run() {
+    checkStmt(kernel_.body());
+    return std::move(problems_);
+  }
+
+private:
+  void pushScope() { scopes_.emplace_back(); }
+  void popScope() { scopes_.pop_back(); }
+
+  void declare(const std::string& name) {
+    if (isDeclared(name)) {
+      problems_.push_back("shadowing or redeclaration of: " + name);
+    }
+    scopes_.back().insert(name);
+  }
+
+  bool isDeclared(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->count(name) != 0) return true;
+    }
+    return false;
+  }
+
+  void checkExpr(const Expr& e) {
+    switch (e.kind()) {
+      case ExprKind::IntLit:
+      case ExprKind::FloatLit:
+        break;
+      case ExprKind::VarRef: {
+        const auto& v = static_cast<const VarRef&>(e);
+        if (!isDeclared(v.name())) {
+          problems_.push_back("use of undeclared variable: " + v.name());
+        }
+        break;
+      }
+      case ExprKind::Unary:
+        checkExpr(static_cast<const UnaryExpr&>(e).operand());
+        break;
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        if (b.lhs().type().isPointer() || b.rhs().type().isPointer()) {
+          problems_.push_back("pointer used in arithmetic: " +
+                              std::string(binaryOpName(b.op())));
+        }
+        checkExpr(b.lhs());
+        checkExpr(b.rhs());
+        break;
+      }
+      case ExprKind::Call: {
+        const auto& c = static_cast<const CallExpr&>(e);
+        for (const auto& a : c.args()) checkExpr(*a);
+        break;
+      }
+      case ExprKind::Index: {
+        const auto& ix = static_cast<const IndexExpr&>(e);
+        if (!ix.base().type().isPointer()) {
+          problems_.push_back("indexing a non-pointer expression");
+        }
+        if (ix.index().type().isPointer()) {
+          problems_.push_back("pointer used as subscript");
+        }
+        checkExpr(ix.base());
+        checkExpr(ix.index());
+        break;
+      }
+      case ExprKind::Cast:
+        checkExpr(static_cast<const CastExpr&>(e).value());
+        break;
+      case ExprKind::Select: {
+        const auto& s = static_cast<const SelectExpr&>(e);
+        if (s.ifTrue().type() != s.ifFalse().type()) {
+          problems_.push_back("select arms have mismatched types");
+        }
+        checkExpr(s.cond());
+        checkExpr(s.ifTrue());
+        checkExpr(s.ifFalse());
+        break;
+      }
+    }
+  }
+
+  void checkStmt(const Stmt& s) {
+    switch (s.kind()) {
+      case StmtKind::Decl: {
+        const auto& d = static_cast<const DeclStmt&>(s);
+        if (d.init() != nullptr) checkExpr(*d.init());
+        declare(d.name());
+        break;
+      }
+      case StmtKind::Assign: {
+        const auto& a = static_cast<const AssignStmt&>(s);
+        if (a.target().kind() == ExprKind::VarRef &&
+            a.target().type().isPointer()) {
+          problems_.push_back("assignment to a pointer variable");
+        }
+        checkExpr(a.target());
+        checkExpr(a.value());
+        break;
+      }
+      case StmtKind::ExprEval:
+        checkExpr(static_cast<const ExprStmt&>(s).expr());
+        break;
+      case StmtKind::Compound: {
+        pushScope();
+        for (const auto& st : static_cast<const CompoundStmt&>(s).stmts()) {
+          checkStmt(*st);
+        }
+        popScope();
+        break;
+      }
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(s);
+        checkExpr(i.cond());
+        checkStmt(i.thenBody());
+        if (i.elseBody() != nullptr) checkStmt(*i.elseBody());
+        break;
+      }
+      case StmtKind::For: {
+        const auto& f = static_cast<const ForStmt&>(s);
+        checkExpr(f.init());
+        pushScope();
+        declare(f.var());
+        checkExpr(f.bound());
+        checkStmt(f.body());
+        popScope();
+        break;
+      }
+      case StmtKind::While: {
+        const auto& w = static_cast<const WhileStmt&>(s);
+        checkExpr(w.cond());
+        checkStmt(w.body());
+        break;
+      }
+      case StmtKind::Barrier:
+      case StmtKind::Break:
+      case StmtKind::Continue:
+        break;
+      case StmtKind::Return: {
+        const auto& r = static_cast<const ReturnStmt&>(s);
+        if (r.value() != nullptr) {
+          problems_.push_back("kernel returns a value (kernels are void)");
+          checkExpr(*r.value());
+        }
+        break;
+      }
+    }
+  }
+
+  const KernelDecl& kernel_;
+  std::vector<std::set<std::string>> scopes_;
+  std::vector<std::string> problems_;
+};
+
+}  // namespace
+
+std::vector<std::string> verifyKernel(const KernelDecl& kernel) {
+  return VerifyContext(kernel).run();
+}
+
+void verifyKernelOrThrow(const KernelDecl& kernel) {
+  const auto problems = verifyKernel(kernel);
+  if (!problems.empty()) {
+    TP_THROW("kernel '" << kernel.name()
+                        << "' failed verification:\n  "
+                        << common::join(problems, "\n  "));
+  }
+}
+
+}  // namespace tp::ir

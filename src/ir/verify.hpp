@@ -1,0 +1,23 @@
+#pragma once
+
+// Structural verifier for kernels: name resolution (every VarRef binds to a
+// parameter, local declaration, or loop variable), pointer discipline
+// (pointers are only indexed or passed whole, never mixed into arithmetic)
+// and assignment-target validity. Returns the list of problems found; an
+// empty list means the kernel is well-formed. The frontend always produces
+// well-formed kernels (asserted in tests); the verifier exists so that
+// programmatically-built IR gets the same guarantees.
+
+#include <string>
+#include <vector>
+
+#include "ir/node.hpp"
+
+namespace tp::ir {
+
+std::vector<std::string> verifyKernel(const KernelDecl& kernel);
+
+/// Convenience: throws tp::Error listing all problems if any.
+void verifyKernelOrThrow(const KernelDecl& kernel);
+
+}  // namespace tp::ir

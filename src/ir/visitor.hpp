@@ -1,0 +1,72 @@
+#pragma once
+
+// Depth-first const visitor over the IR. Default implementations recurse
+// into children, so analyses override only the nodes they care about and
+// call the base method to keep traversing.
+
+#include "ir/node.hpp"
+
+namespace tp::ir {
+
+class Visitor {
+public:
+  virtual ~Visitor() = default;
+
+  // Expressions
+  virtual void visit(const IntLit&) {}
+  virtual void visit(const FloatLit&) {}
+  virtual void visit(const VarRef&) {}
+  virtual void visit(const UnaryExpr& e) { e.operand().accept(*this); }
+  virtual void visit(const BinaryExpr& e) {
+    e.lhs().accept(*this);
+    e.rhs().accept(*this);
+  }
+  virtual void visit(const CallExpr& e) {
+    for (const auto& a : e.args()) a->accept(*this);
+  }
+  virtual void visit(const IndexExpr& e) {
+    e.base().accept(*this);
+    e.index().accept(*this);
+  }
+  virtual void visit(const CastExpr& e) { e.value().accept(*this); }
+  virtual void visit(const SelectExpr& e) {
+    e.cond().accept(*this);
+    e.ifTrue().accept(*this);
+    e.ifFalse().accept(*this);
+  }
+
+  // Statements
+  virtual void visit(const DeclStmt& s) {
+    if (s.init() != nullptr) s.init()->accept(*this);
+  }
+  virtual void visit(const AssignStmt& s) {
+    s.target().accept(*this);
+    s.value().accept(*this);
+  }
+  virtual void visit(const ExprStmt& s) { s.expr().accept(*this); }
+  virtual void visit(const CompoundStmt& s) {
+    for (const auto& st : s.stmts()) st->accept(*this);
+  }
+  virtual void visit(const IfStmt& s) {
+    s.cond().accept(*this);
+    s.thenBody().accept(*this);
+    if (s.elseBody() != nullptr) s.elseBody()->accept(*this);
+  }
+  virtual void visit(const ForStmt& s) {
+    s.init().accept(*this);
+    s.bound().accept(*this);
+    s.body().accept(*this);
+  }
+  virtual void visit(const WhileStmt& s) {
+    s.cond().accept(*this);
+    s.body().accept(*this);
+  }
+  virtual void visit(const BarrierStmt&) {}
+  virtual void visit(const ReturnStmt& s) {
+    if (s.value() != nullptr) s.value()->accept(*this);
+  }
+  virtual void visit(const BreakStmt&) {}
+  virtual void visit(const ContinueStmt&) {}
+};
+
+}  // namespace tp::ir

@@ -1,0 +1,184 @@
+#include "ir/workexpr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/str.hpp"
+
+namespace tp::ir {
+
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+WorkExpr WorkExpr::constant(double c) {
+  WorkExpr e;
+  e.add({}, c);
+  return e;
+}
+
+WorkExpr WorkExpr::variable(const std::string& name) {
+  TP_ASSERT(!name.empty());
+  WorkExpr e;
+  e.add({name}, 1.0);
+  return e;
+}
+
+bool WorkExpr::isConstant() const noexcept {
+  return terms_.empty() || (terms_.size() == 1 && terms_.begin()->first.empty());
+}
+
+double WorkExpr::constantTerm() const {
+  const auto it = terms_.find({});
+  return it == terms_.end() ? 0.0 : it->second;
+}
+
+void WorkExpr::add(const Monomial& m, double coeff) {
+  if (std::fabs(coeff) < kEps) return;
+  const auto [it, inserted] = terms_.emplace(m, coeff);
+  if (!inserted) {
+    it->second += coeff;
+    if (std::fabs(it->second) < kEps) terms_.erase(it);
+  }
+}
+
+WorkExpr WorkExpr::operator+(const WorkExpr& o) const {
+  WorkExpr out = *this;
+  out += o;
+  return out;
+}
+
+WorkExpr& WorkExpr::operator+=(const WorkExpr& o) {
+  for (const auto& [m, c] : o.terms_) add(m, c);
+  return *this;
+}
+
+WorkExpr WorkExpr::operator-(const WorkExpr& o) const {
+  WorkExpr out = *this;
+  for (const auto& [m, c] : o.terms_) out.add(m, -c);
+  return out;
+}
+
+WorkExpr WorkExpr::operator*(const WorkExpr& o) const {
+  WorkExpr out;
+  for (const auto& [ma, ca] : terms_) {
+    for (const auto& [mb, cb] : o.terms_) {
+      Monomial m = ma;
+      m.insert(m.end(), mb.begin(), mb.end());
+      std::sort(m.begin(), m.end());
+      out.add(m, ca * cb);
+    }
+  }
+  return out;
+}
+
+WorkExpr WorkExpr::operator*(double scale) const {
+  WorkExpr out;
+  for (const auto& [m, c] : terms_) out.add(m, c * scale);
+  return out;
+}
+
+double WorkExpr::eval(const std::map<std::string, double>& bindings,
+                      double defaultValue) const {
+  double total = 0.0;
+  for (const auto& [m, c] : terms_) {
+    double term = c;
+    for (const auto& var : m) {
+      const auto it = bindings.find(var);
+      term *= (it == bindings.end()) ? defaultValue : it->second;
+    }
+    total += term;
+  }
+  return total;
+}
+
+std::vector<std::string> WorkExpr::parameters() const {
+  std::vector<std::string> out;
+  for (const auto& [m, c] : terms_) {
+    (void)c;
+    for (const auto& var : m) {
+      if (std::find(out.begin(), out.end(), var) == out.end()) {
+        out.push_back(var);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int WorkExpr::degreeIn(const std::string& var) const {
+  int deg = 0;
+  for (const auto& [m, c] : terms_) {
+    (void)c;
+    deg = std::max(deg, static_cast<int>(std::count(m.begin(), m.end(), var)));
+  }
+  return deg;
+}
+
+WorkExpr WorkExpr::coefficientOf(const std::string& var) const {
+  WorkExpr out;
+  for (const auto& [m, c] : terms_) {
+    const auto occurrences = std::count(m.begin(), m.end(), var);
+    if (occurrences != 1) continue;
+    Monomial reduced;
+    bool removed = false;
+    for (const auto& v : m) {
+      if (!removed && v == var) {
+        removed = true;
+        continue;
+      }
+      reduced.push_back(v);
+    }
+    out.add(reduced, c);
+  }
+  return out;
+}
+
+WorkExpr WorkExpr::without(const std::string& var) const {
+  WorkExpr out;
+  for (const auto& [m, c] : terms_) {
+    if (std::count(m.begin(), m.end(), var) == 0) out.add(m, c);
+  }
+  return out;
+}
+
+bool WorkExpr::contains(const std::string& var) const {
+  for (const auto& [m, c] : terms_) {
+    (void)c;
+    if (std::count(m.begin(), m.end(), var) != 0) return true;
+  }
+  return false;
+}
+
+int WorkExpr::degree() const {
+  int deg = 0;
+  for (const auto& [m, c] : terms_) {
+    (void)c;
+    deg = std::max(deg, static_cast<int>(m.size()));
+  }
+  return deg;
+}
+
+std::string WorkExpr::toString() const {
+  if (terms_.empty()) return "0";
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [m, c] : terms_) {
+    if (!first) os << " + ";
+    first = false;
+    if (m.empty()) {
+      os << common::formatDouble(c);
+      continue;
+    }
+    if (c != 1.0) os << common::formatDouble(c) << "*";
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      if (i > 0) os << "*";
+      os << m[i];
+    }
+  }
+  return os.str();
+}
+
+}  // namespace tp::ir

@@ -1,0 +1,124 @@
+#include "ml/classifier.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/str.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/knn.hpp"
+#include "ml/mlp.hpp"
+#include "ml/random_forest.hpp"
+
+namespace tp::ml {
+
+namespace {
+
+/// Baseline: always predicts the most frequent training label. This is the
+/// floor any learned model must beat.
+class MostFrequentClassifier final : public Classifier {
+public:
+  void train(const Dataset& data) override {
+    data.validate();
+    TP_REQUIRE(data.size() > 0, "MostFrequent: empty training set");
+    numClasses_ = data.numClasses;
+    label_ = data.majorityLabel();
+  }
+  int predict(const std::vector<double>&) const override { return label_; }
+  std::string name() const override { return "mostfreq"; }
+  void save(std::ostream& os) const override {
+    os << "mostfreq " << numClasses_ << ' ' << label_ << "\n";
+  }
+  void load(std::istream& is) override {
+    std::string tag;
+    is >> tag >> numClasses_ >> label_;
+    TP_REQUIRE(is && tag == "mostfreq", "bad mostfreq header");
+  }
+
+private:
+  int label_ = 0;
+};
+
+}  // namespace
+
+std::vector<double> Classifier::scores(const std::vector<double>& x) const {
+  std::vector<double> out(static_cast<std::size_t>(numClasses_), 0.0);
+  const int label = predict(x);
+  TP_ASSERT(label >= 0 && label < numClasses_);
+  out[static_cast<std::size_t>(label)] = 1.0;
+  return out;
+}
+
+void Classifier::saveFile(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw IoError("cannot open model file for writing: " + path);
+  save(os);
+  if (!os) throw IoError("write failed: " + path);
+}
+
+void Classifier::loadFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw IoError("cannot open model file: " + path);
+  load(is);
+}
+
+std::unique_ptr<Classifier> makeClassifier(const std::string& spec,
+                                           std::uint64_t seed) {
+  const auto parts = common::split(spec, ':');
+  const std::string& kind = parts[0];
+  const std::string arg = parts.size() > 1 ? parts[1] : "";
+
+  if (kind == "tree") {
+    TreeOptions options;
+    if (!arg.empty()) options.maxDepth = std::stoi(arg);
+    return std::make_unique<DecisionTree>(options, seed);
+  }
+  if (kind == "forest") {
+    ForestOptions options;
+    if (!arg.empty()) options.numTrees = std::stoi(arg);
+    return std::make_unique<RandomForest>(options, seed);
+  }
+  if (kind == "knn") {
+    return std::make_unique<KnnClassifier>(arg.empty() ? 5 : std::stoi(arg));
+  }
+  if (kind == "mlp") {
+    MlpOptions options;
+    if (!arg.empty()) {
+      options.hiddenLayers.clear();
+      for (const auto& layer : common::split(arg, ',')) {
+        options.hiddenLayers.push_back(std::stoi(layer));
+      }
+    }
+    return std::make_unique<MlpClassifier>(options, seed);
+  }
+  if (kind == "mostfreq") return std::make_unique<MostFrequentClassifier>();
+
+  TP_THROW("unknown classifier spec '" << spec
+                                       << "' (expected tree/forest/knn/mlp/"
+                                          "mostfreq)");
+}
+
+std::unique_ptr<Classifier> loadClassifierFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw IoError("cannot open model file: " + path);
+  std::string tag;
+  is >> tag;
+  is.seekg(0);
+  std::unique_ptr<Classifier> model;
+  if (tag == "tree") {
+    model = std::make_unique<DecisionTree>();
+  } else if (tag == "forest") {
+    model = std::make_unique<RandomForest>();
+  } else if (tag == "knn") {
+    model = std::make_unique<KnnClassifier>();
+  } else if (tag == "mlp") {
+    model = std::make_unique<MlpClassifier>();
+  } else if (tag == "mostfreq") {
+    model = std::make_unique<MostFrequentClassifier>();
+  } else {
+    throw IoError("unknown model tag '" + tag + "' in " + path);
+  }
+  model->load(is);
+  return model;
+}
+
+}  // namespace tp::ml

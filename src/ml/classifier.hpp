@@ -1,0 +1,52 @@
+#pragma once
+
+// Common interface of all task-partitioning predictors.
+//
+// Models map a combined feature vector to a partitioning class index (the
+// discretized partitioning space lives in src/runtime/partitioning.hpp; the
+// learners are agnostic to what the labels mean).
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace tp::ml {
+
+class Classifier {
+public:
+  virtual ~Classifier() = default;
+
+  virtual void train(const Dataset& data) = 0;
+  virtual int predict(const std::vector<double>& x) const = 0;
+  virtual std::string name() const = 0;
+
+  /// Per-class scores (higher = more likely); default implementations may
+  /// return a one-hot vector for models without calibrated scores.
+  virtual std::vector<double> scores(const std::vector<double>& x) const;
+
+  virtual void save(std::ostream& os) const = 0;
+  virtual void load(std::istream& is) = 0;
+
+  /// Convenience file IO (text format). Throws tp::IoError on failure.
+  void saveFile(const std::string& path) const;
+  void loadFile(const std::string& path);
+
+  int numClasses() const noexcept { return numClasses_; }
+
+protected:
+  int numClasses_ = 0;
+};
+
+/// Factory. Specs: "tree", "forest", "knn", "mlp", "mostfreq".
+/// Hyperparameters use a suffix syntax, e.g. "forest:64" (trees),
+/// "knn:7" (neighbors), "mlp:32,32" (hidden layers).
+std::unique_ptr<Classifier> makeClassifier(const std::string& spec,
+                                           std::uint64_t seed = 42);
+
+/// Load any classifier saved with save(); dispatches on the header tag.
+std::unique_ptr<Classifier> loadClassifierFile(const std::string& path);
+
+}  // namespace tp::ml

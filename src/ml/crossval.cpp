@@ -1,0 +1,120 @@
+#include "ml/crossval.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace tp::ml {
+
+HoldoutResult evaluateHoldout(const Dataset& train, const Dataset& test,
+                              const ClassifierFactoryFn& factory) {
+  TP_REQUIRE(train.size() > 0 && test.size() > 0,
+             "evaluateHoldout: empty train or test set");
+  auto model = factory();
+  Dataset trainCopy = train;
+  trainCopy.numClasses = std::max(train.numClasses, test.numClasses);
+  model->train(trainCopy);
+
+  HoldoutResult result;
+  std::size_t correct = 0;
+  result.predictions.reserve(test.size());
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const int predicted = model->predict(test.X[i]);
+    result.predictions.push_back(predicted);
+    if (predicted == test.y[i]) ++correct;
+  }
+  result.accuracy = static_cast<double>(correct) / static_cast<double>(test.size());
+  return result;
+}
+
+CrossValResult kFoldCrossVal(const Dataset& data, int folds,
+                             const ClassifierFactoryFn& factory,
+                             std::uint64_t seed) {
+  data.validate();
+  TP_REQUIRE(folds >= 2, "kFoldCrossVal: need at least 2 folds");
+  TP_REQUIRE(data.size() >= static_cast<std::size_t>(folds),
+             "kFoldCrossVal: fewer samples than folds");
+
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  common::Rng rng(seed);
+  rng.shuffle(order);
+
+  CrossValResult result;
+  result.predictions.assign(data.size(), -1);
+  std::size_t correct = 0;
+
+  for (int f = 0; f < folds; ++f) {
+    std::vector<std::size_t> trainIdx, testIdx;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (static_cast<int>(i % static_cast<std::size_t>(folds)) == f) {
+        testIdx.push_back(order[i]);
+      } else {
+        trainIdx.push_back(order[i]);
+      }
+    }
+    Dataset train = data.subset(trainIdx);
+    train.numClasses = data.numClasses;
+    Dataset test = data.subset(testIdx);
+    test.numClasses = data.numClasses;
+    const HoldoutResult fold = evaluateHoldout(train, test, factory);
+    for (std::size_t i = 0; i < testIdx.size(); ++i) {
+      result.predictions[testIdx[i]] = fold.predictions[i];
+      if (fold.predictions[i] == data.y[testIdx[i]]) ++correct;
+    }
+  }
+  result.accuracy = static_cast<double>(correct) / static_cast<double>(data.size());
+  return result;
+}
+
+CrossValResult leaveOneGroupOut(const Dataset& data,
+                                const ClassifierFactoryFn& factory) {
+  data.validate();
+  const auto groups = data.uniqueGroups();
+  TP_REQUIRE(groups.size() >= 2, "leaveOneGroupOut: need >= 2 groups");
+
+  CrossValResult result;
+  result.predictions.assign(data.size(), -1);
+  std::size_t correct = 0;
+
+  for (const auto& group : groups) {
+    const auto testIdx = data.indicesOfGroup(group);
+    const auto trainIdx = data.indicesNotOfGroup(group);
+    Dataset train = data.subset(trainIdx);
+    train.numClasses = data.numClasses;
+    Dataset test = data.subset(testIdx);
+    test.numClasses = data.numClasses;
+    const HoldoutResult held = evaluateHoldout(train, test, factory);
+    std::size_t groupCorrect = 0;
+    for (std::size_t i = 0; i < testIdx.size(); ++i) {
+      result.predictions[testIdx[i]] = held.predictions[i];
+      if (held.predictions[i] == data.y[testIdx[i]]) {
+        ++correct;
+        ++groupCorrect;
+      }
+    }
+    result.perGroup[group] =
+        static_cast<double>(groupCorrect) / static_cast<double>(testIdx.size());
+  }
+  result.accuracy = static_cast<double>(correct) / static_cast<double>(data.size());
+  return result;
+}
+
+std::vector<std::vector<int>> confusionMatrix(const std::vector<int>& truth,
+                                              const std::vector<int>& predicted,
+                                              int numClasses) {
+  TP_REQUIRE(truth.size() == predicted.size(),
+             "confusionMatrix: size mismatch");
+  std::vector<std::vector<int>> m(
+      static_cast<std::size_t>(numClasses),
+      std::vector<int>(static_cast<std::size_t>(numClasses), 0));
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    TP_ASSERT(truth[i] >= 0 && truth[i] < numClasses);
+    TP_ASSERT(predicted[i] >= 0 && predicted[i] < numClasses);
+    ++m[static_cast<std::size_t>(truth[i])][static_cast<std::size_t>(predicted[i])];
+  }
+  return m;
+}
+
+}  // namespace tp::ml

@@ -1,0 +1,50 @@
+#pragma once
+
+// Model evaluation: k-fold and leave-one-group-out cross-validation.
+//
+// LOGO-CV is the paper's methodology: to claim the model generalizes to
+// *new programs*, every program's samples are predicted by a model trained
+// only on the other 22 programs.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace tp::ml {
+
+using ClassifierFactoryFn = std::function<std::unique_ptr<Classifier>()>;
+
+struct HoldoutResult {
+  double accuracy = 0.0;
+  std::vector<int> predictions;  ///< aligned with the test set
+};
+
+/// Train on `train`, evaluate exact-label accuracy on `test`.
+HoldoutResult evaluateHoldout(const Dataset& train, const Dataset& test,
+                              const ClassifierFactoryFn& factory);
+
+struct CrossValResult {
+  double accuracy = 0.0;                     ///< overall exact-label accuracy
+  std::map<std::string, double> perGroup;    ///< LOGO only
+  /// Prediction for every dataset sample, in dataset order, each made by a
+  /// model that never saw that sample's fold/group.
+  std::vector<int> predictions;
+};
+
+CrossValResult kFoldCrossVal(const Dataset& data, int folds,
+                             const ClassifierFactoryFn& factory,
+                             std::uint64_t seed = 42);
+
+CrossValResult leaveOneGroupOut(const Dataset& data,
+                                const ClassifierFactoryFn& factory);
+
+/// Confusion matrix [true][predicted].
+std::vector<std::vector<int>> confusionMatrix(const std::vector<int>& truth,
+                                              const std::vector<int>& predicted,
+                                              int numClasses);
+
+}  // namespace tp::ml

@@ -1,0 +1,78 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace tp::ml {
+
+void Dataset::add(std::vector<double> x, int label, std::string group) {
+  TP_REQUIRE(X.empty() || x.size() == X.front().size(),
+             "Dataset::add: inconsistent feature count");
+  TP_REQUIRE(label >= 0, "Dataset::add: negative label");
+  X.push_back(std::move(x));
+  y.push_back(label);
+  groups.push_back(std::move(group));
+  numClasses = std::max(numClasses, label + 1);
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  Dataset out;
+  out.featureNames = featureNames;
+  out.numClasses = numClasses;
+  out.X.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    TP_ASSERT(i < size());
+    out.X.push_back(X[i]);
+    out.y.push_back(y[i]);
+    out.groups.push_back(groups[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> Dataset::uniqueGroups() const {
+  std::set<std::string> s(groups.begin(), groups.end());
+  return {s.begin(), s.end()};
+}
+
+std::vector<std::size_t> Dataset::indicesOfGroup(
+    const std::string& group) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (groups[i] == group) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dataset::indicesNotOfGroup(
+    const std::string& group) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (groups[i] != group) out.push_back(i);
+  }
+  return out;
+}
+
+int Dataset::majorityLabel() const {
+  TP_ASSERT(!y.empty());
+  std::vector<int> counts(static_cast<std::size_t>(numClasses), 0);
+  for (const int label : y) ++counts[static_cast<std::size_t>(label)];
+  return static_cast<int>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+void Dataset::validate() const {
+  TP_REQUIRE(X.size() == y.size() && y.size() == groups.size(),
+             "Dataset: parallel arrays out of sync");
+  for (const auto& row : X) {
+    TP_REQUIRE(row.size() == numFeatures(), "Dataset: ragged feature rows");
+  }
+  for (const int label : y) {
+    TP_REQUIRE(label >= 0 && label < numClasses,
+               "Dataset: label " << label << " outside [0, " << numClasses
+                                 << ")");
+  }
+}
+
+}  // namespace tp::ml

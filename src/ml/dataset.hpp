@@ -1,0 +1,48 @@
+#pragma once
+
+// Training data container shared by all learners.
+//
+// One sample = the combined (static ⊕ runtime) feature vector of a kernel
+// launch, labeled with the index of the best-performing task partitioning
+// and tagged with the program name (the "group") so that evaluation can
+// hold out entire programs — predicting for programs the model has never
+// seen, as the paper's methodology requires.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tp::ml {
+
+struct Dataset {
+  std::vector<std::vector<double>> X;
+  std::vector<int> y;
+  std::vector<std::string> groups;       ///< program name per sample
+  std::vector<std::string> featureNames;
+  int numClasses = 0;
+
+  std::size_t size() const noexcept { return X.size(); }
+  std::size_t numFeatures() const noexcept {
+    return X.empty() ? featureNames.size() : X.front().size();
+  }
+
+  void add(std::vector<double> x, int label, std::string group);
+
+  /// Subset by sample indices (keeps schema and numClasses).
+  Dataset subset(const std::vector<std::size_t>& indices) const;
+
+  /// Sorted unique group names.
+  std::vector<std::string> uniqueGroups() const;
+
+  /// Indices of samples (not) belonging to `group`.
+  std::vector<std::size_t> indicesOfGroup(const std::string& group) const;
+  std::vector<std::size_t> indicesNotOfGroup(const std::string& group) const;
+
+  /// Majority label (ties broken toward the smaller label).
+  int majorityLabel() const;
+
+  /// Structural validation; throws tp::Error on ragged rows or bad labels.
+  void validate() const;
+};
+
+}  // namespace tp::ml

@@ -1,0 +1,80 @@
+#include "ml/normalizer.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace tp::ml {
+
+double Normalizer::compress(double v) {
+  return v >= 0.0 ? std::log1p(v) : -std::log1p(-v);
+}
+
+void Normalizer::fit(const std::vector<std::vector<double>>& X) {
+  TP_REQUIRE(!X.empty(), "Normalizer::fit: empty matrix");
+  const std::size_t d = X.front().size();
+  mean_.assign(d, 0.0);
+  inverseStd_.assign(d, 1.0);
+
+  for (const auto& row : X) {
+    TP_REQUIRE(row.size() == d, "Normalizer::fit: ragged rows");
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += compress(row[j]);
+  }
+  for (double& m : mean_) m /= static_cast<double>(X.size());
+
+  std::vector<double> var(d, 0.0);
+  for (const auto& row : X) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double delta = compress(row[j]) - mean_[j];
+      var[j] += delta * delta;
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    const double stddev = std::sqrt(var[j] / static_cast<double>(X.size()));
+    inverseStd_[j] = stddev > 1e-12 ? 1.0 / stddev : 0.0;  // constant feature
+  }
+}
+
+std::vector<double> Normalizer::transform(const std::vector<double>& x) const {
+  TP_ASSERT(fitted());
+  TP_REQUIRE(x.size() == mean_.size(),
+             "Normalizer::transform: expected " << mean_.size()
+                                                << " features, got "
+                                                << x.size());
+  std::vector<double> out(x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    out[j] = (compress(x[j]) - mean_[j]) * inverseStd_[j];
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> Normalizer::transformAll(
+    const std::vector<std::vector<double>>& X) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(X.size());
+  for (const auto& row : X) out.push_back(transform(row));
+  return out;
+}
+
+void Normalizer::save(std::ostream& os) const {
+  os.precision(17);
+  os << "normalizer " << mean_.size() << "\n";
+  for (std::size_t j = 0; j < mean_.size(); ++j) {
+    os << mean_[j] << ' ' << inverseStd_[j] << "\n";
+  }
+}
+
+void Normalizer::load(std::istream& is) {
+  std::string tag;
+  std::size_t d = 0;
+  is >> tag >> d;
+  TP_REQUIRE(is && tag == "normalizer", "bad normalizer header");
+  mean_.assign(d, 0.0);
+  inverseStd_.assign(d, 0.0);
+  for (std::size_t j = 0; j < d; ++j) is >> mean_[j] >> inverseStd_[j];
+  TP_REQUIRE(static_cast<bool>(is), "truncated normalizer data");
+}
+
+}  // namespace tp::ml

@@ -1,0 +1,36 @@
+#pragma once
+
+// Feature normalization. Raw features span many orders of magnitude
+// (problem sizes 2^10..2^24, op counts, byte counts), so every learner
+// first applies signed log compression then per-feature standardization.
+// Fitted parameters serialize with the model.
+
+#include <iosfwd>
+#include <vector>
+
+namespace tp::ml {
+
+class Normalizer {
+public:
+  /// Fit per-feature mean/stddev of log-compressed values.
+  void fit(const std::vector<std::vector<double>>& X);
+
+  bool fitted() const noexcept { return !mean_.empty(); }
+  std::size_t numFeatures() const noexcept { return mean_.size(); }
+
+  std::vector<double> transform(const std::vector<double>& x) const;
+  std::vector<std::vector<double>> transformAll(
+      const std::vector<std::vector<double>>& X) const;
+
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+  /// Signed log1p compression used before standardization.
+  static double compress(double v);
+
+private:
+  std::vector<double> mean_;
+  std::vector<double> inverseStd_;
+};
+
+}  // namespace tp::ml

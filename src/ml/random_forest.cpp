@@ -1,0 +1,88 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace tp::ml {
+
+void RandomForest::train(const Dataset& data) {
+  data.validate();
+  TP_REQUIRE(data.size() > 0, "RandomForest: empty training set");
+  numClasses_ = data.numClasses;
+  trees_.clear();
+
+  normalizer_.fit(data.X);
+  Dataset normalized;
+  normalized.featureNames = data.featureNames;
+  normalized.numClasses = data.numClasses;
+  normalized.X = normalizer_.transformAll(data.X);
+  normalized.y = data.y;
+  normalized.groups = data.groups;
+
+  const int mtry =
+      options_.featuresPerSplit > 0
+          ? options_.featuresPerSplit
+          : std::max(1, static_cast<int>(std::round(
+                            std::sqrt(static_cast<double>(data.numFeatures())))));
+
+  trees_.reserve(static_cast<std::size_t>(options_.numTrees));
+  for (int t = 0; t < options_.numTrees; ++t) {
+    // Bootstrap sample (with replacement).
+    std::vector<std::size_t> sample(normalized.size());
+    for (auto& s : sample) s = rng_.below(normalized.size());
+    Dataset bag = normalized.subset(sample);
+    bag.numClasses = numClasses_;  // keep full class range even if unseen
+
+    TreeOptions treeOptions;
+    treeOptions.maxDepth = options_.maxDepth;
+    treeOptions.minSamplesLeaf = options_.minSamplesLeaf;
+    treeOptions.featuresPerSplit = mtry;
+    treeOptions.normalizeInputs = false;  // normalized once, here
+    auto tree = std::make_unique<DecisionTree>(treeOptions, rng_());
+    tree->train(bag);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::vector<double> RandomForest::scores(const std::vector<double>& x) const {
+  TP_ASSERT_MSG(!trees_.empty(), "predict called on untrained forest");
+  const std::vector<double> z = normalizer_.transform(x);
+  std::vector<double> votes(static_cast<std::size_t>(numClasses_), 0.0);
+  for (const auto& tree : trees_) {
+    const auto s = tree->scores(z);
+    for (std::size_t c = 0; c < votes.size(); ++c) votes[c] += s[c];
+  }
+  for (double& v : votes) v /= static_cast<double>(trees_.size());
+  return votes;
+}
+
+int RandomForest::predict(const std::vector<double>& x) const {
+  const auto s = scores(x);
+  return static_cast<int>(std::max_element(s.begin(), s.end()) - s.begin());
+}
+
+void RandomForest::save(std::ostream& os) const {
+  os << "forest " << numClasses_ << ' ' << trees_.size() << "\n";
+  normalizer_.save(os);
+  for (const auto& tree : trees_) tree->save(os);
+}
+
+void RandomForest::load(std::istream& is) {
+  std::string tag;
+  std::size_t count = 0;
+  is >> tag >> numClasses_ >> count;
+  TP_REQUIRE(is && tag == "forest", "bad random-forest header");
+  normalizer_.load(is);
+  trees_.clear();
+  for (std::size_t t = 0; t < count; ++t) {
+    auto tree = std::make_unique<DecisionTree>();
+    tree->load(is);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+}  // namespace tp::ml

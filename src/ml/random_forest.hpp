@@ -1,0 +1,43 @@
+#pragma once
+
+// Random forest: bagged CART trees with per-node feature subsampling and
+// soft (class-fraction) voting. The default model of the reproduction —
+// robust on the small, heterogeneous training sets the pipeline produces
+// (a few hundred launches across 23 programs).
+
+#include <memory>
+
+#include "ml/decision_tree.hpp"
+
+namespace tp::ml {
+
+struct ForestOptions {
+  int numTrees = 64;
+  int maxDepth = 16;
+  int minSamplesLeaf = 1;
+  /// 0 = sqrt(numFeatures), chosen at train time.
+  int featuresPerSplit = 0;
+};
+
+class RandomForest final : public Classifier {
+public:
+  explicit RandomForest(ForestOptions options = {}, std::uint64_t seed = 42)
+      : options_(options), rng_(seed) {}
+
+  void train(const Dataset& data) override;
+  int predict(const std::vector<double>& x) const override;
+  std::vector<double> scores(const std::vector<double>& x) const override;
+  std::string name() const override { return "forest"; }
+  void save(std::ostream& os) const override;
+  void load(std::istream& is) override;
+
+  std::size_t numTrees() const noexcept { return trees_.size(); }
+
+private:
+  ForestOptions options_;
+  common::Rng rng_;
+  Normalizer normalizer_;
+  std::vector<std::unique_ptr<DecisionTree>> trees_;
+};
+
+}  // namespace tp::ml

@@ -1,0 +1,95 @@
+#pragma once
+
+// Host-side buffer storage for the virtual OpenCL runtime (vcl::).
+//
+// Buffers always live in host memory; "transfers" to a device are simulated
+// for timing, and in Compute mode each device receives a bounds-restricted
+// view (view.hpp) of exactly the slice the partitioning assigned to it —
+// so a kernel that touches memory outside its assigned slice fails loudly
+// instead of silently reading another device's data.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tp::vcl {
+
+enum class ElemKind { F32, I32, U32 };
+
+inline const char* elemKindName(ElemKind k) {
+  switch (k) {
+    case ElemKind::F32: return "f32";
+    case ElemKind::I32: return "i32";
+    case ElemKind::U32: return "u32";
+  }
+  return "?";
+}
+
+class Buffer {
+public:
+  Buffer(ElemKind kind, std::size_t elements)
+      : kind_(kind), elements_(elements), storage_(elements * 4, std::byte{0}) {}
+
+  ElemKind kind() const noexcept { return kind_; }
+  std::size_t size() const noexcept { return elements_; }
+  std::size_t bytes() const noexcept { return storage_.size(); }
+
+  template <typename T>
+  T* data() {
+    checkType<T>();
+    return reinterpret_cast<T*>(storage_.data());
+  }
+
+  template <typename T>
+  const T* data() const {
+    checkType<T>();
+    return reinterpret_cast<const T*>(storage_.data());
+  }
+
+  template <typename T>
+  T& at(std::size_t i) {
+    TP_ASSERT_MSG(i < elements_, "buffer index " << i << " >= " << elements_);
+    return data<T>()[i];
+  }
+
+  template <typename T>
+  const T& at(std::size_t i) const {
+    TP_ASSERT_MSG(i < elements_, "buffer index " << i << " >= " << elements_);
+    return data<T>()[i];
+  }
+
+  template <typename T>
+  void fill(const std::vector<T>& values) {
+    TP_REQUIRE(values.size() == elements_,
+               "Buffer::fill size mismatch: " << values.size() << " vs "
+                                              << elements_);
+    checkType<T>();
+    std::copy(values.begin(), values.end(), data<T>());
+  }
+
+  template <typename T>
+  std::vector<T> toVector() const {
+    checkType<T>();
+    return std::vector<T>(data<T>(), data<T>() + elements_);
+  }
+
+  void zero() { std::fill(storage_.begin(), storage_.end(), std::byte{0}); }
+
+private:
+  template <typename T>
+  void checkType() const {
+    static_assert(sizeof(T) == 4, "vcl buffers hold 4-byte elements");
+    const bool ok = (std::is_same_v<T, float> && kind_ == ElemKind::F32) ||
+                    (std::is_same_v<T, int> && kind_ == ElemKind::I32) ||
+                    (std::is_same_v<T, unsigned> && kind_ == ElemKind::U32);
+    TP_ASSERT_MSG(ok, "buffer type mismatch: buffer holds "
+                          << elemKindName(kind_));
+  }
+
+  ElemKind kind_;
+  std::size_t elements_;
+  std::vector<std::byte> storage_;
+};
+
+}  // namespace tp::vcl

@@ -1,0 +1,50 @@
+#pragma once
+
+// vcl::Context — one per (machine, execution mode) pair. Owns the command
+// queues for every device of the machine and the buffers created against it.
+
+#include <memory>
+#include <vector>
+
+#include "ocl/buffer.hpp"
+#include "ocl/queue.hpp"
+#include "sim/machine.hpp"
+
+namespace tp::vcl {
+
+class Context {
+public:
+  Context(sim::MachineConfig machine, ExecMode mode,
+          common::ThreadPool* pool = &common::globalThreadPool())
+      : machine_(std::move(machine)), mode_(mode) {
+    queues_.reserve(machine_.devices.size());
+    for (const auto& d : machine_.devices) {
+      queues_.push_back(std::make_unique<CommandQueue>(d, mode, pool));
+    }
+  }
+
+  const sim::MachineConfig& machine() const noexcept { return machine_; }
+  ExecMode mode() const noexcept { return mode_; }
+  std::size_t numDevices() const noexcept { return queues_.size(); }
+
+  CommandQueue& queue(std::size_t device) {
+    TP_ASSERT(device < queues_.size());
+    return *queues_[device];
+  }
+
+  /// Reset all device clocks to 0 (start of a new measured execution).
+  void resetClocks() {
+    for (auto& q : queues_) q->resetClock();
+  }
+
+  std::shared_ptr<Buffer> createBuffer(ElemKind kind, std::size_t elements) {
+    return std::make_shared<Buffer>(kind, elements);
+  }
+
+private:
+  sim::MachineConfig machine_;
+  ExecMode mode_;
+  std::vector<std::unique_ptr<CommandQueue>> queues_;
+};
+
+}  // namespace tp::vcl

@@ -1,0 +1,90 @@
+#pragma once
+
+// Native kernel execution interface.
+//
+// Kernel *semantics* are supplied as a C++ function executed per work-group
+// (not per work-item): OpenCL barrier semantics inside a work-group are
+// expressed as ordinary sequential code — loop over local ids up to the
+// barrier point, then loop again — which is the standard CPU-emulation
+// transform and avoids per-item fibers. Kernel *cost* never comes from this
+// code; it comes from the analytic DeviceModel applied to the kernel's
+// extracted features, so Compute and TimeOnly modes report identical times.
+
+#include <cstddef>
+#include <functional>
+#include <variant>
+#include <vector>
+
+#include "ocl/buffer.hpp"
+#include "ocl/view.hpp"
+
+namespace tp::vcl {
+
+/// Work-group coordinates, mirroring the OpenCL work-item functions.
+/// globalSize is the size of the *original single-device* NDRange so that
+/// kernels using get_global_size for strides behave identically however the
+/// range is split.
+struct WorkGroupCtx {
+  std::size_t groupId = 0;     ///< global group number (offset-adjusted)
+  std::size_t localSize = 1;   ///< work items per group
+  std::size_t globalSize = 0;  ///< total items of the un-split NDRange
+  std::size_t numGroups = 0;   ///< total groups of the un-split NDRange
+
+  /// Absolute global id of local item `lid` in this group.
+  std::size_t globalId(std::size_t lid) const {
+    return groupId * localSize + lid;
+  }
+};
+
+/// One bound kernel argument as seen on a device: either a typed view of a
+/// buffer slice or a scalar.
+class LaunchArgs {
+public:
+  void addView(BufferView<float> v) { slots_.emplace_back(v); }
+  void addView(BufferView<int> v) { slots_.emplace_back(v); }
+  void addView(BufferView<unsigned> v) { slots_.emplace_back(v); }
+  void addScalar(int v) { slots_.emplace_back(v); }
+  void addScalar(float v) { slots_.emplace_back(v); }
+
+  std::size_t size() const noexcept { return slots_.size(); }
+
+  template <typename T>
+  BufferView<T> view(std::size_t i) const {
+    checkIndex(i);
+    const auto* v = std::get_if<BufferView<T>>(&slots_[i]);
+    TP_ASSERT_MSG(v != nullptr, "kernel argument " << i
+                                                   << " is not a buffer view "
+                                                      "of the requested type");
+    return *v;
+  }
+
+  int scalarInt(std::size_t i) const {
+    checkIndex(i);
+    const auto* v = std::get_if<int>(&slots_[i]);
+    TP_ASSERT_MSG(v != nullptr, "kernel argument " << i << " is not an int");
+    return *v;
+  }
+
+  float scalarFloat(std::size_t i) const {
+    checkIndex(i);
+    const auto* v = std::get_if<float>(&slots_[i]);
+    TP_ASSERT_MSG(v != nullptr, "kernel argument " << i << " is not a float");
+    return *v;
+  }
+
+private:
+  void checkIndex(std::size_t i) const {
+    TP_ASSERT_MSG(i < slots_.size(), "kernel argument index " << i
+                                                              << " out of range");
+  }
+
+  using Slot = std::variant<BufferView<float>, BufferView<int>,
+                            BufferView<unsigned>, int, float>;
+  std::vector<Slot> slots_;
+};
+
+/// Work-group-level kernel body.
+using NativeKernel =
+    std::function<void(const WorkGroupCtx&, const LaunchArgs&)>;
+
+}  // namespace tp::vcl

@@ -1,0 +1,61 @@
+#pragma once
+
+// Bounds-restricted buffer views handed to kernels.
+//
+// A view indexes with *absolute* buffer indices (kernels are written against
+// single-device semantics), but only [offset, offset+count) is accessible.
+// Out-of-range access throws tp::Error — this is the dynamic enforcement of
+// the compiler's buffer access classification: if the access analysis calls
+// a buffer Split(c) and that is wrong, the Compute-mode tests crash here
+// instead of producing silently wrong results.
+
+#include <atomic>
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace tp::vcl {
+
+template <typename T>
+class BufferView {
+public:
+  BufferView() = default;
+  BufferView(T* base, std::size_t offset, std::size_t count)
+      : base_(base), offset_(offset), count_(count) {}
+
+  std::size_t offset() const noexcept { return offset_; }
+  std::size_t count() const noexcept { return count_; }
+
+  T& operator[](std::size_t absoluteIndex) const {
+    checkRange(absoluteIndex);
+    return base_[absoluteIndex];
+  }
+
+  T load(std::size_t absoluteIndex) const { return (*this)[absoluteIndex]; }
+  void store(std::size_t absoluteIndex, T value) const {
+    (*this)[absoluteIndex] = value;
+  }
+
+  /// Atomic fetch-add (kernels with atomic_add/atomic_inc; devices may run
+  /// work-groups concurrently on the host pool).
+  T atomicAdd(std::size_t absoluteIndex, T value) const {
+    checkRange(absoluteIndex);
+    std::atomic_ref<T> ref(base_[absoluteIndex]);
+    return ref.fetch_add(value, std::memory_order_relaxed);
+  }
+
+private:
+  void checkRange(std::size_t i) const {
+    TP_REQUIRE(i >= offset_ && i < offset_ + count_,
+               "device accessed buffer index "
+                   << i << " outside its assigned slice [" << offset_ << ", "
+                   << offset_ + count_
+                   << ") — buffer access classification is wrong");
+  }
+
+  T* base_ = nullptr;
+  std::size_t offset_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace tp::vcl

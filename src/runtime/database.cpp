@@ -1,0 +1,154 @@
+#include "runtime/database.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "features/runtime_features.hpp"
+#include "features/static_features.hpp"
+
+namespace tp::runtime {
+
+const char* featureSetName(FeatureSet fs) {
+  switch (fs) {
+    case FeatureSet::StaticOnly: return "static-only";
+    case FeatureSet::RuntimeOnly: return "runtime-only";
+    case FeatureSet::Combined: return "static+runtime";
+  }
+  return "?";
+}
+
+int LaunchRecord::bestLabel() const {
+  TP_ASSERT(!times.empty());
+  return static_cast<int>(std::min_element(times.begin(), times.end()) -
+                          times.begin());
+}
+
+double LaunchRecord::bestTime() const {
+  TP_ASSERT(!times.empty());
+  return *std::min_element(times.begin(), times.end());
+}
+
+FeatureDatabase::FeatureDatabase(std::size_t numPartitionings,
+                                 std::vector<std::string> staticNames,
+                                 std::vector<std::string> runtimeNames)
+    : numPartitionings_(numPartitionings),
+      staticNames_(std::move(staticNames)),
+      runtimeNames_(std::move(runtimeNames)) {
+  TP_REQUIRE(numPartitionings_ > 0, "FeatureDatabase: empty space");
+}
+
+FeatureDatabase FeatureDatabase::withDefaultSchema(
+    std::size_t numPartitionings) {
+  return FeatureDatabase(numPartitionings, features::staticFeatureNames(),
+                         features::runtimeFeatureNames());
+}
+
+void FeatureDatabase::add(LaunchRecord record) {
+  TP_REQUIRE(record.staticFeatures.size() == staticNames_.size(),
+             "FeatureDatabase: static feature count mismatch");
+  TP_REQUIRE(record.runtimeFeatures.size() == runtimeNames_.size(),
+             "FeatureDatabase: runtime feature count mismatch");
+  TP_REQUIRE(record.times.size() == numPartitionings_,
+             "FeatureDatabase: expected " << numPartitionings_
+                                          << " times, got "
+                                          << record.times.size());
+  records_.push_back(std::move(record));
+}
+
+std::vector<const LaunchRecord*> FeatureDatabase::forMachine(
+    const std::string& machine) const {
+  std::vector<const LaunchRecord*> out;
+  for (const auto& r : records_) {
+    if (r.machine == machine) out.push_back(&r);
+  }
+  return out;
+}
+
+ml::Dataset FeatureDatabase::toDataset(const std::string& machine,
+                                       FeatureSet fs) const {
+  ml::Dataset data;
+  switch (fs) {
+    case FeatureSet::StaticOnly:
+      data.featureNames = staticNames_;
+      break;
+    case FeatureSet::RuntimeOnly:
+      data.featureNames = runtimeNames_;
+      break;
+    case FeatureSet::Combined:
+      data.featureNames = staticNames_;
+      data.featureNames.insert(data.featureNames.end(), runtimeNames_.begin(),
+                               runtimeNames_.end());
+      break;
+  }
+  for (const auto* r : forMachine(machine)) {
+    std::vector<double> x;
+    if (fs != FeatureSet::RuntimeOnly) {
+      x.insert(x.end(), r->staticFeatures.begin(), r->staticFeatures.end());
+    }
+    if (fs != FeatureSet::StaticOnly) {
+      x.insert(x.end(), r->runtimeFeatures.begin(), r->runtimeFeatures.end());
+    }
+    data.add(std::move(x), r->bestLabel(), r->program);
+  }
+  data.numClasses = static_cast<int>(numPartitionings_);
+  return data;
+}
+
+void FeatureDatabase::saveCsv(const std::string& path) const {
+  std::vector<std::string> columns = {"program", "machine", "size"};
+  columns.insert(columns.end(), staticNames_.begin(), staticNames_.end());
+  columns.insert(columns.end(), runtimeNames_.begin(), runtimeNames_.end());
+  for (std::size_t i = 0; i < numPartitionings_; ++i) {
+    columns.push_back("t_" + std::to_string(i));
+  }
+  common::Table table(columns);
+  for (const auto& r : records_) {
+    std::vector<std::string> row = {r.program, r.machine, r.sizeLabel};
+    auto emit = [&row](double v) {
+      std::ostringstream os;
+      os.precision(17);
+      os << v;
+      row.push_back(os.str());
+    };
+    for (const double v : r.staticFeatures) emit(v);
+    for (const double v : r.runtimeFeatures) emit(v);
+    for (const double v : r.times) emit(v);
+    table.addRow(std::move(row));
+  }
+  table.writeCsvFile(path);
+}
+
+FeatureDatabase FeatureDatabase::loadCsv(const std::string& path) {
+  const common::Table table = common::Table::readCsvFile(path);
+  // Recover the schema from column names.
+  std::vector<std::string> staticNames, runtimeNames;
+  std::size_t numPartitionings = 0;
+  for (const auto& c : table.columns()) {
+    if (c.rfind("s_", 0) == 0) staticNames.push_back(c);
+    if (c.rfind("r_", 0) == 0) runtimeNames.push_back(c);
+    if (c.rfind("t_", 0) == 0) ++numPartitionings;
+  }
+  TP_REQUIRE(numPartitionings > 0, "FeatureDatabase CSV has no time columns");
+  FeatureDatabase db(numPartitionings, staticNames, runtimeNames);
+  for (std::size_t r = 0; r < table.numRows(); ++r) {
+    LaunchRecord rec;
+    rec.program = table.cell(r, "program");
+    rec.machine = table.cell(r, "machine");
+    rec.sizeLabel = table.cell(r, "size");
+    for (const auto& c : staticNames) {
+      rec.staticFeatures.push_back(table.cellDouble(r, c));
+    }
+    for (const auto& c : runtimeNames) {
+      rec.runtimeFeatures.push_back(table.cellDouble(r, c));
+    }
+    for (std::size_t i = 0; i < numPartitionings; ++i) {
+      rec.times.push_back(table.cellDouble(r, "t_" + std::to_string(i)));
+    }
+    db.add(std::move(rec));
+  }
+  return db;
+}
+
+}  // namespace tp::runtime

@@ -1,0 +1,67 @@
+#pragma once
+
+// The feature database of the training phase (paper §2: features and
+// performance measurements "are collected and added to the database").
+//
+// One LaunchRecord per (program, problem size, machine): the static and
+// runtime feature vectors plus the measured execution time of *every*
+// partitioning in the space. Storing the full time vector makes every
+// downstream question (best label, speedup of any strategy, regret of a
+// prediction) a lookup instead of a re-simulation. Persisted as CSV.
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace tp::runtime {
+
+enum class FeatureSet { StaticOnly, RuntimeOnly, Combined };
+
+const char* featureSetName(FeatureSet fs);
+
+struct LaunchRecord {
+  std::string program;
+  std::string machine;
+  std::string sizeLabel;  ///< e.g. "n=1048576"
+  std::vector<double> staticFeatures;
+  std::vector<double> runtimeFeatures;
+  std::vector<double> times;  ///< seconds, indexed by partitioning label
+
+  int bestLabel() const;
+  double bestTime() const;
+};
+
+class FeatureDatabase {
+public:
+  FeatureDatabase(std::size_t numPartitionings,
+                  std::vector<std::string> staticNames,
+                  std::vector<std::string> runtimeNames);
+
+  /// Convenience: schema from the feature modules' canonical name lists.
+  static FeatureDatabase withDefaultSchema(std::size_t numPartitionings);
+
+  std::size_t numPartitionings() const noexcept { return numPartitionings_; }
+  std::size_t size() const noexcept { return records_.size(); }
+  const std::vector<LaunchRecord>& records() const noexcept { return records_; }
+
+  void add(LaunchRecord record);
+
+  /// Records for one machine, in insertion order.
+  std::vector<const LaunchRecord*> forMachine(const std::string& machine) const;
+
+  /// Training matrix for one machine and feature subset; labels are best
+  /// partitioning indices; groups are program names.
+  ml::Dataset toDataset(const std::string& machine, FeatureSet fs) const;
+
+  void saveCsv(const std::string& path) const;
+  static FeatureDatabase loadCsv(const std::string& path);
+
+private:
+  std::size_t numPartitionings_;
+  std::vector<std::string> staticNames_;
+  std::vector<std::string> runtimeNames_;
+  std::vector<LaunchRecord> records_;
+};
+
+}  // namespace tp::runtime

@@ -1,0 +1,106 @@
+#include "runtime/evaluation.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "features/runtime_features.hpp"
+
+namespace tp::runtime {
+
+LaunchRecord measureLaunch(const Task& task, const sim::MachineConfig& machine,
+                           const PartitioningSpace& space,
+                           const std::string& sizeLabel) {
+  LaunchRecord rec;
+  rec.program = task.programName;
+  rec.machine = machine.name;
+  rec.sizeLabel = sizeLabel;
+  rec.staticFeatures = features::staticFeatureVector(task.features);
+  rec.runtimeFeatures =
+      features::runtimeFeatureVector(task.features, task.launchInfo());
+  oracleSearch(task, machine, space, &rec.times);
+  return rec;
+}
+
+Fig1Result evaluateFigure1(const FeatureDatabase& db,
+                           const std::string& machine,
+                           const PartitioningSpace& space,
+                           const ml::ClassifierFactoryFn& factory,
+                           FeatureSet featureSet) {
+  const auto records = db.forMachine(machine);
+  TP_REQUIRE(!records.empty(), "no records for machine " << machine);
+
+  ml::Dataset data = db.toDataset(machine, featureSet);
+  const ml::CrossValResult cv = ml::leaveOneGroupOut(data, factory);
+
+  const std::size_t cpuIdx = space.cpuOnlyIndex();
+  const std::size_t gpuIdx = space.singleDeviceIndex(1);
+
+  Fig1Result result;
+  result.machine = machine;
+  result.exactLabelAccuracy = cv.accuracy;
+
+  // Per-program ratios across sizes.
+  struct Ratios {
+    std::vector<double> overCpu, overGpu, overOracle;
+  };
+  std::map<std::string, Ratios> perProgram;
+  std::vector<std::string> programOrder;
+
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const LaunchRecord& r = *records[i];
+    const int predicted = cv.predictions[i];
+    TP_ASSERT(predicted >= 0 &&
+              static_cast<std::size_t>(predicted) < r.times.size());
+    const double tPred = r.times[static_cast<std::size_t>(predicted)];
+    const double tCpu = r.times[cpuIdx];
+    const double tGpu = r.times[gpuIdx];
+    const double tBest = r.bestTime();
+    TP_ASSERT(tPred > 0.0 && tCpu > 0.0 && tGpu > 0.0 && tBest > 0.0);
+
+    if (perProgram.find(r.program) == perProgram.end()) {
+      programOrder.push_back(r.program);
+    }
+    auto& ratios = perProgram[r.program];
+    ratios.overCpu.push_back(tCpu / tPred);
+    ratios.overGpu.push_back(tGpu / tPred);
+    ratios.overOracle.push_back(tBest / tPred);
+
+    if (tCpu < tGpu) {
+      ++result.cpuDefaultWins;
+    } else {
+      ++result.gpuDefaultWins;
+    }
+  }
+
+  std::vector<double> allCpu, allGpu, allOracle;
+  for (const auto& program : programOrder) {
+    const auto& ratios = perProgram[program];
+    Fig1Row row;
+    row.program = program;
+    row.speedupOverCpu = common::geomean(ratios.overCpu);
+    row.speedupOverGpu = common::geomean(ratios.overGpu);
+    row.speedupOverOracle = common::geomean(ratios.overOracle);
+    allCpu.push_back(row.speedupOverCpu);
+    allGpu.push_back(row.speedupOverGpu);
+    allOracle.push_back(row.speedupOverOracle);
+    result.rows.push_back(std::move(row));
+  }
+  result.meanSpeedupOverCpu = common::geomean(allCpu);
+  result.meanSpeedupOverGpu = common::geomean(allGpu);
+  result.oracleFraction = common::geomean(allOracle);
+  return result;
+}
+
+std::unique_ptr<ml::Classifier> trainDeploymentModel(
+    const FeatureDatabase& db, const std::string& machine,
+    const std::string& spec, FeatureSet featureSet, std::uint64_t seed) {
+  ml::Dataset data = db.toDataset(machine, featureSet);
+  TP_REQUIRE(data.size() > 0, "no training data for machine " << machine);
+  auto model = ml::makeClassifier(spec, seed);
+  model->train(data);
+  return model;
+}
+
+}  // namespace tp::runtime

@@ -1,0 +1,62 @@
+#pragma once
+
+// Training sweep + Figure-1-style evaluation.
+//
+// measureLaunch() is one training pattern of the paper: run a task under
+// every partitioning (TimeOnly), record features + the full time vector.
+// evaluateFigure1() reproduces the paper's headline experiment: train with
+// leave-one-program-out, predict a partitioning for every launch of the
+// held-out program, and report per-program speedups of the prediction over
+// the CPU-only and GPU-only defaults.
+
+#include <cstdint>
+
+#include "ml/crossval.hpp"
+#include "runtime/database.hpp"
+#include "runtime/partitioning.hpp"
+#include "runtime/strategy.hpp"
+#include "runtime/task.hpp"
+
+namespace tp::runtime {
+
+/// Simulate every partitioning of `space` for `task` on `machine` and
+/// build the training record.
+LaunchRecord measureLaunch(const Task& task, const sim::MachineConfig& machine,
+                           const PartitioningSpace& space,
+                           const std::string& sizeLabel);
+
+struct Fig1Row {
+  std::string program;
+  double speedupOverCpu = 0.0;  ///< geomean across problem sizes
+  double speedupOverGpu = 0.0;
+  double speedupOverOracle = 0.0;  ///< ≤ 1; fraction of oracle performance
+};
+
+struct Fig1Result {
+  std::string machine;
+  std::vector<Fig1Row> rows;       ///< one per program, suite order
+  double meanSpeedupOverCpu = 0.0;   ///< geomean over programs
+  double meanSpeedupOverGpu = 0.0;
+  double oracleFraction = 0.0;       ///< geomean of per-program oracle fractions
+  double exactLabelAccuracy = 0.0;   ///< LOGO exact-match accuracy
+  /// How often each default wins against the other (paper §3's
+  /// "CPU-only usually best on mc1" observation).
+  int cpuDefaultWins = 0;
+  int gpuDefaultWins = 0;
+};
+
+/// LOGO-CV evaluation of a model spec on one machine's records.
+Fig1Result evaluateFigure1(const FeatureDatabase& db,
+                           const std::string& machine,
+                           const PartitioningSpace& space,
+                           const ml::ClassifierFactoryFn& factory,
+                           FeatureSet featureSet = FeatureSet::Combined);
+
+/// Train a deployable model on ALL of a machine's records (the paper's
+/// offline-generated prediction model for that target architecture).
+std::unique_ptr<ml::Classifier> trainDeploymentModel(
+    const FeatureDatabase& db, const std::string& machine,
+    const std::string& spec, FeatureSet featureSet = FeatureSet::Combined,
+    std::uint64_t seed = 42);
+
+}  // namespace tp::runtime

@@ -1,0 +1,112 @@
+#include "runtime/partitioning.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tp::runtime {
+
+bool Partitioning::isSingleDevice() const {
+  int nonZero = 0;
+  for (const int u : units) {
+    if (u > 0) ++nonZero;
+  }
+  return nonZero == 1;
+}
+
+std::size_t Partitioning::singleDevice() const {
+  TP_ASSERT(isSingleDevice());
+  for (std::size_t d = 0; d < units.size(); ++d) {
+    if (units[d] > 0) return d;
+  }
+  TP_ASSERT(false);
+  return 0;
+}
+
+int Partitioning::activeDevices() const {
+  int count = 0;
+  for (const int u : units) {
+    if (u > 0) ++count;
+  }
+  return count;
+}
+
+std::string Partitioning::toString() const {
+  std::ostringstream os;
+  for (std::size_t d = 0; d < units.size(); ++d) {
+    if (d > 0) os << '/';
+    os << units[d] * 100 / divisions;
+  }
+  return os.str();
+}
+
+PartitioningSpace::PartitioningSpace(std::size_t numDevices, int divisions)
+    : numDevices_(numDevices), divisions_(divisions) {
+  TP_REQUIRE(numDevices >= 1, "PartitioningSpace: need at least one device");
+  TP_REQUIRE(divisions >= 1, "PartitioningSpace: divisions must be >= 1");
+
+  // Enumerate compositions of `divisions` into numDevices parts.
+  std::vector<int> current(numDevices, 0);
+  // Recursive lambda via explicit stack-free recursion.
+  auto enumerate = [&](auto&& self, std::size_t device, int remaining) -> void {
+    if (device + 1 == numDevices) {
+      current[device] = remaining;
+      all_.push_back(Partitioning{current, divisions});
+      return;
+    }
+    for (int u = 0; u <= remaining; ++u) {
+      current[device] = u;
+      self(self, device + 1, remaining - u);
+    }
+  };
+  enumerate(enumerate, 0, divisions);
+}
+
+const Partitioning& PartitioningSpace::at(std::size_t index) const {
+  TP_ASSERT_MSG(index < all_.size(),
+                "partitioning index " << index << " out of range");
+  return all_[index];
+}
+
+std::size_t PartitioningSpace::indexOf(const Partitioning& p) const {
+  for (std::size_t i = 0; i < all_.size(); ++i) {
+    if (all_[i] == p) return i;
+  }
+  TP_THROW("partitioning " << p.toString() << " not in space");
+}
+
+std::size_t PartitioningSpace::cpuOnlyIndex() const {
+  return singleDeviceIndex(0);
+}
+
+std::size_t PartitioningSpace::singleDeviceIndex(std::size_t device) const {
+  TP_REQUIRE(device < numDevices_, "device index out of range");
+  Partitioning p;
+  p.divisions = divisions_;
+  p.units.assign(numDevices_, 0);
+  p.units[device] = divisions_;
+  return indexOf(p);
+}
+
+PartitionFamily PartitioningSpace::family(std::size_t index) const {
+  const Partitioning& p = at(index);
+  const bool usesCpu = p.units[0] > 0;
+  int gpusUsed = 0;
+  for (std::size_t d = 1; d < p.units.size(); ++d) {
+    if (p.units[d] > 0) ++gpusUsed;
+  }
+  if (usesCpu && gpusUsed == 0) return PartitionFamily::CpuOnly;
+  if (!usesCpu && gpusUsed == 1) return PartitionFamily::SingleGpu;
+  if (!usesCpu) return PartitionFamily::MultiGpu;
+  return PartitionFamily::Mixed;
+}
+
+std::vector<int> PartitioningSpace::familyLabels() const {
+  std::vector<int> out(all_.size());
+  for (std::size_t i = 0; i < all_.size(); ++i) {
+    out[i] = static_cast<int>(family(i));
+  }
+  return out;
+}
+
+}  // namespace tp::runtime

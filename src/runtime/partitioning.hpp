@@ -1,0 +1,85 @@
+#pragma once
+
+// The discretized task-partitioning space (paper §2.1: "p is selected from
+// a discretized partitioning space with a stepsize of 10%").
+//
+// A Partitioning assigns each device an integral number of `divisions`
+// units summing to `divisions` (10 units of 10% by default). For a machine
+// with 3 devices and 10% steps the space has C(12,2) = 66 elements; the
+// CPU-only and GPU-only default strategies are particular corners of it.
+// The step size is a parameter so the step-size ablation
+// (bench/ablation_stepsize) can compare coarser/finer spaces.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tp::runtime {
+
+/// Share of work per device, in units of (100/divisions)%.
+struct Partitioning {
+  std::vector<int> units;
+  int divisions = 10;
+
+  double fraction(std::size_t device) const {
+    return static_cast<double>(units[device]) / static_cast<double>(divisions);
+  }
+
+  std::size_t numDevices() const noexcept { return units.size(); }
+
+  /// True when exactly one device receives all work.
+  bool isSingleDevice() const;
+  /// Index of the only active device; requires isSingleDevice().
+  std::size_t singleDevice() const;
+  /// Number of devices with a non-zero share.
+  int activeDevices() const;
+
+  /// "50/30/20" (percentages).
+  std::string toString() const;
+
+  bool operator==(const Partitioning& o) const {
+    return units == o.units && divisions == o.divisions;
+  }
+};
+
+/// Coarse family of a partitioning, used by the two-stage model:
+/// 0 = CPU only, 1 = single GPU, 2 = GPU-mixed (no CPU), 3 = CPU+GPU mixed.
+enum class PartitionFamily : int {
+  CpuOnly = 0,
+  SingleGpu = 1,
+  MultiGpu = 2,
+  Mixed = 3,
+};
+
+class PartitioningSpace {
+public:
+  /// Enumerates all assignments of `divisions` units to `numDevices`
+  /// devices (lexicographic, deterministic).
+  PartitioningSpace(std::size_t numDevices, int divisions = 10);
+
+  std::size_t size() const noexcept { return all_.size(); }
+  std::size_t numDevices() const noexcept { return numDevices_; }
+  int divisions() const noexcept { return divisions_; }
+
+  const Partitioning& at(std::size_t index) const;
+  const std::vector<Partitioning>& all() const noexcept { return all_; }
+
+  /// Index of an existing partitioning; throws tp::Error if absent.
+  std::size_t indexOf(const Partitioning& p) const;
+
+  /// The two default strategies of the paper.
+  std::size_t cpuOnlyIndex() const;
+  /// All work on GPU `gpuDevice` (a device index, not a GPU ordinal).
+  std::size_t singleDeviceIndex(std::size_t device) const;
+
+  PartitionFamily family(std::size_t index) const;
+  /// label→family map for ml::TwoStageClassifier.
+  std::vector<int> familyLabels() const;
+
+private:
+  std::size_t numDevices_;
+  int divisions_;
+  std::vector<Partitioning> all_;
+};
+
+}  // namespace tp::runtime

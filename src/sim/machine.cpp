@@ -1,0 +1,138 @@
+#include "sim/machine.hpp"
+
+#include "common/error.hpp"
+
+namespace tp::sim {
+
+std::vector<std::size_t> MachineConfig::gpuIndices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    if (devices[i].type == DeviceType::GPU) out.push_back(i);
+  }
+  return out;
+}
+
+namespace {
+
+DeviceModel opteron6168Pair() {
+  DeviceModel d;
+  d.name = "2x AMD Opteron 6168 (24 cores)";
+  d.type = DeviceType::CPU;
+  // Strong many-core CPU: 24 cores at 1.9 GHz, achieved scalar throughput.
+  d.intRate = 90e9;
+  d.floatRate = 70e9;
+  d.specialRate = 2.2e9;  // scalar libm transcendentals
+  d.archEfficiency = 1.0;
+  d.branchWeight = 1.5;   // deep OoO branch predictors
+  d.memBandwidth = 28e9;  // 4-channel DDR3, dual socket
+  d.memEfficiency = 0.9;  // hardware prefetchers handle streaming well
+  d.localBandwidth = 400e9;
+  d.atomicRate = 1.2e9;
+  // Work-group barriers compile to loop fission on CPUs: nearly free.
+  d.barrierCost = 8e-9;
+  d.launchOverhead = 3e-6;
+  d.saturationItems = 3e3;
+  // The CPU device computes in host memory: effectively zero-copy.
+  d.transferBandwidth = 400e9;
+  d.transferLatency = 1e-6;
+  return d;
+}
+
+DeviceModel radeonHd5870() {
+  DeviceModel d;
+  d.name = "ATI Radeon HD 5870";
+  d.type = DeviceType::GPU;
+  // 2.72 TFLOP/s peak, but VLIW5 lanes go mostly idle on scalar untuned
+  // kernels; high divergence penalty (Thoman et al. [7]).
+  d.intRate = 500e9;
+  d.floatRate = 850e9;
+  d.specialRate = 70e9;
+  d.archEfficiency = 0.16;
+  d.branchWeight = 30.0;  // divergence drains VLIW bundles
+  d.memBandwidth = 154e9;
+  d.memEfficiency = 0.30;  // uncoalesced scalar accesses on Evergreen
+  d.localBandwidth = 1000e9;
+  d.atomicRate = 0.15e9;  // Evergreen atomics are notoriously slow
+  d.barrierCost = 12e-9;
+  d.launchOverhead = 25e-6;
+  d.saturationItems = 6e4;
+  d.transferBandwidth = 4.2e9;  // PCIe 2.0 x16, achieved
+  d.transferLatency = 25e-6;
+  return d;
+}
+
+DeviceModel xeonX5650Pair() {
+  DeviceModel d;
+  d.name = "2x Intel Xeon X5650 (12 cores)";
+  d.type = DeviceType::CPU;
+  // 12 Westmere cores at 2.67 GHz: fewer cores than mc1's Opterons but
+  // higher per-core throughput; overall a weaker CPU device.
+  d.intRate = 55e9;
+  d.floatRate = 42e9;
+  d.specialRate = 1.6e9;  // scalar libm transcendentals
+  d.archEfficiency = 1.0;
+  d.branchWeight = 1.5;
+  d.memBandwidth = 30e9;  // 3-channel DDR3 per socket
+  d.memEfficiency = 0.9;
+  d.localBandwidth = 450e9;
+  d.atomicRate = 1e9;
+  d.barrierCost = 8e-9;
+  d.launchOverhead = 3e-6;
+  d.saturationItems = 1.5e3;
+  d.transferBandwidth = 400e9;
+  d.transferLatency = 1e-6;
+  return d;
+}
+
+DeviceModel geforceGtx480() {
+  DeviceModel d;
+  d.name = "NVIDIA GeForce GTX 480";
+  d.type = DeviceType::GPU;
+  // 1.34 TFLOP/s peak; Fermi's scalar SIMT pipeline sustains a much larger
+  // fraction of peak on untuned code than the VLIW Radeon.
+  d.intRate = 650e9;
+  d.floatRate = 1100e9;
+  d.specialRate = 180e9;
+  d.archEfficiency = 0.60;
+  d.branchWeight = 10.0;  // SIMT executes both divergent paths
+  d.memBandwidth = 177e9;
+  d.memEfficiency = 0.55;  // Fermi L2 + coalescing hardware
+  d.localBandwidth = 1300e9;
+  d.atomicRate = 0.7e9;
+  d.barrierCost = 10e-9;
+  d.launchOverhead = 18e-6;
+  d.saturationItems = 4e4;
+  d.transferBandwidth = 5.6e9;  // PCIe 2.0 x16, achieved
+  d.transferLatency = 18e-6;
+  return d;
+}
+
+}  // namespace
+
+MachineConfig makeMc1() {
+  MachineConfig m;
+  m.name = "mc1";
+  m.devices = {opteron6168Pair(), radeonHd5870(), radeonHd5870()};
+  m.devices[1].name += " #0";
+  m.devices[2].name += " #1";
+  return m;
+}
+
+MachineConfig makeMc2() {
+  MachineConfig m;
+  m.name = "mc2";
+  m.devices = {xeonX5650Pair(), geforceGtx480(), geforceGtx480()};
+  m.devices[1].name += " #0";
+  m.devices[2].name += " #1";
+  return m;
+}
+
+MachineConfig machineByName(const std::string& name) {
+  if (name == "mc1") return makeMc1();
+  if (name == "mc2") return makeMc2();
+  TP_THROW("unknown machine '" << name << "' (expected mc1 or mc2)");
+}
+
+std::vector<MachineConfig> evaluationMachines() { return {makeMc1(), makeMc2()}; }
+
+}  // namespace tp::sim

@@ -1,0 +1,47 @@
+#pragma once
+
+// Machine configurations: the two evaluation platforms of the paper.
+//
+//   mc1: 2× AMD Opteron 6168 (one OpenCL CPU device) + 2× ATI Radeon HD 5870
+//   mc2: 2× Intel Xeon X5650 (one OpenCL CPU device) + 2× NVIDIA GTX 480
+//
+// Parameter choices (see DESIGN.md): the HD 5870 has enormous peak FLOPs
+// but a VLIW architecture that achieves a small fraction of it on untuned
+// scalar kernels and pays dearly for divergent branches — so on mc1 the
+// CPU-only default usually wins, as the paper reports. The GTX 480 sustains
+// a much larger fraction of peak on the same code, so on mc2 the GPU-only
+// default usually wins. Device 0 is always the CPU (matching the paper's
+// "two CPUs reported as a single OpenCL device").
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/device_model.hpp"
+
+namespace tp::sim {
+
+struct MachineConfig {
+  std::string name;
+  std::vector<DeviceModel> devices;  ///< devices[0] is the CPU
+
+  std::size_t numDevices() const noexcept { return devices.size(); }
+  const DeviceModel& cpu() const { return devices.front(); }
+
+  /// Indices of GPU devices.
+  std::vector<std::size_t> gpuIndices() const;
+};
+
+/// 2× AMD Opteron 6168 + 2× ATI Radeon HD 5870 (VLIW GPUs).
+MachineConfig makeMc1();
+
+/// 2× Intel Xeon X5650 + 2× NVIDIA GeForce GTX 480.
+MachineConfig makeMc2();
+
+/// Look up by name ("mc1" / "mc2"); throws tp::Error on unknown names.
+MachineConfig machineByName(const std::string& name);
+
+/// All evaluation machines, in paper order.
+std::vector<MachineConfig> evaluationMachines();
+
+}  // namespace tp::sim

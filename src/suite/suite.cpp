@@ -1,0 +1,33 @@
+#include "suite/benchmark.hpp"
+
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace tp::suite {
+
+const std::vector<Benchmark>& allBenchmarks() {
+  static const std::vector<Benchmark> benchmarks = [] {
+    std::vector<Benchmark> out;
+    auto append = [&out](std::vector<Benchmark> family) {
+      for (auto& b : family) out.push_back(std::move(b));
+    };
+    append(makeVendorBenchmarks());    // 9
+    append(makeShocBenchmarks());      // 6
+    append(makeRodiniaBenchmarks());   // 6
+    append(makePolybenchBenchmarks()); // 2
+    TP_ASSERT_MSG(out.size() == 23,
+                  "suite must have 23 programs, has " << out.size());
+    return out;
+  }();
+  return benchmarks;
+}
+
+const Benchmark& benchmarkByName(const std::string& name) {
+  for (const auto& b : allBenchmarks()) {
+    if (b.name == name) return b;
+  }
+  TP_THROW("unknown benchmark '" << name << "'");
+}
+
+}  // namespace tp::suite

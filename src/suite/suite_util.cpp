@@ -1,0 +1,117 @@
+#include "suite/suite_util.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace tp::suite {
+
+std::uint64_t instanceSeed(const std::string& name, std::size_t n) {
+  // FNV-1a over the name, mixed with the size.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  h ^= static_cast<std::uint64_t>(n) * 0x9E3779B97F4A7C15ull;
+  return h;
+}
+
+std::shared_ptr<vcl::Buffer> randomFloatBuffer(std::size_t n,
+                                               common::Rng& rng, float lo,
+                                               float hi) {
+  auto buf = std::make_shared<vcl::Buffer>(vcl::ElemKind::F32, n);
+  float* data = buf->data<float>();
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return buf;
+}
+
+std::shared_ptr<vcl::Buffer> randomIntBuffer(std::size_t n, common::Rng& rng,
+                                             int lo, int hi) {
+  auto buf = std::make_shared<vcl::Buffer>(vcl::ElemKind::I32, n);
+  int* data = buf->data<int>();
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<int>(rng.range(lo, hi));
+  }
+  return buf;
+}
+
+std::shared_ptr<vcl::Buffer> zeroFloatBuffer(std::size_t n) {
+  return std::make_shared<vcl::Buffer>(vcl::ElemKind::F32, n);
+}
+
+std::shared_ptr<vcl::Buffer> zeroIntBuffer(std::size_t n) {
+  return std::make_shared<vcl::Buffer>(vcl::ElemKind::I32, n);
+}
+
+std::shared_ptr<vcl::Buffer> zeroUIntBuffer(std::size_t n) {
+  return std::make_shared<vcl::Buffer>(vcl::ElemKind::U32, n);
+}
+
+bool verifyFloat(const vcl::Buffer& actual, const std::vector<float>& expected,
+                 double tolerance, std::string* error) {
+  if (actual.size() != expected.size()) {
+    if (error != nullptr) *error = "size mismatch";
+    return false;
+  }
+  const float* a = actual.data<float>();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const double diff = std::fabs(static_cast<double>(a[i]) - expected[i]);
+    const double scale = std::max(1.0, std::fabs(static_cast<double>(expected[i])));
+    if (diff > tolerance * scale || std::isnan(a[i])) {
+      if (error != nullptr) {
+        std::ostringstream os;
+        os << "element " << i << ": got " << a[i] << ", expected "
+           << expected[i] << " (tolerance " << tolerance << ")";
+        *error = os.str();
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+bool verifyInt(const vcl::Buffer& actual, const std::vector<int>& expected,
+               std::string* error) {
+  if (actual.size() != expected.size()) {
+    if (error != nullptr) *error = "size mismatch";
+    return false;
+  }
+  const int* a = actual.data<int>();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (a[i] != expected[i]) {
+      if (error != nullptr) {
+        std::ostringstream os;
+        os << "element " << i << ": got " << a[i] << ", expected "
+           << expected[i];
+        *error = os.str();
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+bool verifyUInt(const vcl::Buffer& actual,
+                const std::vector<unsigned>& expected, std::string* error) {
+  if (actual.size() != expected.size()) {
+    if (error != nullptr) *error = "size mismatch";
+    return false;
+  }
+  const unsigned* a = actual.data<unsigned>();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (a[i] != expected[i]) {
+      if (error != nullptr) {
+        std::ostringstream os;
+        os << "element " << i << ": got " << a[i] << ", expected "
+           << expected[i];
+        *error = os.str();
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace tp::suite

@@ -1,0 +1,36 @@
+#pragma once
+
+// Shared helpers for benchmark definitions: deterministic input generation
+// and result verification.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ocl/buffer.hpp"
+
+namespace tp::suite {
+
+/// Deterministic per-benchmark seed derived from (name, problem size).
+std::uint64_t instanceSeed(const std::string& name, std::size_t n);
+
+std::shared_ptr<vcl::Buffer> randomFloatBuffer(std::size_t n,
+                                               common::Rng& rng,
+                                               float lo = -1.0f,
+                                               float hi = 1.0f);
+std::shared_ptr<vcl::Buffer> randomIntBuffer(std::size_t n, common::Rng& rng,
+                                             int lo, int hi);
+std::shared_ptr<vcl::Buffer> zeroFloatBuffer(std::size_t n);
+std::shared_ptr<vcl::Buffer> zeroIntBuffer(std::size_t n);
+std::shared_ptr<vcl::Buffer> zeroUIntBuffer(std::size_t n);
+
+/// Element-wise comparison with mixed absolute/relative tolerance.
+bool verifyFloat(const vcl::Buffer& actual, const std::vector<float>& expected,
+                 double tolerance, std::string* error);
+bool verifyInt(const vcl::Buffer& actual, const std::vector<int>& expected,
+               std::string* error);
+bool verifyUInt(const vcl::Buffer& actual,
+                const std::vector<unsigned>& expected, std::string* error);
+
+}  // namespace tp::suite

@@ -1,0 +1,240 @@
+// Buffer access analysis tests: Split proofs, conservative degradation,
+// and the expected classification of every suite kernel's buffers.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "features/access_analysis.hpp"
+#include "frontend/parser.hpp"
+#include "suite/benchmark.hpp"
+
+namespace tp::features {
+namespace {
+
+std::map<std::string, BufferAccess> analyze(const char* src) {
+  const auto kernel = frontend::parseSingleKernel(src);
+  std::map<std::string, BufferAccess> out;
+  for (auto& a : analyzeBufferAccesses(*kernel)) out[a.param] = a;
+  return out;
+}
+
+TEST(AccessAnalysis, DirectGidIsSplitOne) {
+  const auto acc = analyze(R"(
+__kernel void k(__global const float* in, __global float* out, int n) {
+  int i = get_global_id(0);
+  out[i] = in[i];
+}
+)");
+  EXPECT_EQ(acc.at("in").kind, AccessKind::Split);
+  EXPECT_DOUBLE_EQ(acc.at("in").blockSize.eval({}), 1.0);
+  EXPECT_EQ(acc.at("out").kind, AccessKind::Split);
+  EXPECT_TRUE(acc.at("out").isWritten);
+  EXPECT_FALSE(acc.at("in").isWritten);
+}
+
+TEST(AccessAnalysis, RowBlockIsSplitWithSymbolicCoefficient) {
+  const auto acc = analyze(R"(
+__kernel void k(__global const float* A, __global float* y, int cols) {
+  int row = get_global_id(0);
+  float acc = 0.0f;
+  for (int j = 0; j < cols; j++) {
+    acc += A[row * cols + j];
+  }
+  y[row] = acc;
+}
+)");
+  ASSERT_EQ(acc.at("A").kind, AccessKind::Split);
+  EXPECT_DOUBLE_EQ(acc.at("A").blockSize.eval({{"cols", 256.0}}), 256.0);
+  EXPECT_EQ(acc.at("y").kind, AccessKind::Split);
+}
+
+TEST(AccessAnalysis, StencilHaloDegradesToReplicate) {
+  const auto acc = analyze(R"(
+__kernel void k(__global const float* in, __global float* out, int n) {
+  int i = get_global_id(0);
+  float v = in[i];
+  if (i > 0) {
+    v += in[i - 1];
+  }
+  out[i] = v;
+}
+)");
+  // in[i-1] reaches outside the per-item block → conservative Replicate.
+  EXPECT_EQ(acc.at("in").kind, AccessKind::Replicate);
+  EXPECT_EQ(acc.at("out").kind, AccessKind::Split);
+}
+
+TEST(AccessAnalysis, ColumnAccessIsReplicate) {
+  const auto acc = analyze(R"(
+__kernel void k(__global const float* A, __global float* s, int rows, int cols) {
+  int j = get_global_id(0);
+  float acc = 0.0f;
+  for (int i = 0; i < rows; i++) {
+    acc += A[i * cols + j];
+  }
+  s[j] = acc;
+}
+)");
+  EXPECT_EQ(acc.at("A").kind, AccessKind::Replicate);
+  EXPECT_EQ(acc.at("s").kind, AccessKind::Split);
+}
+
+TEST(AccessAnalysis, DataDependentWriteIsMergeSum) {
+  const auto acc = analyze(R"(
+__kernel void k(__global const int* data, __global int* bins, int nb) {
+  int i = get_global_id(0);
+  atomic_add(bins[data[i] % nb], 1);
+}
+)");
+  EXPECT_EQ(acc.at("data").kind, AccessKind::Split);
+  EXPECT_EQ(acc.at("bins").kind, AccessKind::MergeSum);
+  EXPECT_TRUE(acc.at("bins").isWritten);
+}
+
+TEST(AccessAnalysis, GroupIndexedOutputIsMergeSum) {
+  const auto acc = analyze(R"(
+__kernel void k(__global float* partial) {
+  if (get_local_id(0) == 0) {
+    partial[get_group_id(0)] = 1.0f;
+  }
+}
+)");
+  EXPECT_EQ(acc.at("partial").kind, AccessKind::MergeSum);
+}
+
+TEST(AccessAnalysis, UnusedParameter) {
+  const auto acc = analyze(R"(
+__kernel void k(__global const float* unused, __global float* out) {
+  out[get_global_id(0)] = 1.0f;
+}
+)");
+  EXPECT_EQ(acc.at("unused").kind, AccessKind::Unused);
+}
+
+TEST(AccessAnalysis, CopyPropagationThroughLocals) {
+  const auto acc = analyze(R"(
+__kernel void k(__global float* out, int n) {
+  int gid = get_global_id(0);
+  int twice = gid * 2;
+  out[twice] = 1.0f;
+  out[twice + 1] = 2.0f;
+}
+)");
+  ASSERT_EQ(acc.at("out").kind, AccessKind::Split);
+  EXPECT_DOUBLE_EQ(acc.at("out").blockSize.eval({}), 2.0);
+}
+
+TEST(AccessAnalysis, ReassignedVariableNotPropagated) {
+  const auto acc = analyze(R"(
+__kernel void k(__global float* out, int n) {
+  int j = get_global_id(0);
+  j = j * 3 + 1;
+  out[j] = 1.0f;
+}
+)");
+  // j was reassigned → analysis must not treat out[j] as gid-affine.
+  EXPECT_EQ(acc.at("out").kind, AccessKind::MergeSum);
+}
+
+TEST(AccessAnalysis, MixedGidAndLoopAccessReplicates) {
+  const auto acc = analyze(R"(
+__kernel void k(__global const float* p, __global float* f, int n) {
+  int i = get_global_id(0);
+  float xi = p[i];
+  float acc = 0.0f;
+  for (int j = 0; j < n; j++) {
+    acc += p[j] - xi;
+  }
+  f[i] = acc;
+}
+)");
+  EXPECT_EQ(acc.at("p").kind, AccessKind::Replicate);
+  EXPECT_EQ(acc.at("f").kind, AccessKind::Split);
+}
+
+// ---------------------------------------------------------------------------
+// Expected classification of every suite kernel's buffers — this is the
+// contract between the compiler analysis and the scheduler's distribution.
+// ---------------------------------------------------------------------------
+
+struct SuiteExpectation {
+  const char* benchmark;
+  const char* param;
+  AccessKind kind;
+};
+
+class SuiteAccess : public ::testing::TestWithParam<SuiteExpectation> {};
+
+TEST_P(SuiteAccess, MatchesExpectedKind) {
+  const auto& p = GetParam();
+  const auto& bench = suite::benchmarkByName(p.benchmark);
+  EXPECT_EQ(bench.compiled.accessFor(p.param).kind, p.kind)
+      << p.benchmark << "." << p.param << " expected "
+      << accessKindName(p.kind) << ", got "
+      << accessKindName(bench.compiled.accessFor(p.param).kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBuffers, SuiteAccess,
+    ::testing::Values(
+        SuiteExpectation{"vecadd", "a", AccessKind::Split},
+        SuiteExpectation{"vecadd", "c", AccessKind::Split},
+        SuiteExpectation{"saxpy", "y", AccessKind::Split},
+        SuiteExpectation{"dotprod", "a", AccessKind::Split},
+        SuiteExpectation{"dotprod", "partial", AccessKind::MergeSum},
+        SuiteExpectation{"matmul", "A", AccessKind::Replicate},
+        SuiteExpectation{"matmul", "B", AccessKind::Replicate},
+        SuiteExpectation{"matmul", "C", AccessKind::Split},
+        SuiteExpectation{"matvec", "A", AccessKind::Split},
+        SuiteExpectation{"matvec", "x", AccessKind::Replicate},
+        SuiteExpectation{"matvec", "y", AccessKind::Split},
+        SuiteExpectation{"blackscholes", "sp", AccessKind::Split},
+        SuiteExpectation{"blackscholes", "call", AccessKind::Split},
+        SuiteExpectation{"mandelbrot", "out", AccessKind::Split},
+        SuiteExpectation{"histogram", "data", AccessKind::Split},
+        SuiteExpectation{"histogram", "bins", AccessKind::MergeSum},
+        SuiteExpectation{"nbody", "px", AccessKind::Replicate},
+        SuiteExpectation{"nbody", "ax", AccessKind::Split},
+        SuiteExpectation{"reduction", "in", AccessKind::Split},
+        SuiteExpectation{"reduction", "partial", AccessKind::MergeSum},
+        SuiteExpectation{"spmv", "rowptr", AccessKind::Replicate},
+        SuiteExpectation{"spmv", "colidx", AccessKind::Replicate},
+        SuiteExpectation{"spmv", "x", AccessKind::Replicate},
+        SuiteExpectation{"spmv", "y", AccessKind::Split},
+        SuiteExpectation{"md", "neigh", AccessKind::Split},
+        SuiteExpectation{"md", "px", AccessKind::Replicate},
+        SuiteExpectation{"md", "fx", AccessKind::Split},
+        SuiteExpectation{"stencil2d", "in", AccessKind::Replicate},
+        SuiteExpectation{"stencil2d", "out", AccessKind::Split},
+        SuiteExpectation{"sortrank", "in", AccessKind::Replicate},
+        SuiteExpectation{"sortrank", "rank", AccessKind::Split},
+        SuiteExpectation{"fftstage", "re", AccessKind::Replicate},
+        SuiteExpectation{"fftstage", "outRe", AccessKind::Split},
+        SuiteExpectation{"nn", "lat", AccessKind::Split},
+        SuiteExpectation{"nn", "dist", AccessKind::Split},
+        SuiteExpectation{"hotspot", "temp", AccessKind::Replicate},
+        SuiteExpectation{"hotspot", "power", AccessKind::Split},
+        SuiteExpectation{"hotspot", "out", AccessKind::Split},
+        SuiteExpectation{"srad", "img", AccessKind::Replicate},
+        SuiteExpectation{"srad", "out", AccessKind::Split},
+        SuiteExpectation{"pathfinder", "src", AccessKind::Replicate},
+        SuiteExpectation{"pathfinder", "wall", AccessKind::Split},
+        SuiteExpectation{"pathfinder", "dst", AccessKind::Split},
+        SuiteExpectation{"bfs", "rowptr", AccessKind::Replicate},
+        SuiteExpectation{"bfs", "frontier", AccessKind::Split},
+        SuiteExpectation{"bfs", "touched", AccessKind::MergeSum},
+        SuiteExpectation{"kmeans", "points", AccessKind::Split},
+        SuiteExpectation{"kmeans", "centroids", AccessKind::Replicate},
+        SuiteExpectation{"kmeans", "assign", AccessKind::Split},
+        SuiteExpectation{"conv2d", "in", AccessKind::Replicate},
+        SuiteExpectation{"conv2d", "coef", AccessKind::Replicate},
+        SuiteExpectation{"conv2d", "out", AccessKind::Split},
+        SuiteExpectation{"bicg", "A", AccessKind::Replicate},
+        SuiteExpectation{"bicg", "s", AccessKind::Split}),
+    [](const ::testing::TestParamInfo<SuiteExpectation>& info) {
+      return std::string(info.param.benchmark) + "_" + info.param.param;
+    });
+
+}  // namespace
+}  // namespace tp::features

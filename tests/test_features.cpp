@@ -1,0 +1,246 @@
+// Feature-extraction tests: symbolic op counts on known kernels,
+// loop-trip weighting, runtime feature evaluation, monotonicity.
+
+#include <gtest/gtest.h>
+
+#include "features/runtime_features.hpp"
+#include "features/static_features.hpp"
+#include "frontend/parser.hpp"
+
+namespace tp::features {
+namespace {
+
+KernelFeatures featuresOf(const char* src) {
+  const auto kernel = frontend::parseSingleKernel(src);
+  return extractFeatures(*kernel);
+}
+
+TEST(StaticFeatures, VecaddShape) {
+  const auto f = featuresOf(R"(
+__kernel void vecadd(__global const float* a, __global const float* b,
+                     __global float* c, int n) {
+  int i = get_global_id(0);
+  if (i < n) {
+    c[i] = a[i] + b[i];
+  }
+}
+)");
+  const std::map<std::string, double> none;
+  // Loads: a[i], b[i] inside a then-only guard (weight 0.9).
+  EXPECT_NEAR(f.globalLoads.eval(none), 2 * kThenOnlyWeight, 1e-9);
+  EXPECT_NEAR(f.globalStores.eval(none), 1 * kThenOnlyWeight, 1e-9);
+  // One float add in the guarded body.
+  EXPECT_NEAR(f.floatOps.eval(none), 1 * kThenOnlyWeight, 1e-9);
+  // One branch (the guard).
+  EXPECT_NEAR(f.branches.eval(none), 1.0, 1e-9);
+  EXPECT_EQ(f.numLoops, 0);
+  EXPECT_EQ(f.numBuffers, 3);
+  EXPECT_FALSE(f.usesLocalMemory);
+  EXPECT_TRUE(f.specialOps.isZero());
+  EXPECT_TRUE(f.atomics.isZero());
+}
+
+TEST(StaticFeatures, LoopTripCountSymbolic) {
+  const auto f = featuresOf(R"(
+__kernel void scale(__global float* a, int K) {
+  int i = get_global_id(0);
+  for (int k = 0; k < K; k++) {
+    a[i] = a[i] * 2.0f;
+  }
+}
+)");
+  // Per iteration: one load, one store, one float multiply — all scaled by K.
+  EXPECT_NEAR(f.globalLoads.eval({{"K", 10.0}}), 10.0, 1e-9);
+  EXPECT_NEAR(f.globalLoads.eval({{"K", 100.0}}), 100.0, 1e-9);
+  EXPECT_NEAR(f.floatOps.eval({{"K", 64.0}}), 64.0, 1e-9);
+  EXPECT_EQ(f.numLoops, 1);
+  EXPECT_EQ(f.maxLoopDepth, 1);
+  EXPECT_FALSE(f.hasUnboundedLoop);
+}
+
+TEST(StaticFeatures, NestedLoopsMultiply) {
+  const auto f = featuresOf(R"(
+__kernel void nest(__global float* a, int N, int M) {
+  int i = get_global_id(0);
+  float acc = 0.0f;
+  for (int x = 0; x < N; x++) {
+    for (int y = 0; y < M; y++) {
+      acc += 1.0f;
+    }
+  }
+  a[i] = acc;
+}
+)");
+  EXPECT_NEAR(f.floatOps.eval({{"N", 4.0}, {"M", 8.0}}), 32.0, 1e-9);
+  EXPECT_EQ(f.numLoops, 2);
+  EXPECT_EQ(f.maxLoopDepth, 2);
+}
+
+TEST(StaticFeatures, LoopStepDividesTrip) {
+  const auto f = featuresOf(R"(
+__kernel void strided(__global float* a, int N) {
+  float acc = 0.0f;
+  for (int k = 0; k < N; k += 4) {
+    acc += 1.0f;
+  }
+  a[get_global_id(0)] = acc;
+}
+)");
+  EXPECT_NEAR(f.floatOps.eval({{"N", 100.0}}), 25.0, 1e-9);
+}
+
+TEST(StaticFeatures, SpecialOpsCounted) {
+  const auto f = featuresOf(R"(
+__kernel void specials(__global float* a) {
+  int i = get_global_id(0);
+  a[i] = sqrt(a[i]) + exp(a[i]) + sin(a[i]) + rsqrt(a[i]);
+}
+)");
+  EXPECT_NEAR(f.specialOps.eval({}), 4.0, 1e-9);
+}
+
+TEST(StaticFeatures, AtomicsAndMemoryClasses) {
+  const auto f = featuresOf(R"(
+__kernel void atomics(__global const int* data, __global int* bins,
+                      int numBins) {
+  int i = get_global_id(0);
+  atomic_add(bins[data[i] % numBins], 1);
+}
+)");
+  const std::map<std::string, double> none;
+  EXPECT_NEAR(f.atomics.eval(none), 1.0, 1e-9);
+  // The atomic RMW counts as both a load and a store on global memory,
+  // plus the data[i] load.
+  EXPECT_NEAR(f.globalLoads.eval(none), 2.0, 1e-9);
+  EXPECT_NEAR(f.globalStores.eval(none), 1.0, 1e-9);
+}
+
+TEST(StaticFeatures, LocalMemoryAndBarriers) {
+  const auto f = featuresOf(R"(
+__kernel void shmem(__global float* o, __local float* tile, int n) {
+  int lid = get_local_id(0);
+  tile[lid] = 1.0f;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  o[get_global_id(0)] = tile[lid];
+}
+)");
+  EXPECT_TRUE(f.usesLocalMemory);
+  EXPECT_NEAR(f.barriers.eval({}), 1.0, 1e-9);
+  EXPECT_NEAR(f.localAccesses.eval({}), 2.0, 1e-9);
+}
+
+TEST(StaticFeatures, WhileLoopUsesUnknownTripParameter) {
+  const auto f = featuresOf(R"(
+__kernel void wl(__global float* o, int n) {
+  float x = 1.0f;
+  int s = n;
+  while (s > 0) {
+    x = x * 0.5f;
+    s = s / 2;
+  }
+  o[get_global_id(0)] = x;
+}
+)");
+  EXPECT_TRUE(f.hasUnboundedLoop);
+  // Binding the unknown-trip parameter scales the body counts.
+  const double at8 = f.floatOps.eval({{kUnknownTripParam, 8.0}});
+  const double at16 = f.floatOps.eval({{kUnknownTripParam, 16.0}});
+  EXPECT_NEAR(at16, 2.0 * at8, 1e-9);
+}
+
+TEST(StaticFeatures, BranchArmsWeighted) {
+  const auto f = featuresOf(R"(
+__kernel void branchy(__global float* o, int n) {
+  int i = get_global_id(0);
+  if (i % 2 == 0) {
+    o[i] = 1.0f;
+  } else {
+    o[i] = 2.0f;
+  }
+}
+)");
+  // Each arm has one store, weighted 0.5 → total 1.0.
+  EXPECT_NEAR(f.globalStores.eval({}), 1.0, 1e-9);
+  EXPECT_NEAR(f.branches.eval({}), 1.0, 1e-9);
+}
+
+TEST(StaticFeatures, VectorSchemaConsistent) {
+  const auto names = staticFeatureNames();
+  const auto f = featuresOf(R"(
+__kernel void any(__global float* o) { o[get_global_id(0)] = 1.0f; }
+)");
+  const auto v = staticFeatureVector(f);
+  EXPECT_EQ(v.size(), names.size());
+}
+
+TEST(RuntimeFeatures, SchemaAndScaling) {
+  const auto f = featuresOf(R"(
+__kernel void scale(__global const float* a, __global float* b, int K) {
+  int i = get_global_id(0);
+  float acc = 0.0f;
+  for (int k = 0; k < K; k++) {
+    acc += a[i] * 2.0f;
+  }
+  b[i] = acc;
+}
+)");
+  LaunchInfo launch;
+  launch.sizeBindings = {{"K", 32.0}};
+  launch.globalSize = 1024;
+  launch.localSize = 64;
+  launch.bytesToDevice = 4096.0;
+  launch.bytesFromDevice = 4096.0;
+
+  const auto names = runtimeFeatureNames();
+  const auto v = runtimeFeatureVector(f, launch);
+  ASSERT_EQ(v.size(), names.size());
+
+  // r_global_size
+  EXPECT_DOUBLE_EQ(v[0], 1024.0);
+  // Per-item flops scale linearly with K.
+  LaunchInfo bigger = launch;
+  bigger.sizeBindings["K"] = 64.0;
+  const auto v2 = runtimeFeatureVector(f, bigger);
+  const std::size_t flopsIdx = 3;  // r_per_item_flops
+  EXPECT_EQ(names[flopsIdx], "r_per_item_flops");
+  EXPECT_NEAR(v2[flopsIdx], 2.0 * v[flopsIdx], 1e-9);
+}
+
+TEST(RuntimeFeatures, CombinedConcatenation) {
+  const auto f = featuresOf(R"(
+__kernel void any(__global float* o) { o[get_global_id(0)] = 1.0f; }
+)");
+  LaunchInfo launch;
+  launch.globalSize = 64;
+  launch.localSize = 64;
+  const auto combined = combinedFeatureVector(f, launch);
+  EXPECT_EQ(combined.size(),
+            staticFeatureNames().size() + runtimeFeatureNames().size());
+  EXPECT_EQ(combinedFeatureNames().size(), combined.size());
+}
+
+TEST(ArithmeticIntensity, ComputeBoundKernelHasHighIntensity) {
+  const auto streaming = featuresOf(R"(
+__kernel void stream(__global const float* a, __global float* b) {
+  int i = get_global_id(0);
+  b[i] = a[i] * 2.0f;
+}
+)");
+  const auto compute = featuresOf(R"(
+__kernel void heavy(__global const float* a, __global float* b, int K) {
+  int i = get_global_id(0);
+  float x = a[i];
+  float acc = 0.0f;
+  for (int k = 0; k < K; k++) {
+    acc += x * x;
+  }
+  b[i] = acc;
+}
+)");
+  const std::map<std::string, double> bind = {{"K", 1000.0}};
+  EXPECT_GT(compute.arithmeticIntensity(bind),
+            10.0 * streaming.arithmeticIntensity(bind));
+}
+
+}  // namespace
+}  // namespace tp::features

@@ -1,0 +1,313 @@
+// Frontend tests: lexer token streams, parser acceptance over the whole
+// subset, precise rejection diagnostics, and print→reparse round trips.
+
+#include <gtest/gtest.h>
+
+#include "frontend/builtins.hpp"
+#include "frontend/lexer.hpp"
+#include "frontend/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verify.hpp"
+
+namespace tp::frontend {
+namespace {
+
+TEST(Lexer, BasicTokens) {
+  const auto tokens = tokenize("int x = 42 + y;");
+  ASSERT_GE(tokens.size(), 7u);
+  EXPECT_TRUE(tokens[0].isKeyword("int"));
+  EXPECT_EQ(tokens[1].kind, TokenKind::Identifier);
+  EXPECT_TRUE(tokens[2].isPunct("="));
+  EXPECT_EQ(tokens[3].kind, TokenKind::IntLiteral);
+  EXPECT_EQ(tokens[3].intValue, 42);
+  EXPECT_EQ(tokens.back().kind, TokenKind::EndOfFile);
+}
+
+TEST(Lexer, FloatLiterals) {
+  const auto tokens = tokenize("1.5f 2.0 3e4 5.0e-2f 7f");
+  EXPECT_EQ(tokens[0].kind, TokenKind::FloatLiteral);
+  EXPECT_FLOAT_EQ(static_cast<float>(tokens[0].floatValue), 1.5f);
+  EXPECT_EQ(tokens[1].kind, TokenKind::FloatLiteral);
+  EXPECT_EQ(tokens[2].kind, TokenKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[2].floatValue, 3e4);
+  EXPECT_EQ(tokens[3].kind, TokenKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[3].floatValue, 0.05);
+  EXPECT_EQ(tokens[4].kind, TokenKind::FloatLiteral);  // 7f
+}
+
+TEST(Lexer, MultiCharPunctuation) {
+  const auto tokens = tokenize("a += b << 2 && c >= d");
+  EXPECT_TRUE(tokens[1].isPunct("+="));
+  EXPECT_TRUE(tokens[3].isPunct("<<"));
+  EXPECT_TRUE(tokens[5].isPunct("&&"));
+  EXPECT_TRUE(tokens[7].isPunct(">="));
+}
+
+TEST(Lexer, CommentsSkipped) {
+  const auto tokens = tokenize("x // line comment\n/* block\ncomment */ y");
+  ASSERT_EQ(tokens.size(), 3u);  // x, y, EOF
+  EXPECT_EQ(tokens[0].text, "x");
+  EXPECT_EQ(tokens[1].text, "y");
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  const auto tokens = tokenize("a\n  b");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(Lexer, ErrorsOnGarbage) {
+  EXPECT_THROW(tokenize("a $ b"), ParseError);
+  EXPECT_THROW(tokenize("/* unterminated"), ParseError);
+}
+
+TEST(Builtins, TableLookups) {
+  EXPECT_TRUE(findBuiltin("get_global_id").has_value());
+  EXPECT_EQ(findBuiltin("sqrt")->cls, BuiltinClass::MathHeavy);
+  EXPECT_EQ(findBuiltin("fmax")->cls, BuiltinClass::MathLight);
+  EXPECT_EQ(findBuiltin("atomic_add")->cls, BuiltinClass::Atomic);
+  EXPECT_FALSE(findBuiltin("no_such_fn").has_value());
+  EXPECT_GT(builtinNames().size(), 20u);
+}
+
+const char* kMinimalKernel = R"(
+__kernel void copy(__global const float* in, __global float* out, int n) {
+  int i = get_global_id(0);
+  if (i < n) {
+    out[i] = in[i];
+  }
+}
+)";
+
+TEST(Parser, MinimalKernel) {
+  const auto program = parseProgram(kMinimalKernel);
+  ASSERT_EQ(program->kernels().size(), 1u);
+  const auto& k = *program->kernels()[0];
+  EXPECT_EQ(k.name(), "copy");
+  ASSERT_EQ(k.params().size(), 3u);
+  EXPECT_TRUE(k.params()[0].type.isPointer());
+  EXPECT_EQ(k.params()[0].type.addrSpace(), ir::AddrSpace::Global);
+  EXPECT_FALSE(k.params()[2].type.isPointer());
+  EXPECT_TRUE(ir::verifyKernel(k).empty());
+}
+
+TEST(Parser, SingleKernelHelper) {
+  const auto kernel = parseSingleKernel(kMinimalKernel);
+  EXPECT_EQ(kernel->name(), "copy");
+}
+
+TEST(Parser, AllOperatorsAndPrecedence) {
+  const char* src = R"(
+__kernel void ops(__global int* o, int a, int b) {
+  int x = a + b * 2 - a / 2 % 3;
+  int y = (a << 2) >> 1 & 7 | 8 ^ 3;
+  bool c = a < b && b <= a || a == b && a != b;
+  int z = c ? x : y;
+  int w = -a + !c;
+  o[get_global_id(0)] = x + y + z + w;
+}
+)";
+  const auto kernel = parseSingleKernel(src);
+  EXPECT_TRUE(ir::verifyKernel(*kernel).empty());
+}
+
+TEST(Parser, CompoundAssignmentsDesugar) {
+  const char* src = R"(
+__kernel void compound(__global float* o, int n) {
+  int i = get_global_id(0);
+  float acc = 0.0f;
+  acc += 1.0f;
+  acc -= 0.5f;
+  acc *= 2.0f;
+  acc /= 4.0f;
+  i++;
+  i--;
+  o[get_global_id(0)] = acc;
+}
+)";
+  const auto kernel = parseSingleKernel(src);
+  EXPECT_TRUE(ir::verifyKernel(*kernel).empty());
+}
+
+TEST(Parser, CanonicalForLoops) {
+  const char* src = R"(
+__kernel void loops(__global float* o, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < n; i++) {
+    acc += 1.0f;
+  }
+  for (int j = 2; j <= n; j += 4) {
+    acc += 2.0f;
+  }
+  o[get_global_id(0)] = acc;
+}
+)";
+  const auto kernel = parseSingleKernel(src);
+  EXPECT_TRUE(ir::verifyKernel(*kernel).empty());
+}
+
+TEST(Parser, RejectsNonCanonicalFor) {
+  const char* decrementing = R"(
+__kernel void bad(__global float* o, int n) {
+  for (int i = n; i > 0; i--) { o[i] = 0.0f; }
+}
+)";
+  EXPECT_THROW(parseProgram(decrementing), ParseError);
+}
+
+TEST(Parser, WhileBreakContinue) {
+  const char* src = R"(
+__kernel void wloop(__global int* o, int n) {
+  int i = 0;
+  int acc = 0;
+  while (i < n) {
+    i++;
+    if (i == 3) {
+      continue;
+    }
+    if (i > 100) {
+      break;
+    }
+    acc += i;
+  }
+  o[get_global_id(0)] = acc;
+}
+)";
+  const auto kernel = parseSingleKernel(src);
+  EXPECT_TRUE(ir::verifyKernel(*kernel).empty());
+}
+
+TEST(Parser, LocalArraysAndBarrier) {
+  const char* src = R"(
+__kernel void shmem(__global float* o, int n) {
+  __local float tile[64];
+  float priv[4];
+  int lid = get_local_id(0);
+  tile[lid] = 1.0f;
+  priv[0] = 2.0f;
+  barrier(CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE);
+  o[get_global_id(0)] = tile[lid] + priv[0];
+}
+)";
+  const auto kernel = parseSingleKernel(src);
+  EXPECT_TRUE(ir::verifyKernel(*kernel).empty());
+}
+
+TEST(Parser, CastsAndBuiltins) {
+  const char* src = R"(
+__kernel void casts(__global float* o, int n) {
+  int i = get_global_id(0);
+  float f = (float)i / (float)n;
+  int t = (int)(f * 10.0f);
+  o[i] = sqrt(fabs(f)) + exp(f) + pow(f, 2.0f) + fmin(f, 1.0f)
+       + (float)max(t, 3) + mad(f, f, f);
+}
+)";
+  const auto kernel = parseSingleKernel(src);
+  EXPECT_TRUE(ir::verifyKernel(*kernel).empty());
+}
+
+TEST(Parser, UnsignedTypes) {
+  const char* src = R"(
+__kernel void uns(__global uint* o, unsigned int n) {
+  uint i = (uint)get_global_id(0);
+  o[i] = i + 1u;
+}
+)";
+  const auto kernel = parseSingleKernel(src);
+  EXPECT_EQ(kernel->params()[1].type.scalarKind(), ir::Scalar::UInt);
+}
+
+TEST(Parser, MultipleKernelsInOneProgram) {
+  const char* src = R"(
+__kernel void first(__global float* a) { a[get_global_id(0)] = 1.0f; }
+__kernel void second(__global float* b) { b[get_global_id(0)] = 2.0f; }
+)";
+  const auto program = parseProgram(src);
+  ASSERT_EQ(program->kernels().size(), 2u);
+  EXPECT_NE(program->findKernel("first"), nullptr);
+  EXPECT_NE(program->findKernel("second"), nullptr);
+  EXPECT_EQ(program->findKernel("third"), nullptr);
+  EXPECT_THROW(parseSingleKernel(src), Error);
+}
+
+struct RejectCase {
+  const char* name;
+  const char* source;
+};
+
+class ParserRejects : public ::testing::TestWithParam<RejectCase> {};
+
+TEST_P(ParserRejects, ThrowsParseError) {
+  EXPECT_THROW(parseProgram(GetParam().source), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadPrograms, ParserRejects,
+    ::testing::Values(
+        RejectCase{"undeclared_var",
+                   "__kernel void k(__global float* o) { o[0] = x; }"},
+        RejectCase{"unknown_function",
+                   "__kernel void k(__global float* o) { o[0] = frob(1.0f); }"},
+        RejectCase{"wrong_arity",
+                   "__kernel void k(__global float* o) { o[0] = sqrt(); }"},
+        RejectCase{"subscript_scalar",
+                   "__kernel void k(__global float* o, int n) { o[0] = n[0]; }"},
+        RejectCase{"pointer_without_space",
+                   "__kernel void k(float* o) { o[0] = 1.0f; }"},
+        RejectCase{"missing_semicolon",
+                   "__kernel void k(__global float* o) { o[0] = 1.0f }"},
+        RejectCase{"unterminated_block",
+                   "__kernel void k(__global float* o) { o[0] = 1.0f;"},
+        RejectCase{"assign_to_rvalue",
+                   "__kernel void k(__global float* o, int n) { n + 1 = 2; }"},
+        RejectCase{"empty_program", "   /* nothing */  "},
+        RejectCase{"non_void_kernel",
+                   "__kernel int k(__global float* o) { return 1; }"}),
+    [](const ::testing::TestParamInfo<RejectCase>& info) {
+      return info.param.name;
+    });
+
+TEST(Parser, ErrorsCarryLocation) {
+  try {
+    parseProgram("__kernel void k(__global float* o) {\n  o[0] = x;\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_GT(e.column(), 0);
+  }
+}
+
+// Print → reparse round trip over every suite-style construct.
+TEST(Printer, RoundTripReparses) {
+  const char* src = R"(
+__kernel void roundtrip(__global const float* a, __global float* b, int n) {
+  int i = get_global_id(0);
+  float acc = 0.0f;
+  for (int k = 0; k < n; k += 2) {
+    if (k % 4 == 0) {
+      acc += a[i] * 2.0f;
+    } else {
+      acc -= a[i];
+    }
+  }
+  int s = n;
+  while (s > 0) {
+    s = s / 2;
+    acc += 1.0f;
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  b[i] = acc > 0.0f ? sqrt(acc) : 0.0f;
+}
+)";
+  const auto kernel = parseSingleKernel(src);
+  const std::string printed = ir::printKernel(*kernel);
+  const auto reparsed = parseSingleKernel(printed);
+  EXPECT_EQ(reparsed->name(), kernel->name());
+  // The round trip must be a fixed point after one iteration.
+  EXPECT_EQ(ir::printKernel(*reparsed), printed);
+}
+
+}  // namespace
+}  // namespace tp::frontend

@@ -1,0 +1,194 @@
+// End-to-end integration: training sweep → feature database → CSV round
+// trip → model training → LOGO evaluation → deployment prediction. Uses a
+// subset of the suite to stay fast; the full pipeline runs in bench/.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "runtime/evaluation.hpp"
+#include "runtime/strategy.hpp"
+#include "sim/machine.hpp"
+#include "suite/benchmark.hpp"
+
+namespace tp::runtime {
+namespace {
+
+/// Small sweep: a handful of programs, three sizes each, both machines.
+FeatureDatabase smallSweep(const PartitioningSpace& space) {
+  FeatureDatabase db = FeatureDatabase::withDefaultSchema(space.size());
+  const std::vector<std::string> programs = {"vecadd", "matmul", "nbody",
+                                             "mandelbrot", "spmv"};
+  for (const auto& machine : sim::evaluationMachines()) {
+    for (const auto& name : programs) {
+      const auto& bench = suite::benchmarkByName(name);
+      for (std::size_t s = 0; s < 3; ++s) {
+        auto inst = bench.make(bench.sizes[s]);
+        db.add(measureLaunch(inst.task, machine, space,
+                             "n=" + std::to_string(bench.sizes[s])));
+      }
+    }
+  }
+  return db;
+}
+
+class IntegrationFixture : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    space_ = new PartitioningSpace(3, 10);
+    db_ = new FeatureDatabase(smallSweep(*space_));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete space_;
+    db_ = nullptr;
+    space_ = nullptr;
+  }
+  static PartitioningSpace* space_;
+  static FeatureDatabase* db_;
+};
+
+PartitioningSpace* IntegrationFixture::space_ = nullptr;
+FeatureDatabase* IntegrationFixture::db_ = nullptr;
+
+TEST_F(IntegrationFixture, SweepProducesOneRecordPerLaunch) {
+  EXPECT_EQ(db_->size(), 2u * 5u * 3u);
+  EXPECT_EQ(db_->forMachine("mc1").size(), 15u);
+  EXPECT_EQ(db_->forMachine("mc2").size(), 15u);
+}
+
+TEST_F(IntegrationFixture, TimesAreFullAndPositive) {
+  for (const auto& rec : db_->records()) {
+    ASSERT_EQ(rec.times.size(), space_->size());
+    for (const double t : rec.times) EXPECT_GT(t, 0.0);
+    EXPECT_GE(rec.bestLabel(), 0);
+    EXPECT_LT(rec.bestLabel(), static_cast<int>(space_->size()));
+  }
+}
+
+TEST_F(IntegrationFixture, OptimalPartitioningIsSizeSensitive) {
+  // The paper's core claim: for at least some programs the best
+  // partitioning changes with problem size on the same machine.
+  int programsWithSizeSensitivity = 0;
+  for (const auto& name : {"vecadd", "matmul", "nbody", "mandelbrot",
+                           "spmv"}) {
+    std::set<int> labels;
+    for (const auto* rec : db_->forMachine("mc2")) {
+      if (rec->program == name) labels.insert(rec->bestLabel());
+    }
+    if (labels.size() > 1) ++programsWithSizeSensitivity;
+  }
+  EXPECT_GE(programsWithSizeSensitivity, 2);
+}
+
+TEST_F(IntegrationFixture, OptimalPartitioningIsMachineSensitive) {
+  int differing = 0;
+  for (const auto* r1 : db_->forMachine("mc1")) {
+    for (const auto* r2 : db_->forMachine("mc2")) {
+      if (r1->program == r2->program && r1->sizeLabel == r2->sizeLabel &&
+          r1->bestLabel() != r2->bestLabel()) {
+        ++differing;
+      }
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST_F(IntegrationFixture, CsvRoundTripPreservesEverything) {
+  const std::string path = ::testing::TempDir() + "/tp_db.csv";
+  db_->saveCsv(path);
+  const FeatureDatabase back = FeatureDatabase::loadCsv(path);
+  ASSERT_EQ(back.size(), db_->size());
+  ASSERT_EQ(back.numPartitionings(), db_->numPartitionings());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    const auto& a = db_->records()[i];
+    const auto& b = back.records()[i];
+    EXPECT_EQ(a.program, b.program);
+    EXPECT_EQ(a.machine, b.machine);
+    EXPECT_EQ(a.sizeLabel, b.sizeLabel);
+    EXPECT_EQ(a.staticFeatures, b.staticFeatures);
+    EXPECT_EQ(a.runtimeFeatures, b.runtimeFeatures);
+    EXPECT_EQ(a.times, b.times);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(IntegrationFixture, DatasetShapes) {
+  const auto combined = db_->toDataset("mc1", FeatureSet::Combined);
+  const auto staticOnly = db_->toDataset("mc1", FeatureSet::StaticOnly);
+  const auto runtimeOnly = db_->toDataset("mc1", FeatureSet::RuntimeOnly);
+  EXPECT_EQ(combined.size(), 15u);
+  EXPECT_EQ(combined.numFeatures(),
+            staticOnly.numFeatures() + runtimeOnly.numFeatures());
+  EXPECT_EQ(combined.uniqueGroups().size(), 5u);
+  EXPECT_NO_THROW(combined.validate());
+}
+
+TEST_F(IntegrationFixture, Figure1EvaluationRuns) {
+  const auto result = evaluateFigure1(
+      *db_, "mc2", *space_, [] { return ml::makeClassifier("forest:32"); });
+  EXPECT_EQ(result.rows.size(), 5u);
+  EXPECT_GT(result.meanSpeedupOverCpu, 0.0);
+  EXPECT_GT(result.meanSpeedupOverGpu, 0.0);
+  EXPECT_GT(result.oracleFraction, 0.0);
+  EXPECT_LE(result.oracleFraction, 1.0 + 1e-9);
+  // Predictions can't beat the oracle.
+  for (const auto& row : result.rows) {
+    EXPECT_LE(row.speedupOverOracle, 1.0 + 1e-9) << row.program;
+  }
+}
+
+TEST_F(IntegrationFixture, DeploymentModelPredictsWithinSpace) {
+  std::shared_ptr<const ml::Classifier> model =
+      trainDeploymentModel(*db_, "mc1", "forest:32");
+  vcl::Context ctx(sim::makeMc1(), vcl::ExecMode::TimeOnly, nullptr);
+  PredictedStrategy strategy(model);
+
+  // A program the model has seen (any suite program works here).
+  const auto& bench = suite::benchmarkByName("kmeans");
+  auto inst = bench.make(bench.sizes[1]);
+  const std::size_t label = strategy.choose(inst.task, ctx, *space_);
+  EXPECT_LT(label, space_->size());
+}
+
+TEST_F(IntegrationFixture, DeploymentModelSurvivesSerialization) {
+  const auto model = trainDeploymentModel(*db_, "mc2", "forest:16");
+  const std::string path = ::testing::TempDir() + "/tp_model.txt";
+  model->saveFile(path);
+  const auto loaded = ml::loadClassifierFile(path);
+
+  const auto& bench = suite::benchmarkByName("stencil2d");
+  auto inst = bench.make(bench.sizes[0]);
+  const auto x = features::combinedFeatureVector(inst.task.features,
+                                                 inst.task.launchInfo());
+  EXPECT_EQ(loaded->predict(x), model->predict(x));
+  std::remove(path.c_str());
+}
+
+TEST_F(IntegrationFixture, PredictedNeverWorseThanWorst) {
+  const auto result = evaluateFigure1(
+      *db_, "mc1", *space_, [] { return ml::makeClassifier("forest:32"); });
+  // Sanity: the predicted partitioning is a member of the space, so its
+  // oracle fraction is bounded below by bestTime/worstTime.
+  for (const auto& row : result.rows) {
+    EXPECT_GT(row.speedupOverOracle, 0.0) << row.program;
+  }
+}
+
+TEST(OracleConsistency, TimingsMatchSchedulerExactly) {
+  const PartitioningSpace space(3, 10);
+  const auto& bench = suite::benchmarkByName("matvec");
+  auto inst = bench.make(bench.sizes.front());
+  std::vector<double> timings;
+  oracleSearch(inst.task, sim::makeMc1(), space, &timings);
+
+  vcl::Context ctx(sim::makeMc1(), vcl::ExecMode::TimeOnly, nullptr);
+  Scheduler scheduler(ctx);
+  for (const std::size_t i : {0ul, 13ul, 37ul, 65ul}) {
+    EXPECT_DOUBLE_EQ(scheduler.execute(inst.task, space.at(i)).makespan,
+                     timings[i]);
+  }
+}
+
+}  // namespace
+}  // namespace tp::runtime

@@ -1,0 +1,163 @@
+// IR tests: type algebra, node construction, deep clone, verifier findings,
+// printer output on hand-built trees.
+
+#include <gtest/gtest.h>
+
+#include "ir/clone.hpp"
+#include "ir/node.hpp"
+#include "ir/printer.hpp"
+#include "ir/verify.hpp"
+
+namespace tp::ir {
+namespace {
+
+TEST(Type, ScalarProperties) {
+  EXPECT_TRUE(Type::floatTy().isFloat());
+  EXPECT_TRUE(Type::intTy().isIntegral());
+  EXPECT_TRUE(Type::uintTy().isIntegral());
+  EXPECT_TRUE(Type::boolTy().isIntegral());
+  EXPECT_TRUE(Type::voidTy().isVoid());
+  EXPECT_FALSE(Type::voidTy().isArithmetic());
+  EXPECT_TRUE(Type::floatTy().isArithmetic());
+}
+
+TEST(Type, PointerProperties) {
+  const Type p = Type::pointer(Scalar::Float, AddrSpace::Global);
+  EXPECT_TRUE(p.isPointer());
+  EXPECT_FALSE(p.isFloat());
+  EXPECT_EQ(p.addrSpace(), AddrSpace::Global);
+  EXPECT_EQ(p.element(), Type::floatTy());
+  EXPECT_EQ(p.elementBytes(), 4);
+  EXPECT_EQ(p.toString(), "__global float*");
+}
+
+TEST(Type, Equality) {
+  EXPECT_EQ(Type::intTy(), Type::intTy());
+  EXPECT_NE(Type::intTy(), Type::uintTy());
+  EXPECT_NE(Type::pointer(Scalar::Float, AddrSpace::Global),
+            Type::pointer(Scalar::Float, AddrSpace::Local));
+}
+
+ExprPtr makeVar(const std::string& name, Type t) {
+  return std::make_unique<VarRef>(name, t);
+}
+
+TEST(Clone, DeepCopiesEveryNodeKind) {
+  // sqrt((float)(a[i] + 1)) > 0.5 ? -x : x
+  auto buffer = makeVar("a", Type::pointer(Scalar::Int, AddrSpace::Global));
+  auto index = std::make_unique<IndexExpr>(std::move(buffer),
+                                           makeVar("i", Type::intTy()));
+  auto sum = std::make_unique<BinaryExpr>(BinaryOp::Add, std::move(index),
+                                          std::make_unique<IntLit>(1),
+                                          Type::intTy());
+  auto cast = std::make_unique<CastExpr>(Type::floatTy(), std::move(sum));
+  std::vector<ExprPtr> args;
+  args.push_back(std::move(cast));
+  auto call =
+      std::make_unique<CallExpr>("sqrt", std::move(args), Type::floatTy());
+  auto cmp = std::make_unique<BinaryExpr>(
+      BinaryOp::Gt, std::move(call), std::make_unique<FloatLit>(0.5),
+      Type::boolTy());
+  auto neg = std::make_unique<UnaryExpr>(UnaryOp::Neg,
+                                         makeVar("x", Type::floatTy()));
+  auto select = std::make_unique<SelectExpr>(
+      std::move(cmp), std::move(neg), makeVar("x", Type::floatTy()));
+
+  const ExprPtr copy = cloneExpr(*select);
+  EXPECT_EQ(printExpr(*copy), printExpr(*select));
+  EXPECT_NE(copy.get(), select.get());
+}
+
+std::unique_ptr<KernelDecl> buildKernel(std::vector<StmtPtr> stmts,
+                                        std::vector<Param> params) {
+  auto body = std::make_unique<CompoundStmt>(std::move(stmts));
+  return std::make_unique<KernelDecl>("k", std::move(params), std::move(body));
+}
+
+TEST(Verify, CleanKernelHasNoProblems) {
+  std::vector<StmtPtr> stmts;
+  stmts.push_back(std::make_unique<DeclStmt>("x", Type::intTy(),
+                                             std::make_unique<IntLit>(1)));
+  auto kernel = buildKernel(std::move(stmts),
+                            {{"o", Type::pointer(Scalar::Float,
+                                                 AddrSpace::Global)}});
+  EXPECT_TRUE(verifyKernel(*kernel).empty());
+  EXPECT_NO_THROW(verifyKernelOrThrow(*kernel));
+}
+
+TEST(Verify, FlagsUndeclaredVariable) {
+  std::vector<StmtPtr> stmts;
+  stmts.push_back(std::make_unique<ExprStmt>(makeVar("ghost", Type::intTy())));
+  auto kernel = buildKernel(std::move(stmts), {});
+  const auto problems = verifyKernel(*kernel);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("ghost"), std::string::npos);
+  EXPECT_THROW(verifyKernelOrThrow(*kernel), Error);
+}
+
+TEST(Verify, FlagsDuplicateParams) {
+  auto kernel = buildKernel(
+      {}, {{"p", Type::intTy()}, {"p", Type::floatTy()}});
+  EXPECT_FALSE(verifyKernel(*kernel).empty());
+}
+
+TEST(Verify, FlagsPointerArithmetic) {
+  const Type ptr = Type::pointer(Scalar::Float, AddrSpace::Global);
+  std::vector<StmtPtr> stmts;
+  stmts.push_back(std::make_unique<ExprStmt>(std::make_unique<BinaryExpr>(
+      BinaryOp::Add, makeVar("a", ptr), std::make_unique<IntLit>(1), ptr)));
+  auto kernel = buildKernel(std::move(stmts), {{"a", ptr}});
+  EXPECT_FALSE(verifyKernel(*kernel).empty());
+}
+
+TEST(Verify, FlagsValueReturningKernel) {
+  std::vector<StmtPtr> stmts;
+  stmts.push_back(std::make_unique<ReturnStmt>(std::make_unique<IntLit>(3)));
+  auto kernel = buildKernel(std::move(stmts), {});
+  EXPECT_FALSE(verifyKernel(*kernel).empty());
+}
+
+TEST(Verify, ForLoopVariableScoped) {
+  // for (int i = 0; i < 4; i += 1) { int x = i; } — i visible in body only.
+  std::vector<StmtPtr> body;
+  body.push_back(std::make_unique<DeclStmt>("x", Type::intTy(),
+                                            makeVar("i", Type::intTy())));
+  auto loop = std::make_unique<ForStmt>(
+      "i", std::make_unique<IntLit>(0), std::make_unique<IntLit>(4), 1,
+      std::make_unique<CompoundStmt>(std::move(body)));
+  std::vector<StmtPtr> stmts;
+  stmts.push_back(std::move(loop));
+  // Use of i after the loop is an error.
+  stmts.push_back(std::make_unique<ExprStmt>(makeVar("i", Type::intTy())));
+  auto kernel = buildKernel(std::move(stmts), {});
+  EXPECT_FALSE(verifyKernel(*kernel).empty());
+}
+
+TEST(Printer, ExpressionForms) {
+  EXPECT_EQ(printExpr(IntLit(42)), "42");
+  EXPECT_EQ(printExpr(IntLit(7, Type::uintTy())), "7u");
+  EXPECT_EQ(printExpr(FloatLit(1.5)), "1.5f");
+  EXPECT_EQ(printExpr(FloatLit(2.0)), "2.0f");
+  EXPECT_EQ(printExpr(VarRef("abc", Type::intTy())), "abc");
+}
+
+TEST(Printer, BinaryOpNames) {
+  EXPECT_STREQ(binaryOpName(BinaryOp::Add), "+");
+  EXPECT_STREQ(binaryOpName(BinaryOp::Shl), "<<");
+  EXPECT_STREQ(binaryOpName(BinaryOp::LogicalAnd), "&&");
+  EXPECT_TRUE(isComparison(BinaryOp::Le));
+  EXPECT_FALSE(isComparison(BinaryOp::Add));
+  EXPECT_TRUE(isLogical(BinaryOp::LogicalOr));
+}
+
+TEST(Printer, KernelHeader) {
+  auto kernel = buildKernel(
+      {}, {{"a", Type::pointer(Scalar::Float, AddrSpace::Global)},
+           {"n", Type::intTy()}});
+  const std::string text = printKernel(*kernel);
+  EXPECT_NE(text.find("__kernel void k(__global float* a, int n)"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace tp::ir

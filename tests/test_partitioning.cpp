@@ -1,0 +1,116 @@
+// Partitioning-space tests: enumeration size, invariants, corner lookups,
+// family classification, group apportioning.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "runtime/partitioning.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace tp::runtime {
+namespace {
+
+TEST(PartitioningSpace, SizeMatchesCompositionCount) {
+  // Compositions of d units into k parts: C(d + k - 1, k - 1).
+  EXPECT_EQ(PartitioningSpace(3, 10).size(), 66u);   // C(12,2)
+  EXPECT_EQ(PartitioningSpace(2, 10).size(), 11u);   // C(11,1)
+  EXPECT_EQ(PartitioningSpace(3, 5).size(), 21u);    // C(7,2)
+  EXPECT_EQ(PartitioningSpace(3, 20).size(), 231u);  // C(22,2)
+  EXPECT_EQ(PartitioningSpace(1, 10).size(), 1u);
+}
+
+TEST(PartitioningSpace, AllSumToDivisionsAndAreUnique) {
+  const PartitioningSpace space(3, 10);
+  std::set<std::vector<int>> seen;
+  for (const auto& p : space.all()) {
+    EXPECT_EQ(std::accumulate(p.units.begin(), p.units.end(), 0), 10);
+    EXPECT_EQ(p.units.size(), 3u);
+    for (const int u : p.units) EXPECT_GE(u, 0);
+    EXPECT_TRUE(seen.insert(p.units).second) << "duplicate partitioning";
+  }
+}
+
+TEST(PartitioningSpace, IndexOfRoundTrips) {
+  const PartitioningSpace space(3, 10);
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    EXPECT_EQ(space.indexOf(space.at(i)), i);
+  }
+  Partitioning bogus{{5, 5, 5}, 10};  // sums to 15
+  EXPECT_THROW(space.indexOf(bogus), Error);
+}
+
+TEST(PartitioningSpace, CornerIndices) {
+  const PartitioningSpace space(3, 10);
+  const auto& cpu = space.at(space.cpuOnlyIndex());
+  EXPECT_EQ(cpu.units, (std::vector<int>{10, 0, 0}));
+  const auto& gpu1 = space.at(space.singleDeviceIndex(1));
+  EXPECT_EQ(gpu1.units, (std::vector<int>{0, 10, 0}));
+  EXPECT_THROW(space.singleDeviceIndex(7), Error);
+}
+
+TEST(Partitioning, Helpers) {
+  Partitioning p{{5, 3, 2}, 10};
+  EXPECT_DOUBLE_EQ(p.fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(p.fraction(2), 0.2);
+  EXPECT_FALSE(p.isSingleDevice());
+  EXPECT_EQ(p.activeDevices(), 3);
+  EXPECT_EQ(p.toString(), "50/30/20");
+
+  Partitioning solo{{0, 10, 0}, 10};
+  EXPECT_TRUE(solo.isSingleDevice());
+  EXPECT_EQ(solo.singleDevice(), 1u);
+}
+
+TEST(PartitioningSpace, FamilyClassification) {
+  const PartitioningSpace space(3, 10);
+  EXPECT_EQ(space.family(space.cpuOnlyIndex()), PartitionFamily::CpuOnly);
+  EXPECT_EQ(space.family(space.singleDeviceIndex(1)),
+            PartitionFamily::SingleGpu);
+  EXPECT_EQ(space.family(space.indexOf({{0, 5, 5}, 10})),
+            PartitionFamily::MultiGpu);
+  EXPECT_EQ(space.family(space.indexOf({{2, 4, 4}, 10})),
+            PartitionFamily::Mixed);
+  const auto labels = space.familyLabels();
+  EXPECT_EQ(labels.size(), space.size());
+}
+
+// --- splitGroups properties ------------------------------------------------
+
+class SplitGroupsProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SplitGroupsProperty, CoversRangeContiguouslyAndProportionally) {
+  const auto [totalGroups, partitionIndex] = GetParam();
+  const PartitioningSpace space(3, 10);
+  const auto& p = space.at(static_cast<std::size_t>(partitionIndex) %
+                           space.size());
+  const auto chunks = splitGroups(static_cast<std::size_t>(totalGroups), p);
+
+  std::size_t covered = 0;
+  std::size_t expectedBegin = 0;
+  for (std::size_t d = 0; d < chunks.size(); ++d) {
+    EXPECT_EQ(chunks[d].first, expectedBegin);
+    EXPECT_LE(chunks[d].first, chunks[d].second);
+    covered += chunks[d].second - chunks[d].first;
+    expectedBegin = chunks[d].second;
+    // Zero-share devices receive nothing.
+    if (p.units[d] == 0) {
+      EXPECT_EQ(chunks[d].first, chunks[d].second);
+    }
+    // Within one group of the exact proportional share.
+    const double exact = static_cast<double>(totalGroups) * p.fraction(d);
+    EXPECT_NEAR(static_cast<double>(chunks[d].second - chunks[d].first),
+                exact, 1.0);
+  }
+  EXPECT_EQ(covered, static_cast<std::size_t>(totalGroups));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ManyShapes, SplitGroupsProperty,
+    ::testing::Combine(::testing::Values(1, 2, 7, 10, 64, 1000, 16384),
+                       ::testing::Range(0, 66, 5)));
+
+}  // namespace
+}  // namespace tp::runtime

@@ -1,0 +1,190 @@
+// Scheduler tests: simulated-timeline properties (concurrency, transfer
+// accounting, merge cost) and Compute-mode execution through the full
+// TaskBuilder path, including slice enforcement.
+
+#include <gtest/gtest.h>
+
+#include "runtime/compiler.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/strategy.hpp"
+#include "sim/machine.hpp"
+
+namespace tp::runtime {
+namespace {
+
+const char* kScaleSrc = R"(
+__kernel void scale(__global const float* in, __global float* out, int K) {
+  int i = get_global_id(0);
+  float x = in[i];
+  float acc = 0.0f;
+  for (int k = 0; k < K; k++) {
+    acc += x * 1.0001f;
+  }
+  out[i] = acc;
+}
+)";
+
+Task makeScaleTask(std::size_t n, int k) {
+  static const CompiledKernel compiled = CompiledKernel::compile(kScaleSrc);
+  auto in = std::make_shared<vcl::Buffer>(vcl::ElemKind::F32, n);
+  auto out = std::make_shared<vcl::Buffer>(vcl::ElemKind::F32, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    in->data<float>()[i] = static_cast<float>(i % 17) * 0.25f;
+  }
+  return TaskBuilder(compiled, "scale")
+      .global(n)
+      .local(64)
+      .arg(in)
+      .arg(out)
+      .arg(k)
+      .native([](const vcl::WorkGroupCtx& wg, const vcl::LaunchArgs& args) {
+        auto in = args.view<float>(0);
+        auto out = args.view<float>(1);
+        const int k = args.scalarInt(2);
+        for (std::size_t l = 0; l < wg.localSize; ++l) {
+          const std::size_t i = wg.globalId(l);
+          const float x = in[i];
+          float acc = 0.0f;
+          for (int kk = 0; kk < k; ++kk) acc += x * 1.0001f;
+          out[i] = acc;
+        }
+      })
+      .build();
+}
+
+PartitioningSpace space3() { return PartitioningSpace(3, 10); }
+
+TEST(Scheduler, SingleDeviceMakespanMatchesQueueTime) {
+  vcl::Context ctx(sim::makeMc1(), vcl::ExecMode::TimeOnly, nullptr);
+  Scheduler scheduler(ctx);
+  const Task task = makeScaleTask(1 << 16, 200);
+  const auto space = space3();
+
+  const auto result = scheduler.execute(task, space.at(space.cpuOnlyIndex()));
+  ASSERT_EQ(result.devices.size(), 1u);
+  const auto& d = result.devices[0];
+  EXPECT_EQ(d.device, 0u);
+  EXPECT_DOUBLE_EQ(result.makespan, d.endTime);
+  EXPECT_NEAR(d.endTime,
+              d.transferInSeconds + d.kernelSeconds + d.transferOutSeconds,
+              1e-12);
+  EXPECT_DOUBLE_EQ(result.mergeSeconds, 0.0);
+}
+
+TEST(Scheduler, DevicesRunConcurrently) {
+  vcl::Context ctx(sim::makeMc2(), vcl::ExecMode::TimeOnly, nullptr);
+  Scheduler scheduler(ctx);
+  const Task task = makeScaleTask(1 << 20, 2000);
+  const auto space = space3();
+
+  const double gpuOnly =
+      scheduler.execute(task, space.at(space.singleDeviceIndex(1))).makespan;
+  const double split =
+      scheduler.execute(task, space.at(space.indexOf({{0, 5, 5}, 10})))
+          .makespan;
+  // Two GPUs each doing half of a saturated compute problem beat one GPU.
+  EXPECT_LT(split, gpuOnly);
+  EXPECT_GT(split, 0.4 * gpuOnly);
+}
+
+TEST(Scheduler, MakespanIsMaxOfDeviceEndTimes) {
+  vcl::Context ctx(sim::makeMc1(), vcl::ExecMode::TimeOnly, nullptr);
+  Scheduler scheduler(ctx);
+  const Task task = makeScaleTask(1 << 18, 500);
+  const auto result =
+      scheduler.execute(task, Partitioning{{2, 4, 4}, 10});
+  ASSERT_EQ(result.devices.size(), 3u);
+  double maxEnd = 0.0;
+  for (const auto& d : result.devices) maxEnd = std::max(maxEnd, d.endTime);
+  EXPECT_DOUBLE_EQ(result.makespan, maxEnd + result.mergeSeconds);
+}
+
+TEST(Scheduler, SplitBuffersTransferOnlyTheirSlice) {
+  vcl::Context ctx(sim::makeMc2(), vcl::ExecMode::TimeOnly, nullptr);
+  Scheduler scheduler(ctx);
+  const Task task = makeScaleTask(1 << 20, 10);
+  const auto space = space3();
+
+  // 10% on GPU1 vs 100% on GPU1: the transfer-in time scales with the slice.
+  const auto small =
+      scheduler.execute(task, space.at(space.indexOf({{9, 1, 0}, 10})));
+  const auto full =
+      scheduler.execute(task, space.at(space.singleDeviceIndex(1)));
+  const auto* gpuSmall = &small.devices[1];
+  ASSERT_EQ(gpuSmall->device, 1u);
+  EXPECT_NEAR(gpuSmall->transferInSeconds,
+              full.devices[0].transferInSeconds * 0.1, 2e-5);
+}
+
+TEST(Scheduler, RejectsMismatchedPartitioning) {
+  vcl::Context ctx(sim::makeMc1(), vcl::ExecMode::TimeOnly, nullptr);
+  Scheduler scheduler(ctx);
+  const Task task = makeScaleTask(1 << 10, 10);
+  EXPECT_THROW(scheduler.execute(task, Partitioning{{10, 0}, 10}), Error);
+}
+
+TEST(Scheduler, ComputeModeProducesCorrectResultsUnderAnySplit) {
+  const auto space = space3();
+  for (const auto& units : {std::vector<int>{10, 0, 0},
+                            std::vector<int>{0, 10, 0},
+                            std::vector<int>{3, 3, 4},
+                            std::vector<int>{1, 9, 0}}) {
+    vcl::Context ctx(sim::makeMc1(), vcl::ExecMode::Compute);
+    Scheduler scheduler(ctx);
+    const std::size_t n = 1 << 12;
+    const int k = 3;
+    Task task = makeScaleTask(n, k);
+    scheduler.execute(task, Partitioning{units, 10});
+
+    const auto& out = std::get<BufferArg>(task.args[1]).buffer;
+    const auto& in = std::get<BufferArg>(task.args[0]).buffer;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float x = in->data<float>()[i];
+      float acc = 0.0f;
+      for (int kk = 0; kk < k; ++kk) acc += x * 1.0001f;
+      ASSERT_FLOAT_EQ(out->data<float>()[i], acc) << "at index " << i;
+    }
+  }
+}
+
+TEST(Scheduler, TimeOnlyAndComputeReportIdenticalMakespans) {
+  const Task t1 = makeScaleTask(1 << 12, 20);
+  vcl::Context timeCtx(sim::makeMc2(), vcl::ExecMode::TimeOnly, nullptr);
+  vcl::Context computeCtx(sim::makeMc2(), vcl::ExecMode::Compute);
+  const Partitioning p{{3, 4, 3}, 10};
+  const double tTime = Scheduler(timeCtx).execute(t1, p).makespan;
+  const double tCompute = Scheduler(computeCtx).execute(t1, p).makespan;
+  EXPECT_DOUBLE_EQ(tTime, tCompute);
+}
+
+TEST(OracleSearch, FindsArgminOfTimings) {
+  const Task task = makeScaleTask(1 << 16, 100);
+  const auto space = space3();
+  std::vector<double> timings;
+  const std::size_t best =
+      oracleSearch(task, sim::makeMc2(), space, &timings);
+  ASSERT_EQ(timings.size(), space.size());
+  for (const double t : timings) EXPECT_GT(t, 0.0);
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    EXPECT_LE(timings[best], timings[i]);
+  }
+}
+
+TEST(Strategies, DefaultsPickTheirCorners) {
+  vcl::Context ctx(sim::makeMc1(), vcl::ExecMode::TimeOnly, nullptr);
+  const auto space = space3();
+  const Task task = makeScaleTask(1 << 10, 10);
+
+  CpuOnlyStrategy cpu;
+  EXPECT_EQ(cpu.choose(task, ctx, space), space.cpuOnlyIndex());
+  GpuOnlyStrategy gpu;
+  EXPECT_EQ(gpu.choose(task, ctx, space), space.singleDeviceIndex(1));
+  StaticStrategy fixed(17);
+  EXPECT_EQ(fixed.choose(task, ctx, space), 17u);
+  OracleStrategy oracle;
+  const std::size_t best = oracle.choose(task, ctx, space);
+  EXPECT_LT(best, space.size());
+}
+
+}  // namespace
+}  // namespace tp::runtime

@@ -1,0 +1,133 @@
+// Suite-wide property tests, parameterized over all 23 programs: feature
+// sanity, scheduler accounting invariants, oracle consistency, and
+// determinism of the whole measurement pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/runtime_features.hpp"
+#include "runtime/evaluation.hpp"
+#include "runtime/scheduler.hpp"
+#include "sim/machine.hpp"
+#include "suite/benchmark.hpp"
+
+namespace tp::suite {
+namespace {
+
+class PerBenchmark : public ::testing::TestWithParam<std::string> {
+protected:
+  const Benchmark& bench() const { return benchmarkByName(GetParam()); }
+};
+
+TEST_P(PerBenchmark, StaticFeaturesAreFiniteAndNonNegative) {
+  const auto v = features::staticFeatureVector(bench().compiled.features());
+  for (const double x : v) {
+    EXPECT_TRUE(std::isfinite(x));
+    EXPECT_GE(x, 0.0);
+  }
+}
+
+TEST_P(PerBenchmark, RuntimeFeaturesAreFiniteAndNonNegative) {
+  auto inst = bench().make(bench().sizes[1]);
+  const auto v = features::runtimeFeatureVector(inst.task.features,
+                                                inst.task.launchInfo());
+  for (const double x : v) {
+    EXPECT_TRUE(std::isfinite(x));
+    EXPECT_GE(x, 0.0);
+  }
+}
+
+TEST_P(PerBenchmark, KernelSourceVerifies) {
+  EXPECT_NO_THROW(runtime::CompiledKernel::compile(bench().source()));
+}
+
+TEST_P(PerBenchmark, ChunksPartitionTheNDRangeExactly) {
+  auto inst = bench().make(bench().sizes.front());
+  const runtime::PartitioningSpace space(3, 10);
+  vcl::Context ctx(sim::makeMc2(), vcl::ExecMode::TimeOnly, nullptr);
+  runtime::Scheduler scheduler(ctx);
+  for (const std::size_t idx : {5ul, 23ul, 41ul, 65ul}) {
+    const auto result = scheduler.execute(inst.task, space.at(idx));
+    std::size_t items = 0;
+    for (const auto& d : result.devices) {
+      items += d.items(inst.task.localSize);
+      EXPECT_GT(d.endTime, 0.0);
+      EXPECT_LE(d.endTime, result.makespan + 1e-15);
+    }
+    EXPECT_EQ(items, inst.task.globalSize);
+  }
+}
+
+TEST_P(PerBenchmark, SingleDeviceTimesAreAdditive) {
+  // On a single device, makespan = transferIn + kernel + transferOut
+  // (+ merge); no hidden time.
+  auto inst = bench().make(bench().sizes.front());
+  const runtime::PartitioningSpace space(3, 10);
+  vcl::Context ctx(sim::makeMc1(), vcl::ExecMode::TimeOnly, nullptr);
+  runtime::Scheduler scheduler(ctx);
+  const auto result =
+      scheduler.execute(inst.task, space.at(space.singleDeviceIndex(1)));
+  ASSERT_EQ(result.devices.size(), 1u);
+  const auto& d = result.devices[0];
+  EXPECT_NEAR(result.makespan,
+              d.transferInSeconds + d.kernelSeconds + d.transferOutSeconds +
+                  result.mergeSeconds,
+              1e-12);
+}
+
+TEST_P(PerBenchmark, MeasurementIsDeterministic) {
+  const runtime::PartitioningSpace space(3, 10);
+  auto instA = bench().make(bench().sizes.front());
+  auto instB = bench().make(bench().sizes.front());
+  const auto recA =
+      runtime::measureLaunch(instA.task, sim::makeMc2(), space, "s");
+  const auto recB =
+      runtime::measureLaunch(instB.task, sim::makeMc2(), space, "s");
+  EXPECT_EQ(recA.times, recB.times);
+  EXPECT_EQ(recA.staticFeatures, recB.staticFeatures);
+  EXPECT_EQ(recA.runtimeFeatures, recB.runtimeFeatures);
+}
+
+TEST_P(PerBenchmark, LargerProblemsTakeLongerOnBestPartitioning) {
+  const runtime::PartitioningSpace space(3, 10);
+  double prev = 0.0;
+  for (const std::size_t n : bench().sizes) {
+    auto inst = bench().make(n);
+    std::vector<double> timings;
+    runtime::oracleSearch(inst.task, sim::makeMc2(), space, &timings);
+    const double best = *std::min_element(timings.begin(), timings.end());
+    EXPECT_GT(best, prev * 0.999) << "n=" << n;  // tolerate equal-ish steps
+    prev = best;
+  }
+}
+
+std::vector<std::string> allNames() {
+  std::vector<std::string> names;
+  for (const auto& b : allBenchmarks()) names.push_back(b.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(All23, PerBenchmark, ::testing::ValuesIn(allNames()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+// Cross-suite: every program's best partitioning at its largest size uses
+// more than zero total work, and no benchmark ties the suite together so
+// tightly that all oracles agree (diversity check).
+TEST(SuiteWide, OracleDecisionsAreDiverse) {
+  const runtime::PartitioningSpace space(3, 10);
+  std::set<int> bestLabels;
+  for (const auto& b : allBenchmarks()) {
+    auto inst = b.make(b.sizes.back());
+    bestLabels.insert(static_cast<int>(
+        runtime::oracleSearch(inst.task, sim::makeMc2(), space)));
+  }
+  EXPECT_GE(bestLabels.size(), 4u)
+      << "all programs map to nearly the same optimum — the suite would "
+         "teach the model nothing";
+}
+
+}  // namespace
+}  // namespace tp::suite
