@@ -1,0 +1,26 @@
+# Warning policy and the per-module library helper.
+#
+# Libraries build with -Wall -Wextra -Werror (gated on TP_WERROR);
+# test/bench/example executables get -Wall -Wextra without -Werror so a
+# new compiler's novel diagnostics can't brick the harness itself.
+
+add_library(tp_warnings INTERFACE)
+target_compile_options(tp_warnings INTERFACE
+  $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Wall -Wextra>)
+
+add_library(tp_warnings_strict INTERFACE)
+target_link_libraries(tp_warnings_strict INTERFACE tp_warnings)
+if(TP_WERROR)
+  target_compile_options(tp_warnings_strict INTERFACE
+    $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Werror>)
+endif()
+
+# tp_add_module(<name> SOURCES ... DEPS ...): one static library per
+# src/<module> directory, headers included as "module/header.hpp".
+function(tp_add_module name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  add_library(${name} STATIC ${ARG_SOURCES})
+  add_library(tp::${name} ALIAS ${name})
+  target_include_directories(${name} PUBLIC ${PROJECT_SOURCE_DIR}/src)
+  target_link_libraries(${name} PUBLIC ${ARG_DEPS} PRIVATE tp_warnings_strict)
+endfunction()

@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Tier-1 verify: the exact command from ROADMAP.md. CI runs this same
+# script so local and CI results cannot drift.
+set -eux
+cd "$(dirname "$0")/.."
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+cd build
+ctest --output-on-failure -j "$(nproc)"

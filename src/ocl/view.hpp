@@ -11,8 +11,18 @@
 
 #include <atomic>
 #include <cstddef>
+#include <type_traits>
+#include <version>
 
 #include "common/error.hpp"
+
+// BufferView::atomicAdd needs std::atomic_ref (C++20, P0019). Fail the
+// build here with one actionable line instead of a template spew deep
+// inside fetch_add when someone configures with -std=c++17.
+#if !defined(__cpp_lib_atomic_ref) || __cpp_lib_atomic_ref < 201806L
+#error \
+    "tp::vcl::BufferView requires std::atomic_ref (C++20). Build with a C++20 standard library (GCC >= 10 / Clang+libc++ >= 13) and -std=c++20; the CMake build sets this via CMAKE_CXX_STANDARD 20."
+#endif
 
 namespace tp::vcl {
 
@@ -39,6 +49,9 @@ public:
   /// Atomic fetch-add (kernels with atomic_add/atomic_inc; devices may run
   /// work-groups concurrently on the host pool).
   T atomicAdd(std::size_t absoluteIndex, T value) const {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "BufferView::atomicAdd requires a trivially copyable "
+                  "element type (std::atomic_ref precondition)");
     checkRange(absoluteIndex);
     std::atomic_ref<T> ref(base_[absoluteIndex]);
     return ref.fetch_add(value, std::memory_order_relaxed);
