@@ -1,7 +1,10 @@
 #include "harness_util.hpp"
 
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 
+#include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/str.hpp"
 #include "sim/machine.hpp"
@@ -64,6 +67,75 @@ std::string fmt(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
+}
+
+namespace {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void JsonObject::set(const std::string& key, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no Infinity/NaN; null keeps the document parseable.
+    fields_.emplace_back(key, "null");
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  fields_.emplace_back(key, buf);
+}
+
+void JsonObject::setInt(const std::string& key, std::uint64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+}
+
+void JsonObject::set(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, "\"" + jsonEscape(value) + "\"");
+}
+
+void JsonObject::set(const std::string& key, const char* value) {
+  set(key, std::string(value));
+}
+
+std::string JsonObject::str() const {
+  std::string out = "{\n";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    out += "  \"" + jsonEscape(fields_[i].first) + "\": " + fields_[i].second;
+    if (i + 1 < fields_.size()) out += ",";
+    out += "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+void writeJson(const std::string& path, const JsonObject& obj) {
+  std::ofstream os(path);
+  if (!os) throw IoError("cannot open for writing: " + path);
+  os << obj.str();
+  if (!os) throw IoError("write failed: " + path);
 }
 
 }  // namespace tp::bench

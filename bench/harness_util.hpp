@@ -1,9 +1,13 @@
 #pragma once
 
 // Shared infrastructure for the reproduction harnesses in bench/: the full
-// training sweep over the 23-program suite and aligned-table printing.
+// training sweep over the 23-program suite, aligned-table printing, and a
+// flat JSON emitter so benchmarks can write machine-readable results
+// (BENCH_*.json) and the repo accumulates a perf trajectory.
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "runtime/database.hpp"
@@ -31,5 +35,23 @@ private:
 };
 
 std::string fmt(double v, int precision = 2);
+
+/// Flat JSON object (insertion order preserved). Values are numbers or
+/// strings; doubles render with enough digits to round-trip.
+class JsonObject {
+public:
+  void set(const std::string& key, double value);
+  void setInt(const std::string& key, std::uint64_t value);
+  void set(const std::string& key, const std::string& value);
+  void set(const std::string& key, const char* value);
+
+  std::string str() const;
+
+private:
+  std::vector<std::pair<std::string, std::string>> fields_;  ///< key → JSON
+};
+
+/// Write `obj` to `path` (truncating); throws tp::IoError on failure.
+void writeJson(const std::string& path, const JsonObject& obj);
 
 }  // namespace tp::bench

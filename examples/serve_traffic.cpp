@@ -1,0 +1,199 @@
+// tp::serve under concurrent load, end to end:
+//
+//   1. Train a deployment model per machine on a slice of the suite.
+//   2. Stand up one PartitionService holding both machines (mc1 + mc2).
+//   3. Replay the suite's kernels at mixed problem sizes from closed-loop
+//      client threads (each waits for its response before the next
+//      request), against both machines at once.
+//   4. Check the serving invariants: every decision equals the unbatched
+//      predict path, the warm cache hit-rate clears 50%, and retrain()
+//      from the recorded traffic neither deadlocks nor corrupts stats.
+//
+// Build & run:  ./build/examples/serve_traffic
+// Exits non-zero on any violated invariant (ctest smoke test).
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "runtime/evaluation.hpp"
+#include "serve/service.hpp"
+#include "sim/machine.hpp"
+#include "suite/benchmark.hpp"
+
+using namespace tp;
+
+namespace {
+
+constexpr std::size_t kPrograms = 8;  ///< suite slice replayed as traffic
+constexpr std::size_t kSizesPerProgram = 2;
+constexpr std::size_t kClients = 4;
+constexpr std::size_t kRequestsPerClient = 125;
+
+int failures = 0;
+
+void expect(bool ok, const std::string& what) {
+  if (!ok) {
+    std::printf("FAILED: %s\n", what.c_str());
+    ++failures;
+  }
+}
+
+}  // namespace
+
+int main() {
+  common::setLogLevel(common::LogLevel::Warn);
+
+  const auto machines = sim::evaluationMachines();
+  const runtime::PartitioningSpace space(machines[0].numDevices(), 10);
+
+  // ---- workload + training phase ------------------------------------------
+  // One task per (program, size); tasks are machine-independent and only
+  // simulated (TimeOnly), so clients can replay shared instances.
+  std::vector<runtime::Task> tasks;
+  auto db = runtime::FeatureDatabase::withDefaultSchema(space.size());
+  const auto& all = suite::allBenchmarks();
+  for (std::size_t b = 0; b < kPrograms && b < all.size(); ++b) {
+    const auto& bench = all[b];
+    const std::size_t count =
+        std::min(kSizesPerProgram, bench.sizes.size());
+    for (std::size_t s = 0; s < count; ++s) {
+      const std::size_t n = bench.sizes[s];
+      auto inst = bench.make(n);
+      for (const auto& machine : machines) {
+        db.add(runtime::measureLaunch(inst.task, machine, space,
+                                      "n=" + std::to_string(n)));
+      }
+      tasks.push_back(std::move(inst.task));
+    }
+  }
+  std::printf("workload: %zu launches (%zu programs), %zu machines, "
+              "%zu training records\n",
+              tasks.size(), kPrograms, machines.size(), db.size());
+
+  // ---- serving phase ------------------------------------------------------
+  serve::ServiceConfig config;
+  config.cacheCapacity = 256;
+  config.lanesPerMachine = 2;
+  config.retrainSpec = "forest:32";
+  serve::PartitionService service(config);
+  for (const auto& machine : machines) {
+    service.addMachine(
+        machine, std::shared_ptr<const ml::Classifier>(
+                     runtime::trainDeploymentModel(db, machine.name,
+                                                   "forest:32")));
+  }
+
+  // Reference decisions from the unbatched, uncached path.
+  std::vector<std::vector<std::size_t>> expected(tasks.size());
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    for (const auto& machine : machines) {
+      expected[t].push_back(service.predictLabel(machine.name, tasks[t]));
+    }
+  }
+
+  std::atomic<std::uint64_t> mismatches{0};
+  auto clientWave = [&](std::size_t numClients, std::size_t requestsEach,
+                        std::uint64_t seed, bool checkExpected) {
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < numClients; ++c) {
+      clients.emplace_back([&, c] {
+        common::Rng rng(seed + c);
+        for (std::size_t r = 0; r < requestsEach; ++r) {
+          const std::size_t t = rng.below(tasks.size());
+          const std::size_t m = rng.below(machines.size());
+          serve::LaunchRequest request;
+          request.machine = machines[m].name;
+          request.task = tasks[t];
+          auto response = service.submit(std::move(request)).get();
+          if (checkExpected && response.label != expected[t][m]) {
+            mismatches.fetch_add(1);
+          }
+          if (response.execution.makespan <= 0.0) mismatches.fetch_add(1);
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+  };
+
+  clientWave(kClients, kRequestsPerClient, 0xC0FFEE, true);
+
+  const auto warm = service.stats();
+  const std::uint64_t firstWave = kClients * kRequestsPerClient;
+  std::printf("\nfirst wave: %llu requests, hit-rate %.1f%%, "
+              "p50 %.0fus p95 %.0fus, max batch %llu\n",
+              static_cast<unsigned long long>(warm.requestsCompleted),
+              100.0 * warm.cacheHitRate, warm.latency.p50Seconds * 1e6,
+              warm.latency.p95Seconds * 1e6,
+              static_cast<unsigned long long>(warm.maxBatch));
+  expect(warm.requestsSubmitted == firstWave, "all requests submitted");
+  expect(warm.requestsCompleted == firstWave, "all requests completed");
+  expect(warm.requestsFailed == 0, "no failed requests");
+  expect(mismatches.load() == 0,
+         "batched decisions equal the unbatched predict path");
+  expect(warm.cacheHitRate > 0.5, "warm cache hit-rate > 50%");
+  expect(warm.cache.hits + warm.cache.misses == warm.cache.lookups,
+         "cache counters consistent");
+  expect(warm.feedbackRecords > 0 &&
+             warm.feedbackRecords <= tasks.size() * machines.size(),
+         "feedback deduplicates replayed traffic");
+
+  // ---- online feedback loop -----------------------------------------------
+  const auto retrained = service.retrain();
+  std::printf("retrain: %zu machines from %zu recorded launches → model "
+              "version %llu\n",
+              retrained.machinesRetrained, retrained.recordsUsed,
+              static_cast<unsigned long long>(retrained.modelVersion));
+  expect(retrained.machinesRetrained == machines.size(),
+         "every machine retrained from recorded traffic");
+  expect(retrained.modelVersion > 0, "cache version bumped");
+
+  // Refresh the reference decisions (the model changed), then serve a
+  // second wave through the invalidated cache.
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    for (std::size_t m = 0; m < machines.size(); ++m) {
+      expected[t][m] = service.predictLabel(machines[m].name, tasks[t]);
+    }
+  }
+  clientWave(kClients, kRequestsPerClient / 5, 0xBEEF, true);
+
+  const auto fin = service.stats();
+  const std::uint64_t total = firstWave + kClients * (kRequestsPerClient / 5);
+  std::printf("after retrain: %llu total requests, hit-rate %.1f%%, "
+              "model version %llu\n",
+              static_cast<unsigned long long>(fin.requestsCompleted),
+              100.0 * fin.cacheHitRate,
+              static_cast<unsigned long long>(fin.modelVersion));
+  expect(fin.requestsCompleted == total, "post-retrain requests completed");
+  expect(fin.requestsFailed == 0, "no failures after retrain");
+  expect(mismatches.load() == 0, "post-retrain decisions match new model");
+  expect(fin.cache.hits + fin.cache.misses == fin.cache.lookups,
+         "cache counters consistent after invalidation");
+  expect(fin.modelVersion == retrained.modelVersion,
+         "stats report the new model version");
+  expect(fin.retrains == 1, "one retrain recorded");
+
+  for (const auto& m : fin.machines) {
+    std::printf("  %s: %llu requests, device utilization:", m.machine.c_str(),
+                static_cast<unsigned long long>(m.requests));
+    for (const auto& d : m.devices) {
+      std::printf("  %s %.0f%%", d.device.c_str(), 100.0 * d.utilization);
+    }
+    std::printf("\n");
+    expect(m.requests > 0, "both machines saw traffic");
+  }
+
+  service.shutdown();
+  if (failures == 0) {
+    std::printf("\nserve_traffic OK: %llu requests served, %zu retrains, "
+                "0 mismatches\n",
+                static_cast<unsigned long long>(total),
+                static_cast<std::size_t>(fin.retrains));
+    return 0;
+  }
+  std::printf("\nserve_traffic FAILED: %d violated invariant(s)\n", failures);
+  return 1;
+}

@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Build and run the serving benchmark, writing its headline numbers to
+# BENCH_serve.json in the repo root so the repo accumulates a perf
+# trajectory across PRs. Extra arguments pass through to the driver
+# (e.g. ./scripts/bench.sh --requests 20000 --threads 16).
+set -eux
+cd "$(dirname "$0")/.."
+cmake -B build -S .
+cmake --build build -j "$(nproc)" --target serve_throughput
+./build/bench/serve_throughput --json BENCH_serve.json "$@"

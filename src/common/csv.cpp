@@ -28,8 +28,12 @@ void writeField(std::ostream& os, const std::string& s) {
   os << '"';
 }
 
-/// Parse one CSV record (handles quoted fields spanning lines).
-bool readRecord(std::istream& is, std::vector<std::string>& fields) {
+enum class RecordStatus { Ok, Eof, UnterminatedQuote };
+
+/// Parse one CSV record (handles quoted fields spanning lines). `line`
+/// advances past every newline consumed, including those inside quotes.
+RecordStatus readRecord(std::istream& is, std::vector<std::string>& fields,
+                        std::size_t& line) {
   fields.clear();
   std::string field;
   bool inQuotes = false;
@@ -38,6 +42,7 @@ bool readRecord(std::istream& is, std::vector<std::string>& fields) {
   while ((c = is.get()) != EOF) {
     sawAnything = true;
     const char ch = static_cast<char>(c);
+    if (ch == '\n') ++line;
     if (inQuotes) {
       if (ch == '"') {
         if (is.peek() == '"') {
@@ -58,14 +63,15 @@ bool readRecord(std::istream& is, std::vector<std::string>& fields) {
       // tolerate CRLF
     } else if (ch == '\n') {
       fields.push_back(std::move(field));
-      return true;
+      return RecordStatus::Ok;
     } else {
       field.push_back(ch);
     }
   }
-  if (!sawAnything) return false;
+  if (inQuotes) return RecordStatus::UnterminatedQuote;
+  if (!sawAnything) return RecordStatus::Eof;
   fields.push_back(std::move(field));
-  return true;
+  return RecordStatus::Ok;
 }
 
 }  // namespace
@@ -93,6 +99,12 @@ void Table::addRow(std::vector<std::string> cells) {
              "Table::addRow: expected " << columns_.size() << " cells, got "
                                         << cells.size());
   rows_.push_back(std::move(cells));
+  rowLines_.push_back(0);
+}
+
+std::string Table::rowLocation(std::size_t row) const {
+  if (row >= rowLines_.size() || rowLines_[row] == 0) return "";
+  return " (" + source_ + ":" + std::to_string(rowLines_[row]) + ")";
 }
 
 const std::string& Table::cell(std::size_t row, std::size_t col) const {
@@ -111,7 +123,7 @@ double Table::cellDouble(std::size_t row, const std::string& column) const {
   const double v = std::strtod(s.c_str(), &end);
   if (end == s.c_str() || *end != '\0') {
     throw IoError("Table: cell is not a double: '" + s + "' in column " +
-                  column);
+                  column + rowLocation(row));
   }
   return v;
 }
@@ -122,7 +134,7 @@ long long Table::cellInt(std::size_t row, const std::string& column) const {
   const long long v = std::strtoll(s.c_str(), &end, 10);
   if (end == s.c_str() || *end != '\0') {
     throw IoError("Table: cell is not an integer: '" + s + "' in column " +
-                  column);
+                  column + rowLocation(row));
   }
   return v;
 }
@@ -164,13 +176,34 @@ void Table::writeCsvFile(const std::string& path) const {
   if (!os) throw IoError("write failed: " + path);
 }
 
-Table Table::readCsv(std::istream& is) {
+Table Table::readCsv(std::istream& is, const std::string& source) {
+  const std::string name = source.empty() ? std::string("<csv>") : source;
+  std::size_t line = 1;
+  std::size_t recordLine = line;
   std::vector<std::string> fields;
-  if (!readRecord(is, fields)) throw IoError("CSV: empty input");
+
+  auto next = [&]() -> RecordStatus {
+    recordLine = line;
+    const RecordStatus status = readRecord(is, fields, line);
+    if (status == RecordStatus::UnterminatedQuote) {
+      throw IoError(name + ":" + std::to_string(recordLine) +
+                    ": unterminated quoted field");
+    }
+    return status;
+  };
+
+  if (next() == RecordStatus::Eof) throw IoError(name + ": empty input");
   Table t(fields);
-  while (readRecord(is, fields)) {
+  t.source_ = name;
+  while (next() == RecordStatus::Ok) {
     if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
-    t.addRow(fields);
+    if (fields.size() != t.columns_.size()) {
+      throw IoError(name + ":" + std::to_string(recordLine) + ": expected " +
+                    std::to_string(t.columns_.size()) + " columns, got " +
+                    std::to_string(fields.size()));
+    }
+    t.rows_.push_back(fields);
+    t.rowLines_.push_back(recordLine);
   }
   return t;
 }
@@ -178,7 +211,7 @@ Table Table::readCsv(std::istream& is) {
 Table Table::readCsvFile(const std::string& path) {
   std::ifstream is(path);
   if (!is) throw IoError("cannot open for reading: " + path);
-  return readCsv(is);
+  return readCsv(is, path);
 }
 
 }  // namespace tp::common

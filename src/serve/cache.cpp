@@ -1,0 +1,198 @@
+#include "serve/cache.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tp::serve {
+
+double roundSignificant(double v, int digits) {
+  if (digits <= 0 || v == 0.0 || !std::isfinite(v)) {
+    return v == 0.0 ? 0.0 : v;
+  }
+  const double exponent = std::floor(std::log10(std::fabs(v)));
+  const double scale =
+      std::pow(10.0, static_cast<double>(digits - 1) - exponent);
+  // Near the double range limits (|v| ~ 1e±308) the scale or the product
+  // can overflow; an unrounded key is still a valid, self-equal key,
+  // whereas a NaN component would never equal itself.
+  if (!std::isfinite(scale) || scale == 0.0) return v;
+  const double rounded = std::round(v * scale) / scale;
+  if (!std::isfinite(rounded)) return v;
+  return rounded == 0.0 ? 0.0 : rounded;
+}
+
+std::vector<double> launchSignature(const runtime::Task& task) {
+  std::vector<double> sig;
+  sig.reserve(5 + task.sizeBindings.size());
+  sig.push_back(static_cast<double>(task.globalSize));
+  sig.push_back(static_cast<double>(task.localSize));
+  sig.push_back(task.totalBytesIn());
+  sig.push_back(task.totalBytesOut());
+  sig.push_back(task.transferScale);
+  // std::map iterates in name order, so the layout is deterministic.
+  for (const auto& [name, value] : task.sizeBindings) {
+    (void)name;
+    sig.push_back(value);
+  }
+  return sig;
+}
+
+std::string programKey(const runtime::Task& task) {
+  return task.programName + "/" + task.kernelName;
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t fnvBytes(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnvU64(std::uint64_t h, std::uint64_t v) {
+  return fnvBytes(h, &v, sizeof(v));
+}
+
+/// Hash of everything but the model version (shard selection must be
+/// stable across versions).
+std::uint64_t unversionedHash(const DecisionKey& k) {
+  std::uint64_t h = kFnvOffset;
+  h = fnvBytes(h, k.machine.data(), k.machine.size());
+  h = fnvU64(h, 0x1full);  // field separator
+  h = fnvBytes(h, k.program.data(), k.program.size());
+  for (const double f : k.features) {
+    h = fnvU64(h, std::bit_cast<std::uint64_t>(f));
+  }
+  return h;
+}
+
+}  // namespace
+
+std::size_t DecisionKeyHash::operator()(const DecisionKey& k) const noexcept {
+  return static_cast<std::size_t>(
+      fnvU64(unversionedHash(k), k.modelVersion));
+}
+
+ShardedDecisionCache::ShardedDecisionCache(std::size_t capacity,
+                                           std::size_t numShards,
+                                           int roundDigits)
+    : capacity_(capacity), roundDigits_(roundDigits) {
+  TP_REQUIRE(capacity_ > 0, "ShardedDecisionCache: capacity must be > 0");
+  TP_REQUIRE(numShards > 0, "ShardedDecisionCache: numShards must be > 0");
+  const std::size_t shards = std::min(numShards, capacity_);
+  shards_ = std::vector<Shard>(shards);
+  // Distribute the budget so per-shard capacities sum to exactly capacity_.
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_[s].capacity = capacity_ / shards + (s < capacity_ % shards ? 1 : 0);
+  }
+}
+
+DecisionKey ShardedDecisionCache::makeKey(std::string machine,
+                                          std::string program,
+                                          std::vector<double> features) const {
+  DecisionKey key;
+  key.machine = std::move(machine);
+  key.program = std::move(program);
+  key.modelVersion = version_.load(std::memory_order_acquire);
+  key.features = std::move(features);
+  for (double& f : key.features) f = roundSignificant(f, roundDigits_);
+  return key;
+}
+
+ShardedDecisionCache::Shard& ShardedDecisionCache::shardFor(
+    const DecisionKey& key) const {
+  return shards_[unversionedHash(key) % shards_.size()];
+}
+
+std::optional<std::size_t> ShardedDecisionCache::lookup(
+    const DecisionKey& key) {
+  Shard& shard = shardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.counters.lookups;
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.counters.misses;
+    return std::nullopt;
+  }
+  ++shard.counters.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->label;
+}
+
+void ShardedDecisionCache::insert(const DecisionKey& key, std::size_t label) {
+  Shard& shard = shardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  // A retrain may have raced ahead of this decision: never let a
+  // stale-model label into the fresh cache generation. Checked under the
+  // shard lock — bumpVersion() increments before its clear() takes this
+  // lock, so an insert that passes here either carries the new version or
+  // is swept by that clear().
+  if (key.modelVersion != version_.load(std::memory_order_acquire)) return;
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->label = label;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, label});
+  shard.index.emplace(key, shard.lru.begin());
+  ++shard.counters.insertions;
+  while (shard.lru.size() > shard.capacity) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.counters.evictions;
+  }
+}
+
+std::uint64_t ShardedDecisionCache::version() const noexcept {
+  return version_.load(std::memory_order_acquire);
+}
+
+std::uint64_t ShardedDecisionCache::bumpVersion() {
+  const std::uint64_t v =
+      version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  clear();
+  return v;
+}
+
+void ShardedDecisionCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.counters.invalidations += shard.lru.size();
+    shard.index.clear();
+    shard.lru.clear();
+  }
+}
+
+std::size_t ShardedDecisionCache::size() const {
+  std::size_t total = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+CacheCounters ShardedDecisionCache::counters() const {
+  CacheCounters total;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total.lookups += shard.counters.lookups;
+    total.hits += shard.counters.hits;
+    total.misses += shard.counters.misses;
+    total.insertions += shard.counters.insertions;
+    total.evictions += shard.counters.evictions;
+    total.invalidations += shard.counters.invalidations;
+  }
+  return total;
+}
+
+}  // namespace tp::serve

@@ -1,0 +1,135 @@
+#pragma once
+
+// Sharded LRU decision cache.
+//
+// Keyed by (machine, program, rounded launch signature, model version):
+// repeated traffic for the same kernel at the same problem size skips
+// symbolic feature evaluation and model inference entirely. The signature
+// is everything the runtime knows at launch without evaluating the static
+// feature expressions — NDRange, transfer volumes, transfer amortization
+// and the bound scalar parameters — quantized to a fixed number of
+// significant decimal digits so bitwise jitter in derived quantities
+// cannot fragment the cache while genuinely different problem sizes stay
+// distinct. Two launches of the same compiled program with equal
+// signatures have equal combined feature vectors, so serving a cached
+// label is exactly what the model would have predicted.
+//
+// Each shard is an independently mutex-guarded LRU list: concurrent
+// lookups contend only when they hash to the same shard. Bumping the
+// model version (done by PartitionService::retrain()) invalidates every
+// cached decision — entries are dropped eagerly and in-flight inserts
+// stamped with a stale version are discarded on arrival.
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/task.hpp"
+
+namespace tp::serve {
+
+/// Round to `digits` significant decimal digits; `digits <= 0` disables
+/// rounding. Normalizes -0.0 to 0.0 so quantized values hash uniformly.
+double roundSignificant(double v, int digits);
+
+/// The runtime-known launch signature used in cache keys and feedback
+/// deduplication: global/local size, transfer volumes, transfer
+/// amortization and the bound scalar parameters in name order.
+std::vector<double> launchSignature(const runtime::Task& task);
+
+/// "program/kernel" — the program part of a decision key.
+std::string programKey(const runtime::Task& task);
+
+struct DecisionKey {
+  std::string machine;
+  std::string program;
+  std::uint64_t modelVersion = 0;
+  std::vector<double> features;  ///< quantized launch signature
+
+  bool operator==(const DecisionKey& o) const = default;
+};
+
+struct DecisionKeyHash {
+  std::size_t operator()(const DecisionKey& k) const noexcept;
+};
+
+/// Monotonic event counters, aggregated across shards by counters().
+struct CacheCounters {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;  ///< new entries only (not refreshes)
+  std::uint64_t evictions = 0;   ///< LRU capacity evictions
+  std::uint64_t invalidations = 0;  ///< entries dropped by clear()
+
+  double hitRate() const noexcept {
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
+class ShardedDecisionCache {
+public:
+  /// `capacity` is the total entry budget, split over min(numShards,
+  /// capacity) shards; per-shard budgets differ by at most one and sum to
+  /// exactly `capacity`, so total occupancy never exceeds it.
+  explicit ShardedDecisionCache(std::size_t capacity,
+                                std::size_t numShards = 16,
+                                int roundDigits = 6);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t numShards() const noexcept { return shards_.size(); }
+  int roundDigits() const noexcept { return roundDigits_; }
+
+  /// Quantize `features` and stamp the current model version.
+  DecisionKey makeKey(std::string machine, std::string program,
+                      std::vector<double> features) const;
+
+  /// nullopt on miss. A hit refreshes the entry's LRU position.
+  std::optional<std::size_t> lookup(const DecisionKey& key);
+
+  /// Insert or refresh; evicts the shard's LRU tail beyond its budget.
+  /// Keys stamped with a stale model version are discarded.
+  void insert(const DecisionKey& key, std::size_t label);
+
+  std::uint64_t version() const noexcept;
+  /// Invalidate every cached decision: bump the version (stale in-flight
+  /// inserts get dropped) and clear the shards. Returns the new version.
+  std::uint64_t bumpVersion();
+
+  /// Drop all entries (counted as invalidations); keeps the version.
+  void clear();
+
+  std::size_t size() const;
+  CacheCounters counters() const;
+
+private:
+  struct Entry {
+    DecisionKey key;
+    std::size_t label = 0;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<DecisionKey, std::list<Entry>::iterator,
+                       DecisionKeyHash>
+        index;
+    std::size_t capacity = 0;
+    CacheCounters counters;
+  };
+
+  Shard& shardFor(const DecisionKey& key) const;
+
+  std::size_t capacity_;
+  int roundDigits_;
+  std::atomic<std::uint64_t> version_{0};
+  mutable std::vector<Shard> shards_;
+};
+
+}  // namespace tp::serve

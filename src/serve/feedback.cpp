@@ -1,0 +1,56 @@
+#include "serve/feedback.hpp"
+
+#include "runtime/evaluation.hpp"
+
+namespace tp::serve {
+
+FeedbackRecorder::FeedbackRecorder(std::size_t numPartitionings,
+                                   int roundDigits)
+    : roundDigits_(roundDigits),
+      db_(runtime::FeatureDatabase::withDefaultSchema(numPartitionings)) {}
+
+DecisionKey FeedbackRecorder::dedupKey(const runtime::Task& task,
+                                       const std::string& machine) const {
+  DecisionKey key;
+  key.machine = machine;
+  key.program = programKey(task);
+  key.features = launchSignature(task);
+  for (double& f : key.features) f = roundSignificant(f, roundDigits_);
+  return key;
+}
+
+bool FeedbackRecorder::record(const runtime::Task& task,
+                              const sim::MachineConfig& machine,
+                              const runtime::PartitioningSpace& space,
+                              const std::string& sizeLabel) {
+  const DecisionKey key = dedupKey(task, machine.name);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (seen_.count(key) != 0) return false;
+  }
+  // The sweep simulates every partitioning — keep it outside the lock so
+  // concurrent recorders of *different* launches don't serialize. A racing
+  // duplicate of the same launch just loses the insert below.
+  runtime::LaunchRecord rec =
+      runtime::measureLaunch(task, machine, space, sizeLabel);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!seen_.insert(key).second) return false;
+  db_.add(std::move(rec));
+  return true;
+}
+
+std::size_t FeedbackRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return db_.size();
+}
+
+runtime::FeatureDatabase FeedbackRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return db_;
+}
+
+void FeedbackRecorder::saveCsv(const std::string& path) const {
+  snapshot().saveCsv(path);
+}
+
+}  // namespace tp::serve

@@ -1,0 +1,36 @@
+#pragma once
+
+// Request/response types of the partitioning-prediction service.
+//
+// A LaunchRequest is one client question — "how should this kernel launch
+// be split across the devices of this machine?" — and the LaunchResponse
+// carries the answer (the chosen partitioning) together with the simulated
+// execution under it, so closed-loop clients observe the cost of the
+// decision they were given.
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/partitioning.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/task.hpp"
+
+namespace tp::serve {
+
+struct LaunchRequest {
+  std::string machine;  ///< target machine name (must be addMachine()d)
+  runtime::Task task;   ///< the launch to partition and execute
+  /// Problem-size tag stored with feedback records; derived from the
+  /// NDRange ("n=<globalSize>") when left empty.
+  std::string sizeLabel;
+};
+
+struct LaunchResponse {
+  std::size_t label = 0;  ///< index into the machine's partitioning space
+  runtime::Partitioning partitioning;  ///< the chosen split
+  runtime::ExecutionResult execution;  ///< simulated run under the split
+  bool cacheHit = false;  ///< decision served from the cache?
+  std::uint64_t modelVersion = 0;  ///< model generation that decided
+};
+
+}  // namespace tp::serve

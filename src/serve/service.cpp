@@ -1,0 +1,382 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <deque>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "features/runtime_features.hpp"
+#include "ocl/context.hpp"
+#include "runtime/evaluation.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace tp::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+struct PartitionService::PendingRequest {
+  LaunchRequest request;
+  std::promise<LaunchResponse> promise;
+  Clock::time_point enqueued;
+};
+
+struct PartitionService::MachineState {
+  sim::MachineConfig machine;
+  runtime::PartitioningSpace space;
+
+  mutable std::shared_mutex modelMutex;
+  std::shared_ptr<const ml::Classifier> model;
+
+  // Request queue + lane occupancy, guarded by queueMutex. Each lane owns
+  // a private context/scheduler so simulated clocks never interleave.
+  std::mutex queueMutex;
+  std::deque<PendingRequest> queue;
+  std::vector<std::unique_ptr<vcl::Context>> laneContexts;
+  std::vector<std::unique_ptr<runtime::Scheduler>> lanes;
+  std::vector<char> laneBusy;
+
+  std::mutex statsMutex;
+  std::uint64_t requests = 0;
+  double makespanSum = 0.0;
+  std::vector<double> deviceBusySeconds;
+
+  MachineState(const sim::MachineConfig& m,
+               std::shared_ptr<const ml::Classifier> mdl,
+               const ServiceConfig& config)
+      : machine(m),
+        space(m.numDevices(), config.divisions),
+        model(std::move(mdl)),
+        deviceBusySeconds(m.numDevices(), 0.0) {
+    const std::size_t numLanes = std::max<std::size_t>(1, config.lanesPerMachine);
+    common::ThreadPool* computePool =
+        config.execMode == vcl::ExecMode::Compute ? &common::globalThreadPool()
+                                                  : nullptr;
+    for (std::size_t l = 0; l < numLanes; ++l) {
+      laneContexts.push_back(
+          std::make_unique<vcl::Context>(machine, config.execMode, computePool));
+      lanes.push_back(std::make_unique<runtime::Scheduler>(*laneContexts.back()));
+    }
+    laneBusy.assign(numLanes, 0);
+  }
+};
+
+PartitionService::PartitionService(ServiceConfig config)
+    : config_(std::move(config)),
+      cache_(std::make_unique<ShardedDecisionCache>(config_.cacheCapacity,
+                                                    config_.cacheShards,
+                                                    config_.cacheRoundDigits)),
+      latency_(config_.latencyWindow) {}
+
+PartitionService::~PartitionService() { shutdown(); }
+
+void PartitionService::addMachine(const sim::MachineConfig& machine,
+                                  std::shared_ptr<const ml::Classifier> model) {
+  TP_REQUIRE(model != nullptr, "PartitionService: null model for machine "
+                                   << machine.name);
+  TP_REQUIRE(machine.numDevices() > 0,
+             "PartitionService: machine " << machine.name << " has no devices");
+  auto state = std::make_unique<MachineState>(machine, std::move(model), config_);
+  std::lock_guard<std::mutex> lock(machinesMutex_);
+  // The worker pool is sized to the registered lanes at the first
+  // submit(); a machine added later would run under-provisioned.
+  TP_REQUIRE(pool_ == nullptr,
+             "PartitionService: register machine "
+                 << machine.name << " before the first submit()");
+  TP_REQUIRE(machines_.count(machine.name) == 0,
+             "PartitionService: machine " << machine.name
+                                          << " already registered");
+  if (feedback_ == nullptr) {
+    feedback_ = std::make_unique<FeedbackRecorder>(state->space.size(),
+                                                   config_.cacheRoundDigits);
+  } else {
+    // Feedback records share one CSV schema: the time vector is indexed by
+    // partitioning label, so every machine must span the same space.
+    const auto firstSize = machines_.begin()->second->space.size();
+    TP_REQUIRE(state->space.size() == firstSize,
+               "PartitionService: machine "
+                   << machine.name << " has a partitioning space of size "
+                   << state->space.size() << ", expected " << firstSize);
+  }
+  machines_.emplace(machine.name, std::move(state));
+}
+
+void PartitionService::addMachine(const sim::MachineConfig& machine,
+                                  const std::string& modelPath) {
+  addMachine(machine, std::shared_ptr<const ml::Classifier>(
+                          ml::loadClassifierFile(modelPath)));
+}
+
+PartitionService::MachineState& PartitionService::state(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(machinesMutex_);
+  const auto it = machines_.find(name);
+  TP_REQUIRE(it != machines_.end(),
+             "PartitionService: unknown machine '" << name << "'");
+  return *it->second;
+}
+
+common::ThreadPool& PartitionService::ensurePool() {
+  std::lock_guard<std::mutex> lock(machinesMutex_);
+  if (pool_ == nullptr) {
+    std::size_t threads = config_.workerThreads;
+    if (threads == 0) {
+      for (const auto& [name, ms] : machines_) {
+        (void)name;
+        threads += ms->lanes.size();
+      }
+    }
+    pool_ = std::make_unique<common::ThreadPool>(
+        std::max<std::size_t>(1, threads));
+  }
+  return *pool_;
+}
+
+std::future<LaunchResponse> PartitionService::submit(LaunchRequest request) {
+  MachineState& ms = state(request.machine);
+  common::ThreadPool& pool = ensurePool();
+
+  PendingRequest pending;
+  pending.enqueued = Clock::now();
+  if (request.sizeLabel.empty()) {
+    request.sizeLabel = "n=" + std::to_string(request.task.globalSize);
+  }
+  pending.request = std::move(request);
+  std::future<LaunchResponse> future = pending.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(lifecycleMutex_);
+    TP_REQUIRE(accepting_, "PartitionService: submit after shutdown");
+    ++inFlight_;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(ms.queueMutex);
+    ms.queue.push_back(std::move(pending));
+    // Wake one idle lane; busy lanes will drain the queue in batches.
+    for (std::size_t l = 0; l < ms.laneBusy.size(); ++l) {
+      if (!ms.laneBusy[l]) {
+        ms.laneBusy[l] = 1;
+        pool.submit([this, &ms, l] { workerLoop(ms, l); });
+        break;
+      }
+    }
+  }
+  return future;
+}
+
+LaunchResponse PartitionService::call(LaunchRequest request) {
+  return submit(std::move(request)).get();
+}
+
+void PartitionService::workerLoop(MachineState& ms, std::size_t lane) {
+  while (true) {
+    std::vector<PendingRequest> batch;
+    {
+      std::lock_guard<std::mutex> lock(ms.queueMutex);
+      if (ms.queue.empty()) {
+        ms.laneBusy[lane] = 0;
+        return;
+      }
+      const std::size_t take =
+          std::min(std::max<std::size_t>(1, config_.maxBatch), ms.queue.size());
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(ms.queue.front()));
+        ms.queue.pop_front();
+      }
+    }
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t seen = maxBatch_.load(std::memory_order_relaxed);
+    while (seen < batch.size() &&
+           !maxBatch_.compare_exchange_weak(seen, batch.size(),
+                                            std::memory_order_relaxed)) {
+    }
+    for (auto& pending : batch) {
+      process(ms, lane, std::move(pending));
+    }
+  }
+}
+
+std::size_t PartitionService::predictWithModel(
+    const MachineState& ms, const runtime::Task& task) const {
+  const auto x =
+      features::combinedFeatureVector(task.features, task.launchInfo());
+  std::shared_lock<std::shared_mutex> lock(ms.modelMutex);
+  const int label = ms.model->predict(x);
+  TP_REQUIRE(label >= 0 && static_cast<std::size_t>(label) < ms.space.size(),
+             "PartitionService: model for "
+                 << ms.machine.name << " predicted label " << label
+                 << " outside the space of " << ms.space.size());
+  return static_cast<std::size_t>(label);
+}
+
+void PartitionService::process(MachineState& ms, std::size_t lane,
+                               PendingRequest pending) {
+  LaunchResponse response;
+  bool ok = false;
+  try {
+    const runtime::Task& task = pending.request.task;
+    DecisionKey key = cache_->makeKey(ms.machine.name, programKey(task),
+                                      launchSignature(task));
+    response.modelVersion = key.modelVersion;
+    if (const auto hit = cache_->lookup(key)) {
+      response.label = *hit;
+      response.cacheHit = true;
+    } else {
+      response.label = predictWithModel(ms, task);
+      cache_->insert(key, response.label);
+    }
+    response.partitioning = ms.space.at(response.label);
+    response.execution =
+        ms.lanes[lane]->execute(task, response.partitioning);
+
+    if (config_.recordFeedback) {
+      feedback_->record(task, ms.machine, ms.space,
+                        pending.request.sizeLabel);
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(ms.statsMutex);
+      ++ms.requests;
+      ms.makespanSum += response.execution.makespan;
+      for (const auto& dev : response.execution.devices) {
+        ms.deviceBusySeconds[dev.device] += dev.transferInSeconds +
+                                            dev.kernelSeconds +
+                                            dev.transferOutSeconds;
+      }
+    }
+    ok = true;
+  } catch (...) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    pending.promise.set_exception(std::current_exception());
+  }
+  if (ok) {
+    latency_.add(secondsSince(pending.enqueued));
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    pending.promise.set_value(std::move(response));
+  }
+  {
+    std::lock_guard<std::mutex> lock(lifecycleMutex_);
+    --inFlight_;
+    if (inFlight_ == 0) idleCv_.notify_all();
+  }
+}
+
+std::size_t PartitionService::predictLabel(const std::string& machine,
+                                           const runtime::Task& task) const {
+  return predictWithModel(state(machine), task);
+}
+
+PartitionService::RetrainResult PartitionService::retrain() {
+  RetrainResult result;
+  TP_REQUIRE(feedback_ != nullptr,
+             "PartitionService: retrain before any machine was added");
+  const runtime::FeatureDatabase db = feedback_->snapshot();
+  result.recordsUsed = db.size();
+
+  std::vector<MachineState*> states;
+  {
+    std::lock_guard<std::mutex> lock(machinesMutex_);
+    states.reserve(machines_.size());
+    for (const auto& [name, ms] : machines_) {
+      (void)name;
+      states.push_back(ms.get());
+    }
+  }
+  for (MachineState* ms : states) {
+    if (db.forMachine(ms->machine.name).empty()) continue;
+    // Train outside the model lock: serving continues on the old model
+    // until the swap below.
+    auto model = runtime::trainDeploymentModel(
+        db, ms->machine.name, config_.retrainSpec,
+        runtime::FeatureSet::Combined, config_.retrainSeed);
+    {
+      std::unique_lock<std::shared_mutex> lock(ms->modelMutex);
+      ms->model = std::move(model);
+    }
+    ++result.machinesRetrained;
+  }
+  // New generation: every cached decision of the old models is stale.
+  result.modelVersion = cache_->bumpVersion();
+  retrains_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+void PartitionService::drain() {
+  std::unique_lock<std::mutex> lock(lifecycleMutex_);
+  idleCv_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void PartitionService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycleMutex_);
+    accepting_ = false;
+  }
+  drain();
+  // Wait for lane workers to finish their queue-empty bookkeeping before
+  // any member they touch can be destroyed.
+  common::ThreadPool* pool = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(machinesMutex_);
+    pool = pool_.get();
+  }
+  if (pool != nullptr) pool->waitIdle();
+}
+
+ServiceStats PartitionService::stats() const {
+  ServiceStats s;
+  s.requestsSubmitted = submitted_.load(std::memory_order_relaxed);
+  s.requestsCompleted = completed_.load(std::memory_order_relaxed);
+  s.requestsFailed = failed_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.maxBatch = maxBatch_.load(std::memory_order_relaxed);
+  s.cache = cache_->counters();
+  s.cacheHitRate = s.cache.hitRate();
+  s.modelVersion = cache_->version();
+  s.retrains = retrains_.load(std::memory_order_relaxed);
+  s.feedbackRecords = feedback_ != nullptr ? feedback_->size() : 0;
+  s.latency = latency_.summary();
+
+  std::lock_guard<std::mutex> lock(machinesMutex_);
+  for (const auto& [name, ms] : machines_) {
+    (void)name;
+    MachineStats m;
+    m.machine = ms->machine.name;
+    std::lock_guard<std::mutex> statsLock(ms->statsMutex);
+    m.requests = ms->requests;
+    m.makespanSeconds = ms->makespanSum;
+    for (std::size_t d = 0; d < ms->deviceBusySeconds.size(); ++d) {
+      DeviceUtilization util;
+      util.device = ms->machine.devices[d].name;
+      util.busySeconds = ms->deviceBusySeconds[d];
+      util.utilization =
+          ms->makespanSum > 0.0 ? util.busySeconds / ms->makespanSum : 0.0;
+      m.devices.push_back(std::move(util));
+    }
+    s.machines.push_back(std::move(m));
+  }
+  return s;
+}
+
+const runtime::PartitioningSpace& PartitionService::space(
+    const std::string& machine) const {
+  return state(machine).space;
+}
+
+void PartitionService::saveTraffic(const std::string& path) const {
+  TP_REQUIRE(feedback_ != nullptr,
+             "PartitionService: no traffic recorded yet");
+  feedback_->saveCsv(path);
+}
+
+}  // namespace tp::serve

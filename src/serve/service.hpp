@@ -1,0 +1,152 @@
+#pragma once
+
+// PartitionService — the trained predictor as a long-lived, thread-safe
+// serving component.
+//
+// Clients on any thread submit() LaunchRequests and receive a future; the
+// service answers "how should this task be split?" and executes the split
+// on the target machine's simulated devices. Internals:
+//
+//   - a sharded LRU decision cache (serve/cache.hpp) keyed by (machine,
+//     program, rounded launch signature, model version), so repeated
+//     traffic skips feature evaluation and inference;
+//   - a per-machine batching request queue: concurrently submitted
+//     requests coalesce and are drained in batches (up to maxBatch per
+//     worker wakeup) by lane workers running on a common::ThreadPool.
+//     Each lane owns a private vcl::Context + runtime::Scheduler, so one
+//     process serves multi-machine fleets (mc1 + mc2) concurrently while
+//     per-lane simulated clocks stay isolated;
+//   - an online feedback recorder (serve/feedback.hpp) that measures each
+//     distinct executed launch into a FeatureDatabase; retrain() refreshes
+//     every machine's model from the accumulated traffic and bumps the
+//     cache version, invalidating all cached decisions;
+//   - a stats surface (serve/stats.hpp): request/batch counters, cache
+//     hit-rate, p50/p95 latency, per-device utilization.
+//
+// Shutdown drains the queue: every accepted request is answered before
+// the destructor returns; submissions after shutdown() throw tp::Error.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/thread_pool.hpp"
+#include "ml/classifier.hpp"
+#include "ocl/queue.hpp"
+#include "runtime/partitioning.hpp"
+#include "serve/cache.hpp"
+#include "serve/feedback.hpp"
+#include "serve/request.hpp"
+#include "serve/stats.hpp"
+#include "sim/machine.hpp"
+
+namespace tp::serve {
+
+struct ServiceConfig {
+  int divisions = 10;  ///< partitioning-space step granularity (10 = 10%)
+  std::size_t cacheCapacity = 1024;
+  std::size_t cacheShards = 16;
+  int cacheRoundDigits = 6;  ///< significant digits in cache keys
+  std::size_t maxBatch = 16;  ///< max requests drained per worker wakeup
+  std::size_t lanesPerMachine = 2;  ///< concurrent scheduler lanes
+  std::size_t workerThreads = 0;  ///< 0 = one thread per lane
+  std::size_t latencyWindow = 8192;  ///< samples kept for percentiles
+  bool recordFeedback = true;  ///< measure executed launches for retrain()
+  std::string retrainSpec = "forest:32";  ///< ml::makeClassifier spec
+  std::uint64_t retrainSeed = 42;
+  vcl::ExecMode execMode = vcl::ExecMode::TimeOnly;
+};
+
+class PartitionService {
+public:
+  explicit PartitionService(ServiceConfig config = {});
+  ~PartitionService();  ///< shutdown(): drains before destruction
+
+  PartitionService(const PartitionService&) = delete;
+  PartitionService& operator=(const PartitionService&) = delete;
+
+  /// Register a machine with its deployed model. All machines must be
+  /// registered before the first submit() (the worker pool is sized to
+  /// the registered lanes), and must share one partitioning-space size
+  /// (same device count) so feedback records share a schema.
+  void addMachine(const sim::MachineConfig& machine,
+                  std::shared_ptr<const ml::Classifier> model);
+  /// Convenience: load a model saved with ml::Classifier::saveFile().
+  void addMachine(const sim::MachineConfig& machine,
+                  const std::string& modelPath);
+
+  /// Enqueue a request; the future resolves when a lane worker has
+  /// decided and executed it (or faults with tp::Error).
+  std::future<LaunchResponse> submit(LaunchRequest request);
+
+  /// Synchronous convenience wrapper around submit().
+  LaunchResponse call(LaunchRequest request);
+
+  /// The unbatched, uncached reference path: extract features and ask the
+  /// machine's current model directly. Served decisions always equal this
+  /// (for the same model version).
+  std::size_t predictLabel(const std::string& machine,
+                           const runtime::Task& task) const;
+
+  struct RetrainResult {
+    std::uint64_t modelVersion = 0;  ///< cache generation after the bump
+    std::size_t machinesRetrained = 0;
+    std::size_t recordsUsed = 0;  ///< feedback records in the snapshot
+  };
+  /// Refresh every machine's model from the recorded traffic (machines
+  /// without records keep their model), then invalidate the cache.
+  RetrainResult retrain();
+
+  /// Block until every accepted request has been answered.
+  void drain();
+  /// Stop accepting, then drain. Idempotent.
+  void shutdown();
+
+  ServiceStats stats() const;
+
+  const runtime::PartitioningSpace& space(const std::string& machine) const;
+  const ShardedDecisionCache& cache() const noexcept { return *cache_; }
+
+  /// Persist the recorded traffic database as CSV.
+  void saveTraffic(const std::string& path) const;
+
+private:
+  struct PendingRequest;
+  struct MachineState;
+
+  MachineState& state(const std::string& name) const;
+  common::ThreadPool& ensurePool();
+  void workerLoop(MachineState& ms, std::size_t lane);
+  void process(MachineState& ms, std::size_t lane, PendingRequest pending);
+  std::size_t predictWithModel(const MachineState& ms,
+                               const runtime::Task& task) const;
+
+  ServiceConfig config_;
+  std::unique_ptr<ShardedDecisionCache> cache_;
+  std::unique_ptr<FeedbackRecorder> feedback_;  ///< set by first addMachine
+
+  mutable std::mutex machinesMutex_;  ///< guards machines_ map + pool_ init
+  std::map<std::string, std::unique_ptr<MachineState>> machines_;
+
+  mutable std::mutex lifecycleMutex_;
+  std::condition_variable idleCv_;
+  bool accepting_ = true;
+  std::uint64_t inFlight_ = 0;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> maxBatch_{0};
+  std::atomic<std::uint64_t> retrains_{0};
+  LatencyRecorder latency_;
+
+  std::unique_ptr<common::ThreadPool> pool_;  ///< created at first submit
+};
+
+}  // namespace tp::serve

@@ -1,0 +1,40 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace tp::serve {
+
+LatencyRecorder::LatencyRecorder(std::size_t window) : window_(window) {
+  TP_REQUIRE(window > 0, "LatencyRecorder: window must be > 0");
+  ring_.reserve(window);
+}
+
+void LatencyRecorder::add(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < window_) {
+    ring_.push_back(seconds);
+  } else {
+    ring_[next_] = seconds;
+  }
+  next_ = (next_ + 1) % window_;
+  ++count_;
+  sum_ += seconds;
+  max_ = std::max(max_, seconds);
+}
+
+LatencyRecorder::Summary LatencyRecorder::summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Summary s;
+  s.count = count_;
+  if (count_ == 0) return s;
+  s.meanSeconds = sum_ / static_cast<double>(count_);
+  s.maxSeconds = max_;
+  s.p50Seconds = common::percentile(ring_, 50.0);
+  s.p95Seconds = common::percentile(ring_, 95.0);
+  return s;
+}
+
+}  // namespace tp::serve

@@ -1,0 +1,72 @@
+#pragma once
+
+// Service observability: the latency distribution over a sliding window
+// plus the aggregate ServiceStats snapshot returned by
+// PartitionService::stats().
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/cache.hpp"
+
+namespace tp::serve {
+
+/// Thread-safe latency window: the last `window` samples feed the
+/// percentiles; count/mean/max run over every sample ever added.
+class LatencyRecorder {
+public:
+  explicit LatencyRecorder(std::size_t window = 8192);
+
+  void add(double seconds);
+
+  struct Summary {
+    std::uint64_t count = 0;
+    double meanSeconds = 0.0;
+    double maxSeconds = 0.0;
+    double p50Seconds = 0.0;  ///< over the window
+    double p95Seconds = 0.0;
+  };
+  Summary summary() const;
+
+private:
+  mutable std::mutex mutex_;
+  std::size_t window_;
+  std::vector<double> ring_;
+  std::size_t next_ = 0;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Per-device share of simulated busy time on one machine.
+struct DeviceUtilization {
+  std::string device;        ///< device name from the machine config
+  double busySeconds = 0.0;  ///< transfers + kernel time on this device
+  double utilization = 0.0;  ///< busySeconds / sum of request makespans
+};
+
+struct MachineStats {
+  std::string machine;
+  std::uint64_t requests = 0;
+  double makespanSeconds = 0.0;  ///< sum of simulated makespans
+  std::vector<DeviceUtilization> devices;
+};
+
+struct ServiceStats {
+  std::uint64_t requestsSubmitted = 0;
+  std::uint64_t requestsCompleted = 0;
+  std::uint64_t requestsFailed = 0;  ///< completed with an exception
+  std::uint64_t batches = 0;  ///< worker wakeups that drained >= 1 request
+  std::uint64_t maxBatch = 0;  ///< largest single drain observed
+  CacheCounters cache;
+  double cacheHitRate = 0.0;
+  std::uint64_t modelVersion = 0;
+  std::uint64_t retrains = 0;
+  std::uint64_t feedbackRecords = 0;  ///< unique launches measured
+  LatencyRecorder::Summary latency;
+  std::vector<MachineStats> machines;  ///< insertion order
+};
+
+}  // namespace tp::serve

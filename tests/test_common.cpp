@@ -180,6 +180,81 @@ TEST(Csv, TypedAccessorsThrowOnGarbage) {
   EXPECT_THROW(t.columnIndex("missing"), IoError);
 }
 
+TEST(Csv, WrongColumnCountNamesSourceAndLine) {
+  std::istringstream is("a,b\n1,2\n3\n");
+  try {
+    Table::readCsv(is, "traffic.csv");
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("traffic.csv:3"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected 2 columns, got 1"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(Csv, WrongColumnCountDefaultsSourceName) {
+  std::istringstream is("a,b\n1,2,3\n");
+  try {
+    Table::readCsv(is);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("<csv>:2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Csv, UnterminatedQuoteNamesStartLine) {
+  std::istringstream is("a,b\n1,\"open\n");
+  try {
+    Table::readCsv(is, "db.csv");
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("db.csv:2"), std::string::npos) << what;
+    EXPECT_NE(what.find("unterminated"), std::string::npos) << what;
+  }
+}
+
+TEST(Csv, CellParseErrorCarriesRowProvenance) {
+  std::istringstream is("name,value\nok,1.5\nbad,oops\n");
+  const Table t = Table::readCsv(is, "feats.csv");
+  EXPECT_DOUBLE_EQ(t.cellDouble(0, "value"), 1.5);
+  try {
+    t.cellDouble(1, "value");
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("feats.csv:3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Csv, QuotedNewlinesKeepLineNumbersAligned) {
+  // The quoted field spans two physical lines; the row after it must be
+  // reported at its true line number.
+  std::istringstream is("a,b\n\"multi\nline\",2\n3\n");
+  try {
+    Table::readCsv(is, "multi.csv");
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("multi.csv:4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Csv, ProgrammaticRowsHaveNoProvenance) {
+  Table t({"v"});
+  t.addRow({"zzz"});
+  EXPECT_EQ(t.rowLocation(0), "");
+  try {
+    t.cellDouble(0, "v");
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    // No " (source:line)" suffix for rows that never came from CSV.
+    EXPECT_EQ(std::string(e.what()).find(" ("), std::string::npos) << e.what();
+  }
+}
+
 TEST(ThreadPool, ParallelForCoversRange) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(1000);

@@ -1,0 +1,447 @@
+// tp::serve tests: cache key quantization, sharded LRU semantics (capacity,
+// eviction order, versioned invalidation), counter consistency under
+// ThreadPool contention, feedback deduplication, and the PartitionService
+// end to end — batched decisions equal the unbatched predict path, retrain
+// swaps models without deadlock, shutdown drains.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+#include "runtime/compiler.hpp"
+#include "runtime/evaluation.hpp"
+#include "serve/service.hpp"
+#include "sim/machine.hpp"
+
+namespace tp::serve {
+namespace {
+
+// ---- cache ----------------------------------------------------------------
+
+DecisionKey key(ShardedDecisionCache& cache, const std::string& program,
+                std::vector<double> features) {
+  return cache.makeKey("mc2", program, std::move(features));
+}
+
+TEST(RoundSignificant, QuantizesToSignificantDigits) {
+  EXPECT_DOUBLE_EQ(roundSignificant(123456.789, 4), 123500.0);
+  EXPECT_DOUBLE_EQ(roundSignificant(0.000123456, 3), 0.000123);
+  EXPECT_DOUBLE_EQ(roundSignificant(-987.654, 2), -990.0);
+  EXPECT_DOUBLE_EQ(roundSignificant(0.0, 6), 0.0);
+  // digits <= 0 disables rounding.
+  EXPECT_DOUBLE_EQ(roundSignificant(1.23456789, 0), 1.23456789);
+}
+
+TEST(RoundSignificant, SurvivesExtremeMagnitudes) {
+  // Near the double range limits the internal scale can overflow; keys
+  // must stay finite and self-equal (a NaN component never equals itself).
+  for (const double v : {1e-305, -1e-305, 5e-324, 1e308, -1e308}) {
+    const double r = roundSignificant(v, 6);
+    EXPECT_TRUE(std::isfinite(r)) << v;
+    EXPECT_EQ(r, roundSignificant(v, 6)) << v;
+  }
+  ShardedDecisionCache cache(4, 1);
+  const auto tiny = key(cache, "p", {1e-305});
+  cache.insert(tiny, 3);
+  EXPECT_EQ(cache.lookup(tiny).value(), 3u);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.insert(key(cache, "p", {1e-305}), 3);  // same key, no duplicate
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(RoundSignificant, CollapsesJitterAndNormalizesZero) {
+  EXPECT_EQ(roundSignificant(1.0000000001, 6), roundSignificant(1.0, 6));
+  EXPECT_EQ(roundSignificant(1e9 + 1.0, 6), roundSignificant(1e9, 6));
+  // -0.0 and 0.0 must hash identically.
+  EXPECT_FALSE(std::signbit(roundSignificant(-0.0, 6)));
+  // A 1% difference stays distinct.
+  EXPECT_NE(roundSignificant(1.00, 6), roundSignificant(1.01, 6));
+}
+
+TEST(DecisionCache, HitMissAndLruEviction) {
+  ShardedDecisionCache cache(2, 1);
+  const auto a = key(cache, "a", {1.0});
+  const auto b = key(cache, "b", {2.0});
+  const auto c = key(cache, "c", {3.0});
+
+  EXPECT_FALSE(cache.lookup(a).has_value());
+  cache.insert(a, 11);
+  cache.insert(b, 22);
+  EXPECT_EQ(cache.lookup(a).value(), 11u);  // refreshes a: b is now LRU
+  cache.insert(c, 33);                      // evicts b
+  EXPECT_EQ(cache.lookup(a).value(), 11u);
+  EXPECT_FALSE(cache.lookup(b).has_value());
+  EXPECT_EQ(cache.lookup(c).value(), 33u);
+
+  const auto counters = cache.counters();
+  EXPECT_EQ(counters.lookups, 5u);
+  EXPECT_EQ(counters.hits, 3u);
+  EXPECT_EQ(counters.misses, 2u);
+  EXPECT_EQ(counters.insertions, 3u);
+  EXPECT_EQ(counters.evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(DecisionCache, InsertRefreshesExistingEntry) {
+  ShardedDecisionCache cache(4, 1);
+  const auto a = key(cache, "a", {1.0});
+  cache.insert(a, 1);
+  cache.insert(a, 7);  // refresh, not a second entry
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.lookup(a).value(), 7u);
+  EXPECT_EQ(cache.counters().insertions, 1u);
+}
+
+TEST(DecisionCache, CapacityRespectedAcrossShards) {
+  // capacity 10 over 4 shards: per-shard budgets sum to exactly 10.
+  ShardedDecisionCache cache(10, 4);
+  for (int i = 0; i < 200; ++i) {
+    cache.insert(key(cache, "p" + std::to_string(i),
+                     {static_cast<double>(i)}),
+                 static_cast<std::size_t>(i));
+  }
+  EXPECT_LE(cache.size(), 10u);
+  const auto c = cache.counters();
+  EXPECT_EQ(c.insertions - c.evictions - c.invalidations, cache.size());
+}
+
+TEST(DecisionCache, ShardCountClampedToCapacity) {
+  ShardedDecisionCache cache(3, 64);
+  EXPECT_EQ(cache.numShards(), 3u);
+  EXPECT_EQ(cache.capacity(), 3u);
+}
+
+TEST(DecisionCache, QuantizedKeysCollapseJitter) {
+  ShardedDecisionCache cache(8, 2, 6);
+  const auto exact = key(cache, "p", {1048576.0, 64.0, 4194304.0});
+  const auto jittered =
+      key(cache, "p", {1048576.0 * (1.0 + 1e-12), 64.0, 4194304.0 + 1e-6});
+  EXPECT_EQ(exact, jittered);
+  const auto different = key(cache, "p", {2097152.0, 64.0, 4194304.0});
+  EXPECT_FALSE(exact == different);
+
+  cache.insert(exact, 5);
+  EXPECT_EQ(cache.lookup(jittered).value(), 5u);
+  EXPECT_FALSE(cache.lookup(different).has_value());
+}
+
+TEST(DecisionCache, VersionBumpInvalidatesAndDropsStaleInserts) {
+  ShardedDecisionCache cache(8, 2);
+  const auto stale = key(cache, "p", {1.0});
+  cache.insert(stale, 5);
+  EXPECT_EQ(cache.size(), 1u);
+
+  const auto v = cache.bumpVersion();
+  EXPECT_EQ(v, cache.version());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_GE(cache.counters().invalidations, 1u);
+
+  // A key stamped before the bump can neither hit nor pollute the cache.
+  EXPECT_FALSE(cache.lookup(stale).has_value());
+  cache.insert(stale, 9);
+  EXPECT_EQ(cache.size(), 0u);
+
+  const auto fresh = key(cache, "p", {1.0});
+  EXPECT_EQ(fresh.modelVersion, v);
+  cache.insert(fresh, 9);
+  EXPECT_EQ(cache.lookup(fresh).value(), 9u);
+}
+
+TEST(DecisionCache, ContentionKeepsCountersAndCapacityConsistent) {
+  // Hammer the sharded LRU from ThreadPool workers: 64-entry cache, 300
+  // distinct keys, 20k mixed lookup/insert operations.
+  ShardedDecisionCache cache(64, 8);
+  common::ThreadPool pool(8);
+  constexpr std::size_t kOps = 20000;
+  constexpr std::size_t kDistinct = 300;
+  std::atomic<std::uint64_t> wrongValues{0};
+
+  pool.parallelFor(0, kOps, [&](std::size_t i) {
+    const std::size_t k = (i * 2654435761u) % kDistinct;
+    const auto dk = cache.makeKey("mc1", "p" + std::to_string(k),
+                                  {static_cast<double>(k), 64.0});
+    if (const auto hit = cache.lookup(dk)) {
+      // Values are a pure function of the key, so hits can never be wrong.
+      if (*hit != k) wrongValues.fetch_add(1);
+    } else {
+      cache.insert(dk, k);
+    }
+  });
+  pool.waitIdle();
+
+  EXPECT_EQ(wrongValues.load(), 0u);
+  EXPECT_LE(cache.size(), 64u);
+  const auto c = cache.counters();
+  EXPECT_EQ(c.lookups, kOps);
+  EXPECT_EQ(c.hits + c.misses, c.lookups);
+  EXPECT_EQ(c.insertions - c.evictions - c.invalidations, cache.size());
+}
+
+TEST(DecisionCache, ContentionWithConcurrentInvalidation) {
+  ShardedDecisionCache cache(32, 4);
+  common::ThreadPool pool(8);
+  pool.parallelFor(0, 10000, [&](std::size_t i) {
+    if (i % 2500 == 0) {
+      cache.bumpVersion();
+      return;
+    }
+    const std::size_t k = i % 90;
+    const auto dk = cache.makeKey("mc2", "p" + std::to_string(k),
+                                  {static_cast<double>(k)});
+    if (!cache.lookup(dk).has_value()) cache.insert(dk, k);
+  });
+  pool.waitIdle();
+
+  EXPECT_LE(cache.size(), 32u);
+  const auto c = cache.counters();
+  EXPECT_EQ(c.hits + c.misses, c.lookups);
+  EXPECT_EQ(c.insertions - c.evictions - c.invalidations, cache.size());
+}
+
+// ---- service --------------------------------------------------------------
+
+const char* kScaleSrc = R"(
+__kernel void scale(__global const float* in, __global float* out, int K) {
+  int i = get_global_id(0);
+  float x = in[i];
+  float acc = 0.0f;
+  for (int k = 0; k < K; k++) {
+    acc += x * 1.0001f;
+  }
+  out[i] = acc;
+}
+)";
+
+runtime::Task makeScaleTask(std::size_t n, int k) {
+  static const runtime::CompiledKernel compiled =
+      runtime::CompiledKernel::compile(kScaleSrc);
+  auto in = std::make_shared<vcl::Buffer>(vcl::ElemKind::F32, n);
+  auto out = std::make_shared<vcl::Buffer>(vcl::ElemKind::F32, n);
+  return runtime::TaskBuilder(compiled, "scale")
+      .global(n)
+      .local(64)
+      .arg(in)
+      .arg(out)
+      .arg(k)
+      .build();
+}
+
+/// A service over mc2 with a decision-tree model trained on a small sweep
+/// of scale tasks, plus the tasks themselves for traffic.
+struct ServiceFixture {
+  std::vector<runtime::Task> tasks;
+  sim::MachineConfig machine = sim::makeMc2();
+  std::unique_ptr<PartitionService> service;
+
+  explicit ServiceFixture(ServiceConfig config = {}) {
+    const runtime::PartitioningSpace space(machine.numDevices(),
+                                           config.divisions);
+    auto db = runtime::FeatureDatabase::withDefaultSchema(space.size());
+    for (const std::size_t n : {1u << 12, 1u << 16, 1u << 20}) {
+      for (const int k : {10, 2000}) {
+        runtime::Task task = makeScaleTask(n, k);
+        db.add(runtime::measureLaunch(task, machine, space,
+                                      "n=" + std::to_string(n)));
+        tasks.push_back(std::move(task));
+      }
+    }
+    service = std::make_unique<PartitionService>(config);
+    service->addMachine(
+        machine, std::shared_ptr<const ml::Classifier>(
+                     runtime::trainDeploymentModel(db, machine.name, "tree")));
+  }
+
+  LaunchRequest request(std::size_t t) const {
+    LaunchRequest r;
+    r.machine = machine.name;
+    r.task = tasks[t % tasks.size()];
+    return r;
+  }
+};
+
+TEST(PartitionService, ServesAndMatchesUnbatchedPath) {
+  ServiceFixture fx;
+  for (std::size_t t = 0; t < fx.tasks.size(); ++t) {
+    const auto expected =
+        fx.service->predictLabel(fx.machine.name, fx.tasks[t]);
+    const auto response = fx.service->call(fx.request(t));
+    EXPECT_EQ(response.label, expected);
+    EXPECT_FALSE(response.cacheHit);  // first sighting of each launch
+    EXPECT_EQ(response.partitioning, fx.service->space(fx.machine.name)
+                                         .at(response.label));
+    EXPECT_GT(response.execution.makespan, 0.0);
+
+    const auto again = fx.service->call(fx.request(t));
+    EXPECT_TRUE(again.cacheHit);
+    EXPECT_EQ(again.label, expected);
+    EXPECT_DOUBLE_EQ(again.execution.makespan, response.execution.makespan);
+  }
+}
+
+TEST(PartitionService, ConcurrentClientsGetConsistentDecisions) {
+  ServiceConfig config;
+  config.lanesPerMachine = 3;
+  ServiceFixture fx(config);
+
+  std::vector<std::size_t> expected;
+  for (const auto& task : fx.tasks) {
+    expected.push_back(fx.service->predictLabel(fx.machine.name, task));
+  }
+
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kRequests = 50;
+  std::atomic<std::uint64_t> mismatches{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t r = 0; r < kRequests; ++r) {
+        const std::size_t t = (c * kRequests + r) % fx.tasks.size();
+        const auto response = fx.service->submit(fx.request(t)).get();
+        if (response.label != expected[t]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  const auto stats = fx.service->stats();
+  EXPECT_EQ(stats.requestsSubmitted, kClients * kRequests);
+  EXPECT_EQ(stats.requestsCompleted, kClients * kRequests);
+  EXPECT_EQ(stats.requestsFailed, 0u);
+  EXPECT_GT(stats.cacheHitRate, 0.5);
+  EXPECT_EQ(stats.cache.hits + stats.cache.misses, stats.cache.lookups);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_GE(stats.maxBatch, 1u);
+  EXPECT_EQ(stats.latency.count, kClients * kRequests);
+  EXPECT_LE(stats.latency.p50Seconds, stats.latency.p95Seconds);
+  // Feedback deduplicates to the distinct launches.
+  EXPECT_EQ(stats.feedbackRecords, fx.tasks.size());
+  ASSERT_EQ(stats.machines.size(), 1u);
+  EXPECT_EQ(stats.machines[0].requests, kClients * kRequests);
+  EXPECT_GT(stats.machines[0].makespanSeconds, 0.0);
+}
+
+TEST(PartitionService, RetrainSwapsModelAndInvalidatesCache) {
+  ServiceFixture fx;
+  for (std::size_t t = 0; t < fx.tasks.size(); ++t) {
+    (void)fx.service->call(fx.request(t));
+  }
+  const auto before = fx.service->stats();
+  EXPECT_EQ(before.modelVersion, 0u);
+  EXPECT_EQ(before.feedbackRecords, fx.tasks.size());
+
+  const auto result = fx.service->retrain();
+  EXPECT_EQ(result.machinesRetrained, 1u);
+  EXPECT_EQ(result.recordsUsed, fx.tasks.size());
+  EXPECT_EQ(result.modelVersion, 1u);
+
+  // Post-retrain decisions must again equal the unbatched path through
+  // the swapped-in model, and the first sighting of each launch must miss
+  // the invalidated cache.
+  for (std::size_t t = 0; t < fx.tasks.size(); ++t) {
+    const auto response = fx.service->call(fx.request(t));
+    EXPECT_FALSE(response.cacheHit);  // cache was invalidated
+    EXPECT_EQ(response.modelVersion, result.modelVersion);
+    EXPECT_EQ(response.label,
+              fx.service->predictLabel(fx.machine.name, fx.tasks[t]));
+  }
+  const auto after = fx.service->stats();
+  EXPECT_EQ(after.retrains, 1u);
+  EXPECT_EQ(after.modelVersion, 1u);
+  EXPECT_EQ(after.requestsFailed, 0u);
+  EXPECT_EQ(after.cache.hits + after.cache.misses, after.cache.lookups);
+}
+
+TEST(PartitionService, RetrainUnderLiveTrafficDoesNotDeadlock) {
+  ServiceConfig config;
+  config.lanesPerMachine = 2;
+  ServiceFixture fx(config);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      std::size_t t = c;
+      while (!stop.load()) {
+        (void)fx.service->submit(fx.request(t++)).get();
+      }
+    });
+  }
+  for (int i = 0; i < 5; ++i) {
+    (void)fx.service->retrain();
+  }
+  stop.store(true);
+  for (auto& c : clients) c.join();
+  fx.service->drain();
+
+  const auto stats = fx.service->stats();
+  EXPECT_EQ(stats.retrains, 5u);
+  EXPECT_EQ(stats.modelVersion, 5u);
+  EXPECT_EQ(stats.requestsCompleted, stats.requestsSubmitted);
+  EXPECT_EQ(stats.requestsFailed, 0u);
+  EXPECT_EQ(stats.cache.hits + stats.cache.misses, stats.cache.lookups);
+}
+
+TEST(PartitionService, ShutdownDrainsAndRejectsNewWork) {
+  ServiceFixture fx;
+  std::vector<std::future<LaunchResponse>> futures;
+  for (std::size_t t = 0; t < 20; ++t) {
+    futures.push_back(fx.service->submit(fx.request(t)));
+  }
+  fx.service->shutdown();
+  for (auto& f : futures) {
+    EXPECT_GT(f.get().execution.makespan, 0.0);  // all answered
+  }
+  EXPECT_THROW(fx.service->submit(fx.request(0)), Error);
+  fx.service->shutdown();  // idempotent
+  const auto stats = fx.service->stats();
+  EXPECT_EQ(stats.requestsCompleted, 20u);
+}
+
+TEST(PartitionService, RejectsUnknownMachineAndBadConfig) {
+  ServiceFixture fx;
+  LaunchRequest request;
+  request.machine = "mc9";
+  request.task = fx.tasks[0];
+  EXPECT_THROW(fx.service->submit(std::move(request)), Error);
+  EXPECT_THROW(fx.service->space("mc9"), Error);
+  EXPECT_THROW(
+      fx.service->addMachine(fx.machine, std::shared_ptr<ml::Classifier>()),
+      Error);
+  // Re-registering the same machine is rejected.
+  EXPECT_THROW(fx.service->addMachine(
+                   fx.machine, std::shared_ptr<const ml::Classifier>(
+                                   ml::makeClassifier("mostfreq"))),
+               Error);
+  // Machines must be registered before traffic starts: the worker pool is
+  // sized to the lanes that exist at the first submit().
+  (void)fx.service->call(fx.request(0));
+  EXPECT_THROW(fx.service->addMachine(
+                   sim::makeMc1(), std::shared_ptr<const ml::Classifier>(
+                                       ml::makeClassifier("mostfreq"))),
+               Error);
+}
+
+TEST(PartitionService, FeedbackRecorderDeduplicates) {
+  const auto machine = sim::makeMc2();
+  const runtime::PartitioningSpace space(machine.numDevices(), 10);
+  FeedbackRecorder recorder(space.size());
+  const runtime::Task small = makeScaleTask(1 << 12, 10);
+  const runtime::Task large = makeScaleTask(1 << 16, 10);
+
+  EXPECT_TRUE(recorder.record(small, machine, space, "n=4096"));
+  EXPECT_FALSE(recorder.record(small, machine, space, "n=4096"));
+  EXPECT_TRUE(recorder.record(large, machine, space, "n=65536"));
+  EXPECT_EQ(recorder.size(), 2u);
+
+  const auto db = recorder.snapshot();
+  ASSERT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.records()[0].machine, machine.name);
+  EXPECT_EQ(db.records()[0].times.size(), space.size());
+}
+
+}  // namespace
+}  // namespace tp::serve
