@@ -1,10 +1,12 @@
 #!/usr/bin/env sh
-# Build and run the serving benchmark, writing its headline numbers to
-# BENCH_serve.json in the repo root so the repo accumulates a perf
-# trajectory across PRs. Extra arguments pass through to the driver
-# (e.g. ./scripts/bench.sh --requests 20000 --threads 16).
+# Build and run the serving benchmarks, writing their headline numbers to
+# BENCH_serve.json / BENCH_adapt.json in the repo root so the repo
+# accumulates a perf trajectory across PRs. Extra arguments pass through
+# to the serve_throughput driver (e.g. ./scripts/bench.sh --requests
+# 20000 --threads 16); adapt_convergence runs with its defaults.
 set -eux
 cd "$(dirname "$0")/.."
 cmake -B build -S .
-cmake --build build -j "$(nproc)" --target serve_throughput
+cmake --build build -j "$(nproc)" --target serve_throughput adapt_convergence
 ./build/bench/serve_throughput --json BENCH_serve.json "$@"
+./build/bench/adapt_convergence --json BENCH_adapt.json

@@ -1,0 +1,265 @@
+#include "adapt/refiner.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+
+namespace tp::adapt {
+
+namespace {
+
+std::uint64_t hashKey(const RefineKey& k) {
+  std::uint64_t h = common::kFnvOffset;
+  h = common::fnvBytes(h, k.machine.data(), k.machine.size());
+  h = common::fnvU64(h, 0x1full);  // field separator
+  h = common::fnvBytes(h, k.program.data(), k.program.size());
+  for (const double f : k.signature) {
+    h = common::fnvU64(h, std::bit_cast<std::uint64_t>(f));
+  }
+  return h;
+}
+
+}  // namespace
+
+std::size_t RefineKeyHash::operator()(const RefineKey& k) const noexcept {
+  return static_cast<std::size_t>(hashKey(k));
+}
+
+struct Refiner::Shard {
+  mutable std::mutex mutex;
+  std::unordered_map<RefineKey, Entry, RefineKeyHash> entries;
+  common::Rng rng;
+  RefinerCounters counters;
+};
+
+Refiner::Refiner(RefinerConfig config) : config_(config) {
+  TP_REQUIRE(config_.exploreFraction >= 0.0 && config_.exploreFraction <= 1.0,
+             "Refiner: exploreFraction must be in [0, 1], got "
+                 << config_.exploreFraction);
+  TP_REQUIRE(config_.numShards > 0, "Refiner: numShards must be > 0");
+  TP_REQUIRE(config_.maxArms >= 2,
+             "Refiner: maxArms must be >= 2 (baseline + one neighbor)");
+  TP_REQUIRE(config_.minSamples >= 1, "Refiner: minSamples must be >= 1");
+  const std::size_t shards = std::min(config_.numShards,
+                                      std::max<std::size_t>(1, config_.maxKeys));
+  maxKeysPerShard_ =
+      std::max<std::size_t>(1, (config_.maxKeys + shards - 1) / shards);
+  shards_ = std::vector<Shard>(shards);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].rng.reseed(config_.seed + 0x9E3779B9u * (s + 1));
+  }
+}
+
+Refiner::~Refiner() = default;
+
+Refiner::Shard& Refiner::shardFor(const RefineKey& key) const {
+  return shards_[hashKey(key) % shards_.size()];
+}
+
+void Refiner::resetEntry(Entry& entry, std::uint64_t modelVersion,
+                         std::size_t baseLabel,
+                         const runtime::PartitioningSpace& space) const {
+  entry.modelVersion = modelVersion;
+  entry.baseLabel = baseLabel;
+  entry.incumbent = 0;
+  entry.arms.clear();
+  entry.arms.push_back(Arm{baseLabel, 0, 0.0});
+  for (const std::size_t n :
+       space.neighbors(baseLabel, config_.neighborRadius)) {
+    if (entry.arms.size() >= config_.maxArms) break;
+    entry.arms.push_back(Arm{n, 0, 0.0});
+  }
+}
+
+void Refiner::recenter(Entry& entry,
+                       const runtime::PartitioningSpace& space) const {
+  // Extend the candidate set with the new incumbent's neighborhood so the
+  // search keeps walking downhill, without forgetting measured history.
+  const std::size_t center = entry.arms[entry.incumbent].label;
+  for (const std::size_t n : space.neighbors(center, config_.neighborRadius)) {
+    if (entry.arms.size() >= config_.maxArms) break;
+    const bool known =
+        std::any_of(entry.arms.begin(), entry.arms.end(),
+                    [&](const Arm& a) { return a.label == n; });
+    if (!known) entry.arms.push_back(Arm{n, 0, 0.0});
+  }
+}
+
+RefineDecision Refiner::decide(const RefineKey& key,
+                               std::uint64_t modelVersion,
+                               std::size_t baseLabel,
+                               const runtime::PartitioningSpace& space) {
+  Shard& shard = shardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.counters.decisions;
+
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    if (shard.entries.size() >= maxKeysPerShard_) {
+      // Reclaim before refusing: entries of superseded generations are
+      // dead weight (their history decays on next sight anyway), and
+      // without this sweep a long-running service whose traffic mix
+      // shifts would permanently stop refining new signatures.
+      for (auto e = shard.entries.begin(); e != shard.entries.end();) {
+        if (e->second.modelVersion < modelVersion) {
+          e = shard.entries.erase(e);
+        } else {
+          ++e;
+        }
+      }
+    }
+    if (shard.entries.size() >= maxKeysPerShard_) {
+      ++shard.counters.untracked;
+      return RefineDecision{baseLabel, false, false};
+    }
+    it = shard.entries.emplace(key, Entry{}).first;
+    resetEntry(it->second, modelVersion, baseLabel, space);
+  } else if (modelVersion > it->second.modelVersion) {
+    // The model was retrained: its new prediction supersedes everything
+    // this entry learned about the old one. Decay back and start over.
+    resetEntry(it->second, modelVersion, baseLabel, space);
+    ++shard.counters.resets;
+  } else if (modelVersion < it->second.modelVersion) {
+    // A lagging request stamped before the retrain: it must not reset
+    // the entry *backward* and wipe post-retrain learning. Serve its own
+    // baseline unrefined.
+    ++shard.counters.untracked;
+    return RefineDecision{baseLabel, false, false};
+  }
+  Entry& entry = it->second;
+
+  RefineDecision decision;
+  const Arm& best = entry.arms[entry.incumbent];
+  // Measure the baseline before probing anything: an unmeasured incumbent
+  // cannot be compared against.
+  const bool baselineMeasured = best.count > 0;
+  if (baselineMeasured && shard.rng.uniform() < config_.exploreFraction) {
+    // Probe the least-measured candidate (ties to the earliest arm, so
+    // probing order is deterministic given the explore draw).
+    std::size_t probe = 0;
+    for (std::size_t a = 1; a < entry.arms.size(); ++a) {
+      if (entry.arms[a].count < entry.arms[probe].count) probe = a;
+    }
+    decision.label = entry.arms[probe].label;
+    decision.explore = true;
+    ++shard.counters.explorations;
+  } else {
+    decision.label = best.label;
+    ++shard.counters.exploitations;
+  }
+  // "Refined" is measured against the model-side label the entry was
+  // seeded with, not the passed-in baseline: once a win is written back
+  // into the decision cache, the caller's baseline *is* the refined label
+  // and comparing against it would under-report.
+  decision.refined = decision.label != entry.baseLabel;
+  return decision;
+}
+
+Observation Refiner::observe(const RefineKey& key, std::uint64_t modelVersion,
+                             std::size_t label, double seconds,
+                             const runtime::PartitioningSpace& space) {
+  Shard& shard = shardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+
+  Observation obs;
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end() || it->second.modelVersion != modelVersion) {
+    ++shard.counters.staleObservations;
+    return obs;
+  }
+  Entry& entry = it->second;
+  obs.tracked = true;
+  const auto arm = std::find_if(entry.arms.begin(), entry.arms.end(),
+                                [&](const Arm& a) { return a.label == label; });
+  if (arm == entry.arms.end()) {
+    // A label outside the tracked neighborhood (e.g. served while the
+    // entry was being re-seeded): nothing to learn against, but the
+    // entry's incumbent is still valid for the caller.
+    ++shard.counters.staleObservations;
+    obs.bestLabel = entry.arms[entry.incumbent].label;
+    obs.bestSeconds = entry.arms[entry.incumbent].meanSeconds;
+    return obs;
+  }
+  ++shard.counters.observations;
+  ++arm->count;
+  arm->meanSeconds +=
+      (seconds - arm->meanSeconds) / static_cast<double>(arm->count);
+
+  // Re-elect the incumbent among sufficiently-measured arms. The baseline
+  // arm only needs one sample (it is what serving falls back to anyway).
+  const std::size_t before = entry.incumbent;
+  std::size_t bestArm = entry.incumbent;
+  double bestMean = entry.arms[bestArm].count > 0
+                        ? entry.arms[bestArm].meanSeconds
+                        : std::numeric_limits<double>::infinity();
+  for (std::size_t a = 0; a < entry.arms.size(); ++a) {
+    const Arm& c = entry.arms[a];
+    if (c.count == 0) continue;
+    if (a != entry.incumbent && c.count < config_.minSamples) continue;
+    if (c.meanSeconds < bestMean * (1.0 - config_.minImprovement)) {
+      bestArm = a;
+      bestMean = c.meanSeconds;
+    }
+  }
+  if (bestArm != before) {
+    entry.incumbent = bestArm;
+    ++shard.counters.wins;
+    obs.improved = true;
+    recenter(entry, space);
+  }
+  obs.bestLabel = entry.arms[entry.incumbent].label;
+  obs.bestSeconds = entry.arms[entry.incumbent].meanSeconds;
+  return obs;
+}
+
+Refiner::Incumbent Refiner::incumbent(const RefineKey& key,
+                                      std::uint64_t modelVersion) const {
+  Shard& shard = shardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  Incumbent out;
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end() || it->second.modelVersion != modelVersion) {
+    return out;
+  }
+  const Entry& entry = it->second;
+  out.tracked = true;
+  out.label = entry.arms[entry.incumbent].label;
+  out.meanSeconds = entry.arms[entry.incumbent].meanSeconds;
+  for (const Arm& a : entry.arms) {
+    if (a.count > 0) ++out.armsMeasured;
+  }
+  return out;
+}
+
+std::size_t Refiner::trackedKeys() const {
+  std::size_t total = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+RefinerCounters Refiner::counters() const {
+  RefinerCounters total;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total.decisions += shard.counters.decisions;
+    total.explorations += shard.counters.explorations;
+    total.exploitations += shard.counters.exploitations;
+    total.observations += shard.counters.observations;
+    total.wins += shard.counters.wins;
+    total.resets += shard.counters.resets;
+    total.staleObservations += shard.counters.staleObservations;
+    total.untracked += shard.counters.untracked;
+  }
+  return total;
+}
+
+}  // namespace tp::adapt

@@ -1,0 +1,160 @@
+#pragma once
+
+// Online partition refinement — the closed half of the feedback loop.
+//
+// The deployed model predicts one partitioning per launch; the paper's
+// premise is that the best split is problem-size sensitive, and a model
+// trained offline is only as good as the traffic it saw. The Refiner
+// hill-climbs around the model's prediction at serving time: per
+// (machine, program, rounded launch-signature) key it keeps a small
+// measured-performance history over the prediction and its partitioning
+// neighborhood (PartitioningSpace::neighbors), spends a configurable
+// epsilon fraction of warm traffic probing the least-measured candidate,
+// and immediately exploits any measured win. When the incumbent moves,
+// the neighborhood re-centers on it (bounded by maxArms), so repeated
+// traffic walks downhill toward a local optimum of the *measured*
+// execution time — the service gets faster the longer it runs.
+//
+// A retrain() bumps the model version; the next decision under the new
+// version discards the key's history and decays back to the fresh model
+// prediction (the new model already learned from the recorded traffic,
+// including every explored win).
+//
+// Thread-safe: state is sharded, each shard independently mutex-guarded,
+// exploration draws from a per-shard deterministic Rng.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/partitioning.hpp"
+
+namespace tp::adapt {
+
+/// Identity of a refinable decision: everything the cache key carries
+/// except the model version (history must survive until the version
+/// change is *seen*, so the decay is observable and countable).
+struct RefineKey {
+  std::string machine;
+  std::string program;
+  std::vector<double> signature;  ///< quantized launch signature
+
+  bool operator==(const RefineKey& o) const = default;
+};
+
+struct RefineKeyHash {
+  std::size_t operator()(const RefineKey& k) const noexcept;
+};
+
+struct RefinerConfig {
+  /// Fraction of decisions (per key, after the baseline is measured) spent
+  /// probing the least-measured candidate instead of exploiting.
+  double exploreFraction = 0.15;
+  /// Units moved per neighborhood step (PartitioningSpace::neighbors).
+  int neighborRadius = 1;
+  /// Observations of a candidate before its mean may unseat the incumbent.
+  std::size_t minSamples = 1;
+  /// Relative improvement over the incumbent mean required to adopt a win
+  /// (guards against measurement jitter promoting noise).
+  double minImprovement = 1e-3;
+  /// Candidate-arm bound per key as the neighborhood re-centers.
+  std::size_t maxArms = 24;
+  /// Tracked-key bound (new keys beyond it serve unrefined).
+  std::size_t maxKeys = 4096;
+  std::size_t numShards = 16;
+  std::uint64_t seed = 0x5EEDu;
+};
+
+struct RefineDecision {
+  std::size_t label = 0;
+  bool explore = false;  ///< probing: bypasses the decision cache
+  bool refined = false;  ///< label differs from the model's prediction
+};
+
+struct Observation {
+  bool improved = false;     ///< this measurement moved the incumbent
+  bool tracked = false;      ///< bestLabel/bestSeconds are meaningful
+  std::size_t bestLabel = 0; ///< current incumbent for the key
+  double bestSeconds = 0.0;  ///< its mean measured time
+};
+
+/// Monotonic event counters, aggregated across shards by counters().
+struct RefinerCounters {
+  std::uint64_t decisions = 0;
+  std::uint64_t explorations = 0;   ///< probe decisions issued
+  std::uint64_t exploitations = 0;  ///< incumbent decisions issued
+  std::uint64_t observations = 0;   ///< measurements accepted
+  std::uint64_t wins = 0;           ///< incumbent moved to a better label
+  std::uint64_t resets = 0;         ///< version decays back to the model
+  std::uint64_t staleObservations = 0;  ///< dropped: version/key mismatch
+  /// Decisions served unrefined: key capacity reached, or the request
+  /// was stamped with a version the key has already moved past.
+  std::uint64_t untracked = 0;
+};
+
+class Refiner {
+public:
+  explicit Refiner(RefinerConfig config = {});
+  ~Refiner();  ///< out-of-line: Shard is incomplete here
+
+  Refiner(const Refiner&) = delete;
+  Refiner& operator=(const Refiner&) = delete;
+
+  /// Choose the label to serve for this launch. `baseLabel` is the label
+  /// serving would use without refinement (cached decision or a fresh
+  /// model prediction); `modelVersion` is the generation that produced
+  /// it. The first decision for a key always exploits the baseline so the
+  /// incumbent is measured before any probe.
+  RefineDecision decide(const RefineKey& key, std::uint64_t modelVersion,
+                        std::size_t baseLabel,
+                        const runtime::PartitioningSpace& space);
+
+  /// Feed back the measured execution time of a served decision. Returns
+  /// whether the measurement moved the incumbent (callers write wins back
+  /// into their decision cache); on a win the candidate set re-centers on
+  /// the new incumbent's neighborhood in `space`. Measurements stamped
+  /// with a version the key has moved past are dropped.
+  Observation observe(const RefineKey& key, std::uint64_t modelVersion,
+                      std::size_t label, double seconds,
+                      const runtime::PartitioningSpace& space);
+
+  /// Current incumbent for a key, if tracked at this version.
+  /// (Test/introspection surface.)
+  struct Incumbent {
+    bool tracked = false;
+    std::size_t label = 0;
+    double meanSeconds = 0.0;
+    std::size_t armsMeasured = 0;
+  };
+  Incumbent incumbent(const RefineKey& key, std::uint64_t modelVersion) const;
+
+  std::size_t trackedKeys() const;
+  RefinerCounters counters() const;
+  const RefinerConfig& config() const noexcept { return config_; }
+
+private:
+  struct Arm {
+    std::size_t label = 0;
+    std::uint64_t count = 0;
+    double meanSeconds = 0.0;
+  };
+  struct Entry {
+    std::uint64_t modelVersion = 0;
+    std::size_t baseLabel = 0;   ///< the model-side label at this version
+    std::size_t incumbent = 0;   ///< arms index of the current best
+    std::vector<Arm> arms;       ///< baseline + (re-centered) neighborhood
+  };
+  struct Shard;
+
+  Shard& shardFor(const RefineKey& key) const;
+  void resetEntry(Entry& entry, std::uint64_t modelVersion,
+                  std::size_t baseLabel,
+                  const runtime::PartitioningSpace& space) const;
+  void recenter(Entry& entry, const runtime::PartitioningSpace& space) const;
+
+  RefinerConfig config_;
+  std::size_t maxKeysPerShard_ = 0;
+  mutable std::vector<Shard> shards_;
+};
+
+}  // namespace tp::adapt

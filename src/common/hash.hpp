@@ -1,0 +1,29 @@
+#pragma once
+
+// FNV-1a hashing primitives, shared by the key hashers (serve's decision
+// cache, adapt's refine keys) so hash constants and byte-folding logic
+// live in exactly one place.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tp::common {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline std::uint64_t fnvBytes(std::uint64_t h, const void* data,
+                              std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnvU64(std::uint64_t h, std::uint64_t v) {
+  return fnvBytes(h, &v, sizeof(v));
+}
+
+}  // namespace tp::common

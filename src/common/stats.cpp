@@ -39,7 +39,12 @@ double percentile(std::vector<double> xs, double p) {
   TP_ASSERT(p >= 0.0 && p <= 100.0);
   std::sort(xs.begin(), xs.end());
   if (xs.size() == 1) return xs[0];
-  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  // Multiply before dividing: p/100 is not exactly representable for most
+  // p (e.g. 0.95), and `p / 100.0 * (n-1)` lands a hair *below* integer
+  // ranks — p95 of 21 samples interpolated between ranks 18 and 19
+  // instead of returning xs[19] exactly. p * (n-1) / 100 is exact
+  // whenever p*(n-1) is a multiple of 100.
+  const double rank = p * static_cast<double>(xs.size() - 1) / 100.0;
   const auto lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, xs.size() - 1);
   const double frac = rank - static_cast<double>(lo);

@@ -1,5 +1,6 @@
 #include "ml/normalizer.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <istream>
 #include <ostream>
@@ -33,7 +34,17 @@ void Normalizer::fit(const std::vector<std::vector<double>>& X) {
   }
   for (std::size_t j = 0; j < d; ++j) {
     const double stddev = std::sqrt(var[j] / static_cast<double>(X.size()));
-    inverseStd_[j] = stddev > 1e-12 ? 1.0 / stddev : 0.0;  // constant feature
+    // Degenerate columns: a constant feature has stddev 0, and a
+    // *near*-constant one has a stddev that is pure floating-point
+    // rounding noise — inverting it would produce a ~1e12 scale factor
+    // that amplifies jitter into huge standardized values downstream
+    // (distance blow-ups in kNN, saturated/overflowing MLP activations).
+    // The threshold is relative to the column's compressed magnitude so
+    // large-valued constant columns are caught too; such columns carry no
+    // signal and map to exactly 0.
+    const double noiseFloor = 1e-9 * std::max(1.0, std::fabs(mean_[j]));
+    inverseStd_[j] =
+        std::isfinite(stddev) && stddev > noiseFloor ? 1.0 / stddev : 0.0;
   }
 }
 
@@ -75,6 +86,10 @@ void Normalizer::load(std::istream& is) {
   inverseStd_.assign(d, 0.0);
   for (std::size_t j = 0; j < d; ++j) is >> mean_[j] >> inverseStd_[j];
   TP_REQUIRE(static_cast<bool>(is), "truncated normalizer data");
+  for (std::size_t j = 0; j < d; ++j) {
+    TP_REQUIRE(std::isfinite(mean_[j]) && std::isfinite(inverseStd_[j]),
+               "normalizer: non-finite parameters for feature " << j);
+  }
 }
 
 }  // namespace tp::ml

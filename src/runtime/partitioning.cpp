@@ -1,5 +1,6 @@
 #include "runtime/partitioning.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -40,6 +41,48 @@ std::string Partitioning::toString() const {
   return os.str();
 }
 
+std::vector<std::size_t> apportion(std::size_t total, const Partitioning& p) {
+  const std::size_t n = p.numDevices();
+  std::vector<std::size_t> counts(n, 0);
+  if (total == 0) return counts;
+
+  // Denominator is the actual unit sum, so the result is exact even for
+  // hand-built partitionings whose units do not sum to `divisions`.
+  std::size_t unitSum = 0;
+  for (const int u : p.units) {
+    TP_REQUIRE(u >= 0, "apportion: negative unit share");
+    unitSum += static_cast<std::size_t>(u);
+  }
+  TP_REQUIRE(unitSum > 0, "apportion: partitioning assigns no work");
+
+  // Largest-remainder in integer arithmetic: floor(total * units / sum)
+  // per device, then hand the < n leftover items to the active devices
+  // with the largest remainders (stable sort: ties to lower index).
+  std::vector<std::size_t> remainder(n, 0);
+  std::size_t assigned = 0;
+  for (std::size_t d = 0; d < n; ++d) {
+    const std::size_t scaled = total * static_cast<std::size_t>(p.units[d]);
+    counts[d] = scaled / unitSum;
+    remainder[d] = scaled % unitSum;
+    assigned += counts[d];
+  }
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    if (p.units[d] > 0) order.push_back(d);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return remainder[a] > remainder[b];
+                   });
+  // sum(remainder) == (total - assigned) * unitSum, so the leftover count
+  // is at most the number of active devices: one pass suffices.
+  std::size_t leftover = total - assigned;
+  TP_ASSERT(leftover <= order.size());
+  for (std::size_t k = 0; k < leftover; ++k) ++counts[order[k]];
+  return counts;
+}
+
 PartitioningSpace::PartitioningSpace(std::size_t numDevices, int divisions)
     : numDevices_(numDevices), divisions_(divisions) {
   TP_REQUIRE(numDevices >= 1, "PartitioningSpace: need at least one device");
@@ -60,6 +103,9 @@ PartitioningSpace::PartitioningSpace(std::size_t numDevices, int divisions)
     }
   };
   enumerate(enumerate, 0, divisions);
+  for (std::size_t i = 0; i < all_.size(); ++i) {
+    index_.emplace(all_[i].units, i);
+  }
 }
 
 const Partitioning& PartitioningSpace::at(std::size_t index) const {
@@ -69,8 +115,9 @@ const Partitioning& PartitioningSpace::at(std::size_t index) const {
 }
 
 std::size_t PartitioningSpace::indexOf(const Partitioning& p) const {
-  for (std::size_t i = 0; i < all_.size(); ++i) {
-    if (all_[i] == p) return i;
+  if (p.divisions == divisions_) {
+    const auto it = index_.find(p.units);
+    if (it != index_.end()) return it->second;
   }
   TP_THROW("partitioning " << p.toString() << " not in space");
 }
@@ -99,6 +146,29 @@ PartitionFamily PartitioningSpace::family(std::size_t index) const {
   if (!usesCpu && gpusUsed == 1) return PartitionFamily::SingleGpu;
   if (!usesCpu) return PartitionFamily::MultiGpu;
   return PartitionFamily::Mixed;
+}
+
+std::vector<std::size_t> PartitioningSpace::neighbors(std::size_t index,
+                                                      int radius) const {
+  const Partitioning& base = at(index);
+  std::vector<std::size_t> out;
+  if (radius <= 0) return out;
+  Partitioning candidate = base;
+  for (std::size_t from = 0; from < numDevices_; ++from) {
+    for (std::size_t to = 0; to < numDevices_; ++to) {
+      if (from == to) continue;
+      const int movable = std::min(base.units[from], radius);
+      for (int m = 1; m <= movable; ++m) {
+        candidate.units = base.units;
+        candidate.units[from] -= m;
+        candidate.units[to] += m;
+        out.push_back(indexOf(candidate));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 std::vector<int> PartitioningSpace::familyLabels() const {

@@ -11,6 +11,7 @@
 // (bench/ablation_stepsize) can compare coarser/finer spaces.
 
 #include <cstddef>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,15 @@ struct Partitioning {
     return units == o.units && divisions == o.divisions;
   }
 };
+
+/// Apportion `total` indivisible work items among the devices of `p` in
+/// exact proportion to their unit shares (largest-remainder method over
+/// integer arithmetic — no floating point, so the result always sums to
+/// exactly `total`). Zero-share devices receive zero items; leftovers go
+/// to the active devices with the largest integer remainders (ties to the
+/// lower device index). Requires at least one active device when
+/// total > 0; throws tp::Error otherwise.
+std::vector<std::size_t> apportion(std::size_t total, const Partitioning& p);
 
 /// Coarse family of a partitioning, used by the two-stage model:
 /// 0 = CPU only, 1 = single GPU, 2 = GPU-mixed (no CPU), 3 = CPU+GPU mixed.
@@ -76,10 +86,19 @@ public:
   /// label→family map for ml::TwoStageClassifier.
   std::vector<int> familyLabels() const;
 
+  /// Indices of every partitioning reachable from `index` by moving
+  /// between 1 and `radius` units from one device to another — the local
+  /// search neighborhood of the online refiner (tp::adapt). Sorted,
+  /// deduplicated, never contains `index` itself. Radius 0 is empty.
+  std::vector<std::size_t> neighbors(std::size_t index, int radius = 1) const;
+
 private:
   std::size_t numDevices_;
   int divisions_;
   std::vector<Partitioning> all_;
+  /// units -> index, so indexOf (hot inside adapt's neighborhood
+  /// enumeration, which runs under a shard lock) avoids a linear scan.
+  std::map<std::vector<int>, std::size_t> index_;
 };
 
 }  // namespace tp::runtime

@@ -11,32 +11,10 @@ using features::AccessKind;
 
 std::vector<std::pair<std::size_t, std::size_t>> splitGroups(
     std::size_t totalGroups, const Partitioning& p) {
+  // Exact integer apportioning (runtime/partitioning.cpp): counts always
+  // sum to totalGroups and zero-share devices receive nothing.
+  const std::vector<std::size_t> counts = apportion(totalGroups, p);
   const std::size_t n = p.numDevices();
-  std::vector<std::size_t> counts(n, 0);
-
-  // Largest-remainder method: floor everything, then hand the remaining
-  // groups to the devices with the largest fractional parts.
-  std::vector<double> exact(n);
-  std::size_t assigned = 0;
-  for (std::size_t d = 0; d < n; ++d) {
-    exact[d] = static_cast<double>(totalGroups) * p.fraction(d);
-    counts[d] = static_cast<std::size_t>(exact[d]);
-    assigned += counts[d];
-  }
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return exact[a] - static_cast<double>(counts[a]) >
-           exact[b] - static_cast<double>(counts[b]);
-  });
-  for (std::size_t k = 0; assigned < totalGroups; ++k) {
-    // Never assign groups to a device with zero share.
-    const std::size_t d = order[k % n];
-    if (p.units[d] == 0) continue;
-    ++counts[d];
-    ++assigned;
-  }
-
   std::vector<std::pair<std::size_t, std::size_t>> chunks(n);
   std::size_t begin = 0;
   for (std::size_t d = 0; d < n; ++d) {

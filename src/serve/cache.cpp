@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 
 namespace tp::serve {
 
@@ -45,26 +46,13 @@ std::string programKey(const runtime::Task& task) {
 
 namespace {
 
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
-
-std::uint64_t fnvBytes(std::uint64_t h, const void* data, std::size_t n) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
-std::uint64_t fnvU64(std::uint64_t h, std::uint64_t v) {
-  return fnvBytes(h, &v, sizeof(v));
-}
+using common::fnvBytes;
+using common::fnvU64;
 
 /// Hash of everything but the model version (shard selection must be
 /// stable across versions).
 std::uint64_t unversionedHash(const DecisionKey& k) {
-  std::uint64_t h = kFnvOffset;
+  std::uint64_t h = common::kFnvOffset;
   h = fnvBytes(h, k.machine.data(), k.machine.size());
   h = fnvU64(h, 0x1full);  // field separator
   h = fnvBytes(h, k.program.data(), k.program.size());
@@ -159,8 +147,28 @@ std::uint64_t ShardedDecisionCache::version() const noexcept {
 std::uint64_t ShardedDecisionCache::bumpVersion() {
   const std::uint64_t v =
       version_.fetch_add(1, std::memory_order_acq_rel) + 1;
-  clear();
+  // Sweep stale generations only. A full clear() here would race with
+  // concurrent fresh-version inserts: an entry inserted (correctly) at the
+  // new version into a not-yet-swept shard would be thrown away and its
+  // invalidation counted against a generation it never belonged to.
+  clearStale();
   return v;
+}
+
+void ShardedDecisionCache::clearStale() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const std::uint64_t v = version_.load(std::memory_order_acquire);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->key.modelVersion != v) {
+        shard.index.erase(it->key);
+        it = shard.lru.erase(it);
+        ++shard.counters.invalidations;
+      } else {
+        ++it;
+      }
+    }
+  }
 }
 
 void ShardedDecisionCache::clear() {

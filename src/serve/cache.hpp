@@ -99,9 +99,18 @@ public:
   void insert(const DecisionKey& key, std::size_t label);
 
   std::uint64_t version() const noexcept;
-  /// Invalidate every cached decision: bump the version (stale in-flight
-  /// inserts get dropped) and clear the shards. Returns the new version.
+  /// Invalidate every cached decision of older generations: bump the
+  /// version (stale in-flight inserts get dropped) and sweep entries
+  /// stamped with any previous version. An insert that carries the *new*
+  /// version and lands while the sweep is still walking the shards
+  /// survives it — fresh decisions are never thrown away. Returns the new
+  /// version.
   std::uint64_t bumpVersion();
+
+  /// Drop entries whose key version differs from the current version
+  /// (counted as invalidations). The tail half of bumpVersion(), exposed
+  /// so the sweep-vs-fresh-insert interleaving is testable.
+  void clearStale();
 
   /// Drop all entries (counted as invalidations); keeps the version.
   void clear();

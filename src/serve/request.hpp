@@ -31,6 +31,8 @@ struct LaunchResponse {
   runtime::ExecutionResult execution;  ///< simulated run under the split
   bool cacheHit = false;  ///< decision served from the cache?
   std::uint64_t modelVersion = 0;  ///< model generation that decided
+  bool explored = false;  ///< refinement probe (bypassed the cache)
+  bool refined = false;   ///< label differs from the model's prediction
 };
 
 }  // namespace tp::serve

@@ -35,6 +35,7 @@ struct PartitionService::MachineState {
 
   mutable std::shared_mutex modelMutex;
   std::shared_ptr<const ml::Classifier> model;
+  std::uint64_t modelVersion = 0;  ///< cache generation this model serves
 
   // Request queue + lane occupancy, guarded by queueMutex. Each lane owns
   // a private context/scheduler so simulated clocks never interleave.
@@ -74,7 +75,11 @@ PartitionService::PartitionService(ServiceConfig config)
       cache_(std::make_unique<ShardedDecisionCache>(config_.cacheCapacity,
                                                     config_.cacheShards,
                                                     config_.cacheRoundDigits)),
-      latency_(config_.latencyWindow) {}
+      latency_(config_.latencyWindow) {
+  if (config_.refine) {
+    refiner_ = std::make_unique<adapt::Refiner>(config_.refiner);
+  }
+}
 
 PartitionService::~PartitionService() { shutdown(); }
 
@@ -236,9 +241,43 @@ void PartitionService::process(MachineState& ms, std::size_t lane,
       response.label = predictWithModel(ms, task);
       cache_->insert(key, response.label);
     }
+    adapt::RefineKey refineKey;
+    if (refiner_ != nullptr) {
+      // The refiner may override the baseline: probes bypass the cache,
+      // and an adopted win replaces the cached decision outright.
+      refineKey.machine = key.machine;
+      refineKey.program = key.program;
+      refineKey.signature = key.features;
+      const adapt::RefineDecision rd = refiner_->decide(
+          refineKey, key.modelVersion, response.label, ms.space);
+      response.explored = rd.explore;
+      response.refined = rd.refined;
+      if (rd.label != response.label || rd.explore) {
+        response.cacheHit = false;
+        response.label = rd.label;
+      }
+    }
     response.partitioning = ms.space.at(response.label);
     response.execution =
         ms.lanes[lane]->execute(task, response.partitioning);
+
+    if (refiner_ != nullptr) {
+      const adapt::Observation obs =
+          refiner_->observe(refineKey, key.modelVersion, response.label,
+                            response.execution.makespan, ms.space);
+      if (obs.improved) {
+        // Measured win: future lookups of this signature serve the
+        // refined label (a stale-version key is dropped harmlessly).
+        cache_->insert(key, obs.bestLabel);
+      } else if (obs.tracked && response.refined && !response.explored &&
+                 !response.cacheHit) {
+        // Exploiting a previously adopted win whose cache entry may have
+        // been evicted (the miss path then re-inserted the raw model
+        // label): reinstall the *current* incumbent — not this request's
+        // own label, which a concurrent probe's win may have superseded.
+        cache_->insert(key, obs.bestLabel);
+      }
+    }
 
     if (config_.recordFeedback) {
       feedback_->record(task, ms.machine, ms.space,
@@ -307,7 +346,16 @@ PartitionService::RetrainResult PartitionService::retrain() {
     ++result.machinesRetrained;
   }
   // New generation: every cached decision of the old models is stale.
+  // (Swap-then-bump: a prediction racing the swap is cached under the old
+  // version and swept here; the reverse order would let old-model labels
+  // survive into the new generation.)
   result.modelVersion = cache_->bumpVersion();
+  // Version plumbing: stamp every machine with the generation its model
+  // now serves, so stats and the refiner's decay agree on "current".
+  for (MachineState* ms : states) {
+    std::unique_lock<std::shared_mutex> lock(ms->modelMutex);
+    ms->modelVersion = result.modelVersion;
+  }
   retrains_.fetch_add(1, std::memory_order_relaxed);
   return result;
 }
@@ -345,6 +393,10 @@ ServiceStats PartitionService::stats() const {
   s.modelVersion = cache_->version();
   s.retrains = retrains_.load(std::memory_order_relaxed);
   s.feedbackRecords = feedback_ != nullptr ? feedback_->size() : 0;
+  if (refiner_ != nullptr) {
+    s.refiner = refiner_->counters();
+    s.refinedKeys = refiner_->trackedKeys();
+  }
   s.latency = latency_.summary();
 
   std::lock_guard<std::mutex> lock(machinesMutex_);
@@ -352,6 +404,10 @@ ServiceStats PartitionService::stats() const {
     (void)name;
     MachineStats m;
     m.machine = ms->machine.name;
+    {
+      std::shared_lock<std::shared_mutex> modelLock(ms->modelMutex);
+      m.modelVersion = ms->modelVersion;
+    }
     std::lock_guard<std::mutex> statsLock(ms->statsMutex);
     m.requests = ms->requests;
     m.makespanSeconds = ms->makespanSum;

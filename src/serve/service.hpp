@@ -20,8 +20,14 @@
 //     distinct executed launch into a FeatureDatabase; retrain() refreshes
 //     every machine's model from the accumulated traffic and bumps the
 //     cache version, invalidating all cached decisions;
+//   - an optional online refiner (adapt/refiner.hpp, config.refine): a
+//     bounded local search per launch signature that probes partitioning
+//     neighbors on an epsilon fraction of warm traffic, adopts measured
+//     wins immediately (written back into the decision cache) and decays
+//     back to the model prediction when retrain() bumps the version;
 //   - a stats surface (serve/stats.hpp): request/batch counters, cache
-//     hit-rate, p50/p95 latency, per-device utilization.
+//     hit-rate, refinement counters, p50/p95 latency, per-device
+//     utilization.
 //
 // Shutdown drains the queue: every accepted request is answered before
 // the destructor returns; submissions after shutdown() throw tp::Error.
@@ -35,6 +41,7 @@
 #include <mutex>
 #include <string>
 
+#include "adapt/refiner.hpp"
 #include "common/thread_pool.hpp"
 #include "ml/classifier.hpp"
 #include "ocl/queue.hpp"
@@ -60,6 +67,11 @@ struct ServiceConfig {
   std::string retrainSpec = "forest:32";  ///< ml::makeClassifier spec
   std::uint64_t retrainSeed = 42;
   vcl::ExecMode execMode = vcl::ExecMode::TimeOnly;
+  /// Online partition refinement (adapt::Refiner). Off by default: with
+  /// refinement on, served labels may deliberately deviate from the pure
+  /// model prediction on explored/refined traffic.
+  bool refine = false;
+  adapt::RefinerConfig refiner;
 };
 
 class PartitionService {
@@ -111,6 +123,8 @@ public:
 
   const runtime::PartitioningSpace& space(const std::string& machine) const;
   const ShardedDecisionCache& cache() const noexcept { return *cache_; }
+  /// nullptr unless config.refine is set.
+  const adapt::Refiner* refiner() const noexcept { return refiner_.get(); }
 
   /// Persist the recorded traffic database as CSV.
   void saveTraffic(const std::string& path) const;
@@ -129,6 +143,7 @@ private:
   ServiceConfig config_;
   std::unique_ptr<ShardedDecisionCache> cache_;
   std::unique_ptr<FeedbackRecorder> feedback_;  ///< set by first addMachine
+  std::unique_ptr<adapt::Refiner> refiner_;     ///< set when config_.refine
 
   mutable std::mutex machinesMutex_;  ///< guards machines_ map + pool_ init
   std::map<std::string, std::unique_ptr<MachineState>> machines_;

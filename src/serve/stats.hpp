@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "adapt/refiner.hpp"
 #include "serve/cache.hpp"
 
 namespace tp::serve {
@@ -51,6 +52,7 @@ struct MachineStats {
   std::string machine;
   std::uint64_t requests = 0;
   double makespanSeconds = 0.0;  ///< sum of simulated makespans
+  std::uint64_t modelVersion = 0;  ///< generation of the deployed model
   std::vector<DeviceUtilization> devices;
 };
 
@@ -65,6 +67,9 @@ struct ServiceStats {
   std::uint64_t modelVersion = 0;
   std::uint64_t retrains = 0;
   std::uint64_t feedbackRecords = 0;  ///< unique launches measured
+  /// Online-refinement counters (all zero when refinement is disabled).
+  adapt::RefinerCounters refiner;
+  std::uint64_t refinedKeys = 0;  ///< launch signatures under refinement
   LatencyRecorder::Summary latency;
   std::vector<MachineStats> machines;  ///< insertion order
 };

@@ -1,0 +1,307 @@
+// tp::adapt tests: refiner decision policy (baseline-first, epsilon
+// probing, exploit-the-measured-best), win adoption with the improvement
+// margin, neighborhood re-centering, version decay after retrain, key
+// capacity bounds, and counter consistency under ThreadPool contention.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "adapt/refiner.hpp"
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "runtime/partitioning.hpp"
+
+namespace tp::adapt {
+namespace {
+
+RefineKey key(const std::string& program, double size = 1024.0) {
+  RefineKey k;
+  k.machine = "mc2";
+  k.program = program;
+  k.signature = {size, 64.0};
+  return k;
+}
+
+/// A 2-device ladder: label i is the partitioning {i, 10-i}, so the
+/// neighborhood of label i is {i-1, i+1} and hill-climbing is easy to
+/// reason about.
+const runtime::PartitioningSpace& ladder() {
+  static const runtime::PartitioningSpace space(2, 10);
+  return space;
+}
+
+TEST(Refiner, FirstDecisionServesTheBaseline) {
+  RefinerConfig config;
+  config.exploreFraction = 1.0;  // explore as aggressively as allowed
+  Refiner refiner(config);
+  // Until the baseline is measured there is nothing to compare a probe
+  // against, so the first decision must exploit it — even at epsilon 1.
+  const auto d = refiner.decide(key("p"), 0, 5, ladder());
+  EXPECT_EQ(d.label, 5u);
+  EXPECT_FALSE(d.explore);
+  EXPECT_FALSE(d.refined);
+}
+
+TEST(Refiner, ProbesLeastMeasuredNeighborThenAdoptsWins) {
+  RefinerConfig config;
+  config.exploreFraction = 1.0;
+  Refiner refiner(config);
+  const auto k = key("p");
+
+  (void)refiner.decide(k, 0, 5, ladder());
+  (void)refiner.observe(k, 0, 5, 1.0, ladder());
+
+  // With epsilon 1 every decision now probes; arms are {5, 4, 6} and the
+  // probe cursor picks the least-measured (ties to the earliest arm).
+  const auto p1 = refiner.decide(k, 0, 5, ladder());
+  EXPECT_TRUE(p1.explore);
+  EXPECT_EQ(p1.label, 4u);
+  const auto o1 = refiner.observe(k, 0, 4, 1.2, ladder());
+  EXPECT_FALSE(o1.improved);  // worse than the baseline
+
+  const auto p2 = refiner.decide(k, 0, 5, ladder());
+  EXPECT_TRUE(p2.explore);
+  EXPECT_EQ(p2.label, 6u);
+  const auto o2 = refiner.observe(k, 0, 6, 0.5, ladder());
+  EXPECT_TRUE(o2.improved);  // measured win -> new incumbent
+  EXPECT_EQ(o2.bestLabel, 6u);
+  EXPECT_DOUBLE_EQ(o2.bestSeconds, 0.5);
+
+  const auto counters = refiner.counters();
+  EXPECT_EQ(counters.wins, 1u);
+  EXPECT_EQ(counters.decisions, 3u);
+  EXPECT_EQ(counters.explorations, 2u);
+  EXPECT_EQ(counters.exploitations, 1u);
+  EXPECT_EQ(counters.observations, 3u);
+}
+
+TEST(Refiner, ExploitServesTheIncumbentAfterAWin) {
+  RefinerConfig config;
+  config.exploreFraction = 0.0;  // pure exploitation
+  Refiner refiner(config);
+  const auto k = key("p");
+  (void)refiner.decide(k, 0, 5, ladder());
+  (void)refiner.observe(k, 0, 5, 1.0, ladder());
+  // Feed a win for a neighbor as if an earlier probe measured it.
+  (void)refiner.observe(k, 0, 6, 0.4, ladder());
+
+  const auto d = refiner.decide(k, 0, 5, ladder());
+  EXPECT_EQ(d.label, 6u);
+  EXPECT_FALSE(d.explore);
+  EXPECT_TRUE(d.refined);
+  const auto inc = refiner.incumbent(k, 0);
+  EXPECT_TRUE(inc.tracked);
+  EXPECT_EQ(inc.label, 6u);
+  EXPECT_EQ(inc.armsMeasured, 2u);
+}
+
+TEST(Refiner, ImprovementMarginRejectsNoiseWins) {
+  RefinerConfig config;
+  config.exploreFraction = 0.0;
+  config.minImprovement = 1e-2;
+  Refiner refiner(config);
+  const auto k = key("p");
+  (void)refiner.decide(k, 0, 5, ladder());
+  (void)refiner.observe(k, 0, 5, 1.0, ladder());
+  // 0.5% better: inside the noise margin, must not unseat the baseline.
+  const auto o = refiner.observe(k, 0, 6, 0.995, ladder());
+  EXPECT_FALSE(o.improved);
+  EXPECT_EQ(refiner.decide(k, 0, 5, ladder()).label, 5u);
+  // 5% better: a real win.
+  EXPECT_TRUE(refiner.observe(k, 0, 4, 0.95, ladder()).improved);
+}
+
+TEST(Refiner, RecentersTheNeighborhoodOnTheIncumbent) {
+  RefinerConfig config;
+  config.exploreFraction = 1.0;
+  Refiner refiner(config);
+  const auto k = key("p");
+  (void)refiner.decide(k, 0, 5, ladder());
+  (void)refiner.observe(k, 0, 5, 1.0, ladder());
+  // Adopt 6: the arm set {5,4,6} re-centers and gains 7.
+  (void)refiner.observe(k, 0, 6, 0.5, ladder());
+
+  // Probe until label 7 (two steps from the original baseline) shows up.
+  bool probed7 = false;
+  for (int i = 0; i < 16 && !probed7; ++i) {
+    const auto d = refiner.decide(k, 0, 5, ladder());
+    probed7 = d.label == 7;
+    (void)refiner.observe(k, 0, d.label, 2.0, ladder());
+  }
+  EXPECT_TRUE(probed7);
+}
+
+TEST(Refiner, HillClimbsToTheOptimumOfAMeasuredValley) {
+  // Simulated cost valley with its floor at label 8; the model predicted
+  // label 2. Driving decide/observe in a loop must walk the incumbent
+  // down to 8 and keep steady-state exploitation there.
+  RefinerConfig config;
+  config.exploreFraction = 0.5;
+  config.seed = 7;
+  Refiner refiner(config);
+  const auto k = key("valley");
+  const auto cost = [](std::size_t label) {
+    return 1.0 + std::fabs(static_cast<double>(label) - 8.0);
+  };
+  for (int i = 0; i < 300; ++i) {
+    const auto d = refiner.decide(k, 0, 2, ladder());
+    (void)refiner.observe(k, 0, d.label, cost(d.label), ladder());
+  }
+  const auto inc = refiner.incumbent(k, 0);
+  ASSERT_TRUE(inc.tracked);
+  EXPECT_EQ(inc.label, 8u);
+  EXPECT_DOUBLE_EQ(inc.meanSeconds, cost(8));
+  // Steady state: exploitation serves the optimum.
+  RefinerConfig frozen = config;
+  (void)frozen;
+  const auto counters = refiner.counters();
+  EXPECT_GE(counters.wins, 1u);
+  EXPECT_EQ(counters.decisions, 300u);
+  EXPECT_EQ(counters.explorations + counters.exploitations +
+                counters.untracked,
+            counters.decisions);
+}
+
+TEST(Refiner, VersionBumpDecaysBackToTheModelPrediction) {
+  RefinerConfig config;
+  config.exploreFraction = 0.0;
+  Refiner refiner(config);
+  const auto k = key("p");
+  (void)refiner.decide(k, 0, 5, ladder());
+  (void)refiner.observe(k, 0, 5, 1.0, ladder());
+  (void)refiner.observe(k, 0, 6, 0.4, ladder());
+  EXPECT_EQ(refiner.decide(k, 0, 5, ladder()).label, 6u);
+
+  // Retrain bumped the version: the new model's prediction (3) rules and
+  // the learned history is gone.
+  const auto d = refiner.decide(k, 1, 3, ladder());
+  EXPECT_EQ(d.label, 3u);
+  EXPECT_FALSE(d.refined);
+  EXPECT_EQ(refiner.counters().resets, 1u);
+  EXPECT_FALSE(refiner.incumbent(k, 0).tracked);
+
+  // A measurement still stamped with the old version is dropped.
+  const auto o = refiner.observe(k, 0, 6, 0.1, ladder());
+  EXPECT_FALSE(o.improved);
+  EXPECT_GE(refiner.counters().staleObservations, 1u);
+  EXPECT_EQ(refiner.decide(k, 1, 3, ladder()).label, 3u);
+}
+
+TEST(Refiner, LaggingOldVersionDecisionDoesNotResetNewerHistory) {
+  RefinerConfig config;
+  config.exploreFraction = 0.0;
+  Refiner refiner(config);
+  const auto k = key("p");
+  // Post-retrain (v1) history with an adopted win.
+  (void)refiner.decide(k, 1, 5, ladder());
+  (void)refiner.observe(k, 1, 5, 1.0, ladder());
+  (void)refiner.observe(k, 1, 6, 0.4, ladder());
+
+  // A request stamped before the retrain (v0) arrives late: it must be
+  // served its own baseline unrefined, NOT reset the entry backward.
+  const auto lagging = refiner.decide(k, 0, 2, ladder());
+  EXPECT_EQ(lagging.label, 2u);
+  EXPECT_FALSE(lagging.explore);
+  EXPECT_FALSE(lagging.refined);
+  EXPECT_EQ(refiner.counters().resets, 0u);
+  EXPECT_GE(refiner.counters().untracked, 1u);
+  // The v1 incumbent survived.
+  EXPECT_EQ(refiner.decide(k, 1, 5, ladder()).label, 6u);
+}
+
+TEST(Refiner, KeyCapacityBoundServesUntrackedBaseline) {
+  RefinerConfig config;
+  config.maxKeys = 2;
+  config.numShards = 1;
+  Refiner refiner(config);
+  (void)refiner.decide(key("a"), 0, 1, ladder());
+  (void)refiner.decide(key("b"), 0, 2, ladder());
+  const auto d = refiner.decide(key("c"), 0, 3, ladder());
+  EXPECT_EQ(d.label, 3u);
+  EXPECT_FALSE(d.explore);
+  EXPECT_FALSE(d.refined);
+  EXPECT_EQ(refiner.trackedKeys(), 2u);
+  EXPECT_EQ(refiner.counters().untracked, 1u);
+}
+
+TEST(Refiner, CapacityReclaimsStaleGenerationKeys) {
+  // A full shard whose entries belong to a superseded model version must
+  // make room for post-retrain traffic instead of refusing to track it.
+  RefinerConfig config;
+  config.maxKeys = 2;
+  config.numShards = 1;
+  Refiner refiner(config);
+  (void)refiner.decide(key("a"), 0, 1, ladder());
+  (void)refiner.decide(key("b"), 0, 2, ladder());
+  EXPECT_EQ(refiner.trackedKeys(), 2u);
+
+  // Version 1 traffic for a brand-new signature: the v0 entries are dead
+  // weight and get swept, and the new key is tracked.
+  const auto d = refiner.decide(key("c"), 1, 3, ladder());
+  EXPECT_EQ(d.label, 3u);
+  EXPECT_EQ(refiner.counters().untracked, 0u);
+  EXPECT_EQ(refiner.trackedKeys(), 1u);
+  EXPECT_TRUE(refiner.incumbent(key("c"), 1).tracked);
+  EXPECT_FALSE(refiner.incumbent(key("a"), 0).tracked);
+}
+
+TEST(Refiner, ObservationForUnknownLabelIsIgnored) {
+  Refiner refiner;
+  const auto k = key("p");
+  (void)refiner.decide(k, 0, 5, ladder());
+  // Label 0 is far outside the tracked neighborhood of 5.
+  const auto o = refiner.observe(k, 0, 0, 0.001, ladder());
+  EXPECT_FALSE(o.improved);
+  EXPECT_GE(refiner.counters().staleObservations, 1u);
+  // And an observation for a key never decided is dropped too.
+  EXPECT_FALSE(refiner.observe(key("q"), 0, 5, 1.0, ladder()).improved);
+}
+
+TEST(Refiner, CountersConsistentUnderContention) {
+  RefinerConfig config;
+  config.exploreFraction = 0.25;
+  config.numShards = 4;
+  Refiner refiner(config);
+  common::ThreadPool pool(8);
+  constexpr std::size_t kOps = 20000;
+  constexpr std::size_t kKeys = 40;
+  std::atomic<std::uint64_t> badLabels{0};
+
+  pool.parallelFor(0, kOps, [&](std::size_t i) {
+    const auto k = key("p" + std::to_string(i % kKeys));
+    const std::size_t base = 2 + (i % kKeys) % 7;
+    const auto d = refiner.decide(k, 0, base, ladder());
+    if (d.label >= ladder().size()) badLabels.fetch_add(1);
+    const double cost =
+        1.0 + std::fabs(static_cast<double>(d.label) - 8.0) * 0.1;
+    (void)refiner.observe(k, 0, d.label, cost, ladder());
+  });
+  pool.waitIdle();
+
+  EXPECT_EQ(badLabels.load(), 0u);
+  const auto c = refiner.counters();
+  EXPECT_EQ(c.decisions, kOps);
+  EXPECT_EQ(c.explorations + c.exploitations + c.untracked, c.decisions);
+  EXPECT_EQ(c.observations + c.staleObservations, kOps);
+  EXPECT_LE(refiner.trackedKeys(), kKeys);
+}
+
+TEST(Refiner, RejectsBadConfig) {
+  RefinerConfig config;
+  config.exploreFraction = 1.5;
+  EXPECT_THROW(Refiner{config}, Error);
+  config = {};
+  config.numShards = 0;
+  EXPECT_THROW(Refiner{config}, Error);
+  config = {};
+  config.maxArms = 1;
+  EXPECT_THROW(Refiner{config}, Error);
+  config = {};
+  config.minSamples = 0;
+  EXPECT_THROW(Refiner{config}, Error);
+}
+
+}  // namespace
+}  // namespace tp::adapt

@@ -112,6 +112,34 @@ TEST(Stats, MedianAndPercentiles) {
   EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 50), 3.0);
 }
 
+TEST(Stats, PercentileSingleSampleAndInterpolation) {
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 50), 42.0);
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 100), 42.0);
+  // Linear interpolation between ranks.
+  EXPECT_DOUBLE_EQ(percentile({0, 10}, 25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({0, 10}, 75), 7.5);
+}
+
+TEST(Stats, PercentileExactBoundaryRanks) {
+  // p*(n-1) divisible by 100 must select an element *exactly* — the old
+  // p/100*(n-1) formulation computed e.g. 0.95*20 as 18.999999999999996
+  // and interpolated between the wrong pair of neighbors.
+  std::vector<double> xs(21);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = static_cast<double>(i);
+  }
+  EXPECT_DOUBLE_EQ(percentile(xs, 95), 19.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 5), 1.0);
+  std::vector<double> small(5);
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    small[i] = static_cast<double>(10 * i);
+  }
+  EXPECT_DOUBLE_EQ(percentile(small, 25), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(small, 75), 30.0);
+}
+
 TEST(Stats, RunningStatsMatchesBatch) {
   RunningStats rs;
   const std::vector<double> xs = {1.5, 2.5, -3.0, 7.25, 0.0};

@@ -94,6 +94,49 @@ TEST(Normalizer, ConstantFeatureMapsToZero) {
   }
 }
 
+TEST(Normalizer, DegenerateFeaturesStayFinite) {
+  // Column 0 is constant at a large magnitude, column 1 is constant at 0,
+  // column 2 varies. No output may be non-finite and the degenerate
+  // columns must map to exactly 0 for *any* input value.
+  Normalizer norm;
+  norm.fit({{1e9, 0.0, 1.0}, {1e9, 0.0, 2.0}, {1e9, 0.0, 3.0}});
+  for (const auto& x : {std::vector<double>{1e9, 0.0, 2.0},
+                        std::vector<double>{2e9, 5.0, -7.0},
+                        std::vector<double>{0.0, -1e12, 1e12}}) {
+    const auto out = norm.transform(x);
+    for (const double v : out) EXPECT_TRUE(std::isfinite(v));
+    EXPECT_DOUBLE_EQ(out[0], 0.0);
+    EXPECT_DOUBLE_EQ(out[1], 0.0);
+  }
+}
+
+TEST(Normalizer, NearConstantFeatureDoesNotExplode) {
+  // A column whose variation is pure floating-point jitter (relative
+  // ~1e-10) must be treated as constant: inverting its tiny stddev would
+  // produce a ~1e10 scale factor that turns a moderate input difference
+  // into an astronomically standardized value.
+  Normalizer norm;
+  std::vector<std::vector<double>> X;
+  for (int i = 0; i < 8; ++i) {
+    const double jitter = 1.0 + 1e-10 * static_cast<double>(i % 2);
+    X.push_back({1e9 * jitter, static_cast<double>(i)});
+  }
+  norm.fit(X);
+  const auto out = norm.transform({2e9, 4.0});  // 2x the near-constant value
+  EXPECT_TRUE(std::isfinite(out[0]));
+  EXPECT_DOUBLE_EQ(out[0], 0.0);  // no signal -> no contribution
+  // The genuinely varying column still standardizes normally.
+  EXPECT_TRUE(std::isfinite(out[1]));
+  EXPECT_LT(std::fabs(out[1]), 10.0);
+}
+
+TEST(Normalizer, LoadRejectsNonFiniteParameters) {
+  std::stringstream ss;
+  ss << "normalizer 1\n0.0 inf\n";
+  Normalizer norm;
+  EXPECT_THROW(norm.load(ss), Error);
+}
+
 TEST(Normalizer, SerializationRoundTrip) {
   Normalizer norm;
   norm.fit({{1.0, 10.0}, {2.0, 20.0}, {3.0, 35.0}});

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <numeric>
 #include <set>
 
@@ -111,6 +113,125 @@ INSTANTIATE_TEST_SUITE_P(
     ManyShapes, SplitGroupsProperty,
     ::testing::Combine(::testing::Values(1, 2, 7, 10, 64, 1000, 16384),
                        ::testing::Range(0, 66, 5)));
+
+// --- apportion properties ---------------------------------------------------
+
+TEST(Apportion, ExactSumAcrossOddSizesAndDeviceCounts) {
+  // Property sweep: every partitioning of several spaces, awkward totals
+  // included. The counts must sum to exactly the total, zero-share
+  // devices must receive nothing, and every count must be within one of
+  // the exact proportional share.
+  for (const std::size_t devices : {1u, 2u, 3u, 4u, 5u}) {
+    for (const int divisions : {1, 3, 7, 10, 13}) {
+      const PartitioningSpace space(devices, divisions);
+      for (const std::size_t total :
+           {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{7},
+            std::size_t{11}, std::size_t{64}, std::size_t{101},
+            std::size_t{999}, std::size_t{16383}}) {
+        for (std::size_t i = 0; i < space.size(); ++i) {
+          const Partitioning& p = space.at(i);
+          const auto counts = apportion(total, p);
+          ASSERT_EQ(counts.size(), devices);
+          std::size_t sum = 0;
+          for (std::size_t d = 0; d < devices; ++d) {
+            sum += counts[d];
+            if (p.units[d] == 0) {
+              EXPECT_EQ(counts[d], 0u)
+                  << "zero-share device got work: " << p.toString();
+            }
+            const double exact =
+                static_cast<double>(total) * p.fraction(d);
+            EXPECT_NEAR(static_cast<double>(counts[d]), exact, 1.0)
+                << p.toString() << " total=" << total;
+          }
+          ASSERT_EQ(sum, total) << p.toString() << " total=" << total;
+        }
+      }
+    }
+  }
+}
+
+TEST(Apportion, HandBuiltUnitSumsNeedNotMatchDivisions) {
+  // The denominator is the actual unit sum, so an under/over-subscribed
+  // hand-built partitioning still apportions exactly.
+  const Partitioning p{{3, 1, 0}, 10};  // units sum to 4, not 10
+  const auto counts = apportion(103, p);
+  EXPECT_EQ(counts[0] + counts[1] + counts[2], 103u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_NEAR(static_cast<double>(counts[0]), 103.0 * 3.0 / 4.0, 1.0);
+}
+
+TEST(Apportion, RejectsAllZeroSharesAndNegativeUnits) {
+  const Partitioning empty{{0, 0, 0}, 10};
+  EXPECT_THROW(apportion(5, empty), Error);
+  // total == 0 is fine even with no active device.
+  EXPECT_EQ(apportion(0, empty), (std::vector<std::size_t>{0, 0, 0}));
+  const Partitioning negative{{5, -1, 6}, 10};
+  EXPECT_THROW(apportion(5, negative), Error);
+}
+
+TEST(Apportion, LeftoverGoesToLargestRemainders) {
+  // 10 items over 3/3/4 of 10 units: floors are 3/3/4 exactly.
+  EXPECT_EQ(apportion(10, Partitioning{{3, 3, 4}, 10}),
+            (std::vector<std::size_t>{3, 3, 4}));
+  // 11 items over 1/1/1: floors 3/3/3, remainders equal -> earliest
+  // active device gets the leftover (deterministic tie-break).
+  EXPECT_EQ(apportion(11, Partitioning{{1, 1, 1}, 3}),
+            (std::vector<std::size_t>{4, 4, 3}));
+}
+
+// --- neighborhood enumeration ----------------------------------------------
+
+TEST(Neighbors, SingleUnitMovesFromCorner) {
+  const PartitioningSpace space(3, 10);
+  const auto ns = space.neighbors(space.cpuOnlyIndex(), 1);
+  // From {10,0,0} only moves out of device 0 exist: {9,1,0} and {9,0,1}.
+  ASSERT_EQ(ns.size(), 2u);
+  EXPECT_EQ(space.at(ns[0]).units, (std::vector<int>{9, 0, 1}));
+  EXPECT_EQ(space.at(ns[1]).units, (std::vector<int>{9, 1, 0}));
+}
+
+TEST(Neighbors, InteriorPointHasAllPairMoves) {
+  const PartitioningSpace space(3, 10);
+  const std::size_t center = space.indexOf({{5, 3, 2}, 10});
+  const auto ns = space.neighbors(center, 1);
+  EXPECT_EQ(ns.size(), 6u);  // 3 devices x 2 directions, all feasible
+  for (const std::size_t n : ns) {
+    EXPECT_NE(n, center);
+    int l1 = 0;
+    for (std::size_t d = 0; d < 3; ++d) {
+      l1 += std::abs(space.at(n).units[d] - space.at(center).units[d]);
+    }
+    EXPECT_EQ(l1, 2);  // exactly one unit moved
+  }
+}
+
+TEST(Neighbors, RadiusBoundsAndSymmetry) {
+  const PartitioningSpace space(3, 10);
+  const std::size_t center = space.indexOf({{5, 3, 2}, 10});
+  EXPECT_TRUE(space.neighbors(center, 0).empty());
+  const auto r1 = space.neighbors(center, 1);
+  const auto r2 = space.neighbors(center, 2);
+  EXPECT_GT(r2.size(), r1.size());
+  // Every radius-1 neighbor is also a radius-2 neighbor.
+  for (const std::size_t n : r1) {
+    EXPECT_TRUE(std::find(r2.begin(), r2.end(), n) != r2.end());
+  }
+  // Radius-1 adjacency is symmetric.
+  for (const std::size_t n : r1) {
+    const auto back = space.neighbors(n, 1);
+    EXPECT_TRUE(std::find(back.begin(), back.end(), center) != back.end());
+  }
+}
+
+TEST(Neighbors, TwoDeviceLadder) {
+  const PartitioningSpace space(2, 10);
+  // at(i) == {i, 10-i}: interior rungs have two neighbors, ends one.
+  const std::size_t mid = space.indexOf({{5, 5}, 10});
+  EXPECT_EQ(space.neighbors(mid, 1).size(), 2u);
+  EXPECT_EQ(space.neighbors(space.indexOf({{0, 10}, 10}), 1).size(), 1u);
+  EXPECT_EQ(space.neighbors(space.indexOf({{10, 0}, 10}), 1).size(), 1u);
+}
 
 }  // namespace
 }  // namespace tp::runtime

@@ -128,6 +128,42 @@ TEST(DecisionCache, QuantizedKeysCollapseJitter) {
   EXPECT_FALSE(cache.lookup(different).has_value());
 }
 
+TEST(DecisionCache, FreshInsertSurvivesTheInvalidationSweep) {
+  // Deterministic replay of the retrain-vs-insert interleaving: a lane
+  // worker computes a decision under the *new* model version while
+  // bumpVersion()'s sweep is still walking the shards. The fresh entry
+  // must survive the sweep; only stale-generation entries may be dropped.
+  ShardedDecisionCache cache(8, 2);
+  const auto stale1 = key(cache, "p", {1.0});
+  const auto stale2 = key(cache, "q", {2.0});
+  cache.insert(stale1, 1);
+  cache.insert(stale2, 2);
+
+  // Step 1 of bumpVersion(): the version increments (and sweeps).
+  const auto v = cache.bumpVersion();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.counters().invalidations, 2u);
+
+  // Step 2: an in-flight insert stamped with the *new* version lands.
+  const auto fresh = key(cache, "p", {1.0});
+  EXPECT_EQ(fresh.modelVersion, v);
+  cache.insert(fresh, 7);
+
+  // Step 3: the remainder of the sweep runs. Before the fix this was a
+  // full clear() that threw the fresh entry away and inflated the
+  // invalidation counter.
+  cache.clearStale();
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.lookup(fresh).value(), 7u);
+  EXPECT_EQ(cache.counters().invalidations, 2u);  // no drift
+
+  // A stale-stamped in-flight insert is still rejected outright.
+  cache.insert(stale1, 9);
+  EXPECT_EQ(cache.size(), 1u);
+  const auto c = cache.counters();
+  EXPECT_EQ(c.insertions - c.evictions - c.invalidations, cache.size());
+}
+
 TEST(DecisionCache, VersionBumpInvalidatesAndDropsStaleInserts) {
   ShardedDecisionCache cache(8, 2);
   const auto stale = key(cache, "p", {1.0});
@@ -199,6 +235,81 @@ TEST(DecisionCache, ContentionWithConcurrentInvalidation) {
   const auto c = cache.counters();
   EXPECT_EQ(c.hits + c.misses, c.lookups);
   EXPECT_EQ(c.insertions - c.evictions - c.invalidations, cache.size());
+}
+
+// ---- latency recorder -----------------------------------------------------
+
+TEST(LatencyRecorder, EmptySummaryIsAllZero) {
+  LatencyRecorder rec(16);
+  const auto s = rec.summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.meanSeconds, 0.0);
+  EXPECT_DOUBLE_EQ(s.maxSeconds, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50Seconds, 0.0);
+  EXPECT_DOUBLE_EQ(s.p95Seconds, 0.0);
+  EXPECT_THROW(LatencyRecorder(0), Error);
+}
+
+TEST(LatencyRecorder, SingleSampleIsEveryPercentile) {
+  LatencyRecorder rec(16);
+  rec.add(0.25);
+  const auto s = rec.summary();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.meanSeconds, 0.25);
+  EXPECT_DOUBLE_EQ(s.maxSeconds, 0.25);
+  EXPECT_DOUBLE_EQ(s.p50Seconds, 0.25);
+  EXPECT_DOUBLE_EQ(s.p95Seconds, 0.25);
+}
+
+TEST(LatencyRecorder, ExactBoundaryPercentilesOverTheWindow) {
+  // 21 samples 0..20 ms: p50 and p95 rank exactly onto elements 10 and
+  // 19 — no interpolation drift allowed.
+  LatencyRecorder rec(64);
+  for (int i = 0; i <= 20; ++i) rec.add(static_cast<double>(i) * 1e-3);
+  const auto s = rec.summary();
+  EXPECT_EQ(s.count, 21u);
+  EXPECT_DOUBLE_EQ(s.p50Seconds, 10e-3);
+  EXPECT_DOUBLE_EQ(s.p95Seconds, 19e-3);
+  EXPECT_DOUBLE_EQ(s.maxSeconds, 20e-3);
+}
+
+TEST(LatencyRecorder, WindowWrapsButLifetimeStatsPersist) {
+  LatencyRecorder rec(4);
+  for (int i = 1; i <= 8; ++i) rec.add(static_cast<double>(i));
+  const auto s = rec.summary();
+  // count/mean/max run over all 8 samples ...
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.meanSeconds, 4.5);
+  EXPECT_DOUBLE_EQ(s.maxSeconds, 8.0);
+  // ... but percentiles only over the surviving window {5,6,7,8}.
+  EXPECT_DOUBLE_EQ(s.p50Seconds, 6.5);
+  EXPECT_GE(s.p50Seconds, 5.0);
+  EXPECT_LE(s.p95Seconds, 8.0);
+}
+
+TEST(LatencyRecorder, SnapshotRacesWithWritersCleanly) {
+  // Writers hammer add() while readers snapshot; every summary must be
+  // internally consistent (mean <= max, percentiles inside the observed
+  // range). Runs under TSan in CI.
+  LatencyRecorder rec(128);
+  common::ThreadPool pool(6);
+  std::atomic<std::uint64_t> inconsistencies{0};
+  pool.parallelFor(0, 6000, [&](std::size_t i) {
+    if (i % 5 == 0) {
+      const auto s = rec.summary();
+      if (s.count > 0) {
+        const bool ok = s.meanSeconds <= s.maxSeconds + 1e-12 &&
+                        s.p50Seconds <= s.p95Seconds + 1e-12 &&
+                        s.p95Seconds <= s.maxSeconds + 1e-12 &&
+                        s.p50Seconds >= 0.0;
+        if (!ok) inconsistencies.fetch_add(1);
+      }
+    } else {
+      rec.add(static_cast<double>(i % 97) * 1e-4);
+    }
+  });
+  pool.waitIdle();
+  EXPECT_EQ(inconsistencies.load(), 0u);
 }
 
 // ---- service --------------------------------------------------------------
@@ -423,6 +534,66 @@ TEST(PartitionService, RejectsUnknownMachineAndBadConfig) {
                    sim::makeMc1(), std::shared_ptr<const ml::Classifier>(
                                        ml::makeClassifier("mostfreq"))),
                Error);
+}
+
+TEST(PartitionService, RefinementNeverWorseThanTheModelBaseline) {
+  ServiceConfig config;
+  config.refine = true;
+  config.refiner.exploreFraction = 0.4;
+  config.refiner.seed = 11;
+  ServiceFixture fx(config);
+
+  // First sighting of every launch serves the pure model prediction (the
+  // refiner must measure its baseline before probing anything).
+  std::vector<double> baseline;
+  for (std::size_t t = 0; t < fx.tasks.size(); ++t) {
+    const auto r = fx.service->call(fx.request(t));
+    EXPECT_FALSE(r.explored);
+    EXPECT_FALSE(r.refined);
+    EXPECT_EQ(r.label, fx.service->predictLabel(fx.machine.name, fx.tasks[t]));
+    baseline.push_back(r.execution.makespan);
+  }
+
+  // Warm traffic: the refiner probes neighbors and adopts measured wins.
+  for (std::size_t i = 0; i < 40 * fx.tasks.size(); ++i) {
+    (void)fx.service->call(fx.request(i));
+  }
+
+  // Steady state: exploitation can only ever serve a label whose measured
+  // time is <= the baseline's (wins need strict improvement).
+  for (std::size_t t = 0; t < fx.tasks.size(); ++t) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto r = fx.service->call(fx.request(t));
+      if (r.explored) continue;  // probes pay the exploration tax
+      EXPECT_LE(r.execution.makespan, baseline[t] * (1.0 + 1e-9))
+          << "task " << t;
+      break;
+    }
+  }
+
+  const auto stats = fx.service->stats();
+  EXPECT_EQ(stats.refiner.decisions,
+            stats.requestsCompleted);  // every request went through refine
+  EXPECT_EQ(stats.refiner.explorations + stats.refiner.exploitations +
+                stats.refiner.untracked,
+            stats.refiner.decisions);
+  EXPECT_EQ(stats.refinedKeys, fx.tasks.size());
+  EXPECT_EQ(stats.cache.hits + stats.cache.misses, stats.cache.lookups);
+  EXPECT_LE(stats.cache.evictions, stats.cache.insertions);
+  EXPECT_EQ(stats.requestsFailed, 0u);
+
+  // Retrain decays the refiner back to the (new) model prediction.
+  const auto result = fx.service->retrain();
+  EXPECT_GE(result.modelVersion, 1u);
+  for (std::size_t t = 0; t < fx.tasks.size(); ++t) {
+    (void)fx.service->call(fx.request(t));
+  }
+  const auto after = fx.service->stats();
+  EXPECT_GE(after.refiner.resets, 1u);
+  EXPECT_EQ(after.cache.hits + after.cache.misses, after.cache.lookups);
+  EXPECT_LE(after.cache.evictions, after.cache.insertions);
+  ASSERT_EQ(after.machines.size(), 1u);
+  EXPECT_EQ(after.machines[0].modelVersion, result.modelVersion);
 }
 
 TEST(PartitionService, FeedbackRecorderDeduplicates) {
