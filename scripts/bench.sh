@@ -1,12 +1,15 @@
 #!/usr/bin/env sh
 # Build and run the serving benchmarks, writing their headline numbers to
-# BENCH_serve.json / BENCH_adapt.json in the repo root so the repo
-# accumulates a perf trajectory across PRs. Extra arguments pass through
-# to the serve_throughput driver (e.g. ./scripts/bench.sh --requests
-# 20000 --threads 16); adapt_convergence runs with its defaults.
+# BENCH_serve.json / BENCH_adapt.json / BENCH_fleet.json in the repo
+# root so the repo accumulates a perf trajectory across PRs. Extra
+# arguments pass through to the serve_throughput driver (e.g.
+# ./scripts/bench.sh --requests 20000 --threads 16); adapt_convergence
+# and fleet_scaling run with their defaults.
 set -eux
 cd "$(dirname "$0")/.."
 cmake -B build -S .
-cmake --build build -j "$(nproc)" --target serve_throughput adapt_convergence
+cmake --build build -j "$(nproc)" \
+  --target serve_throughput adapt_convergence fleet_scaling
 ./build/bench/serve_throughput --json BENCH_serve.json "$@"
 ./build/bench/adapt_convergence --json BENCH_adapt.json
+./build/bench/fleet_scaling --json BENCH_fleet.json

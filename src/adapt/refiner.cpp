@@ -1,7 +1,6 @@
 #include "adapt/refiner.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <limits>
 #include <mutex>
 #include <unordered_map>
@@ -15,14 +14,7 @@ namespace tp::adapt {
 namespace {
 
 std::uint64_t hashKey(const RefineKey& k) {
-  std::uint64_t h = common::kFnvOffset;
-  h = common::fnvBytes(h, k.machine.data(), k.machine.size());
-  h = common::fnvU64(h, 0x1full);  // field separator
-  h = common::fnvBytes(h, k.program.data(), k.program.size());
-  for (const double f : k.signature) {
-    h = common::fnvU64(h, std::bit_cast<std::uint64_t>(f));
-  }
-  return h;
+  return common::hashLaunchKey(k.machine, k.program, k.signature);
 }
 
 }  // namespace
@@ -46,6 +38,15 @@ Refiner::Refiner(RefinerConfig config) : config_(config) {
   TP_REQUIRE(config_.maxArms >= 2,
              "Refiner: maxArms must be >= 2 (baseline + one neighbor)");
   TP_REQUIRE(config_.minSamples >= 1, "Refiner: minSamples must be >= 1");
+  // A probe budget below minSamples would stop probing every arm before
+  // any challenger becomes electable: all exploration cost, zero
+  // possible wins. Reject the silent misconfiguration.
+  TP_REQUIRE(config_.probeSamples == 0 ||
+                 config_.probeSamples >= config_.minSamples,
+             "Refiner: probeSamples ("
+                 << config_.probeSamples << ") must be 0 (unbounded) or >= "
+                    "minSamples ("
+                 << config_.minSamples << ")");
   const std::size_t shards = std::min(config_.numShards,
                                       std::max<std::size_t>(1, config_.maxKeys));
   maxKeysPerShard_ =
@@ -91,6 +92,39 @@ void Refiner::recenter(Entry& entry,
   }
 }
 
+bool Refiner::electIncumbent(Entry& entry) const {
+  // Re-elect the incumbent among sufficiently-measured arms. The baseline
+  // arm only needs one sample (it is what serving falls back to anyway),
+  // and a challenger must beat the incumbent by the minImprovement margin
+  // so measurement jitter cannot promote noise.
+  const std::size_t before = entry.incumbent;
+  std::size_t bestArm = entry.incumbent;
+  double bestMean = entry.arms[bestArm].count > 0
+                        ? entry.arms[bestArm].meanSeconds
+                        : std::numeric_limits<double>::infinity();
+  for (std::size_t a = 0; a < entry.arms.size(); ++a) {
+    const Arm& c = entry.arms[a];
+    if (c.count == 0) continue;
+    if (a != entry.incumbent && c.count < config_.minSamples) continue;
+    if (c.meanSeconds < bestMean * (1.0 - config_.minImprovement)) {
+      bestArm = a;
+      bestMean = c.meanSeconds;
+    }
+  }
+  entry.incumbent = bestArm;
+  return bestArm != before;
+}
+
+void Refiner::sweepSuperseded(Shard& shard, std::uint64_t version) {
+  for (auto e = shard.entries.begin(); e != shard.entries.end();) {
+    if (e->second.modelVersion < version) {
+      e = shard.entries.erase(e);
+    } else {
+      ++e;
+    }
+  }
+}
+
 RefineDecision Refiner::decide(const RefineKey& key,
                                std::uint64_t modelVersion,
                                std::size_t baseLabel,
@@ -106,13 +140,7 @@ RefineDecision Refiner::decide(const RefineKey& key,
       // dead weight (their history decays on next sight anyway), and
       // without this sweep a long-running service whose traffic mix
       // shifts would permanently stop refining new signatures.
-      for (auto e = shard.entries.begin(); e != shard.entries.end();) {
-        if (e->second.modelVersion < modelVersion) {
-          e = shard.entries.erase(e);
-        } else {
-          ++e;
-        }
-      }
+      sweepSuperseded(shard, modelVersion);
     }
     if (shard.entries.size() >= maxKeysPerShard_) {
       ++shard.counters.untracked;
@@ -139,13 +167,34 @@ RefineDecision Refiner::decide(const RefineKey& key,
   // Measure the baseline before probing anything: an unmeasured incumbent
   // cannot be compared against.
   const bool baselineMeasured = best.count > 0;
+  std::size_t probe = entry.arms.size();  // sentinel: nothing to probe
   if (baselineMeasured && shard.rng.uniform() < config_.exploreFraction) {
-    // Probe the least-measured candidate (ties to the earliest arm, so
-    // probing order is deterministic given the explore draw).
-    std::size_t probe = 0;
-    for (std::size_t a = 1; a < entry.arms.size(); ++a) {
-      if (entry.arms[a].count < entry.arms[probe].count) probe = a;
+    // Probe the least-measured candidate; ties break uniformly at random
+    // (single-pass reservoir draw) rather than positionally, so fleet
+    // replicas exploring the same neighborhood concurrently fan out over
+    // different arms instead of re-measuring the same one in lockstep.
+    // Under a finite probeSamples budget only under-measured arms
+    // qualify: a fully measured neighborhood is converged and serves the
+    // incumbent until a re-centering win (or a version reset) re-opens
+    // it.
+    std::uint64_t minCount = 0;
+    std::size_t ties = 0;
+    for (std::size_t a = 0; a < entry.arms.size(); ++a) {
+      const std::uint64_t count = entry.arms[a].count;
+      if (config_.probeSamples > 0 && count >= config_.probeSamples) {
+        continue;
+      }
+      if (probe == entry.arms.size() || count < minCount) {
+        minCount = count;
+        ties = 1;
+        probe = a;
+      } else if (count == minCount) {
+        ++ties;
+        if (shard.rng.below(ties) == 0) probe = a;
+      }
     }
+  }
+  if (probe != entry.arms.size()) {
     decision.label = entry.arms[probe].label;
     decision.explore = true;
     ++shard.counters.explorations;
@@ -191,24 +240,7 @@ Observation Refiner::observe(const RefineKey& key, std::uint64_t modelVersion,
   arm->meanSeconds +=
       (seconds - arm->meanSeconds) / static_cast<double>(arm->count);
 
-  // Re-elect the incumbent among sufficiently-measured arms. The baseline
-  // arm only needs one sample (it is what serving falls back to anyway).
-  const std::size_t before = entry.incumbent;
-  std::size_t bestArm = entry.incumbent;
-  double bestMean = entry.arms[bestArm].count > 0
-                        ? entry.arms[bestArm].meanSeconds
-                        : std::numeric_limits<double>::infinity();
-  for (std::size_t a = 0; a < entry.arms.size(); ++a) {
-    const Arm& c = entry.arms[a];
-    if (c.count == 0) continue;
-    if (a != entry.incumbent && c.count < config_.minSamples) continue;
-    if (c.meanSeconds < bestMean * (1.0 - config_.minImprovement)) {
-      bestArm = a;
-      bestMean = c.meanSeconds;
-    }
-  }
-  if (bestArm != before) {
-    entry.incumbent = bestArm;
+  if (electIncumbent(entry)) {
     ++shard.counters.wins;
     obs.improved = true;
     recenter(entry, space);
@@ -216,6 +248,131 @@ Observation Refiner::observe(const RefineKey& key, std::uint64_t modelVersion,
   obs.bestLabel = entry.arms[entry.incumbent].label;
   obs.bestSeconds = entry.arms[entry.incumbent].meanSeconds;
   return obs;
+}
+
+std::vector<WinRecord> Refiner::exportWins(bool refinedOnly) const {
+  std::vector<WinRecord> out;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, entry] : shard.entries) {
+      const Arm& best = entry.arms[entry.incumbent];
+      if (refinedOnly && (best.label == entry.baseLabel || best.count == 0)) {
+        continue;
+      }
+      WinRecord rec;
+      rec.key = key;
+      rec.modelVersion = entry.modelVersion;
+      rec.baseLabel = entry.baseLabel;
+      rec.incumbentLabel = best.label;
+      rec.incumbentMean = best.meanSeconds;
+      for (const Arm& a : entry.arms) {
+        if (a.count > 0) {
+          rec.arms.push_back(WinArm{a.label, a.count, a.meanSeconds});
+        }
+      }
+      out.push_back(std::move(rec));
+    }
+  }
+  return out;
+}
+
+MergeResult Refiner::mergeWins(const std::vector<WinRecord>& wins,
+                               std::uint64_t currentVersion) {
+  MergeResult result;
+  for (const WinRecord& rec : wins) {
+    if (rec.modelVersion != currentVersion) {
+      // Learned against a model this fleet has already replaced (or not
+      // yet installed): its measurements say nothing about the current
+      // prediction's neighborhood.
+      ++result.stale;
+      continue;
+    }
+    Shard& shard = shardFor(rec.key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(rec.key);
+    if (it == shard.entries.end()) {
+      if (shard.entries.size() >= maxKeysPerShard_) {
+        sweepSuperseded(shard, currentVersion);
+      }
+      if (shard.entries.size() >= maxKeysPerShard_) {
+        ++result.dropped;
+        continue;
+      }
+      it = shard.entries.emplace(rec.key, Entry{}).first;
+      Entry& entry = it->second;
+      entry.modelVersion = rec.modelVersion;
+      entry.baseLabel = rec.baseLabel;
+      entry.incumbent = 0;
+      // Seed with the baseline arm only; the remote evidence below is
+      // the neighborhood. (resetEntry's unmeasured neighbor spawn would
+      // make this replica re-probe arms the sender already measured.)
+      entry.arms.push_back(Arm{rec.baseLabel, 0, 0.0});
+    } else if (it->second.modelVersion > rec.modelVersion) {
+      ++result.stale;
+      continue;
+    } else if (it->second.modelVersion < rec.modelVersion) {
+      // This key has not served traffic since the version moved on: the
+      // merge carries the same decay decide() would apply on next sight.
+      Entry& entry = it->second;
+      entry.modelVersion = rec.modelVersion;
+      entry.baseLabel = rec.baseLabel;
+      entry.incumbent = 0;
+      entry.arms.clear();
+      entry.arms.push_back(Arm{rec.baseLabel, 0, 0.0});
+      ++shard.counters.resets;
+    }
+    Entry& entry = it->second;
+    for (const WinArm& ra : rec.arms) {
+      const auto arm =
+          std::find_if(entry.arms.begin(), entry.arms.end(),
+                       [&](const Arm& a) { return a.label == ra.label; });
+      if (arm == entry.arms.end()) {
+        if (entry.arms.size() >= config_.maxArms) continue;
+        entry.arms.push_back(Arm{ra.label, ra.count, ra.meanSeconds});
+      } else if (ra.count > arm->count ||
+                 (ra.count == arm->count &&
+                  ra.meanSeconds < arm->meanSeconds)) {
+        // The better-measured side wins; equal counts break to the lower
+        // measured mean. Replacing (never summing) keeps repeated
+        // anti-entropy exchange of the same state idempotent.
+        arm->count = ra.count;
+        arm->meanSeconds = ra.meanSeconds;
+      }
+    }
+    // Anchor on the record's incumbent before re-electing: the
+    // minImprovement hysteresis makes elections path-dependent when two
+    // arms sit within the margin of each other, and replicas must still
+    // converge on ONE winner (and a snapshot restore must reproduce the
+    // saved incumbent exactly). The record's incumbent takes over when
+    // it is measured and strictly below the local incumbent's mean —
+    // merge ties break to the lower measured mean — and a local arm
+    // that is strictly better past the margin still wins the
+    // re-election below.
+    const std::size_t before = entry.incumbent;
+    const auto anchor =
+        std::find_if(entry.arms.begin(), entry.arms.end(), [&](const Arm& a) {
+          return a.label == rec.incumbentLabel;
+        });
+    if (anchor != entry.arms.end() && anchor->count > 0) {
+      const Arm& current = entry.arms[entry.incumbent];
+      if (current.count == 0 || anchor->meanSeconds < current.meanSeconds) {
+        entry.incumbent =
+            static_cast<std::size_t>(anchor - entry.arms.begin());
+      }
+    }
+    const bool elected = electIncumbent(entry);
+    if (elected || entry.incumbent != before) {
+      ++shard.counters.mergedWins;
+      ++result.adopted;
+      // No recenter here, deliberately: spawning unmeasured local arms
+      // around a merged incumbent would make every replica re-open the
+      // search the sender is already running. The sender's own recenter
+      // keeps the frontier alive — at exactly one replica.
+    } else {
+      ++result.updated;
+    }
+  }
+  return result;
 }
 
 Refiner::Incumbent Refiner::incumbent(const RefineKey& key,
@@ -255,6 +412,7 @@ RefinerCounters Refiner::counters() const {
     total.exploitations += shard.counters.exploitations;
     total.observations += shard.counters.observations;
     total.wins += shard.counters.wins;
+    total.mergedWins += shard.counters.mergedWins;
     total.resets += shard.counters.resets;
     total.staleObservations += shard.counters.staleObservations;
     total.untracked += shard.counters.untracked;

@@ -63,6 +63,14 @@ struct RefinerConfig {
   std::size_t maxKeys = 4096;
   std::size_t numShards = 16;
   std::uint64_t seed = 0x5EEDu;
+  /// Probe budget per arm: with a value N > 0 a key stops exploring once
+  /// every candidate arm has at least N measurements (the neighborhood is
+  /// converged; new arms from a re-centering win re-open it). 0 keeps the
+  /// unbounded policy (probe the least-measured arm forever at epsilon).
+  /// Fleet gossip relies on a finite budget: merged remote evidence fills
+  /// the budget, so a win measured on one replica is served — not
+  /// re-probed — everywhere else.
+  std::size_t probeSamples = 0;
 };
 
 struct RefineDecision {
@@ -78,6 +86,37 @@ struct Observation {
   double bestSeconds = 0.0;  ///< its mean measured time
 };
 
+/// One measured candidate arm inside an exported win record.
+struct WinArm {
+  std::size_t label = 0;
+  std::uint64_t count = 0;
+  double meanSeconds = 0.0;
+};
+
+/// A refined key's transferable state: the adopted incumbent plus the
+/// measured evidence backing it, tagged with the model version it was
+/// learned against. This is what gossip rounds and snapshots carry
+/// between replicas.
+struct WinRecord {
+  RefineKey key;
+  std::uint64_t modelVersion = 0;
+  std::size_t baseLabel = 0;       ///< model prediction the key was seeded with
+  std::size_t incumbentLabel = 0;  ///< adopted best label
+  double incumbentMean = 0.0;      ///< its measured mean seconds
+  std::vector<WinArm> arms;        ///< every measured arm (count > 0)
+};
+
+/// Per-record outcomes of mergeWins(); received == adopted + updated +
+/// stale + dropped.
+struct MergeResult {
+  std::size_t adopted = 0;  ///< merge moved the key's incumbent
+  std::size_t updated = 0;  ///< evidence merged, incumbent unchanged
+  std::size_t stale = 0;    ///< model-version mismatch: rejected
+  std::size_t dropped = 0;  ///< key-capacity (or no-refiner) drop
+
+  std::size_t merged() const noexcept { return adopted + updated; }
+};
+
 /// Monotonic event counters, aggregated across shards by counters().
 struct RefinerCounters {
   std::uint64_t decisions = 0;
@@ -85,6 +124,7 @@ struct RefinerCounters {
   std::uint64_t exploitations = 0;  ///< incumbent decisions issued
   std::uint64_t observations = 0;   ///< measurements accepted
   std::uint64_t wins = 0;           ///< incumbent moved to a better label
+  std::uint64_t mergedWins = 0;     ///< incumbent moved by a remote merge
   std::uint64_t resets = 0;         ///< version decays back to the model
   std::uint64_t staleObservations = 0;  ///< dropped: version/key mismatch
   /// Decisions served unrefined: key capacity reached, or the request
@@ -128,6 +168,28 @@ public:
   };
   Incumbent incumbent(const RefineKey& key, std::uint64_t modelVersion) const;
 
+  /// Export transferable per-key state. With `refinedOnly` (the gossip
+  /// path) only keys whose incumbent differs from the model prediction —
+  /// adopted wins — are emitted; without it (the snapshot path) every
+  /// tracked key is, so a restored replica reproduces incumbent means
+  /// exactly. Deterministic order: shard index, then unordered_map
+  /// iteration order within a shard.
+  std::vector<WinRecord> exportWins(bool refinedOnly = true) const;
+
+  /// Merge remote win records. Records whose model version differs from
+  /// `currentVersion` (or from a newer version a tracked key has already
+  /// moved to) are rejected as stale. Per arm the better-measured side
+  /// wins — higher count, ties broken by lower measured mean — which
+  /// makes the merge idempotent and convergent under repeated
+  /// anti-entropy exchange. The incumbent is then re-elected under the
+  /// usual minSamples/minImprovement rules. Merged keys do NOT re-center:
+  /// remote evidence is served, not used to seed a second local search,
+  /// so a replica adopting a win issues no probes for it — the search
+  /// frontier stays with the replica whose own observation won (its
+  /// recenter opened the frontier), and everyone else rides along.
+  MergeResult mergeWins(const std::vector<WinRecord>& wins,
+                        std::uint64_t currentVersion);
+
   std::size_t trackedKeys() const;
   RefinerCounters counters() const;
   const RefinerConfig& config() const noexcept { return config_; }
@@ -151,6 +213,12 @@ private:
                   std::size_t baseLabel,
                   const runtime::PartitioningSpace& space) const;
   void recenter(Entry& entry, const runtime::PartitioningSpace& space) const;
+  /// Re-elect the incumbent under the minSamples/minImprovement rules;
+  /// true when it moved. Caller holds the shard lock.
+  bool electIncumbent(Entry& entry) const;
+  /// Evict entries of superseded generations so a full shard can accept
+  /// current-generation keys. Caller holds the shard lock.
+  static void sweepSuperseded(Shard& shard, std::uint64_t version);
 
   RefinerConfig config_;
   std::size_t maxKeysPerShard_ = 0;

@@ -1,11 +1,14 @@
 #pragma once
 
 // FNV-1a hashing primitives, shared by the key hashers (serve's decision
-// cache, adapt's refine keys) so hash constants and byte-folding logic
-// live in exactly one place.
+// cache, adapt's refine keys, fleet's gossip digests) so hash constants,
+// byte-folding logic and the launch-key layout live in exactly one place.
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
+#include <vector>
 
 namespace tp::common {
 
@@ -24,6 +27,37 @@ inline std::uint64_t fnvBytes(std::uint64_t h, const void* data,
 
 inline std::uint64_t fnvU64(std::uint64_t h, std::uint64_t v) {
   return fnvBytes(h, &v, sizeof(v));
+}
+
+inline std::uint64_t fnvDouble(std::uint64_t h, double v) {
+  return fnvU64(h, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Fold a length-delimited string: the length participates in the hash,
+/// so adjacent variable-length fields cannot alias ("ab"+"c" vs "a"+"bc").
+inline std::uint64_t fnvString(std::uint64_t h, std::string_view s) {
+  h = fnvU64(h, s.size());
+  return fnvBytes(h, s.data(), s.size());
+}
+
+inline std::uint64_t fnvDoubles(std::uint64_t h,
+                                const std::vector<double>& values) {
+  h = fnvU64(h, values.size());
+  for (const double v : values) h = fnvDouble(h, v);
+  return h;
+}
+
+/// Hash of the shared (machine, program, quantized launch signature)
+/// layout used by serve::DecisionKey and adapt::RefineKey. Callers fold
+/// in any extra fields (e.g. the model version) on top.
+inline std::uint64_t hashLaunchKey(std::string_view machine,
+                                   std::string_view program,
+                                   const std::vector<double>& signature) {
+  std::uint64_t h = kFnvOffset;
+  h = fnvString(h, machine);
+  h = fnvString(h, program);
+  h = fnvDoubles(h, signature);
+  return h;
 }
 
 }  // namespace tp::common

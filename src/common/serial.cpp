@@ -1,0 +1,90 @@
+#include "common/serial.hpp"
+
+#include "common/error.hpp"
+
+namespace tp::common {
+
+void WireWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void WireWriter::str(std::string_view s) {
+  TP_REQUIRE(s.size() <= UINT32_MAX, "wire: string too long to encode");
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+void WireWriter::doubles(const std::vector<double>& values) {
+  TP_REQUIRE(values.size() <= UINT32_MAX, "wire: vector too long to encode");
+  u32(static_cast<std::uint32_t>(values.size()));
+  for (const double v : values) f64(v);
+}
+
+const unsigned char* WireReader::need(std::size_t n) {
+  TP_REQUIRE(n <= data_.size() - pos_,
+             "wire: truncated input (need " << n << " bytes at offset "
+                                            << pos_ << " of " << data_.size()
+                                            << ")");
+  const auto* p =
+      reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t WireReader::u8() { return *need(1); }
+
+std::uint16_t WireReader::u16() {
+  const auto* p = need(2);
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t WireReader::u32() {
+  const auto* p = need(4);
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t WireReader::u64() {
+  const std::uint64_t lo = u32();
+  const std::uint64_t hi = u32();
+  return lo | (hi << 32);
+}
+
+std::string WireReader::str() {
+  const std::uint32_t n = u32();
+  const auto* p = need(n);
+  return std::string(reinterpret_cast<const char*>(p), n);
+}
+
+std::vector<double> WireReader::doubles() {
+  const std::uint32_t n = u32();
+  // Each element needs 8 bytes: reject absurd counts before reserving.
+  TP_REQUIRE(static_cast<std::size_t>(n) * 8 <= remaining(),
+             "wire: truncated double vector (claims " << n << " elements, "
+                                                      << remaining()
+                                                      << " bytes left)");
+  std::vector<double> values;
+  values.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) values.push_back(f64());
+  return values;
+}
+
+void WireReader::expectEnd() const {
+  TP_REQUIRE(atEnd(), "wire: " << remaining()
+                               << " trailing bytes after the last field");
+}
+
+}  // namespace tp::common

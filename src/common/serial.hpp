@@ -1,0 +1,64 @@
+#pragma once
+
+// Wire serialization: a minimal, explicitly little-endian binary format
+// shared by everything that puts structured state on a wire or on disk
+// (fleet gossip messages, replica snapshots). The encoding is
+// position-based — writer and reader must agree on field order — and the
+// reader bounds-checks every access, so truncated or corrupt input
+// surfaces as tp::Error instead of undefined behavior. Byte order is
+// fixed by shifting (not memcpy), so encoded bytes are portable across
+// hosts.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tp::common {
+
+class WireWriter {
+public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  /// u32 length prefix + raw bytes.
+  void str(std::string_view s);
+  void doubles(const std::vector<double>& values);
+
+  std::size_t size() const noexcept { return buf_.size(); }
+  const std::string& data() const noexcept { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+private:
+  std::string buf_;
+};
+
+class WireReader {
+public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string str();
+  std::vector<double> doubles();
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool atEnd() const noexcept { return pos_ == data_.size(); }
+  /// Throws tp::Error unless every byte has been consumed.
+  void expectEnd() const;
+
+private:
+  const unsigned char* need(std::size_t n);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tp::common

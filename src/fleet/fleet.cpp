@@ -1,0 +1,100 @@
+#include "fleet/fleet.hpp"
+
+#include "common/error.hpp"
+
+namespace tp::fleet {
+
+Fleet::Fleet(FleetConfig config)
+    : config_(std::move(config)), bus_(config_.gossip) {
+  TP_REQUIRE(config_.replicas > 0, "Fleet: need at least one replica");
+  for (std::size_t r = 0; r < config_.replicas; ++r) {
+    ReplicaConfig rc;
+    rc.id = config_.idPrefix + std::to_string(r);
+    rc.service = config_.service;
+    // Decorrelate exploration across replicas: with one shared seed
+    // every replica would draw identical probe decisions and re-measure
+    // the same arms in lockstep, and gossip could never save a probe.
+    rc.service.refiner.seed =
+        config_.service.refiner.seed + 0x9E3779B9ull * r;
+    if (!config_.snapshotDir.empty()) {
+      rc.snapshotDir = config_.snapshotDir + "/" + rc.id;
+    }
+    replicas_.push_back(std::make_unique<Replica>(
+        std::move(rc), transport_, config_.gossipEnabled ? &bus_ : nullptr));
+  }
+}
+
+Fleet::~Fleet() {
+  // Quiesce in dependency order: no more gossip rounds, then no more
+  // traffic; replica destructors then detach from the transport with
+  // nothing in flight.
+  bus_.stop();
+  shutdownAll();
+}
+
+Replica& Fleet::replica(std::size_t index) {
+  TP_REQUIRE(index < replicas_.size(), "Fleet: replica index "
+                                           << index << " out of range (fleet "
+                                              "of "
+                                           << replicas_.size() << ")");
+  return *replicas_[index];
+}
+
+void Fleet::addMachine(const sim::MachineConfig& machine,
+                       std::shared_ptr<const ml::Classifier> model) {
+  for (const auto& replica : replicas_) {
+    replica->addMachine(machine, model);
+  }
+}
+
+std::future<serve::LaunchResponse> Fleet::submit(serve::LaunchRequest request) {
+  const std::size_t r = nextReplica_.fetch_add(1) % replicas_.size();
+  return replicas_[r]->submit(std::move(request));
+}
+
+serve::LaunchResponse Fleet::call(serve::LaunchRequest request) {
+  return submit(std::move(request)).get();
+}
+
+std::size_t Fleet::gossipRound() { return bus_.runRound(); }
+
+void Fleet::startGossip() {
+  TP_REQUIRE(config_.gossipEnabled, "Fleet: gossip is disabled");
+  bus_.start();
+}
+
+void Fleet::stopGossip() { bus_.stop(); }
+
+Replica::FleetRetrain Fleet::retrainFleet(std::size_t leader) {
+  return replica(leader).coordinateRetrain();
+}
+
+std::vector<std::uint64_t> Fleet::saveSnapshots() {
+  std::vector<std::uint64_t> sequences;
+  sequences.reserve(replicas_.size());
+  for (const auto& replica : replicas_) {
+    sequences.push_back(replica->saveSnapshot());
+  }
+  return sequences;
+}
+
+void Fleet::drainAll() {
+  for (const auto& replica : replicas_) replica->service().drain();
+}
+
+void Fleet::shutdownAll() {
+  for (const auto& replica : replicas_) replica->service().shutdown();
+}
+
+Fleet::FleetStats Fleet::stats() const {
+  FleetStats stats;
+  stats.replicas.reserve(replicas_.size());
+  for (const auto& replica : replicas_) {
+    stats.replicas.push_back(replica->stats());
+  }
+  stats.transport = transport_.counters();
+  stats.gossipRounds = bus_.rounds();
+  return stats;
+}
+
+}  // namespace tp::fleet

@@ -1,0 +1,88 @@
+#pragma once
+
+// Fleet — N serving replicas as one simulated deployment.
+//
+// Wires Replicas to a shared LoopbackTransport and GossipBus, fans
+// machine registration out to every replica, load-balances submissions
+// round-robin, and exposes fleet-wide operations: manual or background
+// gossip rounds, coordinated retrain from any replica, aggregate stats.
+// Everything a multi-process deployment would do over sockets happens
+// here over the same wire format, in one process — which is what the
+// tests, the example and the scaling benchmark drive.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/gossip.hpp"
+#include "fleet/replica.hpp"
+#include "fleet/transport.hpp"
+
+namespace tp::fleet {
+
+struct FleetConfig {
+  std::size_t replicas = 3;
+  serve::ServiceConfig service;  ///< applied to every replica
+  GossipConfig gossip;
+  bool gossipEnabled = true;  ///< off = replicas refine independently
+  /// Root for per-replica snapshot directories ("<dir>/<replica-id>");
+  /// empty = persistence off.
+  std::string snapshotDir;
+  std::string idPrefix = "replica-";
+};
+
+class Fleet {
+public:
+  explicit Fleet(FleetConfig config);
+  ~Fleet();  ///< stops gossip, shuts every replica down
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  std::size_t size() const noexcept { return replicas_.size(); }
+  Replica& replica(std::size_t index);
+  LoopbackTransport& transport() noexcept { return transport_; }
+  GossipBus& gossip() noexcept { return bus_; }
+
+  /// Register a machine + model on every replica.
+  void addMachine(const sim::MachineConfig& machine,
+                  std::shared_ptr<const ml::Classifier> model);
+
+  /// Round-robin submission across replicas.
+  std::future<serve::LaunchResponse> submit(serve::LaunchRequest request);
+  serve::LaunchResponse call(serve::LaunchRequest request);
+
+  /// One manual anti-entropy round (no-op fleet-wide when gossip is
+  /// disabled). Returns participants invoked.
+  std::size_t gossipRound();
+  /// Start/stop background gossip (requires gossipEnabled).
+  void startGossip();
+  void stopGossip();
+
+  /// Fleet-wide retrain coordinated by `leader`.
+  Replica::FleetRetrain retrainFleet(std::size_t leader = 0);
+
+  /// Snapshot every replica; returns per-replica sequence numbers.
+  std::vector<std::uint64_t> saveSnapshots();
+
+  void drainAll();
+  void shutdownAll();
+
+  struct FleetStats {
+    std::vector<serve::ServiceStats> replicas;  ///< index order
+    TransportCounters transport;
+    std::uint64_t gossipRounds = 0;
+  };
+  FleetStats stats() const;
+
+private:
+  FleetConfig config_;
+  LoopbackTransport transport_;
+  GossipBus bus_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::atomic<std::uint64_t> nextReplica_{0};
+};
+
+}  // namespace tp::fleet

@@ -1,0 +1,111 @@
+#include "fleet/gossip.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.hpp"
+
+namespace tp::fleet {
+
+GossipBus::GossipBus(GossipConfig config) : config_(config) {
+  TP_REQUIRE(config_.intervalSeconds > 0.0,
+             "GossipBus: intervalSeconds must be > 0, got "
+                 << config_.intervalSeconds);
+}
+
+GossipBus::~GossipBus() { stop(); }
+
+void GossipBus::join(const std::string& node, RoundFn fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, existing] : participants_) {
+    if (name == node) {
+      existing = std::move(fn);
+      return;
+    }
+  }
+  participants_.emplace_back(node, std::move(fn));
+}
+
+void GossipBus::leave(const std::string& node) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    participants_.erase(
+        std::remove_if(participants_.begin(), participants_.end(),
+                       [&](const auto& p) { return p.first == node; }),
+        participants_.end());
+  }
+  // An in-flight round copied its fn list before we erased: wait it out,
+  // so the departing participant's fn can never run after leave()
+  // returns (its owner is free to destroy itself).
+  std::lock_guard<std::mutex> drain(roundMutex_);
+}
+
+std::size_t GossipBus::runRound() {
+  // Invoke outside the bus lock: round fns broadcast over the transport,
+  // whose handlers merge into replicas and may call back into join/leave
+  // (replica teardown) from other threads. roundMutex_ is what leave()
+  // waits on to drain an in-flight round.
+  std::lock_guard<std::mutex> round(roundMutex_);
+  std::vector<RoundFn> fns;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fns.reserve(participants_.size());
+    for (const auto& [node, fn] : participants_) {
+      (void)node;
+      fns.push_back(fn);
+    }
+    ++rounds_;
+  }
+  for (const RoundFn& fn : fns) fn();
+  return fns.size();
+}
+
+void GossipBus::start() {
+  std::lock_guard<std::mutex> stopLock(stopMutex_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  stopRequested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void GossipBus::stop() {
+  // stopMutex_ serializes concurrent stoppers (and start-vs-stop): only
+  // one caller joins the thread, and a second caller returns only after
+  // the first has fully stopped it — never while the loop still runs.
+  std::lock_guard<std::mutex> stopLock(stopMutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stopRequested_ = true;
+  }
+  stopCv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+bool GossipBus::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+void GossipBus::loop() {
+  const auto interval = std::chrono::duration<double>(config_.intervalSeconds);
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (stopCv_.wait_for(lock, interval, [this] { return stopRequested_; })) {
+        return;
+      }
+    }
+    runRound();
+  }
+}
+
+std::uint64_t GossipBus::rounds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rounds_;
+}
+
+}  // namespace tp::fleet

@@ -1,0 +1,76 @@
+#pragma once
+
+// GossipBus — periodic anti-entropy rounds across fleet replicas.
+//
+// Each participant registers a round function (for a Replica:
+// publishWins(), which broadcasts its adopted refiner wins over the
+// transport). runRound() invokes every participant once; start() runs
+// rounds from a background thread on a fixed interval until stop().
+// Rounds are anti-entropy in the classic sense: participants re-offer
+// their full win state each round and merging is idempotent, so replicas
+// converge even if individual messages were lost — and a participant
+// whose state digest has not changed skips the broadcast entirely.
+//
+// Tests and benchmarks drive runRound() manually (background = false)
+// for determinism; the background thread is for long-lived services.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace tp::fleet {
+
+struct GossipConfig {
+  double intervalSeconds = 0.05;  ///< background round period
+};
+
+class GossipBus {
+public:
+  using RoundFn = std::function<void()>;
+
+  explicit GossipBus(GossipConfig config = {});
+  ~GossipBus();  ///< stop()s the background thread
+
+  GossipBus(const GossipBus&) = delete;
+  GossipBus& operator=(const GossipBus&) = delete;
+
+  /// Add a participant; its fn runs once per round, on the bus thread
+  /// (or the runRound() caller's).
+  void join(const std::string& node, RoundFn fn);
+  /// Remove a participant. Blocks until any in-flight round has finished
+  /// invoking its copied fns, so after leave() returns the fn is never
+  /// called again — a Replica may destroy itself safely.
+  void leave(const std::string& node);
+
+  /// One anti-entropy round: every participant's fn, in join order.
+  /// Returns the number of participants invoked.
+  std::size_t runRound();
+
+  /// Start/stop the background round thread. Idempotent.
+  void start();
+  void stop();
+  bool running() const;
+
+  std::uint64_t rounds() const;
+
+private:
+  void loop();
+
+  GossipConfig config_;
+  mutable std::mutex mutex_;  ///< guards participants_ + lifecycle state
+  std::mutex roundMutex_;     ///< held while a round invokes its fns
+  std::mutex stopMutex_;      ///< serializes start()/stop() callers
+  std::condition_variable stopCv_;
+  std::vector<std::pair<std::string, RoundFn>> participants_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stopRequested_ = false;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace tp::fleet

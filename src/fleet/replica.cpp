@@ -1,0 +1,321 @@
+#include "fleet/replica.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "common/log.hpp"
+#include "runtime/evaluation.hpp"
+
+namespace tp::fleet {
+
+namespace {
+
+/// Order-independent digest of a win set (records may come out of the
+/// refiner's shards in any order). Folds the peer count in, so a replica
+/// joining the transport forces a re-broadcast of otherwise unchanged
+/// state — anti-entropy must reach newcomers.
+std::uint64_t winsDigest(const std::vector<adapt::WinRecord>& wins,
+                         std::size_t peers) {
+  std::uint64_t digest = common::fnvU64(common::kFnvOffset, peers);
+  digest = common::fnvU64(digest, wins.size());
+  std::uint64_t fold = 0;
+  for (const adapt::WinRecord& rec : wins) {
+    std::uint64_t h = common::hashLaunchKey(rec.key.machine, rec.key.program,
+                                            rec.key.signature);
+    h = common::fnvU64(h, rec.modelVersion);
+    h = common::fnvU64(h, rec.incumbentLabel);
+    h = common::fnvDouble(h, rec.incumbentMean);
+    for (const adapt::WinArm& arm : rec.arms) {
+      h = common::fnvU64(h, arm.label);
+      h = common::fnvU64(h, arm.count);
+      h = common::fnvDouble(h, arm.meanSeconds);
+    }
+    fold ^= h;  // XOR: commutative across record order
+  }
+  return common::fnvU64(digest, fold);
+}
+
+std::uint64_t recordDedupHash(const runtime::LaunchRecord& rec) {
+  std::uint64_t h = common::kFnvOffset;
+  h = common::fnvString(h, rec.machine);
+  h = common::fnvString(h, rec.program);
+  h = common::fnvString(h, rec.sizeLabel);
+  h = common::fnvDoubles(h, rec.staticFeatures);
+  h = common::fnvDoubles(h, rec.runtimeFeatures);
+  return h;
+}
+
+}  // namespace
+
+Replica::Replica(ReplicaConfig config, Transport& transport, GossipBus* bus)
+    : config_(std::move(config)), transport_(transport), bus_(bus) {
+  TP_REQUIRE(!config_.id.empty(), "Replica: empty id");
+  service_ = std::make_unique<serve::PartitionService>(config_.service);
+  if (!config_.snapshotDir.empty()) store_.emplace(config_.snapshotDir);
+  transport_.attach(config_.id,
+                    [this](const Envelope& envelope) { handle(envelope); });
+  if (bus_ != nullptr) {
+    bus_->join(config_.id, [this] { publishWins(); });
+  }
+}
+
+Replica::~Replica() {
+  if (bus_ != nullptr) bus_->leave(config_.id);
+  transport_.detach(config_.id);
+  service_->shutdown();
+}
+
+void Replica::addMachine(const sim::MachineConfig& machine,
+                         std::shared_ptr<const ml::Classifier> model) {
+  service_->addMachine(machine, std::move(model));
+}
+
+std::future<serve::LaunchResponse> Replica::submit(
+    serve::LaunchRequest request) {
+  return service_->submit(std::move(request));
+}
+
+serve::LaunchResponse Replica::call(serve::LaunchRequest request) {
+  return service_->call(std::move(request));
+}
+
+bool Replica::warmStart() {
+  if (!store_.has_value()) return false;
+  const auto snapshot = store_->loadLatest();
+  if (!snapshot.has_value()) return false;
+
+  std::vector<serve::PartitionService::ModelUpdate> updates;
+  updates.reserve(snapshot->models.size());
+  for (const ModelBlob& blob : snapshot->models) {
+    std::istringstream is(blob.model);
+    updates.push_back(serve::PartitionService::ModelUpdate{
+        blob.machine,
+        std::shared_ptr<const ml::Classifier>(ml::loadClassifier(is))});
+  }
+  service_->installModels(updates, snapshot->modelVersion);
+
+  // The refiner state flows through the same merge path as gossip (and
+  // shows up in the same counters): every record carries the snapshot's
+  // generation, which installModels just made current.
+  const adapt::MergeResult result = service_->mergeRemoteWins(snapshot->wins);
+  counters_.winsReceived += snapshot->wins.size();
+  counters_.winsMerged += result.merged();
+  counters_.winsAdopted += result.adopted;
+  counters_.winsRejectedStale += result.stale;
+  counters_.winsDropped += result.dropped;
+  counters_.snapshotsLoaded += 1;
+  counters_.modelInstalls += 1;
+  return true;
+}
+
+std::uint64_t Replica::saveSnapshot() {
+  TP_REQUIRE(store_.has_value(),
+             "Replica " << config_.id << ": no snapshotDir configured");
+  // Models, generation and refiner state are read in separate calls; a
+  // retrain landing in between would mix generations. Retry on version
+  // movement — a torn snapshot is still safe (stale-generation wins are
+  // rejected on load) but a clean one is better.
+  ReplicaSnapshot snapshot;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    snapshot = ReplicaSnapshot{};
+    snapshot.modelVersion = service_->modelVersion();
+    for (const auto& deployed : service_->deployedModels()) {
+      std::ostringstream os;
+      deployed.model->save(os);
+      snapshot.models.push_back(ModelBlob{deployed.machine, os.str()});
+    }
+    snapshot.wins = service_->exportRefinedWins(/*refinedOnly=*/false);
+    if (service_->modelVersion() == snapshot.modelVersion) break;
+  }
+  const std::uint64_t seq = store_->save(snapshot);
+  counters_.snapshotsWritten += 1;
+  return seq;
+}
+
+void Replica::publishWins() {
+  // Full-state anti-entropy, not a refined-only delta: the measured
+  // evidence for *unrefined* neighborhoods is worth as much as the wins
+  // (a peer that merges it stops probing those arms), and re-offering
+  // everything each round is what lets merges stay idempotent while
+  // still reaching replicas that missed earlier rounds. The digest skip
+  // below keeps steady-state rounds free.
+  const auto wins = service_->exportRefinedWins(/*refinedOnly=*/false);
+  if (wins.empty()) {
+    counters_.gossipRoundsSkipped += 1;
+    return;
+  }
+  const std::uint64_t digest = winsDigest(wins, transport_.nodes().size());
+  if (lastWinsDigest_.exchange(digest) == digest) {
+    // Unchanged state — but never stay silent forever: a peer that
+    // (re)joined at the same node count, or missed a broadcast, only
+    // converges if the state is periodically re-offered.
+    const std::size_t skipped = skippedSinceBroadcast_.fetch_add(1) + 1;
+    if (config_.gossipRefreshRounds == 0 ||
+        skipped < config_.gossipRefreshRounds) {
+      counters_.gossipRoundsSkipped += 1;
+      return;
+    }
+  }
+  skippedSinceBroadcast_.store(0);
+  Envelope envelope;
+  envelope.kind = MsgKind::WinsGossip;
+  envelope.from = config_.id;
+  envelope.seq = nextSeq();
+  envelope.payload = encodeWins(wins);
+  transport_.broadcast(config_.id, envelope);
+  counters_.winsSent += wins.size();
+}
+
+Replica::FleetRetrain Replica::coordinateRetrain() {
+  const std::size_t peers = transport_.nodes().size() - 1;
+  {
+    std::lock_guard<std::mutex> lock(feedbackMutex_);
+    pendingFeedback_.clear();
+    collectingFeedback_ = true;
+  }
+  Envelope pull;
+  pull.kind = MsgKind::FeedbackPull;
+  pull.from = config_.id;
+  pull.seq = nextSeq();
+  transport_.broadcast(config_.id, pull);
+
+  std::vector<runtime::FeatureDatabase> remote;
+  {
+    std::unique_lock<std::mutex> lock(feedbackMutex_);
+    feedbackCv_.wait_for(
+        lock, std::chrono::duration<double>(config_.retrainWaitSeconds),
+        [&] { return pendingFeedback_.size() >= peers; });
+    collectingFeedback_ = false;
+    remote = std::move(pendingFeedback_);
+    pendingFeedback_.clear();
+  }
+
+  // Union of the fleet's traffic, deduplicated the way FeedbackRecorder
+  // deduplicates locally: one record per distinct launch.
+  runtime::FeatureDatabase db = service_->trafficSnapshot();
+  std::unordered_set<std::uint64_t> seen;
+  for (const runtime::LaunchRecord& rec : db.records()) {
+    seen.insert(recordDedupHash(rec));
+  }
+  for (const runtime::FeatureDatabase& peerDb : remote) {
+    for (const runtime::LaunchRecord& rec : peerDb.records()) {
+      if (seen.insert(recordDedupHash(rec)).second) db.add(rec);
+    }
+  }
+
+  FleetRetrain result;
+  result.recordsUsed = db.size();
+  result.peersHeard = remote.size();
+
+  ModelInstallMsg msg;
+  msg.modelVersion = service_->modelVersion() + 1;
+  for (const auto& deployed : service_->deployedModels()) {
+    if (db.forMachine(deployed.machine).empty()) continue;
+    const auto model = runtime::trainDeploymentModel(
+        db, deployed.machine, config_.service.retrainSpec,
+        runtime::FeatureSet::Combined, config_.service.retrainSeed);
+    std::ostringstream os;
+    model->save(os);
+    msg.models.push_back(ModelBlob{deployed.machine, os.str()});
+  }
+  result.modelVersion = msg.modelVersion;
+  result.machinesRetrained = msg.models.size();
+
+  Envelope install;
+  install.kind = MsgKind::ModelInstall;
+  install.from = config_.id;
+  install.seq = nextSeq();
+  install.payload = encodeModelInstall(msg);
+  transport_.broadcast(config_.id, install);
+  // The coordinator applies the same decoded message it broadcast, so
+  // every replica — including this one — serves byte-identical models.
+  applyModelInstall(decodeModelInstall(install.payload));
+  return result;
+}
+
+serve::ServiceStats Replica::stats() const {
+  serve::ServiceStats s = service_->stats();
+  s.fleet.winsSent = counters_.winsSent.load();
+  s.fleet.winsReceived = counters_.winsReceived.load();
+  s.fleet.winsMerged = counters_.winsMerged.load();
+  s.fleet.winsAdopted = counters_.winsAdopted.load();
+  s.fleet.winsRejectedStale = counters_.winsRejectedStale.load();
+  s.fleet.winsDropped = counters_.winsDropped.load();
+  s.fleet.snapshotsWritten = counters_.snapshotsWritten.load();
+  s.fleet.snapshotsLoaded = counters_.snapshotsLoaded.load();
+  s.fleet.modelInstalls = counters_.modelInstalls.load();
+  s.fleet.gossipRoundsSkipped = counters_.gossipRoundsSkipped.load();
+  return s;
+}
+
+void Replica::handle(const Envelope& envelope) {
+  try {
+    switch (envelope.kind) {
+      case MsgKind::WinsGossip:
+        handleWins(envelope);
+        return;
+      case MsgKind::FeedbackPull:
+        handleFeedbackPull(envelope);
+        return;
+      case MsgKind::FeedbackPush:
+        handleFeedbackPush(envelope);
+        return;
+      case MsgKind::ModelInstall:
+        applyModelInstall(decodeModelInstall(envelope.payload));
+        return;
+    }
+    TP_THROW("Replica: unhandled message kind "
+             << static_cast<int>(envelope.kind));
+  } catch (const std::exception& e) {
+    // A malformed or unexpected message must not take the replica down
+    // with it (the sender's state is not ours to trust).
+    TP_WARN("replica " << config_.id << ": dropping "
+                       << msgKindName(envelope.kind) << " from "
+                       << envelope.from << ": " << e.what());
+  }
+}
+
+void Replica::handleWins(const Envelope& envelope) {
+  const auto wins = decodeWins(envelope.payload);
+  const adapt::MergeResult result = service_->mergeRemoteWins(wins);
+  counters_.winsReceived += wins.size();
+  counters_.winsMerged += result.merged();
+  counters_.winsAdopted += result.adopted;
+  counters_.winsRejectedStale += result.stale;
+  counters_.winsDropped += result.dropped;
+}
+
+void Replica::handleFeedbackPull(const Envelope& envelope) {
+  Envelope push;
+  push.kind = MsgKind::FeedbackPush;
+  push.from = config_.id;
+  push.seq = nextSeq();
+  push.payload = encodeFeedback(service_->trafficSnapshot());
+  transport_.send(config_.id, envelope.from, push);
+}
+
+void Replica::handleFeedbackPush(const Envelope& envelope) {
+  auto db = decodeFeedback(envelope.payload);
+  std::lock_guard<std::mutex> lock(feedbackMutex_);
+  if (!collectingFeedback_) return;  // late reply from a previous pull
+  pendingFeedback_.push_back(std::move(db));
+  feedbackCv_.notify_all();
+}
+
+void Replica::applyModelInstall(const ModelInstallMsg& msg) {
+  std::vector<serve::PartitionService::ModelUpdate> updates;
+  updates.reserve(msg.models.size());
+  for (const ModelBlob& blob : msg.models) {
+    std::istringstream is(blob.model);
+    updates.push_back(serve::PartitionService::ModelUpdate{
+        blob.machine,
+        std::shared_ptr<const ml::Classifier>(ml::loadClassifier(is))});
+  }
+  service_->installModels(updates, msg.modelVersion);
+  counters_.modelInstalls += 1;
+}
+
+}  // namespace tp::fleet

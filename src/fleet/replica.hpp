@@ -1,0 +1,141 @@
+#pragma once
+
+// Replica — one PartitionService wired into a fleet.
+//
+// A replica serves traffic like a standalone service, and additionally:
+//
+//   - publishes its refiner's adopted wins over the transport on each
+//     gossip round (skipping no-change rounds via a state digest), and
+//     merges win batches arriving from peers — so a partitioning win
+//     measured on one machine warms every replica's refiner AND decision
+//     cache without a single probe elsewhere;
+//   - answers fleet retrain coordination: on FeedbackPull it ships its
+//     recorded traffic to the coordinator; on ModelInstall it swaps in
+//     the retrained models and invalidates its cache generation;
+//   - persists snapshots (models + generation + full refiner state) to a
+//     SnapshotStore, and warm-starts from the latest snapshot so a
+//     restarted replica serves refined decisions from its first request.
+//
+// Message handlers run on whatever thread the transport delivers from
+// and touch only thread-safe service surfaces. Detach-before-destroy is
+// the caller's job (Fleet quiesces gossip before tearing replicas down).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fleet/gossip.hpp"
+#include "fleet/snapshot.hpp"
+#include "fleet/transport.hpp"
+#include "serve/service.hpp"
+
+namespace tp::fleet {
+
+struct ReplicaConfig {
+  std::string id;                 ///< transport address, must be unique
+  serve::ServiceConfig service;   ///< per-replica serving configuration
+  std::string snapshotDir;        ///< empty = persistence off
+  /// How long coordinateRetrain() waits for peer feedback (loopback
+  /// answers synchronously; a socket transport would not).
+  double retrainWaitSeconds = 5.0;
+  /// Force a full win-state broadcast after this many consecutive
+  /// digest-skipped gossip rounds, so a peer that (re)joined or missed
+  /// messages still converges even when the sender's state is static.
+  /// 0 disables the refresh (pure digest skipping).
+  std::size_t gossipRefreshRounds = 8;
+};
+
+class Replica {
+public:
+  /// Attaches to `transport` under config.id; joins `bus` (when given)
+  /// with publishWins() as its round function.
+  Replica(ReplicaConfig config, Transport& transport, GossipBus* bus = nullptr);
+  ~Replica();
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  const std::string& id() const noexcept { return config_.id; }
+  serve::PartitionService& service() noexcept { return *service_; }
+  const serve::PartitionService& service() const noexcept { return *service_; }
+
+  void addMachine(const sim::MachineConfig& machine,
+                  std::shared_ptr<const ml::Classifier> model);
+  std::future<serve::LaunchResponse> submit(serve::LaunchRequest request);
+  serve::LaunchResponse call(serve::LaunchRequest request);
+
+  /// Load the latest snapshot, if any: install its models at its
+  /// generation and merge its refiner state. Call after addMachine()s
+  /// and before traffic. Returns whether a snapshot was applied.
+  bool warmStart();
+
+  /// Persist the current models + generation + full refiner state.
+  /// Returns the snapshot sequence number. Throws without a snapshotDir.
+  std::uint64_t saveSnapshot();
+
+  /// One gossip round: broadcast the refiner's measured state — adopted
+  /// incumbents plus their evidence (no-op when the state digest is
+  /// unchanged since the last publish).
+  void publishWins();
+
+  struct FleetRetrain {
+    std::uint64_t modelVersion = 0;   ///< generation fanned out
+    std::size_t recordsUsed = 0;      ///< union feedback records
+    std::size_t machinesRetrained = 0;
+    std::size_t peersHeard = 0;       ///< feedback responses received
+  };
+  /// Coordinate a fleet-wide retrain from this replica: pull every
+  /// peer's recorded traffic, refit each machine's model on the union,
+  /// and fan the new generation out over the bus (cache + refiner state
+  /// of the old generation invalidates everywhere).
+  FleetRetrain coordinateRetrain();
+
+  /// Service stats with the fleet counter group populated.
+  serve::ServiceStats stats() const;
+
+private:
+  void handle(const Envelope& envelope);
+  void handleWins(const Envelope& envelope);
+  void handleFeedbackPull(const Envelope& envelope);
+  void handleFeedbackPush(const Envelope& envelope);
+  void applyModelInstall(const ModelInstallMsg& msg);
+
+  std::uint64_t nextSeq() { return seq_.fetch_add(1) + 1; }
+
+  ReplicaConfig config_;
+  Transport& transport_;
+  GossipBus* bus_ = nullptr;
+  std::unique_ptr<serve::PartitionService> service_;
+  std::optional<SnapshotStore> store_;
+
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> lastWinsDigest_{0};
+  std::atomic<std::size_t> skippedSinceBroadcast_{0};
+
+  // Feedback fan-in for coordinateRetrain().
+  std::mutex feedbackMutex_;
+  std::condition_variable feedbackCv_;
+  bool collectingFeedback_ = false;
+  std::vector<runtime::FeatureDatabase> pendingFeedback_;
+
+  struct Counters {
+    std::atomic<std::uint64_t> winsSent{0};
+    std::atomic<std::uint64_t> winsReceived{0};
+    std::atomic<std::uint64_t> winsMerged{0};
+    std::atomic<std::uint64_t> winsAdopted{0};
+    std::atomic<std::uint64_t> winsRejectedStale{0};
+    std::atomic<std::uint64_t> winsDropped{0};
+    std::atomic<std::uint64_t> snapshotsWritten{0};
+    std::atomic<std::uint64_t> snapshotsLoaded{0};
+    std::atomic<std::uint64_t> modelInstalls{0};
+    std::atomic<std::uint64_t> gossipRoundsSkipped{0};
+  };
+  mutable Counters counters_;
+};
+
+}  // namespace tp::fleet

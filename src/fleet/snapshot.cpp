@@ -1,0 +1,148 @@
+#include "fleet/snapshot.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/serial.hpp"
+
+namespace tp::fleet {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kSnapshotMagic = 0x5450534eu;  // "TPSN"
+constexpr std::uint16_t kSnapshotVersion = 1;
+constexpr const char* kPrefix = "snapshot-";
+constexpr const char* kSuffix = ".tpsnap";
+
+std::string fileName(std::uint64_t seq) {
+  std::ostringstream os;
+  os << kPrefix;
+  os.width(8);
+  os.fill('0');
+  os << seq << kSuffix;
+  return os.str();
+}
+
+/// Sequence number of a snapshot file name; 0 when it is not one.
+std::uint64_t sequenceOf(const std::string& name) {
+  const std::string prefix = kPrefix;
+  const std::string suffix = kSuffix;
+  if (name.size() <= prefix.size() + suffix.size()) return 0;
+  if (name.compare(0, prefix.size(), prefix) != 0) return 0;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return 0;
+  }
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  std::uint64_t seq = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return 0;
+    seq = seq * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+}  // namespace
+
+std::string encodeSnapshot(const ReplicaSnapshot& snapshot) {
+  common::WireWriter w;
+  w.u32(kSnapshotMagic);
+  w.u16(kSnapshotVersion);
+  w.u64(snapshot.modelVersion);
+  w.u32(static_cast<std::uint32_t>(snapshot.models.size()));
+  for (const ModelBlob& blob : snapshot.models) {
+    w.str(blob.machine);
+    w.str(blob.model);
+  }
+  w.str(encodeWins(snapshot.wins));
+  return w.take();
+}
+
+ReplicaSnapshot decodeSnapshot(std::string_view bytes) {
+  common::WireReader r(bytes);
+  const std::uint32_t magic = r.u32();
+  TP_REQUIRE(magic == kSnapshotMagic,
+             "snapshot: bad magic 0x" << std::hex << magic);
+  const std::uint16_t version = r.u16();
+  TP_REQUIRE(version == kSnapshotVersion,
+             "snapshot: unsupported format version " << version);
+  ReplicaSnapshot snapshot;
+  snapshot.modelVersion = r.u64();
+  const std::uint32_t n = r.u32();
+  snapshot.models.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ModelBlob blob;
+    blob.machine = r.str();
+    blob.model = r.str();
+    snapshot.models.push_back(std::move(blob));
+  }
+  snapshot.wins = decodeWins(r.str());
+  r.expectEnd();
+  return snapshot;
+}
+
+SnapshotStore::SnapshotStore(std::string dir) : dir_(std::move(dir)) {
+  TP_REQUIRE(!dir_.empty(), "SnapshotStore: empty directory");
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  TP_REQUIRE(!ec, "SnapshotStore: cannot create " << dir_ << ": "
+                                                  << ec.message());
+}
+
+std::uint64_t SnapshotStore::highestSequence() const {
+  std::uint64_t highest = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    highest = std::max(highest, sequenceOf(entry.path().filename().string()));
+  }
+  return highest;
+}
+
+std::uint64_t SnapshotStore::save(const ReplicaSnapshot& snapshot) {
+  const std::uint64_t seq = highestSequence() + 1;
+  const fs::path finalPath = fs::path(dir_) / fileName(seq);
+  const fs::path tmpPath = fs::path(dir_) / (fileName(seq) + ".tmp");
+  const std::string bytes = encodeSnapshot(snapshot);
+  {
+    std::ofstream os(tmpPath, std::ios::binary | std::ios::trunc);
+    if (!os) throw IoError("SnapshotStore: cannot write " + tmpPath.string());
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    os.flush();
+    if (!os) throw IoError("SnapshotStore: short write to " + tmpPath.string());
+  }
+  // Atomic publish: readers either see the previous latest snapshot or
+  // this complete one, never a half-written file.
+  std::error_code ec;
+  fs::rename(tmpPath, finalPath, ec);
+  if (ec) {
+    throw IoError("SnapshotStore: cannot publish " + finalPath.string() +
+                  ": " + ec.message());
+  }
+  return seq;
+}
+
+std::optional<ReplicaSnapshot> SnapshotStore::loadLatest() const {
+  const std::uint64_t seq = highestSequence();
+  if (seq == 0) return std::nullopt;
+  const fs::path path = fs::path(dir_) / fileName(seq);
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw IoError("SnapshotStore: cannot open " + path.string());
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return decodeSnapshot(buffer.str());
+}
+
+std::size_t SnapshotStore::count() const {
+  std::size_t n = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (sequenceOf(entry.path().filename().string()) > 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace tp::fleet

@@ -1,0 +1,58 @@
+#pragma once
+
+// SnapshotStore — replica state that survives restarts.
+//
+// A snapshot is everything a fresh replica needs to serve refined
+// decisions immediately instead of relearning them: the deployed model
+// of every machine (serialized), the generation they serve, and the
+// refiner's full tracked state (every key's measured arms, exported with
+// exportWins(refinedOnly = false)). Snapshots are numbered files in one
+// directory, written atomically (temp file + rename) in the fleet wire
+// encoding with its own magic/version header; loadLatest() picks the
+// highest sequence number, so a crash mid-write never corrupts the
+// recovery path — the previous snapshot still wins.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adapt/refiner.hpp"
+#include "fleet/wire.hpp"
+
+namespace tp::fleet {
+
+struct ReplicaSnapshot {
+  std::uint64_t modelVersion = 0;
+  std::vector<ModelBlob> models;        ///< per machine, name order
+  std::vector<adapt::WinRecord> wins;   ///< full refiner export
+};
+
+std::string encodeSnapshot(const ReplicaSnapshot& snapshot);
+ReplicaSnapshot decodeSnapshot(std::string_view bytes);
+
+class SnapshotStore {
+public:
+  /// Creates `dir` (and parents) if absent.
+  explicit SnapshotStore(std::string dir);
+
+  const std::string& dir() const noexcept { return dir_; }
+
+  /// Persist a snapshot; returns its sequence number (monotonic per
+  /// directory, one past the highest already on disk).
+  std::uint64_t save(const ReplicaSnapshot& snapshot);
+
+  /// The snapshot with the highest sequence number, or nullopt when the
+  /// directory holds none.
+  std::optional<ReplicaSnapshot> loadLatest() const;
+
+  /// Snapshots currently on disk.
+  std::size_t count() const;
+
+private:
+  std::uint64_t highestSequence() const;
+
+  std::string dir_;
+};
+
+}  // namespace tp::fleet

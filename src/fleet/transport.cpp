@@ -1,0 +1,78 @@
+#include "fleet/transport.hpp"
+
+namespace tp::fleet {
+
+void LoopbackTransport::attach(const std::string& node, Handler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  handlers_[node] = std::move(handler);
+}
+
+void LoopbackTransport::detach(const std::string& node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  handlers_.erase(node);
+}
+
+std::vector<std::string> LoopbackTransport::nodes() const {
+  std::vector<std::string> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(handlers_.size());
+  for (const auto& [node, handler] : handlers_) {
+    (void)handler;
+    out.push_back(node);
+  }
+  return out;  // std::map: already sorted
+}
+
+void LoopbackTransport::deliver(const std::string& to,
+                                const std::string& bytes) {
+  // Copy the handler out of the lock before invoking it: handlers send
+  // reentrantly (FeedbackPull -> FeedbackPush), and invoking under the
+  // registry mutex would self-deadlock.
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = handlers_.find(to);
+    if (it == handlers_.end()) {
+      ++counters_.dropped;
+      return;
+    }
+    handler = it->second;
+    ++counters_.delivered;
+    counters_.bytesMoved += bytes.size();
+  }
+  // The receiving edge decodes from bytes — the wire format is the only
+  // thing that crosses between replicas.
+  handler(decodeEnvelope(bytes));
+}
+
+void LoopbackTransport::send(const std::string& from, const std::string& to,
+                             const Envelope& envelope) {
+  (void)from;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.sent;
+  }
+  deliver(to, encodeEnvelope(envelope));
+}
+
+void LoopbackTransport::broadcast(const std::string& from,
+                                  const Envelope& envelope) {
+  std::vector<std::string> targets;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.broadcasts;
+    for (const auto& [node, handler] : handlers_) {
+      (void)handler;
+      if (node != from) targets.push_back(node);
+    }
+  }
+  const std::string bytes = encodeEnvelope(envelope);
+  for (const std::string& to : targets) deliver(to, bytes);
+}
+
+TransportCounters LoopbackTransport::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace tp::fleet

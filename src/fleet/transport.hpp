@@ -1,0 +1,83 @@
+#pragma once
+
+// Transport — how fleet replicas reach each other.
+//
+// The interface is deliberately minimal (attach a handler, send to one
+// peer, broadcast to all) and carries only encoded Envelope bytes, so a
+// socket transport can slot in behind the same API later. The bundled
+// LoopbackTransport connects replicas inside one process but still
+// round-trips every message through encodeEnvelope()/decodeEnvelope():
+// what a replica receives is what came off the wire format, never a
+// shared in-memory object.
+//
+// Delivery is synchronous on the sender's thread and handlers run
+// without transport locks held, so a handler may send() or broadcast()
+// reentrantly (the retrain fan-in depends on this). Handlers must be
+// thread-safe: any attached node's messages can arrive from any peer's
+// thread.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fleet/wire.hpp"
+
+namespace tp::fleet {
+
+struct TransportCounters {
+  std::uint64_t sent = 0;        ///< point-to-point sends
+  std::uint64_t broadcasts = 0;  ///< broadcast() calls
+  std::uint64_t delivered = 0;   ///< handler invocations
+  std::uint64_t bytesMoved = 0;  ///< encoded bytes across all deliveries
+  std::uint64_t dropped = 0;     ///< unknown destination
+};
+
+class Transport {
+public:
+  using Handler = std::function<void(const Envelope&)>;
+
+  virtual ~Transport() = default;
+
+  /// Register `node` to receive messages; replaces any previous handler.
+  virtual void attach(const std::string& node, Handler handler) = 0;
+  /// Stop delivering to `node`. Prevents new deliveries but does NOT
+  /// wait for handler invocations already in flight on other threads —
+  /// quiesce senders (gossip rounds, retrain coordinators) before
+  /// destroying the handler's owner. GossipBus::leave() gives that
+  /// guarantee for bus-driven rounds; Fleet's teardown order does it
+  /// fleet-wide.
+  virtual void detach(const std::string& node) = 0;
+  /// Attached node ids, sorted.
+  virtual std::vector<std::string> nodes() const = 0;
+
+  /// Deliver to one peer; unknown destinations count as dropped.
+  virtual void send(const std::string& from, const std::string& to,
+                    const Envelope& envelope) = 0;
+  /// Deliver to every attached node except `from`.
+  virtual void broadcast(const std::string& from, const Envelope& envelope) = 0;
+
+  virtual TransportCounters counters() const = 0;
+};
+
+class LoopbackTransport final : public Transport {
+public:
+  void attach(const std::string& node, Handler handler) override;
+  void detach(const std::string& node) override;
+  std::vector<std::string> nodes() const override;
+  void send(const std::string& from, const std::string& to,
+            const Envelope& envelope) override;
+  void broadcast(const std::string& from, const Envelope& envelope) override;
+  TransportCounters counters() const override;
+
+private:
+  void deliver(const std::string& to, const std::string& bytes);
+
+  mutable std::mutex mutex_;  ///< guards handlers_ + counters_
+  std::map<std::string, Handler> handlers_;
+  TransportCounters counters_;
+};
+
+}  // namespace tp::fleet

@@ -1,0 +1,213 @@
+#include "fleet/wire.hpp"
+
+#include "common/error.hpp"
+#include "common/serial.hpp"
+
+namespace tp::fleet {
+
+using common::WireReader;
+using common::WireWriter;
+
+namespace {
+
+/// Read an element count and reject it unless the remaining bytes could
+/// plausibly hold that many elements (each at least `minBytesPer` bytes
+/// encoded) — corrupt or hostile length prefixes must throw, not
+/// reserve() gigabytes.
+std::uint32_t checkedCount(WireReader& r, std::size_t minBytesPer,
+                           const char* what) {
+  const std::uint32_t n = r.u32();
+  TP_REQUIRE(static_cast<std::size_t>(n) * minBytesPer <= r.remaining(),
+             "fleet wire: truncated input (claims " << n << " " << what
+                                                    << ", " << r.remaining()
+                                                    << " bytes left)");
+  return n;
+}
+
+}  // namespace
+
+const char* msgKindName(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::WinsGossip: return "WinsGossip";
+    case MsgKind::FeedbackPull: return "FeedbackPull";
+    case MsgKind::FeedbackPush: return "FeedbackPush";
+    case MsgKind::ModelInstall: return "ModelInstall";
+  }
+  return "unknown";
+}
+
+std::string encodeEnvelope(const Envelope& envelope) {
+  WireWriter w;
+  w.u32(kWireMagic);
+  w.u16(kWireVersion);
+  w.u8(static_cast<std::uint8_t>(envelope.kind));
+  w.str(envelope.from);
+  w.u64(envelope.seq);
+  w.str(envelope.payload);
+  return w.take();
+}
+
+Envelope decodeEnvelope(std::string_view bytes) {
+  WireReader r(bytes);
+  const std::uint32_t magic = r.u32();
+  TP_REQUIRE(magic == kWireMagic,
+             "fleet wire: bad magic 0x" << std::hex << magic);
+  const std::uint16_t version = r.u16();
+  TP_REQUIRE(version == kWireVersion,
+             "fleet wire: unsupported format version " << version
+                                                       << " (this build "
+                                                          "speaks "
+                                                       << kWireVersion << ")");
+  Envelope envelope;
+  const std::uint8_t kind = r.u8();
+  TP_REQUIRE(kind >= 1 && kind <= 4, "fleet wire: unknown message kind "
+                                         << static_cast<int>(kind));
+  envelope.kind = static_cast<MsgKind>(kind);
+  envelope.from = r.str();
+  envelope.seq = r.u64();
+  envelope.payload = r.str();
+  r.expectEnd();
+  return envelope;
+}
+
+// ---- WinsGossip ------------------------------------------------------------
+
+std::string encodeWins(const std::vector<adapt::WinRecord>& wins) {
+  WireWriter w;
+  w.u32(static_cast<std::uint32_t>(wins.size()));
+  for (const adapt::WinRecord& rec : wins) {
+    w.str(rec.key.machine);
+    w.str(rec.key.program);
+    w.doubles(rec.key.signature);
+    w.u64(rec.modelVersion);
+    w.u64(rec.baseLabel);
+    w.u64(rec.incumbentLabel);
+    w.f64(rec.incumbentMean);
+    w.u32(static_cast<std::uint32_t>(rec.arms.size()));
+    for (const adapt::WinArm& arm : rec.arms) {
+      w.u64(arm.label);
+      w.u64(arm.count);
+      w.f64(arm.meanSeconds);
+    }
+  }
+  return w.take();
+}
+
+std::vector<adapt::WinRecord> decodeWins(std::string_view bytes) {
+  WireReader r(bytes);
+  // A record is 3 length prefixes + 3 u64 + f64 + arm count at minimum.
+  const std::uint32_t n = checkedCount(r, 48, "win records");
+  std::vector<adapt::WinRecord> wins;
+  wins.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    adapt::WinRecord rec;
+    rec.key.machine = r.str();
+    rec.key.program = r.str();
+    rec.key.signature = r.doubles();
+    rec.modelVersion = r.u64();
+    rec.baseLabel = static_cast<std::size_t>(r.u64());
+    rec.incumbentLabel = static_cast<std::size_t>(r.u64());
+    rec.incumbentMean = r.f64();
+    const std::uint32_t arms = checkedCount(r, 24, "win arms");
+    rec.arms.reserve(arms);
+    for (std::uint32_t a = 0; a < arms; ++a) {
+      adapt::WinArm arm;
+      arm.label = static_cast<std::size_t>(r.u64());
+      arm.count = r.u64();
+      arm.meanSeconds = r.f64();
+      rec.arms.push_back(arm);
+    }
+    wins.push_back(std::move(rec));
+  }
+  r.expectEnd();
+  return wins;
+}
+
+// ---- ModelInstall ----------------------------------------------------------
+
+std::string encodeModelInstall(const ModelInstallMsg& msg) {
+  WireWriter w;
+  w.u64(msg.modelVersion);
+  w.u32(static_cast<std::uint32_t>(msg.models.size()));
+  for (const ModelBlob& blob : msg.models) {
+    w.str(blob.machine);
+    w.str(blob.model);
+  }
+  return w.take();
+}
+
+ModelInstallMsg decodeModelInstall(std::string_view bytes) {
+  WireReader r(bytes);
+  ModelInstallMsg msg;
+  msg.modelVersion = r.u64();
+  const std::uint32_t n = checkedCount(r, 8, "model blobs");
+  msg.models.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ModelBlob blob;
+    blob.machine = r.str();
+    blob.model = r.str();
+    msg.models.push_back(std::move(blob));
+  }
+  r.expectEnd();
+  return msg;
+}
+
+// ---- FeedbackPush ----------------------------------------------------------
+
+namespace {
+
+void encodeStrings(WireWriter& w, const std::vector<std::string>& strings) {
+  w.u32(static_cast<std::uint32_t>(strings.size()));
+  for (const std::string& s : strings) w.str(s);
+}
+
+std::vector<std::string> decodeStrings(WireReader& r) {
+  const std::uint32_t n = checkedCount(r, 4, "strings");
+  std::vector<std::string> strings;
+  strings.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) strings.push_back(r.str());
+  return strings;
+}
+
+}  // namespace
+
+std::string encodeFeedback(const runtime::FeatureDatabase& db) {
+  WireWriter w;
+  w.u64(db.numPartitionings());
+  encodeStrings(w, db.staticNames());
+  encodeStrings(w, db.runtimeNames());
+  w.u32(static_cast<std::uint32_t>(db.size()));
+  for (const runtime::LaunchRecord& rec : db.records()) {
+    w.str(rec.program);
+    w.str(rec.machine);
+    w.str(rec.sizeLabel);
+    w.doubles(rec.staticFeatures);
+    w.doubles(rec.runtimeFeatures);
+    w.doubles(rec.times);
+  }
+  return w.take();
+}
+
+runtime::FeatureDatabase decodeFeedback(std::string_view bytes) {
+  WireReader r(bytes);
+  const auto numPartitionings = static_cast<std::size_t>(r.u64());
+  auto staticNames = decodeStrings(r);
+  auto runtimeNames = decodeStrings(r);
+  runtime::FeatureDatabase db(numPartitionings, std::move(staticNames),
+                              std::move(runtimeNames));
+  const std::uint32_t n = checkedCount(r, 24, "feedback records");
+  for (std::uint32_t i = 0; i < n; ++i) {
+    runtime::LaunchRecord rec;
+    rec.program = r.str();
+    rec.machine = r.str();
+    rec.sizeLabel = r.str();
+    rec.staticFeatures = r.doubles();
+    rec.runtimeFeatures = r.doubles();
+    rec.times = r.doubles();
+    db.add(std::move(rec));
+  }
+  r.expectEnd();
+  return db;
+}
+
+}  // namespace tp::fleet

@@ -1,0 +1,79 @@
+#pragma once
+
+// The fleet wire format: versioned, serialized messages exchanged between
+// serving replicas (and written into snapshots).
+//
+// Every envelope starts with a magic tag and a format version, so a
+// future socket transport can reject foreign or incompatible bytes at
+// the edge instead of mis-parsing them; payloads are kind-specific and
+// encoded with the bounds-checked common::Wire{Writer,Reader}
+// primitives. The in-process LoopbackTransport round-trips every message
+// through this encoding too — the wire format is exercised on every
+// gossip round, not only once sockets exist.
+//
+// Message kinds:
+//   WinsGossip    — adapt::WinRecord batch (anti-entropy rounds)
+//   FeedbackPull  — "send me your recorded traffic" (fleet retrain)
+//   FeedbackPush  — a FeatureDatabase snapshot (reply to FeedbackPull)
+//   ModelInstall  — retrained per-machine models + the new generation
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adapt/refiner.hpp"
+#include "runtime/database.hpp"
+
+namespace tp::fleet {
+
+inline constexpr std::uint32_t kWireMagic = 0x54504657u;  // "TPFW"
+inline constexpr std::uint16_t kWireVersion = 1;
+
+enum class MsgKind : std::uint8_t {
+  WinsGossip = 1,
+  FeedbackPull = 2,
+  FeedbackPush = 3,
+  ModelInstall = 4,
+};
+
+const char* msgKindName(MsgKind kind);
+
+struct Envelope {
+  MsgKind kind = MsgKind::WinsGossip;
+  std::string from;        ///< sender replica id
+  std::uint64_t seq = 0;   ///< sender-local sequence number
+  std::string payload;     ///< kind-specific encoded body
+};
+
+std::string encodeEnvelope(const Envelope& envelope);
+/// Throws tp::Error on bad magic, unsupported format version, unknown
+/// kind, or truncation.
+Envelope decodeEnvelope(std::string_view bytes);
+
+// ---- WinsGossip payload ----------------------------------------------------
+
+std::string encodeWins(const std::vector<adapt::WinRecord>& wins);
+std::vector<adapt::WinRecord> decodeWins(std::string_view bytes);
+
+// ---- ModelInstall payload --------------------------------------------------
+
+struct ModelBlob {
+  std::string machine;
+  std::string model;  ///< ml::Classifier::save() text
+};
+
+struct ModelInstallMsg {
+  std::uint64_t modelVersion = 0;  ///< generation the models serve
+  std::vector<ModelBlob> models;
+};
+
+std::string encodeModelInstall(const ModelInstallMsg& msg);
+ModelInstallMsg decodeModelInstall(std::string_view bytes);
+
+// ---- FeedbackPush payload --------------------------------------------------
+
+std::string encodeFeedback(const runtime::FeatureDatabase& db);
+runtime::FeatureDatabase decodeFeedback(std::string_view bytes);
+
+}  // namespace tp::fleet

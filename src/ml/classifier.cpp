@@ -97,12 +97,14 @@ std::unique_ptr<Classifier> makeClassifier(const std::string& spec,
                                           "mostfreq)");
 }
 
-std::unique_ptr<Classifier> loadClassifierFile(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) throw IoError("cannot open model file: " + path);
+std::unique_ptr<Classifier> loadClassifier(std::istream& is) {
+  // Peek the header tag, then rewind so each model's load() sees its own
+  // header (models validate it themselves).
+  const std::istream::pos_type start = is.tellg();
   std::string tag;
   is >> tag;
-  is.seekg(0);
+  is.clear();
+  is.seekg(start);
   std::unique_ptr<Classifier> model;
   if (tag == "tree") {
     model = std::make_unique<DecisionTree>();
@@ -115,10 +117,20 @@ std::unique_ptr<Classifier> loadClassifierFile(const std::string& path) {
   } else if (tag == "mostfreq") {
     model = std::make_unique<MostFrequentClassifier>();
   } else {
-    throw IoError("unknown model tag '" + tag + "' in " + path);
+    throw IoError("unknown model tag '" + tag + "'");
   }
   model->load(is);
   return model;
+}
+
+std::unique_ptr<Classifier> loadClassifierFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw IoError("cannot open model file: " + path);
+  try {
+    return loadClassifier(is);
+  } catch (const IoError& e) {
+    throw IoError(std::string(e.what()) + " in " + path);
+  }
 }
 
 }  // namespace tp::ml

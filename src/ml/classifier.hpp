@@ -47,6 +47,9 @@ std::unique_ptr<Classifier> makeClassifier(const std::string& spec,
                                            std::uint64_t seed = 42);
 
 /// Load any classifier saved with save(); dispatches on the header tag.
+/// The stream form reads from the current position (fleet snapshots and
+/// model fan-out carry serialized models inside larger messages).
+std::unique_ptr<Classifier> loadClassifier(std::istream& is);
 std::unique_ptr<Classifier> loadClassifierFile(const std::string& path);
 
 }  // namespace tp::ml

@@ -42,6 +42,12 @@ public:
   static FeatureDatabase withDefaultSchema(std::size_t numPartitionings);
 
   std::size_t numPartitionings() const noexcept { return numPartitionings_; }
+  const std::vector<std::string>& staticNames() const noexcept {
+    return staticNames_;
+  }
+  const std::vector<std::string>& runtimeNames() const noexcept {
+    return runtimeNames_;
+  }
   std::size_t size() const noexcept { return records_.size(); }
   const std::vector<LaunchRecord>& records() const noexcept { return records_; }
 

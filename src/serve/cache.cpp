@@ -1,6 +1,5 @@
 #include "serve/cache.hpp"
 
-#include <bit>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -46,27 +45,17 @@ std::string programKey(const runtime::Task& task) {
 
 namespace {
 
-using common::fnvBytes;
-using common::fnvU64;
-
 /// Hash of everything but the model version (shard selection must be
 /// stable across versions).
 std::uint64_t unversionedHash(const DecisionKey& k) {
-  std::uint64_t h = common::kFnvOffset;
-  h = fnvBytes(h, k.machine.data(), k.machine.size());
-  h = fnvU64(h, 0x1full);  // field separator
-  h = fnvBytes(h, k.program.data(), k.program.size());
-  for (const double f : k.features) {
-    h = fnvU64(h, std::bit_cast<std::uint64_t>(f));
-  }
-  return h;
+  return common::hashLaunchKey(k.machine, k.program, k.features);
 }
 
 }  // namespace
 
 std::size_t DecisionKeyHash::operator()(const DecisionKey& k) const noexcept {
   return static_cast<std::size_t>(
-      fnvU64(unversionedHash(k), k.modelVersion));
+      common::fnvU64(unversionedHash(k), k.modelVersion));
 }
 
 ShardedDecisionCache::ShardedDecisionCache(std::size_t capacity,
@@ -153,6 +142,21 @@ std::uint64_t ShardedDecisionCache::bumpVersion() {
   // invalidation counted against a generation it never belonged to.
   clearStale();
   return v;
+}
+
+std::uint64_t ShardedDecisionCache::advanceVersion(std::uint64_t version) {
+  std::uint64_t current = version_.load(std::memory_order_acquire);
+  while (current < version &&
+         !version_.compare_exchange_weak(current, version,
+                                         std::memory_order_acq_rel)) {
+  }
+  if (current < version) {
+    // We won the race to move the version forward: sweep, like
+    // bumpVersion() does (fresh-version inserts racing the sweep survive).
+    clearStale();
+    return version;
+  }
+  return current;
 }
 
 void ShardedDecisionCache::clearStale() {

@@ -107,6 +107,13 @@ public:
   /// version.
   std::uint64_t bumpVersion();
 
+  /// Move the version forward to `version` (a no-op when it is not ahead
+  /// of the current one) and sweep entries of older generations. Used by
+  /// fleet model fan-out and snapshot warm-start, where the generation
+  /// number is decided elsewhere and replicas must converge on it; the
+  /// version never moves backward. Returns the version now in effect.
+  std::uint64_t advanceVersion(std::uint64_t version);
+
   /// Drop entries whose key version differs from the current version
   /// (counted as invalidations). The tail half of bumpVersion(), exposed
   /// so the sweep-vs-fresh-insert interleaving is testable.

@@ -1,5 +1,6 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <shared_mutex>
@@ -358,6 +359,133 @@ PartitionService::RetrainResult PartitionService::retrain() {
   }
   retrains_.fetch_add(1, std::memory_order_relaxed);
   return result;
+}
+
+std::uint64_t PartitionService::modelVersion() const noexcept {
+  return cache_->version();
+}
+
+std::vector<PartitionService::DeployedModel> PartitionService::deployedModels()
+    const {
+  std::vector<DeployedModel> out;
+  std::lock_guard<std::mutex> lock(machinesMutex_);
+  out.reserve(machines_.size());
+  for (const auto& [name, ms] : machines_) {
+    std::shared_lock<std::shared_mutex> modelLock(ms->modelMutex);
+    out.push_back(DeployedModel{name, ms->model});
+  }
+  return out;
+}
+
+std::vector<adapt::WinRecord> PartitionService::exportRefinedWins(
+    bool refinedOnly) const {
+  if (refiner_ == nullptr) return {};
+  return refiner_->exportWins(refinedOnly);
+}
+
+adapt::MergeResult PartitionService::mergeRemoteWins(
+    const std::vector<adapt::WinRecord>& wins) {
+  adapt::MergeResult result;
+  std::size_t spaceSize = 0;
+  {
+    // Every machine spans the same space (enforced by addMachine), so
+    // any registered one bounds the valid labels.
+    std::lock_guard<std::mutex> lock(machinesMutex_);
+    if (!machines_.empty()) spaceSize = machines_.begin()->second->space.size();
+  }
+  if (refiner_ == nullptr || spaceSize == 0) {
+    result.dropped = wins.size();
+    return result;
+  }
+  // Remote state is wire-decoded and not ours to trust: a label outside
+  // the partitioning space would be elected, cached, and then throw on
+  // every warm request for its key. Drop such records at the edge.
+  std::vector<adapt::WinRecord> valid;
+  valid.reserve(wins.size());
+  for (const adapt::WinRecord& rec : wins) {
+    const bool labelsOk =
+        rec.baseLabel < spaceSize && rec.incumbentLabel < spaceSize &&
+        std::all_of(rec.arms.begin(), rec.arms.end(),
+                    [&](const adapt::WinArm& arm) {
+                      return arm.label < spaceSize;
+                    });
+    if (labelsOk) {
+      valid.push_back(rec);
+    } else {
+      ++result.dropped;
+    }
+  }
+  const std::uint64_t version = cache_->version();
+  const adapt::MergeResult merged = refiner_->mergeWins(valid, version);
+  result.adopted = merged.adopted;
+  result.updated = merged.updated;
+  result.stale = merged.stale;
+  result.dropped += merged.dropped;
+  // Write adopted incumbents through into the decision cache, so warm
+  // lookups serve the merged win immediately. The incumbent is re-read
+  // from the refiner (not taken from the record): a concurrent local
+  // observation or a better peer record may have superseded it.
+  for (const adapt::WinRecord& rec : valid) {
+    if (rec.modelVersion != version) continue;
+    const auto inc = refiner_->incumbent(rec.key, version);
+    if (!inc.tracked) continue;
+    DecisionKey key;
+    key.machine = rec.key.machine;
+    key.program = rec.key.program;
+    key.modelVersion = version;
+    key.features = rec.key.signature;  // already quantized by the sender
+    cache_->insert(key, inc.label);
+  }
+  return result;
+}
+
+void PartitionService::installModels(const std::vector<ModelUpdate>& updates,
+                                     std::uint64_t version) {
+  TP_REQUIRE(version >= cache_->version(),
+             "PartitionService: installModels would move the generation "
+             "backward (" << version << " < " << cache_->version() << ")");
+  std::vector<MachineState*> states;
+  {
+    std::lock_guard<std::mutex> lock(machinesMutex_);
+    for (const ModelUpdate& update : updates) {
+      TP_REQUIRE(update.model != nullptr,
+                 "PartitionService: null model for machine "
+                     << update.machine);
+      const auto it = machines_.find(update.machine);
+      TP_REQUIRE(it != machines_.end(),
+                 "PartitionService: installModels for unknown machine '"
+                     << update.machine << "'");
+      std::unique_lock<std::shared_mutex> modelLock(it->second->modelMutex);
+      it->second->model = update.model;
+    }
+    states.reserve(machines_.size());
+    for (const auto& [name, ms] : machines_) {
+      (void)name;
+      states.push_back(ms.get());
+    }
+  }
+  // Swap-then-advance, like retrain(): decisions racing the swap are
+  // cached under the old generation and swept by the advance.
+  const std::uint64_t before = cache_->version();
+  const std::uint64_t current = cache_->advanceVersion(version);
+  if (version == before) {
+    // Same-generation install (snapshot warm-start at the current
+    // generation, or a second retrain coordinator racing to the same
+    // number): advanceVersion was a no-op and swept nothing, but the
+    // previous models' labels must not keep serving as cache hits under
+    // a generation they no longer belong to. Drop everything.
+    cache_->clear();
+  }
+  for (MachineState* ms : states) {
+    std::unique_lock<std::shared_mutex> lock(ms->modelMutex);
+    ms->modelVersion = current;
+  }
+}
+
+runtime::FeatureDatabase PartitionService::trafficSnapshot() const {
+  TP_REQUIRE(feedback_ != nullptr,
+             "PartitionService: no feedback schema before addMachine()");
+  return feedback_->snapshot();
 }
 
 void PartitionService::drain() {

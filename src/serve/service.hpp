@@ -114,6 +114,53 @@ public:
   /// without records keep their model), then invalidate the cache.
   RetrainResult retrain();
 
+  // ---- fleet surface ------------------------------------------------------
+  // Hooks for tp::fleet: replicated serving with gossiped refiner wins,
+  // model fan-out and snapshot persistence. Each is safe to call
+  // concurrently with traffic.
+
+  /// Current cache/model generation.
+  std::uint64_t modelVersion() const noexcept;
+
+  struct DeployedModel {
+    std::string machine;
+    std::shared_ptr<const ml::Classifier> model;
+  };
+  /// The deployed model of every registered machine (name order), for
+  /// snapshotting. The shared_ptrs alias the live models.
+  std::vector<DeployedModel> deployedModels() const;
+
+  /// Export the refiner's transferable state (empty when refinement is
+  /// off). `refinedOnly` selects adopted wins (gossip) vs every tracked
+  /// key (snapshots).
+  std::vector<adapt::WinRecord> exportRefinedWins(bool refinedOnly = true) const;
+
+  /// Merge win records from a peer replica (or a snapshot): stale-version
+  /// records are rejected, accepted evidence merges into the refiner, and
+  /// each adopted incumbent is written through into the decision cache so
+  /// warm traffic serves it without a probe. With refinement off all
+  /// records count as dropped.
+  adapt::MergeResult mergeRemoteWins(const std::vector<adapt::WinRecord>& wins);
+
+  struct ModelUpdate {
+    std::string machine;
+    std::shared_ptr<const ml::Classifier> model;
+  };
+  /// Install externally trained models as generation `version` and sweep
+  /// cached decisions of older generations. `version` must not be behind
+  /// the current generation; installing AT the current generation drops
+  /// every cached decision instead (the previous models' labels must not
+  /// survive the swap as hits). Machines absent from `updates` keep
+  /// their model but are stamped with the new generation (it is
+  /// fleet-global). Used by fleet retrain fan-out and snapshot
+  /// warm-start.
+  void installModels(const std::vector<ModelUpdate>& updates,
+                     std::uint64_t version);
+
+  /// Consistent copy of the recorded feedback traffic; throws tp::Error
+  /// before the first addMachine() (no schema yet).
+  runtime::FeatureDatabase trafficSnapshot() const;
+
   /// Block until every accepted request has been answered.
   void drain();
   /// Stop accepting, then drain. Idempotent.

@@ -56,6 +56,23 @@ struct MachineStats {
   std::vector<DeviceUtilization> devices;
 };
 
+/// Fleet-replication counters: gossiped refiner wins and snapshot
+/// persistence. Populated by fleet::Replica::stats() (all zero when the
+/// service is not part of a fleet). Reconciliation invariant:
+/// winsReceived == winsMerged + winsRejectedStale + winsDropped.
+struct FleetCounters {
+  std::uint64_t winsSent = 0;      ///< win records broadcast to peers
+  std::uint64_t winsReceived = 0;  ///< win records arrived from peers
+  std::uint64_t winsMerged = 0;    ///< accepted (evidence merged)
+  std::uint64_t winsAdopted = 0;   ///< merged AND moved an incumbent
+  std::uint64_t winsRejectedStale = 0;  ///< dropped: model-version mismatch
+  std::uint64_t winsDropped = 0;   ///< dropped: capacity / refiner off
+  std::uint64_t snapshotsWritten = 0;
+  std::uint64_t snapshotsLoaded = 0;
+  std::uint64_t modelInstalls = 0;  ///< fleet retrain fan-ins applied
+  std::uint64_t gossipRoundsSkipped = 0;  ///< no-change rounds (digest hit)
+};
+
 struct ServiceStats {
   std::uint64_t requestsSubmitted = 0;
   std::uint64_t requestsCompleted = 0;
@@ -70,6 +87,7 @@ struct ServiceStats {
   /// Online-refinement counters (all zero when refinement is disabled).
   adapt::RefinerCounters refiner;
   std::uint64_t refinedKeys = 0;  ///< launch signatures under refinement
+  FleetCounters fleet;  ///< zero unless serving as a fleet replica
   LatencyRecorder::Summary latency;
   std::vector<MachineStats> machines;  ///< insertion order
 };

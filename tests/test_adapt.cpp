@@ -54,19 +54,21 @@ TEST(Refiner, ProbesLeastMeasuredNeighborThenAdoptsWins) {
   (void)refiner.observe(k, 0, 5, 1.0, ladder());
 
   // With epsilon 1 every decision now probes; arms are {5, 4, 6} and the
-  // probe cursor picks the least-measured (ties to the earliest arm).
+  // probe cursor targets the least-measured arms (ties break randomly),
+  // so the two unmeasured neighbors are each probed exactly once.
   const auto p1 = refiner.decide(k, 0, 5, ladder());
-  EXPECT_TRUE(p1.explore);
-  EXPECT_EQ(p1.label, 4u);
-  const auto o1 = refiner.observe(k, 0, 4, 1.2, ladder());
+  ASSERT_TRUE(p1.explore);
+  EXPECT_TRUE(p1.label == 4u || p1.label == 6u);
+  const auto o1 = refiner.observe(k, 0, p1.label, 1.2, ladder());
   EXPECT_FALSE(o1.improved);  // worse than the baseline
 
   const auto p2 = refiner.decide(k, 0, 5, ladder());
-  EXPECT_TRUE(p2.explore);
-  EXPECT_EQ(p2.label, 6u);
-  const auto o2 = refiner.observe(k, 0, 6, 0.5, ladder());
+  ASSERT_TRUE(p2.explore);
+  EXPECT_TRUE(p2.label == 4u || p2.label == 6u);
+  EXPECT_NE(p2.label, p1.label);  // least-measured: never the probed one
+  const auto o2 = refiner.observe(k, 0, p2.label, 0.5, ladder());
   EXPECT_TRUE(o2.improved);  // measured win -> new incumbent
-  EXPECT_EQ(o2.bestLabel, 6u);
+  EXPECT_EQ(o2.bestLabel, p2.label);
   EXPECT_DOUBLE_EQ(o2.bestSeconds, 0.5);
 
   const auto counters = refiner.counters();
@@ -288,6 +290,181 @@ TEST(Refiner, CountersConsistentUnderContention) {
   EXPECT_LE(refiner.trackedKeys(), kKeys);
 }
 
+// ---- export / merge (fleet gossip + snapshots) -----------------------------
+
+/// Refine key("p") to a converged state: baseline 5 measured at 1.0,
+/// neighbor 4 at 1.2, neighbor 6 at `winSeconds` and adopted, and the
+/// re-centered neighbor 7 measured at 2.0 (so the incumbent's whole
+/// neighborhood carries evidence — the search is finished).
+void refineKey(Refiner& refiner, double winSeconds) {
+  const auto k = key("p");
+  (void)refiner.decide(k, 0, 5, ladder());
+  (void)refiner.observe(k, 0, 5, 1.0, ladder());
+  (void)refiner.observe(k, 0, 4, 1.2, ladder());
+  (void)refiner.observe(k, 0, 6, winSeconds, ladder());
+  (void)refiner.observe(k, 0, 7, 2.0, ladder());
+}
+
+TEST(Refiner, ExportsAdoptedWinsWithEvidence) {
+  Refiner refiner;
+  refineKey(refiner, 0.5);
+  const auto wins = refiner.exportWins();
+  ASSERT_EQ(wins.size(), 1u);
+  const WinRecord& rec = wins[0];
+  EXPECT_EQ(rec.key, key("p"));
+  EXPECT_EQ(rec.modelVersion, 0u);
+  EXPECT_EQ(rec.baseLabel, 5u);
+  EXPECT_EQ(rec.incumbentLabel, 6u);
+  EXPECT_DOUBLE_EQ(rec.incumbentMean, 0.5);
+  // Every measured arm ships as evidence.
+  ASSERT_EQ(rec.arms.size(), 4u);
+  for (const WinArm& arm : rec.arms) EXPECT_GE(arm.count, 1u);
+
+  // An unrefined key (incumbent == baseline) is not gossiped...
+  Refiner unrefined;
+  (void)unrefined.decide(key("q"), 0, 5, ladder());
+  (void)unrefined.observe(key("q"), 0, 5, 1.0, ladder());
+  EXPECT_TRUE(unrefined.exportWins(true).empty());
+  // ...but is part of a full (snapshot) export.
+  EXPECT_EQ(unrefined.exportWins(false).size(), 1u);
+}
+
+TEST(Refiner, MergeAdoptsRemoteWinWithoutReopeningSearch) {
+  Refiner source;
+  refineKey(source, 0.5);
+  const auto wins = source.exportWins();
+
+  RefinerConfig config;
+  config.exploreFraction = 1.0;  // would probe on every warm decision...
+  config.probeSamples = 1;       // ...but merged evidence fills the budget
+  Refiner target(config);
+  const auto result = target.mergeWins(wins, 0);
+  EXPECT_EQ(result.adopted, 1u);
+  EXPECT_EQ(result.merged(), 1u);
+
+  const auto inc = target.incumbent(key("p"), 0);
+  ASSERT_TRUE(inc.tracked);
+  EXPECT_EQ(inc.label, 6u);
+  EXPECT_DOUBLE_EQ(inc.meanSeconds, 0.5);
+
+  // Decisions serve the merged incumbent and never probe: the remote
+  // replica already measured this neighborhood.
+  for (int i = 0; i < 32; ++i) {
+    const auto d = target.decide(key("p"), 0, 5, ladder());
+    EXPECT_FALSE(d.explore);
+    EXPECT_TRUE(d.refined);
+    EXPECT_EQ(d.label, 6u);
+  }
+  EXPECT_EQ(target.counters().explorations, 0u);
+  EXPECT_EQ(target.counters().mergedWins, 1u);
+}
+
+TEST(Refiner, MergeIsIdempotentUnderAntiEntropy) {
+  Refiner source;
+  refineKey(source, 0.5);
+  const auto wins = source.exportWins();
+  Refiner target;
+  EXPECT_EQ(target.mergeWins(wins, 0).adopted, 1u);
+  // Re-offering the same state (anti-entropy rounds do) must not inflate
+  // counts, shift means, or re-adopt.
+  for (int round = 0; round < 5; ++round) {
+    const auto result = target.mergeWins(wins, 0);
+    EXPECT_EQ(result.adopted, 0u);
+    EXPECT_EQ(result.updated, 1u);
+  }
+  const auto mergedBack = target.exportWins();
+  ASSERT_EQ(mergedBack.size(), 1u);
+  ASSERT_EQ(mergedBack[0].arms.size(), wins[0].arms.size());
+  for (std::size_t a = 0; a < wins[0].arms.size(); ++a) {
+    EXPECT_EQ(mergedBack[0].arms[a].count, wins[0].arms[a].count);
+    EXPECT_DOUBLE_EQ(mergedBack[0].arms[a].meanSeconds,
+                     wins[0].arms[a].meanSeconds);
+  }
+}
+
+TEST(Refiner, MergeTiesBreakToTheLowerMeasuredMean) {
+  // Local and remote measured the win arm equally often but disagree on
+  // the mean: the lower (better) measurement wins the merge.
+  Refiner local, remote;
+  refineKey(local, 0.6);
+  refineKey(remote, 0.5);
+  const auto result = local.mergeWins(remote.exportWins(), 0);
+  EXPECT_EQ(result.merged(), 1u);
+  EXPECT_DOUBLE_EQ(local.incumbent(key("p"), 0).meanSeconds, 0.5);
+
+  // And the reverse direction keeps the better local mean.
+  Refiner better, worse;
+  refineKey(better, 0.4);
+  refineKey(worse, 0.5);
+  (void)better.mergeWins(worse.exportWins(), 0);
+  EXPECT_DOUBLE_EQ(better.incumbent(key("p"), 0).meanSeconds, 0.4);
+}
+
+TEST(Refiner, MergeRejectsStaleVersions) {
+  Refiner source;
+  refineKey(source, 0.5);
+  auto wins = source.exportWins();
+  Refiner target;
+  // Fleet is already on generation 2: version-0 wins say nothing about
+  // the current model's predictions.
+  const auto result = target.mergeWins(wins, 2);
+  EXPECT_EQ(result.stale, 1u);
+  EXPECT_EQ(result.merged(), 0u);
+  EXPECT_EQ(target.trackedKeys(), 0u);
+
+  // A key that locally moved to a newer generation rejects older records
+  // even when the caller's version matches the record.
+  Refiner moved;
+  (void)moved.decide(key("p"), 1, 5, ladder());
+  EXPECT_EQ(moved.mergeWins(wins, 0).stale, 1u);
+}
+
+TEST(Refiner, MergeRespectsKeyCapacity) {
+  RefinerConfig config;
+  config.maxKeys = 2;
+  config.numShards = 1;
+  Refiner target(config);
+  Refiner a;
+  refineKey(a, 0.5);
+  auto wins = a.exportWins();
+  // Three distinct keys into a 2-key refiner: the overflow is dropped.
+  WinRecord second = wins[0];
+  second.key.program = "p2";
+  WinRecord third = wins[0];
+  third.key.program = "p3";
+  wins.push_back(second);
+  wins.push_back(third);
+  const auto result = target.mergeWins(wins, 0);
+  EXPECT_EQ(result.merged(), 2u);
+  EXPECT_EQ(result.dropped, 1u);
+  EXPECT_EQ(target.trackedKeys(), 2u);
+}
+
+TEST(Refiner, ProbeBudgetStopsExplorationOnceConverged) {
+  RefinerConfig config;
+  config.exploreFraction = 1.0;
+  config.probeSamples = 2;
+  Refiner refiner(config);
+  const auto k = key("p");
+  (void)refiner.decide(k, 0, 5, ladder());
+  (void)refiner.observe(k, 0, 5, 1.0, ladder());
+  // Arms {5, 4, 6}: with epsilon 1 every decision probes until each arm
+  // holds probeSamples measurements (no win: 5 stays incumbent).
+  std::size_t probes = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto d = refiner.decide(k, 0, 5, ladder());
+    if (!d.explore) break;
+    ++probes;
+    (void)refiner.observe(k, 0, d.label, d.label == 5 ? 1.0 : 2.0, ladder());
+  }
+  // 5 needs one more sample, 4 and 6 need two each.
+  EXPECT_EQ(probes, 5u);
+  // Converged: pure exploitation from here on.
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(refiner.decide(k, 0, 5, ladder()).explore);
+  }
+}
+
 TEST(Refiner, RejectsBadConfig) {
   RefinerConfig config;
   config.exploreFraction = 1.5;
@@ -300,6 +477,12 @@ TEST(Refiner, RejectsBadConfig) {
   EXPECT_THROW(Refiner{config}, Error);
   config = {};
   config.minSamples = 0;
+  EXPECT_THROW(Refiner{config}, Error);
+  config = {};
+  // Probe budget below minSamples: arms stop probing before any could
+  // ever be elected — all exploration cost, zero possible wins.
+  config.minSamples = 2;
+  config.probeSamples = 1;
   EXPECT_THROW(Refiner{config}, Error);
 }
 

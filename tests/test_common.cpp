@@ -1,15 +1,20 @@
 // Unit tests for tp_common: RNG determinism and distributions, statistics,
-// CSV round-trips, string utilities, thread pool behaviour.
+// CSV round-trips, string utilities, thread pool behaviour, the shared
+// FNV key-hash helpers (collision sanity), and wire serialization.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <set>
 #include <sstream>
+#include <unordered_set>
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "common/rng.hpp"
+#include "common/serial.hpp"
 #include "common/stats.hpp"
 #include "common/str.hpp"
 #include "common/thread_pool.hpp"
@@ -322,6 +327,120 @@ TEST(Error, RequireThrowsWithMessage) {
   } catch (const Error& e) {
     EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
   }
+}
+
+// ---- shared key hashing ----------------------------------------------------
+
+TEST(Hash, FieldBoundariesCannotAlias) {
+  // Both the serve decision cache and the adapt refiner hash
+  // (machine, program, signature) through hashLaunchKey; the length
+  // prefix keeps adjacent variable-length fields from aliasing.
+  EXPECT_NE(hashLaunchKey("ab", "c", {}), hashLaunchKey("a", "bc", {}));
+  EXPECT_NE(hashLaunchKey("", "abc", {}), hashLaunchKey("abc", "", {}));
+  EXPECT_NE(hashLaunchKey("m", "p", {1.0, 2.0}),
+            hashLaunchKey("m", "p", {2.0, 1.0}));
+  EXPECT_NE(hashLaunchKey("m", "p", {1.0}),
+            hashLaunchKey("m", "p", {1.0, 0.0}));
+  // Deterministic across calls.
+  EXPECT_EQ(hashLaunchKey("mc2", "fft/run", {65536.0, 64.0}),
+            hashLaunchKey("mc2", "fft/run", {65536.0, 64.0}));
+}
+
+TEST(Hash, CollisionSanityOverRealisticKeySpace) {
+  // The shapes real traffic produces: a few machines and programs
+  // crossed with a dense grid of launch signatures. Any collision here
+  // would put two distinct launches in one refiner entry, so demand
+  // exactly zero across ~20k keys.
+  std::unordered_set<std::uint64_t> seen;
+  std::size_t keys = 0;
+  for (const char* machine : {"mc1", "mc2"}) {
+    for (const char* program : {"fft/run", "spmv/kernel", "nbody/step",
+                                "md5/hash", "scale/scale"}) {
+      for (int n = 0; n < 40; ++n) {
+        for (int k = 0; k < 50; ++k) {
+          const double size = static_cast<double>(1 << (n % 20)) + n;
+          seen.insert(hashLaunchKey(machine, program,
+                                    {size, 64.0, static_cast<double>(k)}));
+          ++keys;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), keys);
+}
+
+// ---- wire serialization ----------------------------------------------------
+
+TEST(Serial, RoundTripsEveryFieldType) {
+  WireWriter w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefull);
+  w.f64(-1234.5678e-9);
+  w.str("hello \0 world");  // string_view stops at the NUL here, fine
+  w.str(std::string("bin\0ary", 7));
+  w.doubles({1.0, -0.0, 5e-324, 1e308});
+
+  WireReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_DOUBLE_EQ(r.f64(), -1234.5678e-9);
+  EXPECT_EQ(r.str(), "hello ");
+  EXPECT_EQ(r.str(), std::string("bin\0ary", 7));
+  const auto values = r.doubles();
+  ASSERT_EQ(values.size(), 4u);
+  EXPECT_EQ(values[0], 1.0);
+  EXPECT_TRUE(std::signbit(values[1]));  // -0.0 survives bit-exactly
+  EXPECT_EQ(values[2], 5e-324);
+  EXPECT_EQ(values[3], 1e308);
+  EXPECT_TRUE(r.atEnd());
+  r.expectEnd();
+}
+
+TEST(Serial, TruncationAndTrailingBytesThrow) {
+  WireWriter w;
+  w.u32(7);
+  w.str("payload");
+  const std::string bytes = w.data();
+
+  WireReader truncated(std::string_view(bytes).substr(0, bytes.size() - 2));
+  EXPECT_EQ(truncated.u32(), 7u);
+  EXPECT_THROW(truncated.str(), Error);
+
+  const std::string padded = bytes + "x";
+  WireReader trailing(padded);
+  EXPECT_EQ(trailing.u32(), 7u);
+  EXPECT_EQ(trailing.str(), "payload");
+  EXPECT_FALSE(trailing.atEnd());
+  EXPECT_THROW(trailing.expectEnd(), Error);
+
+  // A length prefix larger than the remaining bytes must throw, not
+  // allocate.
+  WireWriter lying;
+  lying.u32(0xffffffffu);
+  WireReader r(lying.data());
+  EXPECT_THROW(r.doubles(), Error);
+  WireReader r2(lying.data());
+  EXPECT_THROW(r2.str(), Error);
+}
+
+TEST(Serial, EncodingIsByteStable) {
+  // The wire format is an interchange format: fixed little-endian bytes,
+  // not host memory order.
+  WireWriter w;
+  w.u16(0x0102);
+  w.u32(0x03040506u);
+  const std::string& b = w.data();
+  ASSERT_EQ(b.size(), 6u);
+  EXPECT_EQ(static_cast<unsigned char>(b[0]), 0x02);
+  EXPECT_EQ(static_cast<unsigned char>(b[1]), 0x01);
+  EXPECT_EQ(static_cast<unsigned char>(b[2]), 0x06);
+  EXPECT_EQ(static_cast<unsigned char>(b[3]), 0x05);
+  EXPECT_EQ(static_cast<unsigned char>(b[4]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(b[5]), 0x03);
 }
 
 }  // namespace

@@ -1,0 +1,670 @@
+// tp::fleet tests: wire-format round-trips and rejection of foreign
+// bytes, loopback transport semantics, gossip bus rounds, snapshot store
+// persistence, and the replicated-serving behaviors end to end — a win
+// measured on one replica is adopted by peers without probing, snapshots
+// round-trip to identical decisions and incumbent means, fleet retrain
+// fans models out, and counters reconcile under concurrent gossip +
+// retrain + traffic (the TSan-covered test).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/serial.hpp"
+#include "fleet/fleet.hpp"
+#include "runtime/compiler.hpp"
+#include "runtime/evaluation.hpp"
+#include "sim/machine.hpp"
+
+namespace tp::fleet {
+namespace {
+
+// ---- wire ------------------------------------------------------------------
+
+adapt::WinRecord sampleWin(const std::string& program, std::size_t label) {
+  adapt::WinRecord rec;
+  rec.key.machine = "mc2";
+  rec.key.program = program;
+  rec.key.signature = {65536.0, 64.0, 0.25};
+  rec.modelVersion = 3;
+  rec.baseLabel = 5;
+  rec.incumbentLabel = label;
+  rec.incumbentMean = 0.125;
+  rec.arms = {{5, 2, 0.5}, {label, 3, 0.125}};
+  return rec;
+}
+
+TEST(Wire, EnvelopeRoundTrips) {
+  Envelope e;
+  e.kind = MsgKind::ModelInstall;
+  e.from = "replica-1";
+  e.seq = 42;
+  e.payload = std::string("binary\0payload", 14);
+  const Envelope back = decodeEnvelope(encodeEnvelope(e));
+  EXPECT_EQ(back.kind, e.kind);
+  EXPECT_EQ(back.from, e.from);
+  EXPECT_EQ(back.seq, e.seq);
+  EXPECT_EQ(back.payload, e.payload);
+}
+
+TEST(Wire, RejectsForeignAndTruncatedBytes) {
+  Envelope e;
+  e.kind = MsgKind::WinsGossip;
+  e.from = "r0";
+  const std::string bytes = encodeEnvelope(e);
+
+  EXPECT_THROW(decodeEnvelope("not a fleet message"), Error);
+  EXPECT_THROW(decodeEnvelope(bytes.substr(0, bytes.size() - 1)), Error);
+  EXPECT_THROW(decodeEnvelope(bytes + "x"), Error);  // trailing bytes
+
+  std::string wrongMagic = bytes;
+  wrongMagic[0] ^= 0x5a;
+  EXPECT_THROW(decodeEnvelope(wrongMagic), Error);
+
+  std::string wrongVersion = bytes;
+  wrongVersion[4] = 99;  // format version lives after the 4-byte magic
+  EXPECT_THROW(decodeEnvelope(wrongVersion), Error);
+}
+
+TEST(Wire, WinRecordsRoundTrip) {
+  const std::vector<adapt::WinRecord> wins = {sampleWin("fft/run", 7),
+                                              sampleWin("spmv/kernel", 2)};
+  const auto back = decodeWins(encodeWins(wins));
+  ASSERT_EQ(back.size(), wins.size());
+  for (std::size_t i = 0; i < wins.size(); ++i) {
+    EXPECT_EQ(back[i].key, wins[i].key);
+    EXPECT_EQ(back[i].modelVersion, wins[i].modelVersion);
+    EXPECT_EQ(back[i].baseLabel, wins[i].baseLabel);
+    EXPECT_EQ(back[i].incumbentLabel, wins[i].incumbentLabel);
+    EXPECT_DOUBLE_EQ(back[i].incumbentMean, wins[i].incumbentMean);
+    ASSERT_EQ(back[i].arms.size(), wins[i].arms.size());
+    for (std::size_t a = 0; a < wins[i].arms.size(); ++a) {
+      EXPECT_EQ(back[i].arms[a].label, wins[i].arms[a].label);
+      EXPECT_EQ(back[i].arms[a].count, wins[i].arms[a].count);
+      EXPECT_DOUBLE_EQ(back[i].arms[a].meanSeconds,
+                       wins[i].arms[a].meanSeconds);
+    }
+  }
+}
+
+TEST(Wire, HostileCountsThrowInsteadOfAllocating) {
+  // A corrupt length prefix claiming 4 billion elements must surface as
+  // tp::Error from the count check — not as a multi-gigabyte reserve().
+  common::WireWriter lyingWins;
+  lyingWins.u32(0xffffffffu);
+  EXPECT_THROW(decodeWins(lyingWins.data()), Error);
+
+  common::WireWriter lyingModels;
+  lyingModels.u64(1);           // model version
+  lyingModels.u32(0xffffffffu);  // model blob count
+  EXPECT_THROW(decodeModelInstall(lyingModels.data()), Error);
+
+  common::WireWriter lyingFeedback;
+  lyingFeedback.u64(4);          // numPartitionings
+  lyingFeedback.u32(0xffffffffu);  // schema string count
+  EXPECT_THROW(decodeFeedback(lyingFeedback.data()), Error);
+}
+
+TEST(Wire, FeedbackDatabaseRoundTrips) {
+  runtime::FeatureDatabase db(4, {"s0", "s1"}, {"r0"});
+  runtime::LaunchRecord rec;
+  rec.program = "p";
+  rec.machine = "mc1";
+  rec.sizeLabel = "n=1024";
+  rec.staticFeatures = {1.0, -2.5};
+  rec.runtimeFeatures = {3.25};
+  rec.times = {0.1, 0.2, 0.05, 0.4};
+  db.add(rec);
+
+  const auto back = decodeFeedback(encodeFeedback(db));
+  EXPECT_EQ(back.numPartitionings(), db.numPartitionings());
+  EXPECT_EQ(back.staticNames(), db.staticNames());
+  EXPECT_EQ(back.runtimeNames(), db.runtimeNames());
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back.records()[0].program, "p");
+  EXPECT_EQ(back.records()[0].times, rec.times);
+}
+
+// ---- transport -------------------------------------------------------------
+
+TEST(LoopbackTransport, DeliversSerializedMessages) {
+  LoopbackTransport transport;
+  std::vector<std::string> aLog, bLog;
+  transport.attach("a", [&](const Envelope& e) {
+    aLog.push_back(e.from + ":" + e.payload);
+  });
+  transport.attach("b", [&](const Envelope& e) {
+    bLog.push_back(e.from + ":" + e.payload);
+  });
+  EXPECT_EQ(transport.nodes(), (std::vector<std::string>{"a", "b"}));
+
+  Envelope e;
+  e.kind = MsgKind::WinsGossip;
+  e.from = "a";
+  e.payload = "hello";
+  transport.send("a", "b", e);
+  transport.broadcast("a", e);  // reaches b only (never the sender)
+  transport.send("a", "ghost", e);  // unknown destination: dropped
+
+  EXPECT_TRUE(aLog.empty());
+  EXPECT_EQ(bLog, (std::vector<std::string>{"a:hello", "a:hello"}));
+
+  const auto counters = transport.counters();
+  EXPECT_EQ(counters.sent, 2u);
+  EXPECT_EQ(counters.broadcasts, 1u);
+  EXPECT_EQ(counters.delivered, 2u);
+  EXPECT_EQ(counters.dropped, 1u);
+  EXPECT_GT(counters.bytesMoved, 0u);
+
+  transport.detach("b");
+  transport.send("a", "b", e);
+  EXPECT_EQ(transport.counters().dropped, 2u);
+  EXPECT_EQ(bLog.size(), 2u);
+}
+
+TEST(LoopbackTransport, HandlersMaySendReentrantly) {
+  LoopbackTransport transport;
+  std::string echoed;
+  transport.attach("server", [&](const Envelope& e) {
+    Envelope reply;
+    reply.kind = MsgKind::FeedbackPush;
+    reply.from = "server";
+    reply.payload = "re:" + e.payload;
+    transport.send("server", e.from, reply);
+  });
+  transport.attach("client", [&](const Envelope& e) { echoed = e.payload; });
+
+  Envelope e;
+  e.kind = MsgKind::FeedbackPull;
+  e.from = "client";
+  e.payload = "ping";
+  transport.send("client", "server", e);
+  EXPECT_EQ(echoed, "re:ping");
+}
+
+// ---- gossip bus ------------------------------------------------------------
+
+TEST(GossipBus, RunsParticipantsPerRound) {
+  GossipBus bus;
+  int a = 0, b = 0;
+  bus.join("a", [&] { ++a; });
+  bus.join("b", [&] { ++b; });
+  EXPECT_EQ(bus.runRound(), 2u);
+  bus.leave("a");
+  EXPECT_EQ(bus.runRound(), 1u);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+  EXPECT_EQ(bus.rounds(), 2u);
+}
+
+TEST(GossipBus, BackgroundThreadRunsRounds) {
+  GossipConfig config;
+  config.intervalSeconds = 0.002;
+  GossipBus bus(config);
+  std::atomic<int> ticks{0};
+  bus.join("n", [&] { ticks.fetch_add(1); });
+  bus.start();
+  while (ticks.load() < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  bus.stop();
+  EXPECT_FALSE(bus.running());
+  EXPECT_GE(bus.rounds(), 3u);
+}
+
+// ---- snapshot store --------------------------------------------------------
+
+std::string tempDir(const std::string& tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("tp_fleet_test_" + tag + "_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(SnapshotStore, SaveLoadLatestAndSequencing) {
+  const std::string dir = tempDir("store");
+  SnapshotStore store(dir);
+  EXPECT_EQ(store.count(), 0u);
+  EXPECT_FALSE(store.loadLatest().has_value());
+
+  ReplicaSnapshot first;
+  first.modelVersion = 1;
+  first.wins = {sampleWin("a/b", 3)};
+  EXPECT_EQ(store.save(first), 1u);
+
+  ReplicaSnapshot second;
+  second.modelVersion = 2;
+  second.models = {ModelBlob{"mc2", "mostfreq 4 2\n"}};
+  second.wins = {sampleWin("a/b", 7), sampleWin("c/d", 1)};
+  EXPECT_EQ(store.save(second), 2u);
+  EXPECT_EQ(store.count(), 2u);
+
+  const auto latest = store.loadLatest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->modelVersion, 2u);
+  ASSERT_EQ(latest->models.size(), 1u);
+  EXPECT_EQ(latest->models[0].machine, "mc2");
+  ASSERT_EQ(latest->wins.size(), 2u);
+  EXPECT_EQ(latest->wins[1].key.program, "c/d");
+
+  // A second store over the same directory continues the sequence.
+  SnapshotStore reopened(dir);
+  EXPECT_EQ(reopened.save(first), 3u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SnapshotStore, RejectsCorruptBytes) {
+  EXPECT_THROW(decodeSnapshot("garbage"), Error);
+  ReplicaSnapshot snap;
+  snap.modelVersion = 9;
+  const std::string bytes = encodeSnapshot(snap);
+  EXPECT_THROW(decodeSnapshot(bytes.substr(0, bytes.size() / 2)), Error);
+  const ReplicaSnapshot back = decodeSnapshot(bytes);
+  EXPECT_EQ(back.modelVersion, 9u);
+}
+
+// ---- fleet end to end ------------------------------------------------------
+
+const char* kScaleSrc = R"(
+__kernel void scale(__global const float* in, __global float* out, int K) {
+  int i = get_global_id(0);
+  float x = in[i];
+  float acc = 0.0f;
+  for (int k = 0; k < K; k++) {
+    acc += x * 1.0001f;
+  }
+  out[i] = acc;
+}
+)";
+
+runtime::Task makeScaleTask(std::size_t n, int k) {
+  static const runtime::CompiledKernel compiled =
+      runtime::CompiledKernel::compile(kScaleSrc);
+  auto in = std::make_shared<vcl::Buffer>(vcl::ElemKind::F32, n);
+  auto out = std::make_shared<vcl::Buffer>(vcl::ElemKind::F32, n);
+  return runtime::TaskBuilder(compiled, "scale")
+      .global(n)
+      .local(64)
+      .arg(in)
+      .arg(out)
+      .arg(k)
+      .build();
+}
+
+/// Tasks + a deliberately pessimal model over mc2: always CPU-only (the
+/// paper's "default strategy" failure mode), so on the GPU-favored mc2
+/// the refiner has guaranteed headroom to win against the prediction.
+struct FleetFixture {
+  sim::MachineConfig machine = sim::makeMc2();
+  std::vector<runtime::Task> tasks;
+  std::shared_ptr<const ml::Classifier> weakModel;
+
+  FleetFixture() {
+    const runtime::PartitioningSpace space(machine.numDevices(), 10);
+    for (const std::size_t n : {1u << 12, 1u << 16, 1u << 20}) {
+      for (const int k : {10, 2000}) {
+        tasks.push_back(makeScaleTask(n, k));
+      }
+    }
+    ml::Dataset seed;
+    seed.numClasses = static_cast<int>(space.size());
+    seed.featureNames = {"f0"};
+    seed.add({0.0}, static_cast<int>(space.cpuOnlyIndex()), "seed");
+    auto model = ml::makeClassifier("mostfreq");
+    model->train(seed);
+    weakModel = std::shared_ptr<const ml::Classifier>(std::move(model));
+  }
+
+  FleetConfig config(std::size_t replicas, bool gossipEnabled) const {
+    FleetConfig fc;
+    fc.replicas = replicas;
+    fc.gossipEnabled = gossipEnabled;
+    fc.service.refine = true;
+    fc.service.lanesPerMachine = 2;
+    fc.service.refiner.exploreFraction = 0.5;
+    // Finite probe budget; the simulation is deterministic, so one
+    // sample per arm is the truth and probing converges. Merged remote
+    // evidence (counts >= 1) therefore fills the budget: adopted wins
+    // are never re-probed.
+    fc.service.refiner.probeSamples = 1;
+    fc.service.refiner.seed = 0xF1EE7;
+    return fc;
+  }
+
+  serve::LaunchRequest request(std::size_t t) const {
+    serve::LaunchRequest r;
+    r.machine = machine.name;
+    r.task = tasks[t % tasks.size()];
+    return r;
+  }
+};
+
+/// Drive traffic at one replica until its refiner has adopted wins.
+void refineReplica(Replica& replica, const FleetFixture& fx,
+                   std::size_t requests) {
+  for (std::size_t i = 0; i < requests; ++i) {
+    (void)replica.call(fx.request(i));
+  }
+}
+
+TEST(Fleet, GossipedWinIsAdoptedWithoutProbing) {
+  FleetFixture fx;
+  Fleet fleet(fx.config(3, /*gossipEnabled=*/true));
+  fleet.addMachine(fx.machine, fx.weakModel);
+
+  // Skewed traffic: only replica 0 sees (and probes) the workload.
+  refineReplica(fleet.replica(0), fx, 400);
+  const auto wins = fleet.replica(0).service().exportRefinedWins();
+  ASSERT_FALSE(wins.empty()) << "replica 0 found no refinement wins";
+
+  fleet.gossipRound();
+
+  for (const std::size_t peer : {1u, 2u}) {
+    Replica& replica = fleet.replica(peer);
+    const auto stats = replica.stats();
+    // Within one round peers that merged the wins re-offer them (their
+    // own state changed), so a peer may hear each win more than once —
+    // but only the first merge adopts; re-merges are idempotent updates.
+    EXPECT_GE(stats.fleet.winsReceived, wins.size());
+    EXPECT_EQ(stats.fleet.winsMerged, stats.fleet.winsReceived);
+    EXPECT_EQ(stats.fleet.winsAdopted, wins.size());
+    // Every gossiped win serves immediately — refined label, no probe.
+    for (std::size_t t = 0; t < fx.tasks.size(); ++t) {
+      const auto response = replica.call(fx.request(t));
+      EXPECT_FALSE(response.explored);
+    }
+    const auto after = replica.stats();
+    EXPECT_EQ(after.refiner.explorations, 0u)
+        << "replica " << peer << " probed a gossiped win";
+    // The adopted incumbents match the discovering replica's exactly.
+    const auto version = replica.service().modelVersion();
+    for (const auto& win : wins) {
+      const auto inc =
+          replica.service().refiner()->incumbent(win.key, version);
+      ASSERT_TRUE(inc.tracked);
+      EXPECT_EQ(inc.label, win.incumbentLabel);
+      EXPECT_DOUBLE_EQ(inc.meanSeconds, win.incumbentMean);
+    }
+  }
+  // The discovering replica re-hears its own wins but never re-adopts.
+  EXPECT_EQ(fleet.replica(0).stats().fleet.winsAdopted, 0u);
+
+  // Counter reconciliation on every replica.
+  const auto stats = fleet.stats();
+  for (const auto& s : stats.replicas) {
+    EXPECT_EQ(s.fleet.winsReceived, s.fleet.winsMerged +
+                                        s.fleet.winsRejectedStale +
+                                        s.fleet.winsDropped);
+  }
+  EXPECT_EQ(stats.transport.dropped, 0u);
+}
+
+TEST(Fleet, GossipSkipsNoChangeRounds) {
+  FleetFixture fx;
+  Fleet fleet(fx.config(2, /*gossipEnabled=*/true));
+  fleet.addMachine(fx.machine, fx.weakModel);
+
+  refineReplica(fleet.replica(0), fx, 300);
+  fleet.gossipRound();
+  const auto sentAfterFirst = fleet.replica(0).stats().fleet.winsSent;
+  ASSERT_GT(sentAfterFirst, 0u);
+
+  // No new wins: the digest is unchanged, the round sends nothing.
+  fleet.gossipRound();
+  fleet.gossipRound();
+  const auto stats = fleet.replica(0).stats();
+  EXPECT_EQ(stats.fleet.winsSent, sentAfterFirst);
+  EXPECT_GE(stats.fleet.gossipRoundsSkipped, 2u);
+}
+
+TEST(Fleet, StaleVersionWinsAreRejected) {
+  FleetFixture fx;
+  Fleet fleet(fx.config(2, /*gossipEnabled=*/true));
+  fleet.addMachine(fx.machine, fx.weakModel);
+
+  refineReplica(fleet.replica(0), fx, 300);
+  auto wins = fleet.replica(0).service().exportRefinedWins();
+  ASSERT_FALSE(wins.empty());
+
+  // Tamper: a win learned against a generation the fleet never had.
+  for (auto& win : wins) win.modelVersion += 10;
+  const auto result = fleet.replica(1).service().mergeRemoteWins(wins);
+  EXPECT_EQ(result.stale, wins.size());
+  EXPECT_EQ(result.merged(), 0u);
+}
+
+TEST(Fleet, MergeRejectsOutOfSpaceLabels) {
+  FleetFixture fx;
+  Fleet fleet(fx.config(1, /*gossipEnabled=*/false));
+  fleet.addMachine(fx.machine, fx.weakModel);
+  auto& service = fleet.replica(0).service();
+  const std::size_t spaceSize = service.space(fx.machine.name).size();
+
+  // A hostile record whose labels lie outside the partitioning space: if
+  // it were merged and cached, every warm request for the key would
+  // throw instead of serving.
+  adapt::WinRecord hostile = sampleWin("scale/scale", spaceSize + 5);
+  hostile.modelVersion = service.modelVersion();
+  hostile.baseLabel = 0;
+  hostile.arms = {{0, 3, 1.0}, {spaceSize + 5, 3, 0.001}};
+  const auto result = service.mergeRemoteWins({hostile});
+  EXPECT_EQ(result.dropped, 1u);
+  EXPECT_EQ(result.merged(), 0u);
+
+  // Out-of-space arm labels are equally rejected, even with a valid
+  // incumbent.
+  adapt::WinRecord badArm = sampleWin("scale/scale", 1);
+  badArm.modelVersion = service.modelVersion();
+  badArm.baseLabel = 0;
+  badArm.arms = {{0, 3, 1.0}, {spaceSize, 3, 0.001}};
+  EXPECT_EQ(service.mergeRemoteWins({badArm}).dropped, 1u);
+
+  // The service still serves the launch normally.
+  const auto response = fleet.replica(0).call(fx.request(0));
+  EXPECT_LT(response.label, spaceSize);
+  EXPECT_GT(response.execution.makespan, 0.0);
+}
+
+TEST(Fleet, SameGenerationInstallDropsCachedDecisions) {
+  FleetFixture fx;
+  // Refinement off: this test pins the cache/model path, and a refiner
+  // entry surviving the same-generation install would (correctly) keep
+  // serving its measured incumbent instead of the fresh prediction.
+  FleetConfig fc = fx.config(1, /*gossipEnabled=*/false);
+  fc.service.refine = false;
+  Fleet fleet(fc);
+  fleet.addMachine(fx.machine, fx.weakModel);
+  auto& service = fleet.replica(0).service();
+  // Warm the cache under the weak (CPU-only) model.
+  for (std::size_t t = 0; t < fx.tasks.size(); ++t) {
+    (void)fleet.replica(0).call(fx.request(t));
+  }
+  ASSERT_GT(service.cache().size(), 0u);
+
+  // Install a different model AT the current generation (what a racing
+  // second retrain coordinator produces): the old model's labels must
+  // not keep serving as hits under the same version.
+  const runtime::PartitioningSpace& space = service.space(fx.machine.name);
+  ml::Dataset seed;
+  seed.numClasses = static_cast<int>(space.size());
+  seed.featureNames = {"f0"};
+  seed.add({0.0}, static_cast<int>(space.singleDeviceIndex(1)), "seed");
+  auto model = ml::makeClassifier("mostfreq");
+  model->train(seed);
+  service.installModels(
+      {{fx.machine.name, std::shared_ptr<const ml::Classifier>(
+                             std::move(model))}},
+      service.modelVersion());
+
+  EXPECT_EQ(service.cache().size(), 0u);
+  // Served decisions now come from the new model, not stale cache hits.
+  const auto response = fleet.replica(0).call(fx.request(0));
+  EXPECT_FALSE(response.cacheHit);
+  EXPECT_EQ(response.label, space.singleDeviceIndex(1));
+}
+
+TEST(Fleet, RetrainFansOutModelsAndInvalidatesCaches) {
+  FleetFixture fx;
+  Fleet fleet(fx.config(3, /*gossipEnabled=*/true));
+  fleet.addMachine(fx.machine, fx.weakModel);
+
+  // Each replica records distinct feedback traffic.
+  for (std::size_t r = 0; r < fleet.size(); ++r) {
+    for (std::size_t t = r; t < fx.tasks.size(); t += fleet.size()) {
+      (void)fleet.replica(r).call(fx.request(t));
+    }
+  }
+  const auto before = fleet.replica(1).service().modelVersion();
+  const auto result = fleet.retrainFleet(/*leader=*/0);
+  EXPECT_EQ(result.peersHeard, 2u);
+  EXPECT_EQ(result.modelVersion, before + 1);
+  // The union covers every distinct launch even though no single replica
+  // saw them all.
+  EXPECT_EQ(result.recordsUsed, fx.tasks.size());
+  EXPECT_EQ(result.machinesRetrained, 1u);
+
+  for (std::size_t r = 0; r < fleet.size(); ++r) {
+    auto& service = fleet.replica(r).service();
+    EXPECT_EQ(service.modelVersion(), result.modelVersion);
+    // All replicas serve identical post-retrain decisions (byte-identical
+    // models were fanned out).
+    for (std::size_t t = 0; t < fx.tasks.size(); ++t) {
+      EXPECT_EQ(service.predictLabel(fx.machine.name, fx.tasks[t]),
+                fleet.replica(0).service().predictLabel(fx.machine.name,
+                                                        fx.tasks[t]));
+    }
+    EXPECT_EQ(fleet.replica(r).stats().fleet.modelInstalls, 1u);
+  }
+}
+
+// ---- snapshot round-trip property test -------------------------------------
+
+TEST(Fleet, SnapshotRoundTripReproducesDecisionsAndIncumbents) {
+  FleetFixture fx;
+  const std::string dir = tempDir("roundtrip");
+
+  FleetConfig fc = fx.config(1, /*gossipEnabled=*/false);
+  fc.snapshotDir = dir;
+  fc.replicas = 1;
+
+  std::vector<std::size_t> decisions;
+  std::vector<adapt::WinRecord> exported;
+  std::uint64_t version = 0;
+  {
+    Fleet fleet(fc);
+    fleet.addMachine(fx.machine, fx.weakModel);
+    refineReplica(fleet.replica(0), fx, 500);
+    auto& replica = fleet.replica(0);
+    version = replica.service().modelVersion();
+    exported = replica.service().exportRefinedWins(/*refinedOnly=*/false);
+    ASSERT_FALSE(exported.empty());
+    // Record the steady-state decision for every launch signature.
+    for (std::size_t t = 0; t < fx.tasks.size(); ++t) {
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const auto response = replica.call(fx.request(t));
+        if (response.explored) continue;
+        decisions.push_back(response.label);
+        break;
+      }
+    }
+    ASSERT_EQ(decisions.size(), fx.tasks.size());
+    EXPECT_GT(replica.saveSnapshot(), 0u);
+    EXPECT_EQ(replica.stats().fleet.snapshotsWritten, 1u);
+  }  // fleet torn down: the "kill" half of kill + restart
+
+  // A fresh replica over the same snapshot directory, seeded with the
+  // same weak deployment model.
+  Fleet restarted(fc);
+  restarted.addMachine(fx.machine, fx.weakModel);
+  auto& replica = restarted.replica(0);
+  ASSERT_TRUE(replica.warmStart());
+  EXPECT_EQ(replica.stats().fleet.snapshotsLoaded, 1u);
+  EXPECT_EQ(replica.service().modelVersion(), version);
+
+  // Identical incumbent (label AND mean) for every tracked key...
+  for (const auto& win : exported) {
+    const auto inc = replica.service().refiner()->incumbent(win.key, version);
+    ASSERT_TRUE(inc.tracked);
+    EXPECT_EQ(inc.label, win.incumbentLabel);
+    EXPECT_DOUBLE_EQ(inc.meanSeconds, win.incumbentMean);
+  }
+  // ...and identical served decisions for every launch signature, with
+  // zero probes (the snapshot's evidence fills the probe budget).
+  for (std::size_t t = 0; t < fx.tasks.size(); ++t) {
+    const auto response = replica.call(fx.request(t));
+    EXPECT_FALSE(response.explored);
+    EXPECT_EQ(response.label, decisions[t]) << "task " << t;
+  }
+  EXPECT_EQ(replica.stats().refiner.explorations, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+// ---- concurrency (TSan target) ---------------------------------------------
+
+TEST(Fleet, CountersReconcileUnderConcurrentGossipAndRetrain) {
+  FleetFixture fx;
+  Fleet fleet(fx.config(3, /*gossipEnabled=*/true));
+  fleet.addMachine(fx.machine, fx.weakModel);
+
+  constexpr std::size_t kClients = 3;
+  constexpr std::size_t kRequestsPerClient = 120;
+  std::atomic<std::uint64_t> faults{0};
+
+  std::vector<std::thread> workers;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    workers.emplace_back([&, c] {
+      for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
+        const auto response =
+            fleet.submit(fx.request(c * kRequestsPerClient + i)).get();
+        if (response.execution.makespan <= 0.0) faults.fetch_add(1);
+      }
+    });
+  }
+  workers.emplace_back([&] {
+    for (int round = 0; round < 20; ++round) {
+      fleet.gossipRound();
+      std::this_thread::yield();
+    }
+  });
+  workers.emplace_back([&] {
+    for (int retrain = 0; retrain < 2; ++retrain) {
+      (void)fleet.retrainFleet(0);
+      std::this_thread::yield();
+    }
+  });
+  for (auto& w : workers) w.join();
+  fleet.drainAll();
+
+  EXPECT_EQ(faults.load(), 0u);
+  const auto stats = fleet.stats();
+  std::uint64_t completed = 0;
+  for (const auto& s : stats.replicas) {
+    completed += s.requestsCompleted;
+    EXPECT_EQ(s.requestsFailed, 0u);
+    EXPECT_EQ(s.requestsCompleted, s.requestsSubmitted);
+    // Gossip/snapshot counters reconcile exactly.
+    EXPECT_EQ(s.fleet.winsReceived, s.fleet.winsMerged +
+                                        s.fleet.winsRejectedStale +
+                                        s.fleet.winsDropped);
+    // Cache and refiner counters stay consistent through concurrent
+    // merges, invalidations and version bumps.
+    EXPECT_EQ(s.cache.hits + s.cache.misses, s.cache.lookups);
+    EXPECT_LE(s.cache.evictions, s.cache.insertions);
+    EXPECT_EQ(s.refiner.decisions, s.refiner.explorations +
+                                       s.refiner.exploitations +
+                                       s.refiner.untracked);
+    // Both fleet retrains were installed everywhere.
+    EXPECT_EQ(s.fleet.modelInstalls, 2u);
+  }
+  EXPECT_EQ(completed, kClients * kRequestsPerClient);
+  EXPECT_EQ(stats.transport.dropped, 0u);
+}
+
+}  // namespace
+}  // namespace tp::fleet
