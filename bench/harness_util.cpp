@@ -1,11 +1,14 @@
 #include "harness_util.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <thread>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "common/rng.hpp"
 #include "common/str.hpp"
 #include "sim/machine.hpp"
 #include "suite/benchmark.hpp"
@@ -136,6 +139,51 @@ void writeJson(const std::string& path, const JsonObject& obj) {
   if (!os) throw IoError("cannot open for writing: " + path);
   os << obj.str();
   if (!os) throw IoError("write failed: " + path);
+}
+
+ServeWorkload buildServeWorkload(
+    std::size_t programs, const std::vector<sim::MachineConfig>& machines,
+    const runtime::PartitioningSpace& space) {
+  ServeWorkload workload{
+      {}, runtime::FeatureDatabase::withDefaultSchema(space.size())};
+  const auto& all = suite::allBenchmarks();
+  for (std::size_t b = 0; b < programs && b < all.size(); ++b) {
+    const auto& bench = all[b];
+    for (std::size_t s = 0; s < std::min<std::size_t>(2, bench.sizes.size());
+         ++s) {
+      auto inst = bench.make(bench.sizes[s]);
+      for (const auto& machine : machines) {
+        workload.db.add(runtime::measureLaunch(
+            inst.task, machine, space,
+            "n=" + std::to_string(bench.sizes[s])));
+      }
+      workload.tasks.push_back(std::move(inst.task));
+    }
+  }
+  return workload;
+}
+
+double serveWave(serve::PartitionService& service,
+                 const std::vector<runtime::Task>& tasks,
+                 const std::vector<sim::MachineConfig>& machines,
+                 std::size_t threads, std::size_t total, std::uint64_t seed) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  std::vector<std::thread> clients;
+  const std::size_t each = std::max<std::size_t>(1, total / threads);
+  for (std::size_t c = 0; c < threads; ++c) {
+    clients.emplace_back([&, c] {
+      common::Rng rng(seed + c);
+      for (std::size_t r = 0; r < each; ++r) {
+        serve::LaunchRequest request;
+        request.machine = machines[rng.below(machines.size())].name;
+        request.task = tasks[rng.below(tasks.size())];
+        (void)service.call(std::move(request));
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
 }  // namespace tp::bench

@@ -13,6 +13,8 @@
 #include "runtime/database.hpp"
 #include "runtime/evaluation.hpp"
 #include "runtime/partitioning.hpp"
+#include "serve/service.hpp"
+#include "sim/machine.hpp"
 
 namespace tp::bench {
 
@@ -53,5 +55,27 @@ private:
 
 /// Write `obj` to `path` (truncating); throws tp::IoError on failure.
 void writeJson(const std::string& path, const JsonObject& obj);
+
+/// Shared workload of the serving benchmarks (serve_throughput,
+/// serve_scaling): the first `programs` suite benchmarks x up to 2 sizes
+/// as launchable tasks, plus the full per-machine training sweep for
+/// deployment models. One definition, so every serving bench measures
+/// the same traffic mix.
+struct ServeWorkload {
+  std::vector<runtime::Task> tasks;
+  runtime::FeatureDatabase db;
+};
+ServeWorkload buildServeWorkload(std::size_t programs,
+                                 const std::vector<sim::MachineConfig>& machines,
+                                 const runtime::PartitioningSpace& space);
+
+/// Closed-loop client wave: `threads` clients issue `total` requests
+/// (split evenly) of random (task, machine) pairs through
+/// service.call() — warm hits ride the inline fast path. Returns wall
+/// seconds.
+double serveWave(serve::PartitionService& service,
+                 const std::vector<runtime::Task>& tasks,
+                 const std::vector<sim::MachineConfig>& machines,
+                 std::size_t threads, std::size_t total, std::uint64_t seed);
 
 }  // namespace tp::bench

@@ -8,16 +8,13 @@
 // (see scripts/bench.sh, which appends to the repo's perf trajectory as
 // BENCH_serve.json).
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/log.hpp"
-#include "common/rng.hpp"
 #include "harness_util.hpp"
 #include "runtime/evaluation.hpp"
 #include "serve/service.hpp"
@@ -27,12 +24,6 @@
 using namespace tp;
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double secondsSince(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 struct Options {
   std::size_t requests = 4000;  ///< warm-phase request count
@@ -72,30 +63,6 @@ Options parseArgs(int argc, char** argv) {
   return opt;
 }
 
-/// Closed-loop wave: `threads` clients issue `total` requests (split
-/// evenly) against random (task, machine) pairs. Returns wall seconds.
-double wave(serve::PartitionService& service,
-            const std::vector<runtime::Task>& tasks,
-            const std::vector<sim::MachineConfig>& machines,
-            std::size_t threads, std::size_t total, std::uint64_t seed) {
-  const auto start = Clock::now();
-  std::vector<std::thread> clients;
-  const std::size_t each = std::max<std::size_t>(1, total / threads);
-  for (std::size_t c = 0; c < threads; ++c) {
-    clients.emplace_back([&, c] {
-      common::Rng rng(seed + c);
-      for (std::size_t r = 0; r < each; ++r) {
-        serve::LaunchRequest request;
-        request.machine = machines[rng.below(machines.size())].name;
-        request.task = tasks[rng.below(tasks.size())];
-        service.submit(std::move(request)).get();
-      }
-    });
-  }
-  for (auto& c : clients) c.join();
-  return secondsSince(start);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -105,22 +72,9 @@ int main(int argc, char** argv) {
   const auto machines = sim::evaluationMachines();
   const runtime::PartitioningSpace space(machines[0].numDevices(), 10);
 
-  // Workload + per-machine deployment models (2 sizes per program).
-  std::vector<runtime::Task> tasks;
-  auto db = runtime::FeatureDatabase::withDefaultSchema(space.size());
-  const auto& all = suite::allBenchmarks();
-  for (std::size_t b = 0; b < opt.programs && b < all.size(); ++b) {
-    const auto& bench = all[b];
-    for (std::size_t s = 0; s < std::min<std::size_t>(2, bench.sizes.size());
-         ++s) {
-      auto inst = bench.make(bench.sizes[s]);
-      for (const auto& machine : machines) {
-        db.add(runtime::measureLaunch(inst.task, machine, space,
-                                      "n=" + std::to_string(bench.sizes[s])));
-      }
-      tasks.push_back(std::move(inst.task));
-    }
-  }
+  // Workload + per-machine deployment models (2 sizes per program);
+  // shared with serve_scaling so both benches measure one traffic mix.
+  auto [tasks, db] = bench::buildServeWorkload(opt.programs, machines, space);
 
   serve::ServiceConfig config;
   config.cacheCapacity = 1024;
@@ -138,12 +92,14 @@ int main(int argc, char** argv) {
   const std::size_t coldRequests =
       std::max<std::size_t>(tasks.size() * machines.size(), 64);
   const double coldSeconds =
-      wave(service, tasks, machines, opt.threads, coldRequests, 0xC01D);
+      bench::serveWave(service, tasks, machines, opt.threads,
+                       coldRequests, 0xC01D);
   const auto coldStats = service.stats();
 
   // Warm: replayed traffic should mostly hit the decision cache.
   const double warmSeconds =
-      wave(service, tasks, machines, opt.threads, opt.requests, 0x3A83);
+      bench::serveWave(service, tasks, machines, opt.threads,
+                       opt.requests, 0x3A83);
   const auto warmStats = service.stats();
 
   const auto warmLookups = warmStats.cache.lookups - coldStats.cache.lookups;

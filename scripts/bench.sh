@@ -1,15 +1,35 @@
 #!/usr/bin/env sh
 # Build and run the serving benchmarks, writing their headline numbers to
-# BENCH_serve.json / BENCH_adapt.json / BENCH_fleet.json in the repo
-# root so the repo accumulates a perf trajectory across PRs. Extra
+# BENCH_serve.json / BENCH_serve_scaling.json / BENCH_adapt.json /
+# BENCH_fleet.json in the repo root so the repo accumulates a perf
+# trajectory across PRs. Before overwriting, each previous JSON is diffed
+# against the fresh run with scripts/bench_compare.py (non-fatal report:
+# >10% regressions on named metrics are flagged, never failed). Extra
 # arguments pass through to the serve_throughput driver (e.g.
-# ./scripts/bench.sh --requests 20000 --threads 16); adapt_convergence
-# and fleet_scaling run with their defaults.
+# ./scripts/bench.sh --requests 20000 --threads 16); the other drivers
+# run with their defaults.
 set -eux
 cd "$(dirname "$0")/.."
 cmake -B build -S .
 cmake --build build -j "$(nproc)" \
-  --target serve_throughput adapt_convergence fleet_scaling
-./build/bench/serve_throughput --json BENCH_serve.json "$@"
-./build/bench/adapt_convergence --json BENCH_adapt.json
-./build/bench/fleet_scaling --json BENCH_fleet.json
+  --target serve_throughput serve_scaling adapt_convergence fleet_scaling
+
+run_and_compare() {
+  json="$1"
+  shift
+  baseline=""
+  if [ -f "$json" ]; then
+    baseline="$(mktemp)"
+    cp "$json" "$baseline"
+  fi
+  "$@" --json "$json"
+  if [ -n "$baseline" ]; then
+    python3 scripts/bench_compare.py "$baseline" "$json" || true
+    rm -f "$baseline"
+  fi
+}
+
+run_and_compare BENCH_serve.json ./build/bench/serve_throughput "$@"
+run_and_compare BENCH_serve_scaling.json ./build/bench/serve_scaling
+run_and_compare BENCH_adapt.json ./build/bench/adapt_convergence
+run_and_compare BENCH_fleet.json ./build/bench/fleet_scaling

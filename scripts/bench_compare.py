@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and flag regressions on named metrics.
+
+Usage:
+  bench_compare.py BASELINE.json CURRENT.json [options]
+
+Options:
+  --metric NAME[:higher|:lower]   Metric to check (repeatable). Without
+                                  any --metric, every shared numeric key
+                                  is compared; direction is inferred from
+                                  the key name (see infer_direction).
+  --threshold PCT                 Regression threshold in percent
+                                  (default 10).
+  --fail-on-regression            Exit 1 when a regression is flagged
+                                  (default: always exit 0 — the CI bench
+                                  job runs this as a non-fatal report).
+
+A metric regresses when it moves more than the threshold in its bad
+direction: a "higher"-is-better metric dropping, or a "lower"-is-better
+metric rising. Everything else (improvements, sub-threshold drift,
+non-numeric or missing keys) is reported informationally.
+"""
+
+import argparse
+import json
+import sys
+
+
+def infer_direction(name: str) -> str:
+    """Best-effort direction for un-annotated metrics."""
+    lowered = name.lower()
+    higher_markers = ("per_sec", "hit_rate", "throughput", "speedup",
+                      "accuracy", "requests_inline")
+    lower_markers = ("latency", "seconds", "_us", "_ms", "probes",
+                     "evictions", "misses", "steady_state")
+    if any(m in lowered for m in higher_markers):
+        return "higher"
+    if any(m in lowered for m in lower_markers):
+        return "lower"
+    return "info"
+
+
+def parse_metric(spec: str):
+    if ":" in spec:
+        name, direction = spec.rsplit(":", 1)
+        if direction not in ("higher", "lower"):
+            sys.exit(f"bench_compare: bad direction in --metric {spec!r} "
+                     "(use :higher or :lower)")
+        return name, direction
+    return spec, infer_direction(spec)
+
+
+def numeric_keys(obj):
+    return {k for k, v in obj.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(add_help=True)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--metric", action="append", default=[])
+    parser.add_argument("--threshold", type=float, default=10.0)
+    parser.add_argument("--fail-on-regression", action="store_true")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        with open(args.current) as f:
+            current = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        # A missing/corrupt baseline is not a regression (e.g. the first
+        # run of a brand-new benchmark has nothing to diff against).
+        print(f"bench_compare: cannot compare: {e}")
+        return 0
+
+    if args.metric:
+        metrics = [parse_metric(m) for m in args.metric]
+    else:
+        shared = sorted(numeric_keys(baseline) & numeric_keys(current))
+        metrics = [(name, infer_direction(name)) for name in shared]
+
+    regressions = []
+    print(f"bench_compare: {args.baseline} -> {args.current} "
+          f"(threshold {args.threshold:g}%)")
+    for name, direction in metrics:
+        base = baseline.get(name)
+        cur = current.get(name)
+        if not isinstance(base, (int, float)) or not isinstance(cur, (int, float)):
+            print(f"  {name}: missing or non-numeric, skipped")
+            continue
+        if base == 0:
+            print(f"  {name}: baseline is 0, skipped")
+            continue
+        change = 100.0 * (cur - base) / abs(base)
+        regressed = (direction == "higher" and change < -args.threshold) or \
+                    (direction == "lower" and change > args.threshold)
+        tag = "REGRESSION" if regressed else \
+              ("ok" if direction != "info" else "info")
+        print(f"  {name}: {base:g} -> {cur:g} ({change:+.1f}%) "
+              f"[{direction}] {tag}")
+        if regressed:
+            regressions.append((name, change))
+
+    if regressions:
+        print(f"bench_compare: {len(regressions)} regression(s) flagged:")
+        for name, change in regressions:
+            print(f"  {name}: {change:+.1f}%")
+        if args.fail_on_regression:
+            return 1
+    else:
+        print("bench_compare: no regressions flagged")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

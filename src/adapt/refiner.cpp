@@ -11,26 +11,35 @@
 
 namespace tp::adapt {
 
-namespace {
-
-std::uint64_t hashKey(const RefineKey& k) {
-  return common::hashLaunchKey(k.machine, k.program, k.signature);
+std::size_t RefineKeyHash::operator()(const RefineKey& k) const noexcept {
+  return static_cast<std::size_t>(
+      common::hashLaunchKey(k.machine, k.program, k.signature));
 }
 
-}  // namespace
-
-std::size_t RefineKeyHash::operator()(const RefineKey& k) const noexcept {
-  return static_cast<std::size_t>(hashKey(k));
+common::Fingerprint refineFingerprint(const RefineKey& key) noexcept {
+  common::FingerprintBuilder fb;
+  fb.str(key.machine);
+  fb.str(key.program);
+  fb.u64(key.signature.size());
+  for (const double v : key.signature) fb.f64(v);
+  return fb.take();
 }
 
 struct Refiner::Shard {
   mutable std::mutex mutex;
-  std::unordered_map<RefineKey, Entry, RefineKeyHash> entries;
+  std::unordered_map<common::Fingerprint, Entry, common::FingerprintHash>
+      entries;
   common::Rng rng;
   RefinerCounters counters;
 };
 
-Refiner::Refiner(RefinerConfig config) : config_(config) {
+Refiner::Refiner(RefinerConfig config, Fingerprinter fingerprinter)
+    : config_(config), fingerprinter_(std::move(fingerprinter)) {
+  if (!fingerprinter_) {
+    fingerprinter_ = [](const RefineKey& key) {
+      return std::optional<common::Fingerprint>(refineFingerprint(key));
+    };
+  }
   TP_REQUIRE(config_.exploreFraction >= 0.0 && config_.exploreFraction <= 1.0,
              "Refiner: exploreFraction must be in [0, 1], got "
                  << config_.exploreFraction);
@@ -59,8 +68,8 @@ Refiner::Refiner(RefinerConfig config) : config_(config) {
 
 Refiner::~Refiner() = default;
 
-Refiner::Shard& Refiner::shardFor(const RefineKey& key) const {
-  return shards_[hashKey(key) % shards_.size()];
+Refiner::Shard& Refiner::shardFor(const common::Fingerprint& fp) const {
+  return shards_[fp.lo % shards_.size()];
 }
 
 void Refiner::resetEntry(Entry& entry, std::uint64_t modelVersion,
@@ -129,12 +138,35 @@ RefineDecision Refiner::decide(const RefineKey& key,
                                std::uint64_t modelVersion,
                                std::size_t baseLabel,
                                const runtime::PartitioningSpace& space) {
-  Shard& shard = shardFor(key);
+  const auto fp = fingerprinter_(key);
+  if (!fp.has_value()) {
+    Shard& shard = shardFor(common::Fingerprint{});
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ++shard.counters.decisions;
+    ++shard.counters.untracked;
+    return RefineDecision{baseLabel, false, false};
+  }
+  return decide(*fp, &key, modelVersion, baseLabel, space);
+}
+
+RefineDecision Refiner::decide(const common::Fingerprint& fp,
+                               const RefineKey* key,
+                               std::uint64_t modelVersion,
+                               std::size_t baseLabel,
+                               const runtime::PartitioningSpace& space) {
+  Shard& shard = shardFor(fp);
   std::lock_guard<std::mutex> lock(shard.mutex);
   ++shard.counters.decisions;
 
-  auto it = shard.entries.find(key);
+  auto it = shard.entries.find(fp);
   if (it == shard.entries.end()) {
+    if (key == nullptr) {
+      // The caller cannot (cheaply) supply the full key — the serving
+      // warm-hit path. Serve unrefined; the next miss-path sighting
+      // carries the key and creates the entry.
+      ++shard.counters.untracked;
+      return RefineDecision{baseLabel, false, false};
+    }
     if (shard.entries.size() >= maxKeysPerShard_) {
       // Reclaim before refusing: entries of superseded generations are
       // dead weight (their history decays on next sight anyway), and
@@ -146,7 +178,8 @@ RefineDecision Refiner::decide(const RefineKey& key,
       ++shard.counters.untracked;
       return RefineDecision{baseLabel, false, false};
     }
-    it = shard.entries.emplace(key, Entry{}).first;
+    it = shard.entries.emplace(fp, Entry{}).first;
+    it->second.key = *key;
     resetEntry(it->second, modelVersion, baseLabel, space);
   } else if (modelVersion > it->second.modelVersion) {
     // The model was retrained: its new prediction supersedes everything
@@ -213,11 +246,25 @@ RefineDecision Refiner::decide(const RefineKey& key,
 Observation Refiner::observe(const RefineKey& key, std::uint64_t modelVersion,
                              std::size_t label, double seconds,
                              const runtime::PartitioningSpace& space) {
-  Shard& shard = shardFor(key);
+  const auto fp = fingerprinter_(key);
+  if (!fp.has_value()) {
+    Shard& shard = shardFor(common::Fingerprint{});
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ++shard.counters.staleObservations;
+    return Observation{};
+  }
+  return observe(*fp, modelVersion, label, seconds, space);
+}
+
+Observation Refiner::observe(const common::Fingerprint& fp,
+                             std::uint64_t modelVersion, std::size_t label,
+                             double seconds,
+                             const runtime::PartitioningSpace& space) {
+  Shard& shard = shardFor(fp);
   std::lock_guard<std::mutex> lock(shard.mutex);
 
   Observation obs;
-  const auto it = shard.entries.find(key);
+  const auto it = shard.entries.find(fp);
   if (it == shard.entries.end() || it->second.modelVersion != modelVersion) {
     ++shard.counters.staleObservations;
     return obs;
@@ -254,13 +301,14 @@ std::vector<WinRecord> Refiner::exportWins(bool refinedOnly) const {
   std::vector<WinRecord> out;
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    for (const auto& [key, entry] : shard.entries) {
+    for (const auto& [fp, entry] : shard.entries) {
+      (void)fp;
       const Arm& best = entry.arms[entry.incumbent];
       if (refinedOnly && (best.label == entry.baseLabel || best.count == 0)) {
         continue;
       }
       WinRecord rec;
-      rec.key = key;
+      rec.key = entry.key;
       rec.modelVersion = entry.modelVersion;
       rec.baseLabel = entry.baseLabel;
       rec.incumbentLabel = best.label;
@@ -287,9 +335,14 @@ MergeResult Refiner::mergeWins(const std::vector<WinRecord>& wins,
       ++result.stale;
       continue;
     }
-    Shard& shard = shardFor(rec.key);
+    const auto fp = fingerprinter_(rec.key);
+    if (!fp.has_value()) {
+      ++result.dropped;
+      continue;
+    }
+    Shard& shard = shardFor(*fp);
     std::lock_guard<std::mutex> lock(shard.mutex);
-    auto it = shard.entries.find(rec.key);
+    auto it = shard.entries.find(*fp);
     if (it == shard.entries.end()) {
       if (shard.entries.size() >= maxKeysPerShard_) {
         sweepSuperseded(shard, currentVersion);
@@ -298,8 +351,9 @@ MergeResult Refiner::mergeWins(const std::vector<WinRecord>& wins,
         ++result.dropped;
         continue;
       }
-      it = shard.entries.emplace(rec.key, Entry{}).first;
+      it = shard.entries.emplace(*fp, Entry{}).first;
       Entry& entry = it->second;
+      entry.key = rec.key;
       entry.modelVersion = rec.modelVersion;
       entry.baseLabel = rec.baseLabel;
       entry.incumbent = 0;
@@ -377,10 +431,17 @@ MergeResult Refiner::mergeWins(const std::vector<WinRecord>& wins,
 
 Refiner::Incumbent Refiner::incumbent(const RefineKey& key,
                                       std::uint64_t modelVersion) const {
-  Shard& shard = shardFor(key);
+  const auto fp = fingerprinter_(key);
+  if (!fp.has_value()) return Incumbent{};
+  return incumbent(*fp, modelVersion);
+}
+
+Refiner::Incumbent Refiner::incumbent(const common::Fingerprint& fp,
+                                      std::uint64_t modelVersion) const {
+  Shard& shard = shardFor(fp);
   std::lock_guard<std::mutex> lock(shard.mutex);
   Incumbent out;
-  const auto it = shard.entries.find(key);
+  const auto it = shard.entries.find(fp);
   if (it == shard.entries.end() || it->second.modelVersion != modelVersion) {
     return out;
   }

@@ -20,13 +20,24 @@
 // prediction (the new model already learned from the recorded traffic,
 // including every explored win).
 //
+// Keys are addressed by a 128-bit common::Fingerprint (the serving fast
+// path computes one per request anyway; the refiner reuses it instead of
+// rehashing the key's strings). Every fingerprint fed to one Refiner
+// instance must come from a single consistent scheme: either the
+// instance's fingerprinter (the convenience overloads and mergeWins use
+// it) or a caller that precomputes with the same scheme (the hot-path
+// overloads). Mixing schemes would split one key into two entries.
+//
 // Thread-safe: state is sharded, each shard independently mutex-guarded,
 // exploration draws from a per-shard deterministic Rng.
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "runtime/partitioning.hpp"
 
 namespace tp::adapt {
@@ -45,6 +56,18 @@ struct RefineKey {
 struct RefineKeyHash {
   std::size_t operator()(const RefineKey& k) const noexcept;
 };
+
+/// The default (string-hashing) fingerprint scheme: standalone users and
+/// tests address refiner keys with this. The serving layer instead
+/// injects a fingerprinter built on its interned pair ids, so the
+/// fingerprint computed once on the request fast path is reused verbatim.
+common::Fingerprint refineFingerprint(const RefineKey& key) noexcept;
+
+/// Maps a key to its fingerprint under the owning instance's scheme;
+/// nullopt means the key cannot be fingerprinted right now (e.g. the
+/// serving layer's intern table is full) and the record is dropped.
+using Fingerprinter =
+    std::function<std::optional<common::Fingerprint>(const RefineKey&)>;
 
 struct RefinerConfig {
   /// Fraction of decisions (per key, after the baseline is measured) spent
@@ -134,7 +157,11 @@ struct RefinerCounters {
 
 class Refiner {
 public:
-  explicit Refiner(RefinerConfig config = {});
+  /// `fingerprinter` addresses every key of this instance; the default is
+  /// refineFingerprint (string hashing). Callers of the hot-path
+  /// overloads must precompute fingerprints with the same scheme.
+  explicit Refiner(RefinerConfig config = {},
+                   Fingerprinter fingerprinter = {});
   ~Refiner();  ///< out-of-line: Shard is incomplete here
 
   Refiner(const Refiner&) = delete;
@@ -144,7 +171,17 @@ public:
   /// serving would use without refinement (cached decision or a fresh
   /// model prediction); `modelVersion` is the generation that produced
   /// it. The first decision for a key always exploits the baseline so the
-  /// incumbent is measured before any probe.
+  /// incumbent is measured before any probe. `key` is only consulted when
+  /// the fingerprint is untracked and an entry must be created; the
+  /// serving hit path passes nullptr (don't create — a cache hit whose
+  /// refiner entry was capacity-evicted serves unrefined until the next
+  /// miss or version change recreates it) so warm traffic never
+  /// materializes key strings.
+  RefineDecision decide(const common::Fingerprint& fp, const RefineKey* key,
+                        std::uint64_t modelVersion, std::size_t baseLabel,
+                        const runtime::PartitioningSpace& space);
+  /// Convenience: fingerprint via the instance's fingerprinter, creation
+  /// allowed.
   RefineDecision decide(const RefineKey& key, std::uint64_t modelVersion,
                         std::size_t baseLabel,
                         const runtime::PartitioningSpace& space);
@@ -154,6 +191,9 @@ public:
   /// into their decision cache); on a win the candidate set re-centers on
   /// the new incumbent's neighborhood in `space`. Measurements stamped
   /// with a version the key has moved past are dropped.
+  Observation observe(const common::Fingerprint& fp,
+                      std::uint64_t modelVersion, std::size_t label,
+                      double seconds, const runtime::PartitioningSpace& space);
   Observation observe(const RefineKey& key, std::uint64_t modelVersion,
                       std::size_t label, double seconds,
                       const runtime::PartitioningSpace& space);
@@ -166,6 +206,8 @@ public:
     double meanSeconds = 0.0;
     std::size_t armsMeasured = 0;
   };
+  Incumbent incumbent(const common::Fingerprint& fp,
+                      std::uint64_t modelVersion) const;
   Incumbent incumbent(const RefineKey& key, std::uint64_t modelVersion) const;
 
   /// Export transferable per-key state. With `refinedOnly` (the gossip
@@ -176,7 +218,9 @@ public:
   /// iteration order within a shard.
   std::vector<WinRecord> exportWins(bool refinedOnly = true) const;
 
-  /// Merge remote win records. Records whose model version differs from
+  /// Merge remote win records (fingerprinted via the instance's
+  /// fingerprinter; records it cannot fingerprint count as dropped).
+  /// Records whose model version differs from
   /// `currentVersion` (or from a newer version a tracked key has already
   /// moved to) are rejected as stale. Per arm the better-measured side
   /// wins — higher count, ties broken by lower measured mean — which
@@ -201,6 +245,7 @@ private:
     double meanSeconds = 0.0;
   };
   struct Entry {
+    RefineKey key;               ///< full key, for exportWins()
     std::uint64_t modelVersion = 0;
     std::size_t baseLabel = 0;   ///< the model-side label at this version
     std::size_t incumbent = 0;   ///< arms index of the current best
@@ -208,7 +253,7 @@ private:
   };
   struct Shard;
 
-  Shard& shardFor(const RefineKey& key) const;
+  Shard& shardFor(const common::Fingerprint& fp) const;
   void resetEntry(Entry& entry, std::uint64_t modelVersion,
                   std::size_t baseLabel,
                   const runtime::PartitioningSpace& space) const;
@@ -221,6 +266,7 @@ private:
   static void sweepSuperseded(Shard& shard, std::uint64_t version);
 
   RefinerConfig config_;
+  Fingerprinter fingerprinter_;
   std::size_t maxKeysPerShard_ = 0;
   mutable std::vector<Shard> shards_;
 };

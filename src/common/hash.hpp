@@ -60,4 +60,65 @@ inline std::uint64_t hashLaunchKey(std::string_view machine,
   return h;
 }
 
+/// splitmix64 finalizer: full-avalanche mix so every output bit depends on
+/// every input bit. FNV's low bits are weak under power-of-two masking;
+/// the open-addressing decision cache masks the fingerprint directly, so
+/// both fingerprint words pass through this.
+inline constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// 128-bit key fingerprint. Two independently-seeded FNV-1a streams over
+/// the same bytes, each avalanche-finalized; a collision requires both
+/// streams to collide simultaneously. Used where the full key is too
+/// expensive for the hot path (the serving decision cache, the refiner's
+/// key table): readers compare fingerprints only, writers keep the full
+/// key beside the table and verify it on insert.
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+struct FingerprintHash {
+  std::size_t operator()(const Fingerprint& fp) const noexcept {
+    return static_cast<std::size_t>(fp.lo);  // already avalanched
+  }
+};
+
+/// Incremental Fingerprint builder: fold fields in a fixed order, then
+/// take(). Allocation-free; lives on the caller's stack.
+class FingerprintBuilder {
+public:
+  static constexpr std::uint64_t kOffsetB = kFnvOffset ^ 0x9E3779B97F4A7C15ull;
+
+  FingerprintBuilder& u64(std::uint64_t v) noexcept {
+    a_ = fnvU64(a_, v);
+    b_ = fnvU64(b_, v);
+    return *this;
+  }
+  FingerprintBuilder& f64(double v) noexcept {
+    return u64(std::bit_cast<std::uint64_t>(v));
+  }
+  FingerprintBuilder& str(std::string_view s) noexcept {
+    a_ = fnvString(a_, s);
+    b_ = fnvString(b_, s);
+    return *this;
+  }
+
+  Fingerprint take() const noexcept {
+    return Fingerprint{mix64(b_), mix64(a_)};
+  }
+
+private:
+  std::uint64_t a_ = kFnvOffset;
+  std::uint64_t b_ = kOffsetB;
+};
+
 }  // namespace tp::common

@@ -1,0 +1,89 @@
+#pragma once
+
+// PairInterner — a fixed-capacity symbol table mapping (first, second)
+// string pairs to dense integer ids, with a lock-free, allocation-free
+// read path.
+//
+// The serving layer interns (machine name, "program/kernel") pairs so the
+// warm-request path never materializes a program-key string: a lookup
+// hashes the parts as string_views (the joined form never exists in
+// memory) and probes an open-addressing table of published slots with
+// atomic loads only. Inserts are rare (one per distinct pair, ever) and
+// serialize on a mutex; they publish a slot with a release store of its
+// hash word, so readers that observe the hash also observe the entry it
+// points at. Slots are never removed, which is what makes the lock-free
+// probe safe. When the table fills, intern() returns kInvalid and callers
+// fall back to their uncached slow path — new pairs degrade, existing
+// ones keep their fast path.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace tp::common {
+
+class PairInterner {
+public:
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+
+  /// `capacity` is the maximum number of distinct pairs. `joiner` is the
+  /// separator assumed by the split-form overloads: find(a, head, tail)
+  /// is exactly find(a, head + joiner + tail) without building the
+  /// concatenation.
+  explicit PairInterner(std::size_t capacity = 4096, char joiner = '/');
+
+  /// Lock-free lookup; kInvalid when the pair was never interned.
+  std::uint32_t find(std::string_view first,
+                     std::string_view second) const noexcept;
+  std::uint32_t find(std::string_view first, std::string_view secondHead,
+                     std::string_view secondTail) const noexcept;
+
+  /// Insert-or-get under a mutex; kInvalid when the table is full.
+  std::uint32_t intern(std::string_view first, std::string_view second);
+  std::uint32_t intern(std::string_view first, std::string_view secondHead,
+                       std::string_view secondTail);
+
+  /// The interned strings of an id returned by find()/intern(). The
+  /// second part is stored joined.
+  const std::string& first(std::uint32_t id) const;
+  const std::string& second(std::uint32_t id) const;
+
+  std::size_t size() const noexcept {
+    return size_.load(std::memory_order_acquire);
+  }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+private:
+  struct Slot {
+    std::atomic<std::uint64_t> hash{0};  ///< 0 = empty; published last
+    std::atomic<std::uint32_t> id{0};
+  };
+  struct Entry {
+    std::string first;
+    std::string second;
+  };
+
+  std::uint64_t pairHash(std::string_view first, std::string_view head,
+                         std::string_view tail, bool split) const noexcept;
+  bool equals(const Entry& e, std::string_view first, std::string_view head,
+              std::string_view tail, bool split) const noexcept;
+  std::uint32_t findHashed(std::uint64_t hash, std::string_view first,
+                           std::string_view head, std::string_view tail,
+                           bool split) const noexcept;
+  std::uint32_t internHashed(std::uint64_t hash, std::string_view first,
+                             std::string_view head, std::string_view tail,
+                             bool split);
+
+  std::size_t capacity_;
+  char joiner_;
+  std::size_t mask_;  ///< table size - 1 (power of two)
+  std::unique_ptr<Slot[]> slots_;
+  std::unique_ptr<Entry[]> entries_;  ///< indexed by id, set before publish
+  std::atomic<std::size_t> size_{0};
+  std::mutex insertMutex_;
+};
+
+}  // namespace tp::common

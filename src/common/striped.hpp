@@ -1,0 +1,102 @@
+#pragma once
+
+// Striped (per-thread) accumulators for write-hot, read-rare statistics.
+//
+// A single shared counter serializes every writer on one cache line; a
+// mutex-guarded block serializes them on a lock. Striping gives each
+// thread its own cache-line-padded slot (threads are assigned a stable
+// ordinal at first use, round-robin over the stripe count), so writers
+// touch only their stripe with relaxed atomic adds and never contend
+// unless more threads than stripes exist. Readers sum every stripe —
+// each field is read atomically, but a concurrent writer may land
+// between two field reads, so multi-field snapshots are "racy but
+// per-field exact": totals are exact once writers quiesce.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace tp::common {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Stable small ordinal for the calling thread (assigned on first call,
+/// process-wide). Never reused; long-lived thread churn wraps stripes
+/// around, which only costs contention, never correctness.
+inline std::size_t threadOrdinal() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+inline std::size_t threadStripe(std::size_t numStripes) noexcept {
+  return threadOrdinal() % numStripes;
+}
+
+/// Default stripe count: enough that typical thread pools do not collide.
+inline std::size_t defaultStripes() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t n = hw == 0 ? 16 : 2 * static_cast<std::size_t>(hw);
+  return n < 16 ? 16 : (n > 64 ? 64 : n);
+}
+
+/// Relaxed fetch-add for atomic doubles via CAS (std::atomic<double>::
+/// fetch_add is C++20 but patchy across standard libraries).
+inline void atomicAdd(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+template <typename T>
+struct alignas(kCacheLineBytes) CachePadded {
+  T value{};
+};
+
+/// Spin-claim a seqlock word: CAS it from even (stable) to odd (writer
+/// inside) and return the even value. Critical sections guarded this way
+/// must be short — claimants spin. Release with seqRelease(), which
+/// publishes the mutations and leaves the word even again.
+inline std::uint32_t seqClaim(std::atomic<std::uint32_t>& seq) noexcept {
+  for (;;) {
+    std::uint32_t s = seq.load(std::memory_order_relaxed);
+    if ((s & 1u) == 0 &&
+        seq.compare_exchange_weak(s, s + 1, std::memory_order_acq_rel)) {
+      return s;
+    }
+  }
+}
+
+inline void seqRelease(std::atomic<std::uint32_t>& seq,
+                       std::uint32_t claimed) noexcept {
+  seq.store(claimed + 2, std::memory_order_release);
+}
+
+/// Monotonic counter, striped per thread. add() is a relaxed atomic add on
+/// the caller's stripe; total() sums all stripes.
+class StripedCounter {
+public:
+  explicit StripedCounter(std::size_t stripes = 0)
+      : stripes_(stripes == 0 ? defaultStripes() : stripes) {}
+
+  void add(std::uint64_t n = 1) noexcept {
+    stripes_[threadStripe(stripes_.size())].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& s : stripes_) {
+      sum += s.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+private:
+  std::vector<CachePadded<std::atomic<std::uint64_t>>> stripes_;
+};
+
+}  // namespace tp::common

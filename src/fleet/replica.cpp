@@ -54,7 +54,9 @@ Replica::Replica(ReplicaConfig config, Transport& transport, GossipBus* bus)
     : config_(std::move(config)), transport_(transport), bus_(bus) {
   TP_REQUIRE(!config_.id.empty(), "Replica: empty id");
   service_ = std::make_unique<serve::PartitionService>(config_.service);
-  if (!config_.snapshotDir.empty()) store_.emplace(config_.snapshotDir);
+  if (!config_.snapshotDir.empty()) {
+    store_.emplace(config_.snapshotDir, config_.snapshotKeepLast);
+  }
   transport_.attach(config_.id,
                     [this](const Envelope& envelope) { handle(envelope); });
   if (bus_ != nullptr) {

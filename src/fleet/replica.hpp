@@ -40,6 +40,9 @@ struct ReplicaConfig {
   std::string id;                 ///< transport address, must be unique
   serve::ServiceConfig service;   ///< per-replica serving configuration
   std::string snapshotDir;        ///< empty = persistence off
+  /// Keep-last-K snapshot retention: older snapshot files are pruned
+  /// after each save. 0 keeps every snapshot forever.
+  std::size_t snapshotKeepLast = 8;
   /// How long coordinateRetrain() waits for peer feedback (loopback
   /// answers synchronously; a socket transport would not).
   double retrainWaitSeconds = 5.0;

@@ -85,7 +85,8 @@ ReplicaSnapshot decodeSnapshot(std::string_view bytes) {
   return snapshot;
 }
 
-SnapshotStore::SnapshotStore(std::string dir) : dir_(std::move(dir)) {
+SnapshotStore::SnapshotStore(std::string dir, std::size_t keepLast)
+    : dir_(std::move(dir)), keepLast_(keepLast) {
   TP_REQUIRE(!dir_.empty(), "SnapshotStore: empty directory");
   std::error_code ec;
   fs::create_directories(dir_, ec);
@@ -122,7 +123,26 @@ std::uint64_t SnapshotStore::save(const ReplicaSnapshot& snapshot) {
     throw IoError("SnapshotStore: cannot publish " + finalPath.string() +
                   ": " + ec.message());
   }
+  if (keepLast_ > 0) prune(seq);
   return seq;
+}
+
+void SnapshotStore::prune(std::uint64_t newestSeq) const {
+  // Remove snapshots older than the newest keepLast_. Best-effort: a file
+  // that cannot be removed (e.g. a concurrent reader on a platform with
+  // strict sharing) is retried on the next save; recovery correctness
+  // only ever depends on the newest snapshot surviving, which prune()
+  // never touches.
+  if (newestSeq < keepLast_) return;
+  const std::uint64_t cutoff = newestSeq - keepLast_;  // prune seq <= cutoff
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::uint64_t seq = sequenceOf(entry.path().filename().string());
+    if (seq > 0 && seq <= cutoff) {
+      std::error_code removeEc;
+      fs::remove(entry.path(), removeEc);
+    }
+  }
 }
 
 std::optional<ReplicaSnapshot> SnapshotStore::loadLatest() const {

@@ -33,13 +33,19 @@ ReplicaSnapshot decodeSnapshot(std::string_view bytes);
 
 class SnapshotStore {
 public:
-  /// Creates `dir` (and parents) if absent.
-  explicit SnapshotStore(std::string dir);
+  /// Creates `dir` (and parents) if absent. `keepLast` is the retention
+  /// policy: after each save, snapshots older than the newest `keepLast`
+  /// are pruned from disk (0 keeps every snapshot forever). Pruning only
+  /// ever removes strictly older sequence numbers, so loadLatest() is
+  /// unaffected by it.
+  explicit SnapshotStore(std::string dir, std::size_t keepLast = 0);
 
   const std::string& dir() const noexcept { return dir_; }
+  std::size_t keepLast() const noexcept { return keepLast_; }
 
   /// Persist a snapshot; returns its sequence number (monotonic per
-  /// directory, one past the highest already on disk).
+  /// directory, one past the highest already on disk). Applies the
+  /// keep-last retention policy after the new snapshot is published.
   std::uint64_t save(const ReplicaSnapshot& snapshot);
 
   /// The snapshot with the highest sequence number, or nullopt when the
@@ -51,8 +57,10 @@ public:
 
 private:
   std::uint64_t highestSequence() const;
+  void prune(std::uint64_t newestSeq) const;
 
   std::string dir_;
+  std::size_t keepLast_;
 };
 
 }  // namespace tp::fleet

@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "common/error.hpp"
-#include "common/hash.hpp"
 
 namespace tp::serve {
 
@@ -43,38 +42,86 @@ std::string programKey(const runtime::Task& task) {
   return task.programName + "/" + task.kernelName;
 }
 
+std::size_t DecisionKeyHash::operator()(const DecisionKey& k) const noexcept {
+  return static_cast<std::size_t>(common::fnvU64(
+      common::hashLaunchKey(k.machine, k.program, k.features),
+      k.modelVersion));
+}
+
+common::Fingerprint launchFingerprint(std::uint32_t pairId,
+                                      const runtime::Task& task,
+                                      int roundDigits) noexcept {
+  // Must fold exactly the values launchSignature() materializes, in the
+  // same order and quantization, so the streaming (hit) and vector
+  // (insert/merge) forms agree on every launch.
+  common::FingerprintBuilder fb;
+  fb.u64(pairId);
+  fb.f64(roundSignificant(static_cast<double>(task.globalSize), roundDigits));
+  fb.f64(roundSignificant(static_cast<double>(task.localSize), roundDigits));
+  fb.f64(roundSignificant(task.totalBytesIn(), roundDigits));
+  fb.f64(roundSignificant(task.totalBytesOut(), roundDigits));
+  fb.f64(roundSignificant(task.transferScale, roundDigits));
+  for (const auto& [name, value] : task.sizeBindings) {
+    (void)name;
+    fb.f64(roundSignificant(value, roundDigits));
+  }
+  return fb.take();
+}
+
+common::Fingerprint launchFingerprint(
+    std::uint32_t pairId,
+    const std::vector<double>& quantizedSignature) noexcept {
+  common::FingerprintBuilder fb;
+  fb.u64(pairId);
+  for (const double v : quantizedSignature) fb.f64(v);
+  return fb.take();
+}
+
 namespace {
 
-/// Hash of everything but the model version (shard selection must be
-/// stable across versions).
-std::uint64_t unversionedHash(const DecisionKey& k) {
-  return common::hashLaunchKey(k.machine, k.program, k.features);
+constexpr std::uint64_t kOccupied = 1ull << 63;
+// Meta word layout: occupied(1) | version(43) | label(20). 20 label bits
+// cover a 10-device space at 10% steps (C(19,9) = 92378 labels) with
+// headroom; keys that still do not fit are served uncached rather than
+// failing (see insert()).
+constexpr unsigned kLabelBits = 20;
+constexpr std::uint64_t kLabelMask = (1ull << kLabelBits) - 1;
+constexpr std::uint64_t kVersionMask = (1ull << (63 - kLabelBits)) - 1;
+
+std::uint64_t packMeta(std::uint64_t version, std::size_t label) {
+  return kOccupied | (version << kLabelBits) | label;
+}
+std::uint64_t metaVersion(std::uint64_t meta) {
+  return (meta >> kLabelBits) & kVersionMask;
+}
+std::size_t metaLabel(std::uint64_t meta) {
+  return static_cast<std::size_t>(meta & kLabelMask);
+}
+
+/// Collision verification ignores the stamped model version: two
+/// generations of the same launch are the same identity.
+bool sameIdentity(const DecisionKey& a, const DecisionKey& b) {
+  return a.machine == b.machine && a.program == b.program &&
+         a.features == b.features;
 }
 
 }  // namespace
 
-std::size_t DecisionKeyHash::operator()(const DecisionKey& k) const noexcept {
-  return static_cast<std::size_t>(
-      common::fnvU64(unversionedHash(k), k.modelVersion));
+DecisionCache::DecisionCache(std::size_t capacity, int roundDigits)
+    : roundDigits_(roundDigits) {
+  TP_REQUIRE(capacity > 0, "DecisionCache: capacity must be > 0");
+  std::size_t n = 1;
+  while (n < capacity) n <<= 1;
+  numSlots_ = n;
+  mask_ = n - 1;
+  window_ = n < 16 ? n : 16;
+  slots_ = std::vector<Slot>(numSlots_);
+  fullKeys_ = std::make_unique<DecisionKey[]>(numSlots_);
+  counterStripes_ = std::vector<CounterStripe>(common::defaultStripes());
 }
 
-ShardedDecisionCache::ShardedDecisionCache(std::size_t capacity,
-                                           std::size_t numShards,
-                                           int roundDigits)
-    : capacity_(capacity), roundDigits_(roundDigits) {
-  TP_REQUIRE(capacity_ > 0, "ShardedDecisionCache: capacity must be > 0");
-  TP_REQUIRE(numShards > 0, "ShardedDecisionCache: numShards must be > 0");
-  const std::size_t shards = std::min(numShards, capacity_);
-  shards_ = std::vector<Shard>(shards);
-  // Distribute the budget so per-shard capacities sum to exactly capacity_.
-  for (std::size_t s = 0; s < shards; ++s) {
-    shards_[s].capacity = capacity_ / shards + (s < capacity_ % shards ? 1 : 0);
-  }
-}
-
-DecisionKey ShardedDecisionCache::makeKey(std::string machine,
-                                          std::string program,
-                                          std::vector<double> features) const {
+DecisionKey DecisionCache::makeKey(std::string machine, std::string program,
+                                   std::vector<double> features) const {
   DecisionKey key;
   key.machine = std::move(machine);
   key.program = std::move(program);
@@ -84,67 +131,166 @@ DecisionKey ShardedDecisionCache::makeKey(std::string machine,
   return key;
 }
 
-ShardedDecisionCache::Shard& ShardedDecisionCache::shardFor(
-    const DecisionKey& key) const {
-  return shards_[unversionedHash(key) % shards_.size()];
-}
-
-std::optional<std::size_t> ShardedDecisionCache::lookup(
-    const DecisionKey& key) {
-  Shard& shard = shardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  ++shard.counters.lookups;
-  const auto it = shard.index.find(key);
-  if (it == shard.index.end()) {
-    ++shard.counters.misses;
-    return std::nullopt;
+std::optional<std::size_t> DecisionCache::lookup(
+    const common::Fingerprint& fp, std::uint64_t version) noexcept {
+  CounterStripe& counters = stripe();
+  counters.lookups.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t home = static_cast<std::size_t>(fp.lo) & mask_;
+  // Entries live anywhere inside the probe window (an earlier slot may
+  // have been evicted since insertion), so the scan never early-exits on
+  // an empty slot.
+  for (std::size_t i = 0; i < window_; ++i) {
+    Slot& slot = slots_[(home + i) & mask_];
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const std::uint32_t s1 = slot.seq.load(std::memory_order_acquire);
+      if (s1 & 1u) continue;  // writer inside; retry the snapshot
+      // Fence-free seqlock read: the acquire on each field load keeps the
+      // revalidating seq load below from reordering above it (and TSan
+      // models acquire loads, unlike thread fences).
+      const std::uint64_t hi = slot.fpHi.load(std::memory_order_acquire);
+      const std::uint64_t lo = slot.fpLo.load(std::memory_order_acquire);
+      const std::uint64_t meta = slot.meta.load(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != s1) continue;
+      // Consistent snapshot.
+      if ((meta & kOccupied) != 0 && hi == fp.hi && lo == fp.lo &&
+          metaVersion(meta) == version) {
+        // CLOCK second chance: mark referenced, but only write the bit
+        // when unset so steady-state hot hits stay read-only.
+        if (slot.ref.load(std::memory_order_relaxed) == 0) {
+          slot.ref.store(1, std::memory_order_relaxed);
+        }
+        counters.hits.fetch_add(1, std::memory_order_relaxed);
+        return metaLabel(meta);
+      }
+      break;  // valid snapshot, not our entry at this version: next slot
+    }
   }
-  ++shard.counters.hits;
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  return it->second->label;
+  counters.misses.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
 }
 
-void ShardedDecisionCache::insert(const DecisionKey& key, std::size_t label) {
-  Shard& shard = shardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  // A retrain may have raced ahead of this decision: never let a
-  // stale-model label into the fresh cache generation. Checked under the
-  // shard lock — bumpVersion() increments before its clear() takes this
-  // lock, so an insert that passes here either carries the new version or
-  // is swept by that clear().
-  if (key.modelVersion != version_.load(std::memory_order_acquire)) return;
-  const auto it = shard.index.find(key);
-  if (it != shard.index.end()) {
-    it->second->label = label;
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+void DecisionCache::insert(const common::Fingerprint& fp,
+                           const DecisionKey& key, std::size_t label) {
+  if (label > kLabelMask || key.modelVersion > kVersionMask) {
+    // Does not fit the packed meta word (a pathologically huge
+    // partitioning space, or a version counter beyond 2^43). Degrade to
+    // uncached serving for this key — the model path still answers every
+    // request — instead of turning every miss into a hard failure.
     return;
   }
-  shard.lru.push_front(Entry{key, label});
-  shard.index.emplace(key, shard.lru.begin());
-  ++shard.counters.insertions;
-  while (shard.lru.size() > shard.capacity) {
-    shard.index.erase(shard.lru.back().key);
-    shard.lru.pop_back();
-    ++shard.counters.evictions;
+  const std::size_t home = static_cast<std::size_t>(fp.lo) & mask_;
+  CounterStripe& counters = stripe();
+  for (int attempt = 0;; ++attempt) {
+    // Candidate scan (unsynchronized reads; every decision is re-validated
+    // inside the slot critical section below). Prefer, in order: the
+    // slot already holding this fingerprint, an empty slot, the CLOCK
+    // victim.
+    std::size_t target = numSlots_;
+    std::size_t empty = numSlots_;
+    bool expectMatch = false;
+    bool victimMode = false;
+    for (std::size_t i = 0; i < window_; ++i) {
+      const std::size_t at = (home + i) & mask_;
+      const Slot& slot = slots_[at];
+      const std::uint64_t meta = slot.meta.load(std::memory_order_relaxed);
+      if ((meta & kOccupied) == 0) {
+        if (empty == numSlots_) empty = at;
+        continue;
+      }
+      if (slot.fpHi.load(std::memory_order_relaxed) == fp.hi &&
+          slot.fpLo.load(std::memory_order_relaxed) == fp.lo) {
+        target = at;
+        expectMatch = true;
+        break;
+      }
+    }
+    if (target == numSlots_ && empty != numSlots_) target = empty;
+    if (target == numSlots_) {
+      // CLOCK second chance over the window: clear reference bits until an
+      // unreferenced victim appears; if every entry was referenced, the
+      // now-cleared home slot is the victim.
+      for (std::size_t i = 0; i < window_; ++i) {
+        const std::size_t at = (home + i) & mask_;
+        if (slots_[at].ref.load(std::memory_order_relaxed) != 0) {
+          slots_[at].ref.store(0, std::memory_order_relaxed);
+        } else {
+          target = at;
+          break;
+        }
+      }
+      if (target == numSlots_) target = home;
+      victimMode = true;
+    }
+
+    Slot& slot = slots_[target];
+    const std::uint32_t s = common::seqClaim(slot.seq);
+    // A retrain may have raced ahead of this decision: never let a
+    // stale-model label into the fresh cache generation. Checked inside
+    // the critical section — the sweep claims every slot after the
+    // version moved, so an insert that passes here either carries the
+    // new version or its slot is visited (and cleared) by that sweep.
+    if (key.modelVersion != version_.load(std::memory_order_acquire)) {
+      common::seqRelease(slot.seq, s);
+      return;
+    }
+    const std::uint64_t meta = slot.meta.load(std::memory_order_relaxed);
+    const bool occupied = (meta & kOccupied) != 0;
+    const bool fpEqual =
+        occupied && slot.fpHi.load(std::memory_order_relaxed) == fp.hi &&
+        slot.fpLo.load(std::memory_order_relaxed) == fp.lo;
+    // Rescan when the slot changed under the candidate scan — the entry we
+    // meant to refresh moved, or a racer filled the empty slot we chose —
+    // rather than spuriously evicting whatever took it. (A deliberate
+    // CLOCK victim is expected to be occupied.)
+    const bool surprised =
+        expectMatch ? !fpEqual : (occupied && !victimMode && !fpEqual);
+    if (surprised && attempt < 3) {
+      common::seqRelease(slot.seq, s);
+      continue;
+    }
+    if (fpEqual) {
+      // Refresh. Same fingerprint with a different full key is a detected
+      // 128-bit collision: count it, newest key wins.
+      if (!sameIdentity(fullKeys_[target], key)) {
+        counters.collisions.fetch_add(1, std::memory_order_relaxed);
+        fullKeys_[target] = key;
+      }
+    } else if (occupied) {
+      counters.evictions.fetch_add(1, std::memory_order_relaxed);
+      counters.insertions.fetch_add(1, std::memory_order_relaxed);
+      fullKeys_[target] = key;
+    } else {
+      counters.insertions.fetch_add(1, std::memory_order_relaxed);
+      fullKeys_[target] = key;
+    }
+    // Release stores, not relaxed: nothing orders a relaxed field store
+    // after the seq-odd claim in other threads' view (on ARM a plain
+    // store may become visible before the claim's release store), so a
+    // lock-free reader could pair a new fingerprint with stale meta and
+    // still validate against the old even seq. With release stores, a
+    // reader whose acquire load observes any new field value also
+    // observes seq as odd and retries.
+    slot.fpHi.store(fp.hi, std::memory_order_release);
+    slot.fpLo.store(fp.lo, std::memory_order_release);
+    slot.meta.store(packMeta(key.modelVersion, label),
+                    std::memory_order_release);
+    slot.ref.store(1, std::memory_order_relaxed);  // advisory CLOCK bit only
+    common::seqRelease(slot.seq, s);
+    return;
   }
 }
 
-std::uint64_t ShardedDecisionCache::version() const noexcept {
+std::uint64_t DecisionCache::version() const noexcept {
   return version_.load(std::memory_order_acquire);
 }
 
-std::uint64_t ShardedDecisionCache::bumpVersion() {
-  const std::uint64_t v =
-      version_.fetch_add(1, std::memory_order_acq_rel) + 1;
-  // Sweep stale generations only. A full clear() here would race with
-  // concurrent fresh-version inserts: an entry inserted (correctly) at the
-  // new version into a not-yet-swept shard would be thrown away and its
-  // invalidation counted against a generation it never belonged to.
+std::uint64_t DecisionCache::bumpVersion() {
+  const std::uint64_t v = version_.fetch_add(1, std::memory_order_acq_rel) + 1;
   clearStale();
   return v;
 }
 
-std::uint64_t ShardedDecisionCache::advanceVersion(std::uint64_t version) {
+std::uint64_t DecisionCache::advanceVersion(std::uint64_t version) {
   std::uint64_t current = version_.load(std::memory_order_acquire);
   while (current < version &&
          !version_.compare_exchange_weak(current, version,
@@ -159,50 +305,59 @@ std::uint64_t ShardedDecisionCache::advanceVersion(std::uint64_t version) {
   return current;
 }
 
-void ShardedDecisionCache::clearStale() {
-  for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    const std::uint64_t v = version_.load(std::memory_order_acquire);
-    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
-      if (it->key.modelVersion != v) {
-        shard.index.erase(it->key);
-        it = shard.lru.erase(it);
-        ++shard.counters.invalidations;
-      } else {
-        ++it;
-      }
+void DecisionCache::sweep(bool staleOnly) {
+  CounterStripe& counters = stripe();
+  for (std::size_t i = 0; i < numSlots_; ++i) {
+    Slot& slot = slots_[i];
+    const std::uint32_t s = common::seqClaim(slot.seq);
+    const std::uint64_t meta = slot.meta.load(std::memory_order_relaxed);
+    const bool drop =
+        (meta & kOccupied) != 0 &&
+        (!staleOnly ||
+         metaVersion(meta) != version_.load(std::memory_order_acquire));
+    if (drop) {
+      // Release for the same reason as insert(): a reader observing the
+      // cleared fields must also observe the odd seq and retry.
+      slot.meta.store(0, std::memory_order_release);
+      slot.fpHi.store(0, std::memory_order_release);
+      slot.fpLo.store(0, std::memory_order_release);
+      slot.ref.store(0, std::memory_order_relaxed);
+      fullKeys_[i] = DecisionKey{};  // release the key's heap storage
+      counters.invalidations.fetch_add(1, std::memory_order_relaxed);
+    }
+    common::seqRelease(slot.seq, s);
+  }
+}
+
+void DecisionCache::clearStale() { sweep(/*staleOnly=*/true); }
+
+void DecisionCache::clear() { sweep(/*staleOnly=*/false); }
+
+std::size_t DecisionCache::size() const {
+  std::size_t occupied = 0;
+  for (const Slot& slot : slots_) {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const std::uint32_t s1 = slot.seq.load(std::memory_order_acquire);
+      if (s1 & 1u) continue;
+      const std::uint64_t meta = slot.meta.load(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != s1) continue;
+      occupied += (meta & kOccupied) != 0 ? 1 : 0;
+      break;
     }
   }
+  return occupied;
 }
 
-void ShardedDecisionCache::clear() {
-  for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    shard.counters.invalidations += shard.lru.size();
-    shard.index.clear();
-    shard.lru.clear();
-  }
-}
-
-std::size_t ShardedDecisionCache::size() const {
-  std::size_t total = 0;
-  for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    total += shard.lru.size();
-  }
-  return total;
-}
-
-CacheCounters ShardedDecisionCache::counters() const {
+CacheCounters DecisionCache::counters() const {
   CacheCounters total;
-  for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    total.lookups += shard.counters.lookups;
-    total.hits += shard.counters.hits;
-    total.misses += shard.counters.misses;
-    total.insertions += shard.counters.insertions;
-    total.evictions += shard.counters.evictions;
-    total.invalidations += shard.counters.invalidations;
+  for (const CounterStripe& s : counterStripes_) {
+    total.lookups += s.lookups.load(std::memory_order_relaxed);
+    total.hits += s.hits.load(std::memory_order_relaxed);
+    total.misses += s.misses.load(std::memory_order_relaxed);
+    total.insertions += s.insertions.load(std::memory_order_relaxed);
+    total.evictions += s.evictions.load(std::memory_order_relaxed);
+    total.invalidations += s.invalidations.load(std::memory_order_relaxed);
+    total.collisions += s.collisions.load(std::memory_order_relaxed);
   }
   return total;
 }

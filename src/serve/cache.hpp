@@ -1,34 +1,60 @@
 #pragma once
 
-// Sharded LRU decision cache.
+// Fingerprinted decision cache — the warm-request fast path.
 //
-// Keyed by (machine, program, rounded launch signature, model version):
-// repeated traffic for the same kernel at the same problem size skips
-// symbolic feature evaluation and model inference entirely. The signature
-// is everything the runtime knows at launch without evaluating the static
-// feature expressions — NDRange, transfer volumes, transfer amortization
-// and the bound scalar parameters — quantized to a fixed number of
-// significant decimal digits so bitwise jitter in derived quantities
-// cannot fragment the cache while genuinely different problem sizes stay
-// distinct. Two launches of the same compiled program with equal
-// signatures have equal combined feature vectors, so serving a cached
-// label is exactly what the model would have predicted.
+// Keyed by a 128-bit fingerprint of (interned (machine, program) pair id,
+// quantized launch signature): repeated traffic for the same kernel at the
+// same problem size skips symbolic feature evaluation and model inference
+// entirely. The signature is everything the runtime knows at launch
+// without evaluating the static feature expressions — NDRange, transfer
+// volumes, transfer amortization and the bound scalar parameters —
+// quantized to a fixed number of significant decimal digits so bitwise
+// jitter in derived quantities cannot fragment the cache while genuinely
+// different problem sizes stay distinct. Two launches of the same compiled
+// program with equal signatures have equal combined feature vectors, so
+// serving a cached label is exactly what the model would have predicted.
 //
-// Each shard is an independently mutex-guarded LRU list: concurrent
-// lookups contend only when they hash to the same shard. Bumping the
-// model version (done by PartitionService::retrain()) invalidates every
-// cached decision — entries are dropped eagerly and in-flight inserts
-// stamped with a stale version are discarded on arrival.
+// Concurrency model (the PR-5 rework; the original was mutex-guarded LRU
+// shards):
+//
+//   - fixed-capacity open-addressing table, bounded linear probe window;
+//   - readers are seqlock-style: per-slot sequence word, retry on a torn
+//     snapshot — a cache hit performs no heap allocation and acquires no
+//     lock, only atomic loads plus striped relaxed counter adds (and a
+//     CLOCK reference-bit store the first time a resident entry is hit);
+//   - writers (the miss path) claim a slot by CAS-ing its sequence word
+//     odd, write the fields, and release it even. Two racing inserts of
+//     the same key may transiently occupy two slots; both carry the same
+//     label (labels are a pure function of the key at a fixed model
+//     version), so hits stay correct and the duplicate ages out;
+//   - eviction is CLOCK second-chance within the probe window (hits set a
+//     reference bit; the insert scan clears set bits and evicts the first
+//     unreferenced slot) instead of LRU list splicing;
+//   - model-version bumps are an epoch sweep: the version counter moves
+//     first (stale in-flight inserts get dropped — the insert re-checks
+//     the version inside its slot critical section), then the sweep walks
+//     every slot and clears older generations. An insert carrying the new
+//     version that lands mid-sweep survives it — the PR-3 forward-only
+//     invalidation semantics are preserved.
+//
+// Readers compare fingerprints only. The full key is stored beside the
+// table and verified on insert: an insert that lands on a matching
+// fingerprint with a different full key is a detected 128-bit collision
+// (counted, and the newer key wins). A collision that is never
+// re-inserted could in principle serve a wrong label to a reader; with
+// two independently-seeded avalanche-finalized 64-bit streams the odds
+// are ~2^-64 per distinct-key pair — accepted, and the differential test
+// exercises the verification path explicitly.
 
 #include <atomic>
 #include <cstdint>
-#include <list>
-#include <mutex>
+#include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/hash.hpp"
+#include "common/striped.hpp"
 #include "runtime/task.hpp"
 
 namespace tp::serve {
@@ -45,6 +71,9 @@ std::vector<double> launchSignature(const runtime::Task& task);
 /// "program/kernel" — the program part of a decision key.
 std::string programKey(const runtime::Task& task);
 
+/// Full decision key: retained on the insert path for fingerprint-
+/// collision verification, and used by feedback deduplication. Never
+/// touched by cache hits.
 struct DecisionKey {
   std::string machine;
   std::string program;
@@ -58,14 +87,26 @@ struct DecisionKeyHash {
   std::size_t operator()(const DecisionKey& k) const noexcept;
 };
 
-/// Monotonic event counters, aggregated across shards by counters().
+/// 128-bit hot-path identity of a launch: the interned (machine, program)
+/// pair id folded with the quantized signature. The streaming overload
+/// quantizes on the fly in launchSignature() field order — it never
+/// materializes the signature vector, so the warm path allocates nothing.
+/// Both overloads produce identical fingerprints for identical launches.
+common::Fingerprint launchFingerprint(std::uint32_t pairId,
+                                      const runtime::Task& task,
+                                      int roundDigits) noexcept;
+common::Fingerprint launchFingerprint(
+    std::uint32_t pairId, const std::vector<double>& quantizedSignature) noexcept;
+
+/// Monotonic event counters, striped internally; counters() sums stripes.
 struct CacheCounters {
   std::uint64_t lookups = 0;
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
-  std::uint64_t insertions = 0;  ///< new entries only (not refreshes)
-  std::uint64_t evictions = 0;   ///< LRU capacity evictions
-  std::uint64_t invalidations = 0;  ///< entries dropped by clear()
+  std::uint64_t insertions = 0;  ///< occupancy-creating inserts (not refreshes)
+  std::uint64_t evictions = 0;   ///< CLOCK capacity evictions
+  std::uint64_t invalidations = 0;  ///< entries dropped by sweeps/clear()
+  std::uint64_t collisions = 0;  ///< fingerprint matches with differing keys
 
   double hitRate() const noexcept {
     return lookups == 0
@@ -74,35 +115,39 @@ struct CacheCounters {
   }
 };
 
-class ShardedDecisionCache {
+class DecisionCache {
 public:
-  /// `capacity` is the total entry budget, split over min(numShards,
-  /// capacity) shards; per-shard budgets differ by at most one and sum to
-  /// exactly `capacity`, so total occupancy never exceeds it.
-  explicit ShardedDecisionCache(std::size_t capacity,
-                                std::size_t numShards = 16,
-                                int roundDigits = 6);
+  /// `capacity` is rounded up to a power of two (capacity() reports the
+  /// effective value); occupancy never exceeds it.
+  explicit DecisionCache(std::size_t capacity, int roundDigits = 6);
 
-  std::size_t capacity() const noexcept { return capacity_; }
-  std::size_t numShards() const noexcept { return shards_.size(); }
+  std::size_t capacity() const noexcept { return numSlots_; }
   int roundDigits() const noexcept { return roundDigits_; }
 
-  /// Quantize `features` and stamp the current model version.
+  /// Quantize `features` and stamp the current model version (miss path —
+  /// allocates; the hit path needs only the fingerprint).
   DecisionKey makeKey(std::string machine, std::string program,
                       std::vector<double> features) const;
 
-  /// nullopt on miss. A hit refreshes the entry's LRU position.
-  std::optional<std::size_t> lookup(const DecisionKey& key);
+  /// Label cached for `fp` at exactly model generation `version`, or
+  /// nullopt. Lock-free and allocation-free; sets the entry's CLOCK
+  /// reference bit on a hit.
+  std::optional<std::size_t> lookup(const common::Fingerprint& fp,
+                                    std::uint64_t version) noexcept;
 
-  /// Insert or refresh; evicts the shard's LRU tail beyond its budget.
-  /// Keys stamped with a stale model version are discarded.
-  void insert(const DecisionKey& key, std::size_t label);
+  /// Insert or refresh. `key` must be the full key behind `fp` (stored
+  /// for collision verification). Keys stamped with a stale model version
+  /// are discarded — the check runs inside the slot critical section, so
+  /// an insert racing a version sweep either carries the new version or
+  /// is dropped/swept, never resurrected.
+  void insert(const common::Fingerprint& fp, const DecisionKey& key,
+              std::size_t label);
 
   std::uint64_t version() const noexcept;
   /// Invalidate every cached decision of older generations: bump the
   /// version (stale in-flight inserts get dropped) and sweep entries
   /// stamped with any previous version. An insert that carries the *new*
-  /// version and lands while the sweep is still walking the shards
+  /// version and lands while the sweep is still walking the table
   /// survives it — fresh decisions are never thrown away. Returns the new
   /// version.
   std::uint64_t bumpVersion();
@@ -114,9 +159,9 @@ public:
   /// version never moves backward. Returns the version now in effect.
   std::uint64_t advanceVersion(std::uint64_t version);
 
-  /// Drop entries whose key version differs from the current version
-  /// (counted as invalidations). The tail half of bumpVersion(), exposed
-  /// so the sweep-vs-fresh-insert interleaving is testable.
+  /// Drop entries whose version differs from the current version (counted
+  /// as invalidations). The tail half of bumpVersion(), exposed so the
+  /// sweep-vs-fresh-insert interleaving is testable.
   void clearStale();
 
   /// Drop all entries (counted as invalidations); keeps the version.
@@ -126,26 +171,36 @@ public:
   CacheCounters counters() const;
 
 private:
-  struct Entry {
-    DecisionKey key;
-    std::size_t label = 0;
+  struct Slot {
+    std::atomic<std::uint32_t> seq{0};  ///< odd = writer inside
+    std::atomic<std::uint32_t> ref{0};  ///< CLOCK second-chance bit
+    std::atomic<std::uint64_t> fpHi{0};
+    std::atomic<std::uint64_t> fpLo{0};
+    std::atomic<std::uint64_t> meta{0};  ///< occupied | version | label
   };
-  struct Shard {
-    mutable std::mutex mutex;
-    std::list<Entry> lru;  ///< front = most recently used
-    std::unordered_map<DecisionKey, std::list<Entry>::iterator,
-                       DecisionKeyHash>
-        index;
-    std::size_t capacity = 0;
-    CacheCounters counters;
+  struct alignas(common::kCacheLineBytes) CounterStripe {
+    std::atomic<std::uint64_t> lookups{0};
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> insertions{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> invalidations{0};
+    std::atomic<std::uint64_t> collisions{0};
   };
 
-  Shard& shardFor(const DecisionKey& key) const;
+  CounterStripe& stripe() noexcept {
+    return counterStripes_[common::threadStripe(counterStripes_.size())];
+  }
+  void sweep(bool staleOnly);
 
-  std::size_t capacity_;
+  std::size_t numSlots_;
+  std::size_t mask_;
+  std::size_t window_;  ///< bounded linear-probe window
   int roundDigits_;
   std::atomic<std::uint64_t> version_{0};
-  mutable std::vector<Shard> shards_;
+  std::vector<Slot> slots_;
+  std::unique_ptr<DecisionKey[]> fullKeys_;  ///< slot-parallel; writers only
+  mutable std::vector<CounterStripe> counterStripes_;
 };
 
 }  // namespace tp::serve

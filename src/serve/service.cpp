@@ -4,6 +4,7 @@
 #include <chrono>
 #include <deque>
 #include <shared_mutex>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
@@ -22,12 +23,21 @@ double secondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+std::size_t autoInlineLanes(std::size_t configured) {
+  // The default tracks the stripe heuristic (2x hardware concurrency in
+  // [16, 64]): enough lanes that concurrent warm callers rarely collide,
+  // bounded so lane *slots* stay cheap — contexts are built lazily on
+  // first claim, so unused lanes cost a few pointers.
+  return configured != 0 ? configured : common::defaultStripes();
+}
+
 }  // namespace
 
 struct PartitionService::PendingRequest {
   LaunchRequest request;
   std::promise<LaunchResponse> promise;
   Clock::time_point enqueued;
+  PreDecision carry;
 };
 
 struct PartitionService::MachineState {
@@ -46,10 +56,24 @@ struct PartitionService::MachineState {
   std::vector<std::unique_ptr<runtime::Scheduler>> lanes;
   std::vector<char> laneBusy;
 
-  std::mutex statsMutex;
-  std::uint64_t requests = 0;
-  double makespanSum = 0.0;
-  std::vector<double> deviceBusySeconds;
+  // Inline execution lanes for cache hits served on caller threads.
+  // Claimed with a single CAS, never a mutex; like the queue lanes, each
+  // owns a private context/scheduler, so simulated clocks stay isolated
+  // and inline results are bit-identical to lane-worker results
+  // (Scheduler::execute resets clocks per call). The context/scheduler
+  // are built lazily by the first claimer (the claim CAS serializes
+  // ownership; busy release/acquire publishes the construction), so
+  // startup cost scales with actual client concurrency, not with
+  // cores x machines.
+  struct InlineLane {
+    std::atomic<std::uint32_t> busy{0};
+    std::unique_ptr<vcl::Context> context;
+    std::unique_ptr<runtime::Scheduler> scheduler;
+  };
+  std::vector<InlineLane> inlineLanes;
+  common::ThreadPool* computePool = nullptr;  ///< Compute-mode helper pool
+
+  MachineLoadStats load;  ///< striped per-thread request accounting
 
   MachineState(const sim::MachineConfig& m,
                std::shared_ptr<const ml::Classifier> mdl,
@@ -57,9 +81,9 @@ struct PartitionService::MachineState {
       : machine(m),
         space(m.numDevices(), config.divisions),
         model(std::move(mdl)),
-        deviceBusySeconds(m.numDevices(), 0.0) {
+        load(m.numDevices()) {
     const std::size_t numLanes = std::max<std::size_t>(1, config.lanesPerMachine);
-    common::ThreadPool* computePool =
+    computePool =
         config.execMode == vcl::ExecMode::Compute ? &common::globalThreadPool()
                                                   : nullptr;
     for (std::size_t l = 0; l < numLanes; ++l) {
@@ -68,17 +92,30 @@ struct PartitionService::MachineState {
       lanes.push_back(std::make_unique<runtime::Scheduler>(*laneContexts.back()));
     }
     laneBusy.assign(numLanes, 0);
+    inlineLanes = std::vector<InlineLane>(autoInlineLanes(config.inlineLanes));
   }
 };
 
 PartitionService::PartitionService(ServiceConfig config)
     : config_(std::move(config)),
-      cache_(std::make_unique<ShardedDecisionCache>(config_.cacheCapacity,
-                                                    config_.cacheShards,
-                                                    config_.cacheRoundDigits)),
+      interner_(std::make_unique<common::PairInterner>(config_.internCapacity)),
+      cache_(std::make_unique<DecisionCache>(config_.cacheCapacity,
+                                             config_.cacheRoundDigits)),
       latency_(config_.latencyWindow) {
   if (config_.refine) {
-    refiner_ = std::make_unique<adapt::Refiner>(config_.refiner);
+    // The refiner reuses the serving fingerprint scheme: keys map through
+    // the same intern table + launchFingerprint as the decision cache, so
+    // the warm path's fingerprint addresses both structures. Pairs the
+    // intern table cannot hold serve unrefined.
+    refiner_ = std::make_unique<adapt::Refiner>(
+        config_.refiner,
+        [this](const adapt::RefineKey& key)
+            -> std::optional<common::Fingerprint> {
+          const std::uint32_t pairId =
+              interner_->intern(key.machine, key.program);
+          if (pairId == common::PairInterner::kInvalid) return std::nullopt;
+          return launchFingerprint(pairId, key.signature);
+        });
   }
 }
 
@@ -93,7 +130,8 @@ void PartitionService::addMachine(const sim::MachineConfig& machine,
   auto state = std::make_unique<MachineState>(machine, std::move(model), config_);
   std::lock_guard<std::mutex> lock(machinesMutex_);
   // The worker pool is sized to the registered lanes at the first
-  // submit(); a machine added later would run under-provisioned.
+  // submit(), and the machine map is read lock-free afterwards; a machine
+  // added later would be both under-provisioned and unsynchronized.
   TP_REQUIRE(pool_ == nullptr,
              "PartitionService: register machine "
                  << machine.name << " before the first submit()");
@@ -121,8 +159,22 @@ void PartitionService::addMachine(const sim::MachineConfig& machine,
                           ml::loadClassifierFile(modelPath)));
 }
 
+PartitionService::MachineState* PartitionService::stateFast(
+    const std::string& name) const noexcept {
+  // Only valid once frozen_: from then on machines_ is immutable, so the
+  // map lookup (string compares, no allocation) is safe without the lock.
+  const auto it = machines_.find(name);
+  return it == machines_.end() ? nullptr : it->second.get();
+}
+
 PartitionService::MachineState& PartitionService::state(
     const std::string& name) const {
+  if (frozen_.load(std::memory_order_acquire)) {
+    MachineState* ms = stateFast(name);
+    TP_REQUIRE(ms != nullptr,
+               "PartitionService: unknown machine '" << name << "'");
+    return *ms;
+  }
   std::lock_guard<std::mutex> lock(machinesMutex_);
   const auto it = machines_.find(name);
   TP_REQUIRE(it != machines_.end(),
@@ -130,7 +182,22 @@ PartitionService::MachineState& PartitionService::state(
   return *it->second;
 }
 
+DecisionKey PartitionService::fullKeyAt(const MachineState& ms,
+                                        const runtime::Task& task,
+                                        std::uint64_t version) const {
+  DecisionKey key;
+  key.machine = ms.machine.name;
+  key.program = programKey(task);
+  key.modelVersion = version;
+  key.features = launchSignature(task);
+  for (double& f : key.features) {
+    f = roundSignificant(f, config_.cacheRoundDigits);
+  }
+  return key;
+}
+
 common::ThreadPool& PartitionService::ensurePool() {
+  if (frozen_.load(std::memory_order_acquire)) return *pool_;
   std::lock_guard<std::mutex> lock(machinesMutex_);
   if (pool_ == nullptr) {
     std::size_t threads = config_.workerThreads;
@@ -143,11 +210,149 @@ common::ThreadPool& PartitionService::ensurePool() {
     pool_ = std::make_unique<common::ThreadPool>(
         std::max<std::size_t>(1, threads));
   }
+  // Publishes pool_ AND freezes machines_ for lock-free reads.
+  frozen_.store(true, std::memory_order_release);
   return *pool_;
 }
 
-std::future<LaunchResponse> PartitionService::submit(LaunchRequest request) {
-  MachineState& ms = state(request.machine);
+void PartitionService::requestDone() noexcept {
+  if (inFlight_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+    inFlight_.notify_all();
+  }
+}
+
+bool PartitionService::tryServeInline(MachineState& ms,
+                                      const LaunchRequest& request,
+                                      LaunchResponse& response,
+                                      PreDecision& carry) {
+  // Pre-freeze traffic takes the queue path (which initializes the pool
+  // and freezes the machine map).
+  if (!frozen_.load(std::memory_order_acquire)) return false;
+  const runtime::Task& task = request.task;
+
+  // Allocation-free decision fast path: interned pair id -> streamed
+  // 128-bit fingerprint -> lock-free cache probe.
+  const std::uint32_t pairId =
+      interner_->find(request.machine, task.programName, task.kernelName);
+  if (pairId == common::PairInterner::kInvalid) return false;  // first sighting
+  carry.fingerprinted = true;
+  carry.pairId = pairId;
+  carry.version = cache_->version();
+  carry.fp = launchFingerprint(pairId, task, config_.cacheRoundDigits);
+  carry.lookedUp = true;
+  const auto hit = cache_->lookup(carry.fp, carry.version);
+  if (!hit.has_value()) return false;  // miss: model inference on a lane
+  carry.decided = true;
+  carry.label = *hit;
+  carry.cacheHit = true;
+
+  if (refiner_ != nullptr) {
+    // The refiner may override the cached baseline. Probes enqueue for
+    // lane workers (carrying this decision — it is made exactly once);
+    // exploit decisions stay inline. nullptr key: a hit whose refiner
+    // entry is missing serves unrefined rather than re-materializing key
+    // strings on the warm path.
+    const adapt::RefineDecision rd = refiner_->decide(
+        carry.fp, nullptr, carry.version, carry.label, ms.space);
+    carry.explore = rd.explore;
+    carry.refined = rd.refined;
+    if (rd.label != carry.label || rd.explore) {
+      carry.cacheHit = false;
+      carry.label = rd.label;
+    }
+    if (rd.explore) return false;  // probe: batching queue
+  }
+
+  // Claim an inline lane with one CAS; all busy -> batching queue (the
+  // decision travels along). Start the scan at a per-thread offset so
+  // concurrent callers spread over lanes instead of convoying on lane 0.
+  const std::size_t numLanes = ms.inlineLanes.size();
+  const std::size_t start = common::threadStripe(numLanes);
+  MachineState::InlineLane* lane = nullptr;
+  for (std::size_t i = 0; i < numLanes; ++i) {
+    MachineState::InlineLane& candidate =
+        ms.inlineLanes[(start + i) % numLanes];
+    std::uint32_t expected = 0;
+    if (candidate.busy.load(std::memory_order_relaxed) == 0 &&
+        candidate.busy.compare_exchange_strong(expected, 1,
+                                               std::memory_order_acq_rel)) {
+      lane = &candidate;
+      break;
+    }
+  }
+  if (lane == nullptr) return false;
+
+  const auto start_time = Clock::now();
+  response.label = carry.label;
+  response.cacheHit = carry.cacheHit;
+  response.modelVersion = carry.version;
+  response.explored = false;
+  response.refined = carry.refined;
+  try {
+    if (lane->scheduler == nullptr) {
+      // First claim of this lane: build its private context/scheduler now
+      // (one-time; we own the lane exclusively until the busy release).
+      lane->context = std::make_unique<vcl::Context>(
+          ms.machine, config_.execMode, ms.computePool);
+      lane->scheduler = std::make_unique<runtime::Scheduler>(*lane->context);
+    }
+    finishDecided(ms, *lane->scheduler, task, response, carry);
+  } catch (...) {
+    // The busy flag must be released on ANY throw (including a failed
+    // lazy construction), or the lane would be claimed forever.
+    lane->busy.store(0, std::memory_order_release);
+    throw;
+  }
+  lane->busy.store(0, std::memory_order_release);
+  if (config_.recordFeedback && feedback_ != nullptr &&
+      feedbackBackfill_.load(std::memory_order_relaxed)) {
+    // Remote wins were merged into the cache at some point: this hit may
+    // be a launch that never missed locally. Backfill through the
+    // recorder's dedup so retrain() still sees it (see feedbackBackfill_).
+    feedback_->record(task, ms.machine, ms.space,
+                      request.sizeLabel.empty()
+                          ? "n=" + std::to_string(task.globalSize)
+                          : request.sizeLabel);
+  }
+  latency_.add(secondsSince(start_time));
+  completed_.add();
+  inlineHits_.add();
+  return true;
+}
+
+void PartitionService::finishDecided(MachineState& ms,
+                                     runtime::Scheduler& lane,
+                                     const runtime::Task& task,
+                                     LaunchResponse& response,
+                                     const PreDecision& decision) {
+  response.partitioning = ms.space.at(response.label);
+  response.execution = lane.execute(task, response.partitioning);
+
+  if (refiner_ != nullptr && decision.fingerprinted) {
+    const adapt::Observation obs =
+        refiner_->observe(decision.fp, decision.version, response.label,
+                          response.execution.makespan, ms.space);
+    const bool reinstallIncumbent = obs.tracked && response.refined &&
+                                    !response.explored && !response.cacheHit;
+    if (obs.improved || reinstallIncumbent) {
+      // Measured win: future lookups of this signature serve the refined
+      // label (a stale-version key is dropped harmlessly). The reinstall
+      // case covers exploiting a previously adopted win whose cache entry
+      // was evicted: reinstall the *current* incumbent — not this
+      // request's own label, which a concurrent probe's win may have
+      // superseded. The full key is materialized here (win write-backs
+      // are rare), stamped with the version the decision was made under.
+      cache_->insert(decision.fp, fullKeyAt(ms, task, decision.version),
+                     obs.bestLabel);
+    }
+  }
+
+  ms.load.record(response.execution.makespan, response.execution.devices);
+}
+
+std::future<LaunchResponse> PartitionService::enqueue(MachineState& ms,
+                                                      LaunchRequest request,
+                                                      PreDecision carry) {
   common::ThreadPool& pool = ensurePool();
 
   PendingRequest pending;
@@ -156,14 +361,8 @@ std::future<LaunchResponse> PartitionService::submit(LaunchRequest request) {
     request.sizeLabel = "n=" + std::to_string(request.task.globalSize);
   }
   pending.request = std::move(request);
+  pending.carry = carry;
   std::future<LaunchResponse> future = pending.promise.get_future();
-
-  {
-    std::lock_guard<std::mutex> lock(lifecycleMutex_);
-    TP_REQUIRE(accepting_, "PartitionService: submit after shutdown");
-    ++inFlight_;
-  }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
 
   {
     std::lock_guard<std::mutex> lock(ms.queueMutex);
@@ -180,8 +379,65 @@ std::future<LaunchResponse> PartitionService::submit(LaunchRequest request) {
   return future;
 }
 
+PartitionService::AdmitResult PartitionService::admitAndTryInline(
+    LaunchRequest& request, LaunchResponse& response, PreDecision& carry,
+    bool& inlineFault) {
+  // Resolve + lifecycle-check before counting the request, mirroring the
+  // queue-era semantics: unknown machines and post-shutdown submissions
+  // throw and are never counted as submitted.
+  MachineState& ms = state(request.machine);
+  inFlight_.fetch_add(1, std::memory_order_seq_cst);
+  if (!accepting_.load(std::memory_order_seq_cst)) {
+    requestDone();
+    throw Error("PartitionService: submit after shutdown");
+  }
+  submitted_.add();
+  bool served = false;
+  try {
+    served = tryServeInline(ms, request, response, carry);
+  } catch (...) {
+    failed_.add();
+    requestDone();
+    inlineFault = true;
+    throw;
+  }
+  if (served) requestDone();
+  return AdmitResult{&ms, served};
+}
+
+std::future<LaunchResponse> PartitionService::submit(LaunchRequest request) {
+  LaunchResponse response;
+  PreDecision carry;
+  bool inlineFault = false;
+  AdmitResult admitted;
+  try {
+    admitted = admitAndTryInline(request, response, carry, inlineFault);
+  } catch (...) {
+    if (!inlineFault) throw;  // validation: unknown machine / shutdown
+    // Inline execution faulted: deliver through the future, like a lane
+    // worker fault would have been.
+    std::promise<LaunchResponse> p;
+    p.set_exception(std::current_exception());
+    return p.get_future();
+  }
+  if (admitted.served) {
+    std::promise<LaunchResponse> p;
+    p.set_value(std::move(response));
+    return p.get_future();
+  }
+  return enqueue(*admitted.ms, std::move(request), carry);
+}
+
 LaunchResponse PartitionService::call(LaunchRequest request) {
-  return submit(std::move(request)).get();
+  LaunchResponse response;
+  PreDecision carry;
+  bool inlineFault = false;
+  // Both validation and inline-execution faults propagate to the caller
+  // directly on the synchronous path.
+  const AdmitResult admitted =
+      admitAndTryInline(request, response, carry, inlineFault);
+  if (admitted.served) return response;
+  return enqueue(*admitted.ms, std::move(request), carry).get();
 }
 
 void PartitionService::workerLoop(MachineState& ms, std::size_t lane) {
@@ -232,84 +488,88 @@ void PartitionService::process(MachineState& ms, std::size_t lane,
   bool ok = false;
   try {
     const runtime::Task& task = pending.request.task;
-    DecisionKey key = cache_->makeKey(ms.machine.name, programKey(task),
-                                      launchSignature(task));
-    response.modelVersion = key.modelVersion;
-    if (const auto hit = cache_->lookup(key)) {
-      response.label = *hit;
-      response.cacheHit = true;
-    } else {
-      response.label = predictWithModel(ms, task);
-      cache_->insert(key, response.label);
-    }
-    adapt::RefineKey refineKey;
-    if (refiner_ != nullptr) {
-      // The refiner may override the baseline: probes bypass the cache,
-      // and an adopted win replaces the cached decision outright.
-      refineKey.machine = key.machine;
-      refineKey.program = key.program;
-      refineKey.signature = key.features;
-      const adapt::RefineDecision rd = refiner_->decide(
-          refineKey, key.modelVersion, response.label, ms.space);
-      response.explored = rd.explore;
-      response.refined = rd.refined;
-      if (rd.label != response.label || rd.explore) {
-        response.cacheHit = false;
-        response.label = rd.label;
+    PreDecision d = pending.carry;
+    if (!d.fingerprinted) {
+      // First sighting of this (machine, program) pair anywhere: intern it
+      // (cold path; kInvalid when the table is full, in which case this
+      // launch serves uncached and unrefined — the model still answers).
+      d.version = cache_->version();
+      d.pairId = interner_->intern(ms.machine.name, task.programName,
+                                   task.kernelName);
+      if (d.pairId != common::PairInterner::kInvalid) {
+        d.fp = launchFingerprint(d.pairId, task, config_.cacheRoundDigits);
+        d.fingerprinted = true;
       }
     }
-    response.partitioning = ms.space.at(response.label);
-    response.execution =
-        ms.lanes[lane]->execute(task, response.partitioning);
-
-    if (refiner_ != nullptr) {
-      const adapt::Observation obs =
-          refiner_->observe(refineKey, key.modelVersion, response.label,
-                            response.execution.makespan, ms.space);
-      if (obs.improved) {
-        // Measured win: future lookups of this signature serve the
-        // refined label (a stale-version key is dropped harmlessly).
-        cache_->insert(key, obs.bestLabel);
-      } else if (obs.tracked && response.refined && !response.explored &&
-                 !response.cacheHit) {
-        // Exploiting a previously adopted win whose cache entry may have
-        // been evicted (the miss path then re-inserted the raw model
-        // label): reinstall the *current* incumbent — not this request's
-        // own label, which a concurrent probe's win may have superseded.
-        cache_->insert(key, obs.bestLabel);
+    if (!d.decided) {
+      // Exactly one cache probe per request: a miss already recorded on
+      // the submit path is not probed (or counted) again here.
+      const auto hit = d.fingerprinted && !d.lookedUp
+                           ? cache_->lookup(d.fp, d.version)
+                           : std::optional<std::size_t>();
+      // Materialized once, shared by the cache insert (which copies) and
+      // the RefineKey (which moves out of it).
+      DecisionKey full;
+      if (d.fingerprinted && (!hit.has_value() || refiner_ != nullptr)) {
+        full = fullKeyAt(ms, task, d.version);
       }
+      if (hit.has_value()) {
+        d.label = *hit;
+        d.cacheHit = true;
+      } else {
+        d.label = predictWithModel(ms, task);
+        if (d.fingerprinted) {
+          cache_->insert(d.fp, full, d.label);
+        }
+      }
+      if (refiner_ != nullptr && d.fingerprinted) {
+        // Miss-path refinement: the full key is in hand, so absent
+        // entries are created here.
+        adapt::RefineKey refineKey;
+        refineKey.machine = std::move(full.machine);
+        refineKey.program = std::move(full.program);
+        refineKey.signature = std::move(full.features);
+        const adapt::RefineDecision rd = refiner_->decide(
+            d.fp, &refineKey, d.version, d.label, ms.space);
+        d.explore = rd.explore;
+        d.refined = rd.refined;
+        if (rd.label != d.label || rd.explore) {
+          d.cacheHit = false;
+          d.label = rd.label;
+        }
+      }
+      d.decided = true;
     }
 
-    if (config_.recordFeedback) {
+    response.label = d.label;
+    response.cacheHit = d.cacheHit;
+    response.modelVersion = d.version;
+    response.explored = d.explore;
+    response.refined = d.refined;
+    finishDecided(ms, *ms.lanes[lane], task, response, d);
+
+    if (config_.recordFeedback &&
+        (!response.cacheHit ||
+         feedbackBackfill_.load(std::memory_order_relaxed))) {
+      // Cache hits skip the recorder entirely: it deduplicates on the
+      // launch signature, and a hit's signature was recorded when it
+      // first missed — so the warm path never takes the feedback lock.
+      // Exception: once remote wins were merged into the cache, hits may
+      // be launches that never missed locally (see feedbackBackfill_).
       feedback_->record(task, ms.machine, ms.space,
                         pending.request.sizeLabel);
     }
-
-    {
-      std::lock_guard<std::mutex> lock(ms.statsMutex);
-      ++ms.requests;
-      ms.makespanSum += response.execution.makespan;
-      for (const auto& dev : response.execution.devices) {
-        ms.deviceBusySeconds[dev.device] += dev.transferInSeconds +
-                                            dev.kernelSeconds +
-                                            dev.transferOutSeconds;
-      }
-    }
     ok = true;
   } catch (...) {
-    failed_.fetch_add(1, std::memory_order_relaxed);
+    failed_.add();
     pending.promise.set_exception(std::current_exception());
   }
   if (ok) {
     latency_.add(secondsSince(pending.enqueued));
-    completed_.fetch_add(1, std::memory_order_relaxed);
+    completed_.add();
     pending.promise.set_value(std::move(response));
   }
-  {
-    std::lock_guard<std::mutex> lock(lifecycleMutex_);
-    --inFlight_;
-    if (inFlight_ == 0) idleCv_.notify_all();
-  }
+  requestDone();
 }
 
 std::size_t PartitionService::predictLabel(const std::string& machine,
@@ -416,6 +676,14 @@ adapt::MergeResult PartitionService::mergeRemoteWins(
     }
   }
   const std::uint64_t version = cache_->version();
+  // From here on, warm hits may serve launches this service never
+  // measured; make the hit paths backfill feedback (see the member).
+  if (!valid.empty()) {
+    feedbackBackfill_.store(true, std::memory_order_relaxed);
+  }
+  // The refiner addresses records through the service fingerprinter (its
+  // constructor injection), so merged keys land exactly where live
+  // traffic for the same launches does.
   const adapt::MergeResult merged = refiner_->mergeWins(valid, version);
   result.adopted = merged.adopted;
   result.updated = merged.updated;
@@ -427,16 +695,27 @@ adapt::MergeResult PartitionService::mergeRemoteWins(
   // observation or a better peer record may have superseded it.
   for (const adapt::WinRecord& rec : valid) {
     if (rec.modelVersion != version) continue;
-    const auto inc = refiner_->incumbent(rec.key, version);
+    const std::uint32_t pairId =
+        interner_->intern(rec.key.machine, rec.key.program);
+    if (pairId == common::PairInterner::kInvalid) continue;
+    const common::Fingerprint fp =
+        launchFingerprint(pairId, rec.key.signature);
+    const auto inc = refiner_->incumbent(fp, version);
     if (!inc.tracked) continue;
     DecisionKey key;
     key.machine = rec.key.machine;
     key.program = rec.key.program;
     key.modelVersion = version;
     key.features = rec.key.signature;  // already quantized by the sender
-    cache_->insert(key, inc.label);
+    cache_->insert(fp, key, inc.label);
   }
   return result;
+}
+
+adapt::Refiner::Incumbent PartitionService::refinedIncumbent(
+    const adapt::RefineKey& key, std::uint64_t version) const {
+  if (refiner_ == nullptr) return {};
+  return refiner_->incumbent(key, version);
 }
 
 void PartitionService::installModels(const std::vector<ModelUpdate>& updates,
@@ -489,15 +768,15 @@ runtime::FeatureDatabase PartitionService::trafficSnapshot() const {
 }
 
 void PartitionService::drain() {
-  std::unique_lock<std::mutex> lock(lifecycleMutex_);
-  idleCv_.wait(lock, [this] { return inFlight_ == 0; });
+  for (;;) {
+    const std::uint64_t v = inFlight_.load(std::memory_order_seq_cst);
+    if (v == 0) return;
+    inFlight_.wait(v, std::memory_order_seq_cst);
+  }
 }
 
 void PartitionService::shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(lifecycleMutex_);
-    accepting_ = false;
-  }
+  accepting_.store(false, std::memory_order_seq_cst);
   drain();
   // Wait for lane workers to finish their queue-empty bookkeeping before
   // any member they touch can be destroyed.
@@ -511,11 +790,12 @@ void PartitionService::shutdown() {
 
 ServiceStats PartitionService::stats() const {
   ServiceStats s;
-  s.requestsSubmitted = submitted_.load(std::memory_order_relaxed);
-  s.requestsCompleted = completed_.load(std::memory_order_relaxed);
-  s.requestsFailed = failed_.load(std::memory_order_relaxed);
+  s.requestsSubmitted = submitted_.total();
+  s.requestsCompleted = completed_.total();
+  s.requestsFailed = failed_.total();
   s.batches = batches_.load(std::memory_order_relaxed);
   s.maxBatch = maxBatch_.load(std::memory_order_relaxed);
+  s.requestsInline = inlineHits_.total();
   s.cache = cache_->counters();
   s.cacheHitRate = s.cache.hitRate();
   s.modelVersion = cache_->version();
@@ -536,15 +816,15 @@ ServiceStats PartitionService::stats() const {
       std::shared_lock<std::shared_mutex> modelLock(ms->modelMutex);
       m.modelVersion = ms->modelVersion;
     }
-    std::lock_guard<std::mutex> statsLock(ms->statsMutex);
-    m.requests = ms->requests;
-    m.makespanSeconds = ms->makespanSum;
-    for (std::size_t d = 0; d < ms->deviceBusySeconds.size(); ++d) {
+    const MachineLoadStats::Snapshot load = ms->load.snapshot();
+    m.requests = load.requests;
+    m.makespanSeconds = load.makespanSum;
+    for (std::size_t d = 0; d < load.deviceBusySeconds.size(); ++d) {
       DeviceUtilization util;
       util.device = ms->machine.devices[d].name;
-      util.busySeconds = ms->deviceBusySeconds[d];
+      util.busySeconds = load.deviceBusySeconds[d];
       util.utilization =
-          ms->makespanSum > 0.0 ? util.busySeconds / ms->makespanSum : 0.0;
+          load.makespanSum > 0.0 ? util.busySeconds / load.makespanSum : 0.0;
       m.devices.push_back(std::move(util));
     }
     s.machines.push_back(std::move(m));

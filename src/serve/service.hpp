@@ -3,37 +3,56 @@
 // PartitionService — the trained predictor as a long-lived, thread-safe
 // serving component.
 //
-// Clients on any thread submit() LaunchRequests and receive a future; the
-// service answers "how should this task be split?" and executes the split
-// on the target machine's simulated devices. Internals:
+// Clients on any thread submit() LaunchRequests (or call() synchronously)
+// and the service answers "how should this task be split?" and executes
+// the split on the target machine's simulated devices. Internals:
 //
-//   - a sharded LRU decision cache (serve/cache.hpp) keyed by (machine,
-//     program, rounded launch signature, model version), so repeated
-//     traffic skips feature evaluation and inference;
-//   - a per-machine batching request queue: concurrently submitted
-//     requests coalesce and are drained in batches (up to maxBatch per
-//     worker wakeup) by lane workers running on a common::ThreadPool.
-//     Each lane owns a private vcl::Context + runtime::Scheduler, so one
-//     process serves multi-machine fleets (mc1 + mc2) concurrently while
-//     per-lane simulated clocks stay isolated;
+//   - a lock-free fingerprinted decision cache (serve/cache.hpp): the
+//     (machine, program) pair is interned once (common::PairInterner) and
+//     folded with the quantized launch signature into a 128-bit
+//     fingerprint, so the warm path never builds a key string or
+//     signature vector;
+//   - inline hit serving: a warm request that hits the cache (and, with
+//     refinement on, is not selected for a probe) is decided AND executed
+//     on the caller's thread using a per-machine pool of atomically
+//     claimed inline lanes — it never touches the batching queue, a
+//     worker thread, or any mutex. The decision fast path (fingerprint,
+//     cache lookup, stats) is allocation-free; the response payload
+//     (partitioning copy, per-device execution report) still allocates,
+//     as does submit()'s future (call() avoids it);
+//   - a per-machine batching request queue for misses and refiner probes:
+//     concurrently submitted requests coalesce and are drained in batches
+//     (up to maxBatch per worker wakeup) by lane workers running on a
+//     common::ThreadPool. Each lane owns a private vcl::Context +
+//     runtime::Scheduler, so one process serves multi-machine fleets
+//     (mc1 + mc2) concurrently while per-lane simulated clocks stay
+//     isolated;
 //   - an online feedback recorder (serve/feedback.hpp) that measures each
-//     distinct executed launch into a FeatureDatabase; retrain() refreshes
-//     every machine's model from the accumulated traffic and bumps the
-//     cache version, invalidating all cached decisions;
+//     distinct executed launch into a FeatureDatabase; cache hits skip it
+//     (the recorder deduplicates on the launch signature, and a hit's
+//     signature was recorded when it first missed), so the warm path
+//     takes no feedback lock — except after mergeRemoteWins() wrote
+//     remote incumbents through into the cache, when hits backfill
+//     through the recorder's dedup (see feedbackBackfill_).
+//     retrain() refreshes every machine's model
+//     from the accumulated traffic and bumps the cache version,
+//     invalidating all cached decisions;
 //   - an optional online refiner (adapt/refiner.hpp, config.refine): a
-//     bounded local search per launch signature that probes partitioning
-//     neighbors on an epsilon fraction of warm traffic, adopts measured
-//     wins immediately (written back into the decision cache) and decays
-//     back to the model prediction when retrain() bumps the version;
-//   - a stats surface (serve/stats.hpp): request/batch counters, cache
-//     hit-rate, refinement counters, p50/p95 latency, per-device
-//     utilization.
+//     bounded local search per launch signature, addressed by the same
+//     fingerprint the cache path computed. Probe decisions enqueue for
+//     lane workers (carrying their decision, so it is made exactly once);
+//     exploit decisions execute inline. With refinement on, the hit path
+//     does take the refiner's shard mutex;
+//   - striped stats (serve/stats.hpp): per-thread request counters,
+//     machine load accumulators and latency reservoirs, merged on
+//     stats() read — no statsMutex anywhere on the serving path.
 //
-// Shutdown drains the queue: every accepted request is answered before
-// the destructor returns; submissions after shutdown() throw tp::Error.
+// Machine registration freezes at the first submit(): after that the
+// machine map is read without locking. Shutdown drains the queue: every
+// accepted request is answered before the destructor returns;
+// submissions after shutdown() throw tp::Error.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <map>
@@ -42,6 +61,8 @@
 #include <string>
 
 #include "adapt/refiner.hpp"
+#include "common/intern.hpp"
+#include "common/striped.hpp"
 #include "common/thread_pool.hpp"
 #include "ml/classifier.hpp"
 #include "ocl/queue.hpp"
@@ -56,13 +77,20 @@ namespace tp::serve {
 
 struct ServiceConfig {
   int divisions = 10;  ///< partitioning-space step granularity (10 = 10%)
-  std::size_t cacheCapacity = 1024;
-  std::size_t cacheShards = 16;
+  std::size_t cacheCapacity = 1024;  ///< rounded up to a power of two
   int cacheRoundDigits = 6;  ///< significant digits in cache keys
+  /// Distinct (machine, program) pairs the intern table can hold; pairs
+  /// beyond it serve uncached/unrefined (the model path still answers).
+  std::size_t internCapacity = 4096;
   std::size_t maxBatch = 16;  ///< max requests drained per worker wakeup
-  std::size_t lanesPerMachine = 2;  ///< concurrent scheduler lanes
+  std::size_t lanesPerMachine = 2;  ///< concurrent scheduler lanes (queue path)
+  /// Per-machine inline execution lanes for cache-hit serving on caller
+  /// threads; 0 = auto (2x hardware concurrency in [16, 64]). Lane
+  /// contexts are built lazily on first claim. When every inline lane is
+  /// busy the hit falls back to the batching queue.
+  std::size_t inlineLanes = 0;
   std::size_t workerThreads = 0;  ///< 0 = one thread per lane
-  std::size_t latencyWindow = 8192;  ///< samples kept for percentiles
+  std::size_t latencyWindow = 8192;  ///< samples kept per latency stripe
   bool recordFeedback = true;  ///< measure executed launches for retrain()
   std::string retrainSpec = "forest:32";  ///< ml::makeClassifier spec
   std::uint64_t retrainSeed = 42;
@@ -84,19 +112,22 @@ public:
 
   /// Register a machine with its deployed model. All machines must be
   /// registered before the first submit() (the worker pool is sized to
-  /// the registered lanes), and must share one partitioning-space size
-  /// (same device count) so feedback records share a schema.
+  /// the registered lanes and the machine map freezes), and must share
+  /// one partitioning-space size (same device count) so feedback records
+  /// share a schema.
   void addMachine(const sim::MachineConfig& machine,
                   std::shared_ptr<const ml::Classifier> model);
   /// Convenience: load a model saved with ml::Classifier::saveFile().
   void addMachine(const sim::MachineConfig& machine,
                   const std::string& modelPath);
 
-  /// Enqueue a request; the future resolves when a lane worker has
-  /// decided and executed it (or faults with tp::Error).
+  /// Enqueue a request; the future resolves when it has been decided and
+  /// executed (or faults with tp::Error). Warm hits are served inline on
+  /// the calling thread and return an already-resolved future.
   std::future<LaunchResponse> submit(LaunchRequest request);
 
-  /// Synchronous convenience wrapper around submit().
+  /// Synchronous entry point. For warm hits this is the allocation-light
+  /// fast path (no future, no queue); misses fall back to submit().get().
   LaunchResponse call(LaunchRequest request);
 
   /// The unbatched, uncached reference path: extract features and ask the
@@ -142,6 +173,12 @@ public:
   /// records count as dropped.
   adapt::MergeResult mergeRemoteWins(const std::vector<adapt::WinRecord>& wins);
 
+  /// The refiner's incumbent for a key at a model generation, addressed
+  /// under the service's fingerprint scheme (test/introspection surface;
+  /// untracked when refinement is off).
+  adapt::Refiner::Incumbent refinedIncumbent(const adapt::RefineKey& key,
+                                             std::uint64_t version) const;
+
   struct ModelUpdate {
     std::string machine;
     std::shared_ptr<const ml::Classifier> model;
@@ -169,7 +206,8 @@ public:
   ServiceStats stats() const;
 
   const runtime::PartitioningSpace& space(const std::string& machine) const;
-  const ShardedDecisionCache& cache() const noexcept { return *cache_; }
+  const DecisionCache& cache() const noexcept { return *cache_; }
+  const common::PairInterner& interner() const noexcept { return *interner_; }
   /// nullptr unless config.refine is set.
   const adapt::Refiner* refiner() const noexcept { return refiner_.get(); }
 
@@ -180,29 +218,86 @@ private:
   struct PendingRequest;
   struct MachineState;
 
+  /// A decision already made on the submit path, carried to the queue so
+  /// refiner decisions are made (and counted) exactly once per request.
+  struct PreDecision {
+    bool decided = false;  ///< label/explore/refined/cacheHit are valid
+    bool fingerprinted = false;  ///< fp/pairId/version are valid
+    bool lookedUp = false;  ///< the cache probe already ran (and missed)
+    common::Fingerprint fp;
+    std::uint32_t pairId = common::PairInterner::kInvalid;
+    std::uint64_t version = 0;
+    std::size_t label = 0;
+    bool cacheHit = false;
+    bool explore = false;
+    bool refined = false;
+  };
+
   MachineState& state(const std::string& name) const;
+  /// Lock-free machine lookup once the map is frozen; nullptr before.
+  MachineState* stateFast(const std::string& name) const noexcept;
+  /// The full decision key of a launch at an explicit generation — the
+  /// one place the (machine, program, quantized signature) layout is
+  /// materialized on serving paths.
+  DecisionKey fullKeyAt(const MachineState& ms, const runtime::Task& task,
+                        std::uint64_t version) const;
   common::ThreadPool& ensurePool();
   void workerLoop(MachineState& ms, std::size_t lane);
   void process(MachineState& ms, std::size_t lane, PendingRequest pending);
   std::size_t predictWithModel(const MachineState& ms,
                                const runtime::Task& task) const;
+  /// Serve a warm hit on the caller thread. Returns true when `response`
+  /// was filled; false leaves `carry` for the queue path.
+  bool tryServeInline(MachineState& ms, const LaunchRequest& request,
+                      LaunchResponse& response, PreDecision& carry);
+  struct AdmitResult {
+    MachineState* ms = nullptr;
+    bool served = false;
+  };
+  /// Shared prologue of submit()/call(): resolve the machine, run the
+  /// lifecycle accounting (inFlight/accepting/submitted), and attempt
+  /// inline serving. Validation failures (unknown machine, post-shutdown)
+  /// throw with no request admitted; inline execution faults rethrow
+  /// after failed_/inFlight accounting with `inlineFault` set so submit()
+  /// can translate them into a faulted future.
+  AdmitResult admitAndTryInline(LaunchRequest& request,
+                                LaunchResponse& response, PreDecision& carry,
+                                bool& inlineFault);
+  std::future<LaunchResponse> enqueue(MachineState& ms, LaunchRequest request,
+                                      PreDecision carry);
+  /// Execute + observe + account one decided request (both paths).
+  void finishDecided(MachineState& ms, runtime::Scheduler& lane,
+                     const runtime::Task& task, LaunchResponse& response,
+                     const PreDecision& decision);
+  void requestDone() noexcept;
 
   ServiceConfig config_;
-  std::unique_ptr<ShardedDecisionCache> cache_;
+  std::unique_ptr<common::PairInterner> interner_;
+  std::unique_ptr<DecisionCache> cache_;
   std::unique_ptr<FeedbackRecorder> feedback_;  ///< set by first addMachine
   std::unique_ptr<adapt::Refiner> refiner_;     ///< set when config_.refine
 
   mutable std::mutex machinesMutex_;  ///< guards machines_ map + pool_ init
   std::map<std::string, std::unique_ptr<MachineState>> machines_;
+  /// Set (under machinesMutex_) when the pool spins up; from then on
+  /// machines_ is immutable and read without the mutex.
+  std::atomic<bool> frozen_{false};
 
-  mutable std::mutex lifecycleMutex_;
-  std::condition_variable idleCv_;
-  bool accepting_ = true;
-  std::uint64_t inFlight_ = 0;
+  std::atomic<bool> accepting_{true};
+  std::atomic<std::uint64_t> inFlight_{0};  ///< atomic-wait on 0 in drain()
+  /// Set once mergeRemoteWins() has written remote incumbents through
+  /// into the cache: such keys can be served warm without ever having
+  /// missed locally, so from then on cache hits also run the feedback
+  /// recorder's dedup (one mutex probe) instead of skipping it — the
+  /// local traffic database keeps capturing every launch this service
+  /// serves. Never set outside fleet/snapshot use: the plain warm path
+  /// stays recorder-free.
+  std::atomic<bool> feedbackBackfill_{false};
 
-  std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> completed_{0};
-  std::atomic<std::uint64_t> failed_{0};
+  common::StripedCounter submitted_;
+  common::StripedCounter completed_;
+  common::StripedCounter failed_;
+  common::StripedCounter inlineHits_;
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> maxBatch_{0};
   std::atomic<std::uint64_t> retrains_{0};

@@ -1,24 +1,46 @@
 #pragma once
 
-// Service observability: the latency distribution over a sliding window
-// plus the aggregate ServiceStats snapshot returned by
+// Service observability: the latency distribution over striped sliding
+// windows plus the aggregate ServiceStats snapshot returned by
 // PartitionService::stats().
 
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "adapt/refiner.hpp"
+#include "common/striped.hpp"
+#include "runtime/scheduler.hpp"
 #include "serve/cache.hpp"
 
 namespace tp::serve {
 
-/// Thread-safe latency window: the last `window` samples feed the
-/// percentiles; count/mean/max run over every sample ever added.
+/// Thread-safe latency reservoir, striped per thread (the PR-5 rework;
+/// the original serialized every add() on one mutex).
+///
+/// Each stripe owns a private ring of up to `window` samples plus
+/// lifetime count/sum/max, guarded by a per-stripe sequence word: add()
+/// claims the caller's own stripe with one CAS — uncontended unless more
+/// threads than stripes are recording — writes one slot, and releases.
+/// There is no global lock anywhere on the record path, and after a
+/// stripe's first sample (which reserves its ring) no allocation either.
+///
+/// Merge-order semantics of summary(): each stripe is snapshot atomically
+/// (in stripe order; a stripe may absorb new samples after its snapshot
+/// was taken), the surviving windows are pooled, and the percentiles are
+/// computed with common::percentile over the pooled samples — NOT by
+/// averaging per-stripe percentiles, so p50/p95 over the merged
+/// reservoirs equal the percentile of the union exactly. count/mean/max
+/// aggregate the lifetime fields of every stripe. The retained "window"
+/// is therefore per stripe (≈ per recording thread): the pooled
+/// percentile pane holds up to `window` of the *most recent samples of
+/// each thread* rather than the globally most recent `window`, which
+/// keeps a bursty thread from evicting a quiet thread's tail latencies.
 class LatencyRecorder {
 public:
-  explicit LatencyRecorder(std::size_t window = 8192);
+  explicit LatencyRecorder(std::size_t window = 8192,
+                           std::size_t stripes = 0);  ///< 0 = auto
 
   void add(double seconds);
 
@@ -26,19 +48,53 @@ public:
     std::uint64_t count = 0;
     double meanSeconds = 0.0;
     double maxSeconds = 0.0;
-    double p50Seconds = 0.0;  ///< over the window
+    double p50Seconds = 0.0;  ///< over the pooled per-stripe windows
     double p95Seconds = 0.0;
   };
   Summary summary() const;
 
 private:
-  mutable std::mutex mutex_;
+  struct alignas(common::kCacheLineBytes) Stripe {
+    std::atomic<std::uint32_t> seq{0};  ///< odd = writer (or reader) inside
+    std::vector<double> ring;           ///< reserved lazily at first add
+    std::size_t next = 0;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double max = 0.0;
+  };
+
   std::size_t window_;
-  std::vector<double> ring_;
-  std::size_t next_ = 0;
-  std::uint64_t count_ = 0;
-  double sum_ = 0.0;
-  double max_ = 0.0;
+  mutable std::vector<Stripe> stripes_;
+};
+
+/// Per-machine request accounting, striped per thread: the inline hit
+/// path and the lane workers add with relaxed atomics on their own
+/// stripe; snapshot() sums. Field-level atomicity only — a snapshot racing
+/// a writer may see a makespan whose request count has not landed yet;
+/// totals are exact once writers quiesce.
+class MachineLoadStats {
+public:
+  MachineLoadStats(std::size_t numDevices, std::size_t stripes = 0);
+
+  void record(double makespanSeconds,
+              const std::vector<runtime::DeviceExecution>& devices) noexcept;
+
+  struct Snapshot {
+    std::uint64_t requests = 0;
+    double makespanSum = 0.0;
+    std::vector<double> deviceBusySeconds;
+  };
+  Snapshot snapshot() const;
+
+private:
+  struct alignas(common::kCacheLineBytes) Stripe {
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<double> makespanSum{0.0};
+    std::vector<std::atomic<double>> deviceBusy;
+  };
+
+  std::size_t numDevices_;
+  mutable std::vector<Stripe> stripes_;
 };
 
 /// Per-device share of simulated busy time on one machine.
@@ -79,6 +135,7 @@ struct ServiceStats {
   std::uint64_t requestsFailed = 0;  ///< completed with an exception
   std::uint64_t batches = 0;  ///< worker wakeups that drained >= 1 request
   std::uint64_t maxBatch = 0;  ///< largest single drain observed
+  std::uint64_t requestsInline = 0;  ///< warm hits served on caller threads
   CacheCounters cache;
   double cacheHitRate = 0.0;
   std::uint64_t modelVersion = 0;

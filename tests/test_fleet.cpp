@@ -259,6 +259,46 @@ TEST(SnapshotStore, SaveLoadLatestAndSequencing) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(SnapshotStore, KeepLastPrunesOldSnapshotsAfterSave) {
+  const std::string dir = tempDir("retention");
+  constexpr std::size_t kKeep = 3;
+  SnapshotStore store(dir, kKeep);
+  EXPECT_EQ(store.keepLast(), kKeep);
+
+  ReplicaSnapshot snap;
+  for (std::uint64_t seq = 1; seq <= kKeep + 4; ++seq) {
+    snap.modelVersion = seq;
+    EXPECT_EQ(store.save(snap), seq);
+    // Never more than kKeep on disk, and the latest always survives.
+    EXPECT_LE(store.count(), kKeep);
+    const auto latest = store.loadLatest();
+    ASSERT_TRUE(latest.has_value());
+    EXPECT_EQ(latest->modelVersion, seq);
+  }
+  EXPECT_EQ(store.count(), kKeep);
+  // The pruned files are genuinely gone (only the newest kKeep remain),
+  // and the sequence numbering still continues past them.
+  for (std::uint64_t seq = 1; seq <= 4; ++seq) {
+    std::ostringstream name;
+    name << "snapshot-";
+    name.width(8);
+    name.fill('0');
+    name << seq << ".tpsnap";
+    EXPECT_FALSE(std::filesystem::exists(std::filesystem::path(dir) /
+                                         name.str()))
+        << name.str();
+  }
+  EXPECT_EQ(store.save(snap), kKeep + 5);
+
+  // keepLast = 0 keeps everything (the pre-retention behavior).
+  const std::string unboundedDir = tempDir("retention_unbounded");
+  SnapshotStore unbounded(unboundedDir);
+  for (std::uint64_t seq = 1; seq <= 5; ++seq) (void)unbounded.save(snap);
+  EXPECT_EQ(unbounded.count(), 5u);
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(unboundedDir);
+}
+
 TEST(SnapshotStore, RejectsCorruptBytes) {
   EXPECT_THROW(decodeSnapshot("garbage"), Error);
   ReplicaSnapshot snap;

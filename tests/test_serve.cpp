@@ -1,8 +1,10 @@
-// tp::serve tests: cache key quantization, sharded LRU semantics (capacity,
-// eviction order, versioned invalidation), counter consistency under
-// ThreadPool contention, feedback deduplication, and the PartitionService
-// end to end — batched decisions equal the unbatched predict path, retrain
-// swaps models without deadlock, shutdown drains.
+// tp::serve tests: cache key quantization, fingerprinted open-addressing
+// cache semantics (capacity, CLOCK eviction, versioned invalidation,
+// collision verification), counter consistency under ThreadPool
+// contention, striped latency reservoirs, feedback deduplication, and the
+// PartitionService end to end — served decisions (inline hits included)
+// equal the unbatched predict path, retrain swaps models without
+// deadlock, shutdown drains.
 
 #include <gtest/gtest.h>
 
@@ -10,6 +12,8 @@
 #include <cmath>
 #include <thread>
 
+#include "common/intern.hpp"
+#include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "runtime/compiler.hpp"
 #include "runtime/evaluation.hpp"
@@ -21,9 +25,26 @@ namespace {
 
 // ---- cache ----------------------------------------------------------------
 
-DecisionKey key(ShardedDecisionCache& cache, const std::string& program,
-                std::vector<double> features) {
-  return cache.makeKey("mc2", program, std::move(features));
+/// Full key + its fingerprint, the pair every cache mutation needs. The
+/// interner mimics what PartitionService does per (machine, program).
+struct TestKey {
+  DecisionKey key;
+  common::Fingerprint fp;
+};
+
+common::PairInterner& testInterner() {
+  static common::PairInterner interner(1024);
+  return interner;
+}
+
+TestKey key(DecisionCache& cache, const std::string& program,
+            std::vector<double> features,
+            const std::string& machine = "mc2") {
+  TestKey k;
+  k.key = cache.makeKey(machine, program, std::move(features));
+  const std::uint32_t pairId = testInterner().intern(machine, program);
+  k.fp = launchFingerprint(pairId, k.key.features);
+  return k;
 }
 
 TEST(RoundSignificant, QuantizesToSignificantDigits) {
@@ -43,12 +64,14 @@ TEST(RoundSignificant, SurvivesExtremeMagnitudes) {
     EXPECT_TRUE(std::isfinite(r)) << v;
     EXPECT_EQ(r, roundSignificant(v, 6)) << v;
   }
-  ShardedDecisionCache cache(4, 1);
+  DecisionCache cache(4);
   const auto tiny = key(cache, "p", {1e-305});
-  cache.insert(tiny, 3);
-  EXPECT_EQ(cache.lookup(tiny).value(), 3u);
+  cache.insert(tiny.fp, tiny.key, 3);
+  EXPECT_EQ(cache.lookup(tiny.fp, tiny.key.modelVersion).value(), 3u);
   EXPECT_EQ(cache.size(), 1u);
-  cache.insert(key(cache, "p", {1e-305}), 3);  // same key, no duplicate
+  const auto again = key(cache, "p", {1e-305});  // same key, no duplicate
+  EXPECT_EQ(again.fp, tiny.fp);
+  cache.insert(again.fp, again.key, 3);
   EXPECT_EQ(cache.size(), 1u);
 }
 
@@ -61,83 +84,149 @@ TEST(RoundSignificant, CollapsesJitterAndNormalizesZero) {
   EXPECT_NE(roundSignificant(1.00, 6), roundSignificant(1.01, 6));
 }
 
-TEST(DecisionCache, HitMissAndLruEviction) {
-  ShardedDecisionCache cache(2, 1);
+TEST(DecisionCacheBasics, HitMissAndCapacityEviction) {
+  DecisionCache cache(2);
+  EXPECT_EQ(cache.capacity(), 2u);
   const auto a = key(cache, "a", {1.0});
   const auto b = key(cache, "b", {2.0});
   const auto c = key(cache, "c", {3.0});
 
-  EXPECT_FALSE(cache.lookup(a).has_value());
-  cache.insert(a, 11);
-  cache.insert(b, 22);
-  EXPECT_EQ(cache.lookup(a).value(), 11u);  // refreshes a: b is now LRU
-  cache.insert(c, 33);                      // evicts b
-  EXPECT_EQ(cache.lookup(a).value(), 11u);
-  EXPECT_FALSE(cache.lookup(b).has_value());
-  EXPECT_EQ(cache.lookup(c).value(), 33u);
+  EXPECT_FALSE(cache.lookup(a.fp, 0).has_value());
+  cache.insert(a.fp, a.key, 11);
+  cache.insert(b.fp, b.key, 22);
+  EXPECT_EQ(cache.lookup(a.fp, 0).value(), 11u);
+  cache.insert(c.fp, c.key, 33);  // table full: CLOCK evicts one entry
+  EXPECT_EQ(cache.size(), 2u);
+  // Whichever two entries survived must serve their own labels.
+  std::size_t present = 0;
+  if (const auto hit = cache.lookup(a.fp, 0)) {
+    EXPECT_EQ(*hit, 11u);
+    ++present;
+  }
+  if (const auto hit = cache.lookup(b.fp, 0)) {
+    EXPECT_EQ(*hit, 22u);
+    ++present;
+  }
+  if (const auto hit = cache.lookup(c.fp, 0)) {
+    EXPECT_EQ(*hit, 33u);
+    ++present;
+  }
+  EXPECT_EQ(present, 2u);
 
   const auto counters = cache.counters();
   EXPECT_EQ(counters.lookups, 5u);
-  EXPECT_EQ(counters.hits, 3u);
-  EXPECT_EQ(counters.misses, 2u);
+  EXPECT_EQ(counters.hits + counters.misses, counters.lookups);
   EXPECT_EQ(counters.insertions, 3u);
   EXPECT_EQ(counters.evictions, 1u);
-  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(counters.insertions - counters.evictions - counters.invalidations,
+            cache.size());
 }
 
-TEST(DecisionCache, InsertRefreshesExistingEntry) {
-  ShardedDecisionCache cache(4, 1);
+TEST(DecisionCacheBasics, InsertRefreshesExistingEntry) {
+  DecisionCache cache(4);
   const auto a = key(cache, "a", {1.0});
-  cache.insert(a, 1);
-  cache.insert(a, 7);  // refresh, not a second entry
+  cache.insert(a.fp, a.key, 1);
+  cache.insert(a.fp, a.key, 7);  // refresh, not a second entry
   EXPECT_EQ(cache.size(), 1u);
-  EXPECT_EQ(cache.lookup(a).value(), 7u);
+  EXPECT_EQ(cache.lookup(a.fp, 0).value(), 7u);
   EXPECT_EQ(cache.counters().insertions, 1u);
+  EXPECT_EQ(cache.counters().collisions, 0u);
 }
 
-TEST(DecisionCache, CapacityRespectedAcrossShards) {
-  // capacity 10 over 4 shards: per-shard budgets sum to exactly 10.
-  ShardedDecisionCache cache(10, 4);
+TEST(DecisionCacheBasics, CapacityRoundsUpToPowerOfTwoAndBoundsOccupancy) {
+  DecisionCache cache(10);
+  EXPECT_EQ(cache.capacity(), 16u);  // rounded up, occupancy-bounded
   for (int i = 0; i < 200; ++i) {
-    cache.insert(key(cache, "p" + std::to_string(i),
-                     {static_cast<double>(i)}),
-                 static_cast<std::size_t>(i));
+    const auto k =
+        key(cache, "p" + std::to_string(i), {static_cast<double>(i)});
+    cache.insert(k.fp, k.key, static_cast<std::size_t>(i % 97));
   }
-  EXPECT_LE(cache.size(), 10u);
+  EXPECT_LE(cache.size(), cache.capacity());
   const auto c = cache.counters();
   EXPECT_EQ(c.insertions - c.evictions - c.invalidations, cache.size());
 }
 
-TEST(DecisionCache, ShardCountClampedToCapacity) {
-  ShardedDecisionCache cache(3, 64);
-  EXPECT_EQ(cache.numShards(), 3u);
-  EXPECT_EQ(cache.capacity(), 3u);
-}
-
-TEST(DecisionCache, QuantizedKeysCollapseJitter) {
-  ShardedDecisionCache cache(8, 2, 6);
+TEST(DecisionCacheBasics, QuantizedKeysCollapseJitter) {
+  DecisionCache cache(8, 6);
   const auto exact = key(cache, "p", {1048576.0, 64.0, 4194304.0});
   const auto jittered =
       key(cache, "p", {1048576.0 * (1.0 + 1e-12), 64.0, 4194304.0 + 1e-6});
-  EXPECT_EQ(exact, jittered);
+  EXPECT_EQ(exact.key, jittered.key);
+  EXPECT_EQ(exact.fp, jittered.fp);
   const auto different = key(cache, "p", {2097152.0, 64.0, 4194304.0});
-  EXPECT_FALSE(exact == different);
+  EXPECT_FALSE(exact.key == different.key);
+  EXPECT_FALSE(exact.fp == different.fp);
 
-  cache.insert(exact, 5);
-  EXPECT_EQ(cache.lookup(jittered).value(), 5u);
-  EXPECT_FALSE(cache.lookup(different).has_value());
+  cache.insert(exact.fp, exact.key, 5);
+  EXPECT_EQ(cache.lookup(jittered.fp, 0).value(), 5u);
+  EXPECT_FALSE(cache.lookup(different.fp, 0).has_value());
 }
 
-TEST(DecisionCache, FreshInsertSurvivesTheInvalidationSweep) {
+TEST(DecisionCacheBasics, StreamingFingerprintMatchesVectorForm) {
+  // The hit path streams quantized fields straight out of the Task; the
+  // insert path folds the materialized key vector. They must agree, or
+  // warm traffic would never hit its own insertions.
+  const std::uint32_t pairId = 7;
+  runtime::Task task;
+  task.programName = "prog";
+  task.kernelName = "kern";
+  task.globalSize = 1 << 20;
+  task.localSize = 64;
+  task.transferScale = 0.25;
+  task.sizeBindings["K"] = 2000.0;
+  task.sizeBindings["n"] = 1048576.0 * (1.0 + 1e-13);  // quantized away
+
+  std::vector<double> sig = launchSignature(task);
+  for (double& f : sig) f = roundSignificant(f, 6);
+  EXPECT_EQ(launchFingerprint(pairId, task, 6), launchFingerprint(pairId, sig));
+  // A different pair id is a different fingerprint (same signature).
+  EXPECT_FALSE(launchFingerprint(pairId, sig) ==
+               launchFingerprint(pairId + 1, sig));
+}
+
+TEST(DecisionCacheBasics, OversizedLabelDegradesToUncachedServing) {
+  // Labels beyond the packed meta width (pathologically large
+  // partitioning spaces) must not throw on the miss path: the insert is
+  // a no-op and the key simply serves uncached.
+  DecisionCache cache(8);
+  const auto a = key(cache, "a", {1.0});
+  cache.insert(a.fp, a.key, std::size_t{1} << 20);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup(a.fp, 0).has_value());
+  cache.insert(a.fp, a.key, 5);  // in-range labels still cache
+  EXPECT_EQ(cache.lookup(a.fp, 0).value(), 5u);
+}
+
+TEST(DecisionCacheBasics, InsertVerifiesFullKeyAndCountsCollisions) {
+  // Force a "fingerprint collision": two different full keys presented
+  // under the same fingerprint. The insert-time verification must detect
+  // the mismatch, count it, and let the newest key win.
+  DecisionCache cache(8);
+  const auto a = key(cache, "a", {1.0});
+  auto forged = key(cache, "b", {2.0});
+  forged.fp = a.fp;
+
+  cache.insert(a.fp, a.key, 3);
+  EXPECT_EQ(cache.counters().collisions, 0u);
+  cache.insert(forged.fp, forged.key, 9);
+  EXPECT_EQ(cache.counters().collisions, 1u);
+  EXPECT_EQ(cache.size(), 1u);  // replaced, not duplicated
+  EXPECT_EQ(cache.lookup(a.fp, 0).value(), 9u);
+  // Re-inserting the same identity is a refresh, not another collision.
+  cache.insert(forged.fp, forged.key, 4);
+  EXPECT_EQ(cache.counters().collisions, 1u);
+}
+
+TEST(DecisionCacheVersioning, FreshInsertSurvivesTheInvalidationSweep) {
   // Deterministic replay of the retrain-vs-insert interleaving: a lane
   // worker computes a decision under the *new* model version while
-  // bumpVersion()'s sweep is still walking the shards. The fresh entry
+  // bumpVersion()'s sweep is still walking the table. The fresh entry
   // must survive the sweep; only stale-generation entries may be dropped.
-  ShardedDecisionCache cache(8, 2);
+  DecisionCache cache(8);
   const auto stale1 = key(cache, "p", {1.0});
   const auto stale2 = key(cache, "q", {2.0});
-  cache.insert(stale1, 1);
-  cache.insert(stale2, 2);
+  cache.insert(stale1.fp, stale1.key, 1);
+  cache.insert(stale2.fp, stale2.key, 2);
 
   // Step 1 of bumpVersion(): the version increments (and sweeps).
   const auto v = cache.bumpVersion();
@@ -146,28 +235,28 @@ TEST(DecisionCache, FreshInsertSurvivesTheInvalidationSweep) {
 
   // Step 2: an in-flight insert stamped with the *new* version lands.
   const auto fresh = key(cache, "p", {1.0});
-  EXPECT_EQ(fresh.modelVersion, v);
-  cache.insert(fresh, 7);
+  EXPECT_EQ(fresh.key.modelVersion, v);
+  EXPECT_EQ(fresh.fp, stale1.fp);  // same identity, version-free fingerprint
+  cache.insert(fresh.fp, fresh.key, 7);
 
-  // Step 3: the remainder of the sweep runs. Before the fix this was a
-  // full clear() that threw the fresh entry away and inflated the
-  // invalidation counter.
+  // Step 3: the remainder of the sweep runs. The fresh entry survives and
+  // the invalidation counter does not drift.
   cache.clearStale();
   EXPECT_EQ(cache.size(), 1u);
-  EXPECT_EQ(cache.lookup(fresh).value(), 7u);
+  EXPECT_EQ(cache.lookup(fresh.fp, v).value(), 7u);
   EXPECT_EQ(cache.counters().invalidations, 2u);  // no drift
 
   // A stale-stamped in-flight insert is still rejected outright.
-  cache.insert(stale1, 9);
+  cache.insert(stale1.fp, stale1.key, 9);
   EXPECT_EQ(cache.size(), 1u);
   const auto c = cache.counters();
   EXPECT_EQ(c.insertions - c.evictions - c.invalidations, cache.size());
 }
 
-TEST(DecisionCache, VersionBumpInvalidatesAndDropsStaleInserts) {
-  ShardedDecisionCache cache(8, 2);
+TEST(DecisionCacheVersioning, VersionBumpInvalidatesAndDropsStaleInserts) {
+  DecisionCache cache(8);
   const auto stale = key(cache, "p", {1.0});
-  cache.insert(stale, 5);
+  cache.insert(stale.fp, stale.key, 5);
   EXPECT_EQ(cache.size(), 1u);
 
   const auto v = cache.bumpVersion();
@@ -176,20 +265,22 @@ TEST(DecisionCache, VersionBumpInvalidatesAndDropsStaleInserts) {
   EXPECT_GE(cache.counters().invalidations, 1u);
 
   // A key stamped before the bump can neither hit nor pollute the cache.
-  EXPECT_FALSE(cache.lookup(stale).has_value());
-  cache.insert(stale, 9);
+  EXPECT_FALSE(cache.lookup(stale.fp, stale.key.modelVersion).has_value());
+  cache.insert(stale.fp, stale.key, 9);
   EXPECT_EQ(cache.size(), 0u);
 
   const auto fresh = key(cache, "p", {1.0});
-  EXPECT_EQ(fresh.modelVersion, v);
-  cache.insert(fresh, 9);
-  EXPECT_EQ(cache.lookup(fresh).value(), 9u);
+  EXPECT_EQ(fresh.key.modelVersion, v);
+  cache.insert(fresh.fp, fresh.key, 9);
+  EXPECT_EQ(cache.lookup(fresh.fp, v).value(), 9u);
+  // The old generation's stamp misses even though the entry is resident.
+  EXPECT_FALSE(cache.lookup(fresh.fp, v - 1).has_value());
 }
 
-TEST(DecisionCache, ContentionKeepsCountersAndCapacityConsistent) {
-  // Hammer the sharded LRU from ThreadPool workers: 64-entry cache, 300
+TEST(DecisionCacheContention, CountersAndCapacityStayConsistent) {
+  // Hammer the table from ThreadPool workers: 64-entry cache, 300
   // distinct keys, 20k mixed lookup/insert operations.
-  ShardedDecisionCache cache(64, 8);
+  DecisionCache cache(64);
   common::ThreadPool pool(8);
   constexpr std::size_t kOps = 20000;
   constexpr std::size_t kDistinct = 300;
@@ -197,13 +288,13 @@ TEST(DecisionCache, ContentionKeepsCountersAndCapacityConsistent) {
 
   pool.parallelFor(0, kOps, [&](std::size_t i) {
     const std::size_t k = (i * 2654435761u) % kDistinct;
-    const auto dk = cache.makeKey("mc1", "p" + std::to_string(k),
-                                  {static_cast<double>(k), 64.0});
-    if (const auto hit = cache.lookup(dk)) {
+    const auto tk = key(cache, "p" + std::to_string(k),
+                        {static_cast<double>(k), 64.0}, "mc1");
+    if (const auto hit = cache.lookup(tk.fp, 0)) {
       // Values are a pure function of the key, so hits can never be wrong.
       if (*hit != k) wrongValues.fetch_add(1);
     } else {
-      cache.insert(dk, k);
+      cache.insert(tk.fp, tk.key, k);
     }
   });
   pool.waitIdle();
@@ -214,10 +305,11 @@ TEST(DecisionCache, ContentionKeepsCountersAndCapacityConsistent) {
   EXPECT_EQ(c.lookups, kOps);
   EXPECT_EQ(c.hits + c.misses, c.lookups);
   EXPECT_EQ(c.insertions - c.evictions - c.invalidations, cache.size());
+  EXPECT_EQ(c.collisions, 0u);
 }
 
-TEST(DecisionCache, ContentionWithConcurrentInvalidation) {
-  ShardedDecisionCache cache(32, 4);
+TEST(DecisionCacheContention, SurvivesConcurrentInvalidation) {
+  DecisionCache cache(32);
   common::ThreadPool pool(8);
   pool.parallelFor(0, 10000, [&](std::size_t i) {
     if (i % 2500 == 0) {
@@ -225,9 +317,11 @@ TEST(DecisionCache, ContentionWithConcurrentInvalidation) {
       return;
     }
     const std::size_t k = i % 90;
-    const auto dk = cache.makeKey("mc2", "p" + std::to_string(k),
-                                  {static_cast<double>(k)});
-    if (!cache.lookup(dk).has_value()) cache.insert(dk, k);
+    const auto tk =
+        key(cache, "p" + std::to_string(k), {static_cast<double>(k)});
+    if (!cache.lookup(tk.fp, tk.key.modelVersion).has_value()) {
+      cache.insert(tk.fp, tk.key, k);
+    }
   });
   pool.waitIdle();
 
@@ -310,6 +404,40 @@ TEST(LatencyRecorder, SnapshotRacesWithWritersCleanly) {
   });
   pool.waitIdle();
   EXPECT_EQ(inconsistencies.load(), 0u);
+}
+
+TEST(LatencyRecorder, MergedReservoirPercentilesMatchPooledSamples) {
+  // Merge-order regression (the striped rework): summary() must compute
+  // p50/p95 with common::percentile over the POOLED per-stripe windows,
+  // not by combining per-stripe percentiles. Four threads land on
+  // (potentially) different stripes with disjoint sample ranges; as long
+  // as no stripe window overflows, the pooled pane holds every sample
+  // and the percentiles must match the reference exactly.
+  LatencyRecorder rec(128);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 20;
+  std::vector<double> all;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < kPerThread; ++i) {
+      all.push_back(static_cast<double>(t * 100 + i) * 1e-4);
+    }
+  }
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        rec.add(static_cast<double>(t * 100 + i) * 1e-4);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto s = rec.summary();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(s.p50Seconds, common::percentile(all, 50.0));
+  EXPECT_DOUBLE_EQ(s.p95Seconds, common::percentile(all, 95.0));
+  EXPECT_DOUBLE_EQ(s.maxSeconds, common::maxOf(all));
+  EXPECT_NEAR(s.meanSeconds, common::mean(all), 1e-12);
 }
 
 // ---- service --------------------------------------------------------------
@@ -433,6 +561,33 @@ TEST(PartitionService, ConcurrentClientsGetConsistentDecisions) {
   ASSERT_EQ(stats.machines.size(), 1u);
   EXPECT_EQ(stats.machines[0].requests, kClients * kRequests);
   EXPECT_GT(stats.machines[0].makespanSeconds, 0.0);
+}
+
+TEST(PartitionService, WarmHitsAreServedInline) {
+  ServiceFixture fx;
+  // Cold pass: every distinct launch misses and goes through the queue.
+  for (std::size_t t = 0; t < fx.tasks.size(); ++t) {
+    (void)fx.service->call(fx.request(t));
+  }
+  const auto cold = fx.service->stats();
+  EXPECT_EQ(cold.requestsInline, 0u);
+  EXPECT_GE(cold.batches, 1u);
+
+  // Warm pass: every request hits the fingerprint cache and is served on
+  // the calling thread — no new batches, inline counter tracks exactly.
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t t = 0; t < fx.tasks.size(); ++t) {
+      const auto r = fx.service->call(fx.request(t));
+      EXPECT_TRUE(r.cacheHit);
+    }
+  }
+  const auto warm = fx.service->stats();
+  EXPECT_EQ(warm.requestsInline, 3 * fx.tasks.size());
+  EXPECT_EQ(warm.batches, cold.batches);  // the queue never woke up
+  EXPECT_EQ(warm.requestsCompleted, warm.requestsSubmitted);
+  // Inline serving skips the feedback recorder; the cold pass already
+  // recorded every distinct signature.
+  EXPECT_EQ(warm.feedbackRecords, fx.tasks.size());
 }
 
 TEST(PartitionService, RetrainSwapsModelAndInvalidatesCache) {
