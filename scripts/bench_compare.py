@@ -11,9 +11,19 @@ Options:
                                   the key name (see infer_direction).
   --threshold PCT                 Regression threshold in percent
                                   (default 10).
-  --fail-on-regression            Exit 1 when a regression is flagged
+  --fail-on-regression            Exit 1 when ANY regression is flagged
                                   (default: always exit 0 — the CI bench
                                   job runs this as a non-fatal report).
+  --fail-on NAME[:PCT]            Make regressions of metric NAME fatal
+                                  when it moves more than PCT percent in
+                                  its bad direction (repeatable; PCT
+                                  defaults to --threshold). Other metrics
+                                  stay report-only. A fail-on metric the
+                                  current run stopped reporting is also
+                                  fatal. CI gates on
+                                  requests_per_sec_warm:30 only — a
+                                  deliberately conservative bar sized for
+                                  noisy shared runners.
 
 A metric regresses when it moves more than the threshold in its bad
 direction: a "higher"-is-better metric dropping, or a "lower"-is-better
@@ -55,14 +65,28 @@ def numeric_keys(obj):
             if isinstance(v, (int, float)) and not isinstance(v, bool)}
 
 
-def main() -> int:
+def parse_fail_on(spec: str, default_pct: float):
+    if ":" in spec:
+        name, pct = spec.rsplit(":", 1)
+        try:
+            return name, float(pct)
+        except ValueError:
+            sys.exit(f"bench_compare: bad percent in --fail-on {spec!r} "
+                     "(use NAME or NAME:PCT)")
+    return spec, default_pct
+
+
+def main(argv=None) -> int:
     parser = argparse.ArgumentParser(add_help=True)
     parser.add_argument("baseline")
     parser.add_argument("current")
     parser.add_argument("--metric", action="append", default=[])
     parser.add_argument("--threshold", type=float, default=10.0)
     parser.add_argument("--fail-on-regression", action="store_true")
-    args = parser.parse_args()
+    parser.add_argument("--fail-on", action="append", default=[],
+                        metavar="NAME[:PCT]")
+    args = parser.parse_args(argv)
+    fail_on = dict(parse_fail_on(s, args.threshold) for s in args.fail_on)
 
     try:
         with open(args.baseline) as f:
@@ -80,37 +104,67 @@ def main() -> int:
     else:
         shared = sorted(numeric_keys(baseline) & numeric_keys(current))
         metrics = [(name, infer_direction(name)) for name in shared]
+    # Every --fail-on metric is always compared, listed or not.
+    covered = {name for name, _ in metrics}
+    for name in fail_on:
+        if name not in covered:
+            metrics.append((name, infer_direction(name)))
+    for name, direction in metrics:
+        if name in fail_on and direction == "info":
+            sys.exit(f"bench_compare: --fail-on {name} has no inferable "
+                     f"direction; add --metric {name}:higher or "
+                     f"--metric {name}:lower")
 
     regressions = []
+    fatal = []
     print(f"bench_compare: {args.baseline} -> {args.current} "
           f"(threshold {args.threshold:g}%)")
     for name, direction in metrics:
         base = baseline.get(name)
         cur = current.get(name)
-        if not isinstance(base, (int, float)) or not isinstance(cur, (int, float)):
-            print(f"  {name}: missing or non-numeric, skipped")
+        if not isinstance(cur, (int, float)) or isinstance(cur, bool):
+            if name in fail_on:
+                print(f"  {name}: FATAL — gated metric missing from the "
+                      "current run")
+                fatal.append((name, None))
+            else:
+                print(f"  {name}: missing or non-numeric, skipped")
+            continue
+        if not isinstance(base, (int, float)) or isinstance(base, bool):
+            print(f"  {name}: no baseline value, skipped")
             continue
         if base == 0:
             print(f"  {name}: baseline is 0, skipped")
             continue
         change = 100.0 * (cur - base) / abs(base)
-        regressed = (direction == "higher" and change < -args.threshold) or \
-                    (direction == "lower" and change > args.threshold)
-        tag = "REGRESSION" if regressed else \
+        bad_move = (-change if direction == "higher"
+                    else change if direction == "lower" else 0.0)
+        regressed = bad_move > args.threshold
+        is_fatal = name in fail_on and bad_move > fail_on[name]
+        tag = "FATAL" if is_fatal else "REGRESSION" if regressed else \
               ("ok" if direction != "info" else "info")
+        gate = f", gate {fail_on[name]:g}%" if name in fail_on else ""
         print(f"  {name}: {base:g} -> {cur:g} ({change:+.1f}%) "
-              f"[{direction}] {tag}")
+              f"[{direction}{gate}] {tag}")
         if regressed:
             regressions.append((name, change))
+        if is_fatal:
+            fatal.append((name, change))
 
     if regressions:
         print(f"bench_compare: {len(regressions)} regression(s) flagged:")
         for name, change in regressions:
             print(f"  {name}: {change:+.1f}%")
-        if args.fail_on_regression:
-            return 1
     else:
         print("bench_compare: no regressions flagged")
+    if fatal:
+        print(f"bench_compare: FAILING on {len(fatal)} gated metric(s):")
+        for name, change in fatal:
+            print(f"  {name}: "
+                  + (f"{change:+.1f}%" if change is not None else "missing"))
+        return 1
+    if regressions and args.fail_on_regression:
+        return 1
     return 0
 
 

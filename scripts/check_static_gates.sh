@@ -1,0 +1,74 @@
+#!/usr/bin/env sh
+# Seeded-violation self-tests for the three static-analysis gates
+# (thread-safety build, clang-tidy, project lint). A gate that silently
+# stopped detecting anything is worse than no gate: each check here
+# feeds a known-bad input and asserts the gate FAILS it, then (where
+# cheap) a known-good input and asserts the gate passes it.
+#
+# Needs clang++/clang-tidy for the first two checks; CI installs them.
+set -eu
+cd "$(dirname "$0")/.."
+CLANGXX=${CLANGXX:-clang++}
+CLANG_TIDY=${CLANG_TIDY:-clang-tidy}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+# 1. Thread-safety gate: a TP_GUARDED_BY field read without its mutex
+#    must be rejected under -Wthread-safety -Werror=thread-safety.
+cat > "$tmp/tsa_bad.cpp" <<'EOF'
+#include "common/annotations.hpp"
+struct Counter {
+  tp::common::Mutex mutex;
+  int value TP_GUARDED_BY(mutex) = 0;
+};
+int readUnlocked(Counter& c) { return c.value; }
+EOF
+if "$CLANGXX" -std=c++20 -Isrc -Wthread-safety -Werror=thread-safety \
+    -fsyntax-only "$tmp/tsa_bad.cpp" 2>/dev/null; then
+  echo "FAIL: -Wthread-safety accepted an unguarded access to a" \
+       "TP_GUARDED_BY field — the annotation macros are not expanding" >&2
+  exit 1
+fi
+echo "ok: thread-safety gate rejects a seeded unguarded access"
+
+# 2. ... and the same field read under MutexLock must pass (the gate
+#    fails bad code, not all code).
+cat > "$tmp/tsa_good.cpp" <<'EOF'
+#include "common/annotations.hpp"
+struct Counter {
+  tp::common::Mutex mutex;
+  int value TP_GUARDED_BY(mutex) = 0;
+};
+int readLocked(Counter& c) {
+  tp::common::MutexLock lock(c.mutex);
+  return c.value;
+}
+EOF
+"$CLANGXX" -std=c++20 -Isrc -Wthread-safety -Werror=thread-safety \
+    -fsyntax-only "$tmp/tsa_good.cpp"
+echo "ok: thread-safety gate accepts the guarded version"
+
+# 3. clang-tidy gate: a use-after-move must fail under the repo config
+#    (WarningsAsErrors: '*').
+cat > "$tmp/tidy_bad.cpp" <<'EOF'
+#include <string>
+#include <utility>
+std::string consume(std::string s) { return s; }
+int length() {
+  std::string a = "seeded";
+  std::string b = consume(std::move(a));
+  return static_cast<int>(a.size() + b.size());
+}
+EOF
+if "$CLANG_TIDY" --config-file=.clang-tidy --quiet "$tmp/tidy_bad.cpp" \
+    -- -std=c++20 >/dev/null 2>&1; then
+  echo "FAIL: clang-tidy accepted a use-after-move under the repo" \
+       "config — check WarningsAsErrors / the bugprone-* enablement" >&2
+  exit 1
+fi
+echo "ok: clang-tidy gate rejects a seeded use-after-move"
+
+# 4. Project lint gate: per-rule seeded-violation unit tests (each rule
+#    is fed a synthetic violating tree and must flag it).
+python3 scripts/test_lint_invariants.py
+echo "ok: lint gate self-tests pass"

@@ -1,0 +1,426 @@
+#!/usr/bin/env python3
+"""Project lint engine: repo invariants clang cannot express.
+
+Rules (each with its own allowlist, see RULES below):
+
+  R1 no-wallclock-or-unseeded-randomness
+      std::chrono::system_clock, rand()/srand(), std::random_device are
+      forbidden outside common/rng and bench mains. Simulated time and
+      seeded common::Rng streams keep runs reproducible; wall-clock reads
+      and OS entropy do not.
+  R2 no-naked-mutex
+      std::mutex / std::lock_guard / std::unique_lock / std::shared_lock /
+      std::shared_mutex / std::condition_variable are forbidden in src/
+      outside common/annotations.hpp. The annotated wrappers
+      (tp::common::Mutex & friends) keep the Clang Thread Safety
+      capability graph complete; a naked mutex is invisible to it.
+  R3 wire-reserve-bounds-check
+      In wire-decode code (any file constructing a WireReader), a
+      container reserve() sized from a decoded count must go through
+      checkedCount() first: reserve(attacker-controlled u32) is an
+      allocation bomb. Mechanically: every reserve() in such files must
+      name a variable produced by checkedCount(...) within the preceding
+      declarations, or be allowlisted.
+  R4 no-memcpy
+      memcpy is forbidden in src/: the wire format encodes by byte
+      shifting (portable, no object-representation traffic), and memcpy
+      into a non-trivially-copyable type is UB the compiler will not
+      catch. No allowlisted occurrences today.
+  R5 header-self-sufficiency
+      Every src/**/*.hpp must compile standalone (a generated TU that
+      includes only it). Missing transitive includes break unity-build
+      refactors and IDE tooling. Needs a compiler; skipped with
+      --no-headers.
+  R6 todo-needs-issue-tag
+      TODO/FIXME must carry an issue tag — "TODO(#123):" or
+      "TODO(issue-foo):" — so stale intentions stay traceable.
+  R7 tsa-opt-out-discipline
+      TP_NO_THREAD_SAFETY_ANALYSIS is reserved for common/annotations.hpp
+      internals. Everywhere else the only opt-out is
+      TP_LOCK_FREE_AUDITED("..."), and its reason string must name the
+      covering TSan test ("TSan:" tag) — no silent escapes from the
+      analysis.
+
+Usage:
+  python3 scripts/lint_invariants.py [--no-headers] [--json REPORT]
+                                     [--root DIR] [--compiler CXX]
+Exit status: 0 clean, 1 violations found, 2 internal error.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Directories scanned for source rules, relative to the repo root.
+SOURCE_DIRS = ("src", "bench", "tools")
+SOURCE_EXTS = (".hpp", ".cpp")
+
+
+def _norm(path):
+    return path.replace(os.sep, "/")
+
+
+class Violation:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = _norm(path)
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_dict(self):
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line
+    structure, so code rules do not fire on prose or quoted text."""
+    out = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                mode = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                mode = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif mode == "line_comment":
+            if c == "\n":
+                mode = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif mode == "block_comment":
+            if c == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif mode in ("string", "char"):
+            quote = '"' if mode == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                mode = "code"
+                out.append(" ")
+            elif c == "\n":  # unterminated (raw strings etc.): bail to code
+                mode = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def iter_source_files(root):
+    for d in SOURCE_DIRS:
+        base = os.path.join(root, d)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    yield os.path.join(dirpath, name)
+
+
+def relpath(root, path):
+    return _norm(os.path.relpath(path, root))
+
+
+def allowed(rel, allowlist):
+    return any(rel == a or rel.startswith(a.rstrip("/") + "/")
+               for a in allowlist)
+
+
+# --------------------------------------------------------------------------
+# Pattern rules
+
+
+R1_PATTERNS = [
+    (re.compile(r"std\s*::\s*chrono\s*::\s*system_clock"),
+     "wall-clock read (std::chrono::system_clock); use simulated time or "
+     "steady_clock"),
+    (re.compile(r"(?<![\w:])s?rand\s*\(" ),
+     "unseeded C randomness (rand/srand); use common::Rng with an explicit "
+     "seed"),
+    (re.compile(r"std\s*::\s*random_device"),
+     "OS entropy (std::random_device); use common::Rng with an explicit "
+     "seed"),
+]
+R1_ALLOW = ("src/common/rng.hpp", "src/common/rng.cpp", "bench/")
+
+R2_PATTERNS = [
+    (re.compile(r"std\s*::\s*(mutex|shared_mutex|recursive_mutex|"
+                r"timed_mutex|lock_guard|unique_lock|shared_lock|"
+                r"scoped_lock|condition_variable(_any)?)\b"),
+     "naked std synchronization type; use the annotated wrappers in "
+     "common/annotations.hpp (tp::common::Mutex/MutexLock/SharedMutex/"
+     "CondVar)"),
+]
+R2_ALLOW = ("src/common/annotations.hpp",)
+R2_SCOPE = ("src/",)  # bench/tools may use raw std primitives
+
+R4_PATTERNS = [
+    (re.compile(r"(?<![\w:])(std\s*::\s*)?memcpy\s*\("),
+     "memcpy; encode/decode by byte shifting (see common/serial.hpp) — "
+     "memcpy into a non-trivially-copyable type is UB"),
+]
+R4_ALLOW = ()
+
+R6_PATTERN = re.compile(r"\b(TODO|FIXME)\b(?!\((#\d+|issue-[\w-]+)\))")
+R6_ALLOW = ("scripts/lint_invariants.py",)
+
+
+def check_pattern_rule(rule, patterns, allowlist, root, files, scope=None):
+    out = []
+    for path in files:
+        rel = relpath(root, path)
+        if allowed(rel, allowlist):
+            continue
+        if scope is not None and not any(rel.startswith(s) for s in scope):
+            continue
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        code = strip_comments_and_strings(text)
+        for lineno, line in enumerate(code.splitlines(), start=1):
+            for pattern, message in patterns:
+                if pattern.search(line):
+                    out.append(Violation(rule, rel, lineno, message))
+    return out
+
+
+def check_r6(root, files):
+    out = []
+    for path in files:
+        rel = relpath(root, path)
+        if allowed(rel, R6_ALLOW):
+            continue
+        with open(path, encoding="utf-8", errors="replace") as f:
+            for lineno, line in enumerate(f, start=1):
+                if R6_PATTERN.search(line):
+                    out.append(Violation(
+                        "R6", rel, lineno,
+                        "TODO/FIXME without an issue tag; write "
+                        "TODO(#123): or TODO(issue-slug):"))
+    return out
+
+
+# --------------------------------------------------------------------------
+# R3: reserve() in wire-decode files must size from checkedCount()
+
+R3_ALLOW = ()
+RESERVE_RE = re.compile(r"\.\s*reserve\s*\(\s*(.+)\)")
+CHECKED_DECL_RE = re.compile(
+    r"\b(\w+)\s*=\s*(?:\w+\s*\.\s*)?checkedCount\s*\(")
+
+
+def check_r3(root, files):
+    out = []
+    for path in files:
+        rel = relpath(root, path)
+        if allowed(rel, R3_ALLOW):
+            continue
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        code = strip_comments_and_strings(text)
+        if "WireReader" not in code:
+            continue
+        lines = code.splitlines()
+        checked_names = set()
+        for line in lines:
+            m = CHECKED_DECL_RE.search(line)
+            if m:
+                checked_names.add(m.group(1))
+        for lineno, line in enumerate(lines, start=1):
+            m = RESERVE_RE.search(line)
+            if not m:
+                continue
+            arg = m.group(1).strip()
+            # Identifiers mentioned in the size expression: at least one
+            # must be a checkedCount()-validated count, or the expression
+            # must be a container/string size() (re-encoding paths).
+            idents = set(re.findall(r"[A-Za-z_]\w*", arg))
+            if idents & checked_names:
+                continue
+            if re.search(r"\.\s*size\s*\(\s*\)", arg) or "size()" in arg:
+                continue
+            out.append(Violation(
+                "R3", rel, lineno,
+                f"reserve({arg}) in a WireReader decode file does not size "
+                "from a checkedCount()-validated count; a hostile length "
+                "prefix becomes an allocation bomb"))
+    return out
+
+
+# --------------------------------------------------------------------------
+# R7: thread-safety opt-out discipline
+
+R7_BARE_ALLOW = ("src/common/annotations.hpp",)
+AUDITED_RE = re.compile(r"TP_LOCK_FREE_AUDITED\s*\(", re.S)
+
+
+def check_r7(root, files):
+    out = []
+    for path in files:
+        rel = relpath(root, path)
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        code = strip_comments_and_strings(text)
+        if not allowed(rel, R7_BARE_ALLOW):
+            for lineno, line in enumerate(code.splitlines(), start=1):
+                if re.search(r"\bTP_NO_THREAD_SAFETY_ANALYSIS\b", line):
+                    out.append(Violation(
+                        "R7", rel, lineno,
+                        "bare TP_NO_THREAD_SAFETY_ANALYSIS outside "
+                        "common/annotations.hpp; use TP_LOCK_FREE_AUDITED "
+                        "with a reason naming the covering TSan test"))
+                if re.search(r"\b__attribute__\s*\(\s*\(\s*"
+                             r"no_thread_safety_analysis", line):
+                    out.append(Violation(
+                        "R7", rel, lineno,
+                        "raw no_thread_safety_analysis attribute; use "
+                        "TP_LOCK_FREE_AUDITED"))
+        # Reason audit runs on the ORIGINAL text (the reason lives in a
+        # string literal). Find each marker and scan its parenthesized
+        # argument for the TSan: tag.
+        for m in re.finditer(r"TP_LOCK_FREE_AUDITED\s*\(", text):
+            if rel == "src/common/annotations.hpp":
+                continue  # the macro's own definition/examples
+            depth, i = 1, m.end()
+            while i < len(text) and depth > 0:
+                if text[i] == "(":
+                    depth += 1
+                elif text[i] == ")":
+                    depth -= 1
+                i += 1
+            reason = text[m.end():i - 1]
+            lineno = text.count("\n", 0, m.start()) + 1
+            if "TSan:" not in reason:
+                out.append(Violation(
+                    "R7", rel, lineno,
+                    "TP_LOCK_FREE_AUDITED reason does not name the "
+                    "covering TSan test (no \"TSan:\" tag)"))
+    return out
+
+
+# --------------------------------------------------------------------------
+# R5: header self-sufficiency
+
+R5_ALLOW = ()
+
+
+def check_r5(root, compiler):
+    out = []
+    headers = []
+    src = os.path.join(root, "src")
+    for dirpath, _dirnames, filenames in os.walk(src):
+        for name in sorted(filenames):
+            if name.endswith(".hpp"):
+                headers.append(os.path.join(dirpath, name))
+    with tempfile.TemporaryDirectory(prefix="tp_lint_hdr_") as tmp:
+        for header in headers:
+            rel = relpath(root, header)
+            if allowed(rel, R5_ALLOW):
+                continue
+            tu = os.path.join(tmp, "tu.cpp")
+            with open(tu, "w", encoding="utf-8") as f:
+                f.write(f'#include "{rel[len("src/"):]}"\n')
+            proc = subprocess.run(
+                [compiler, "-std=c++20", "-fsyntax-only",
+                 "-I", os.path.join(root, "src"), tu],
+                capture_output=True, text=True)
+            if proc.returncode != 0:
+                first = (proc.stderr.strip().splitlines() or ["?"])[0]
+                out.append(Violation(
+                    "R5", rel, 1,
+                    f"header does not compile standalone: {first}"))
+    return out
+
+
+# --------------------------------------------------------------------------
+
+
+def run_lint(root, with_headers=True, compiler="c++"):
+    files = list(iter_source_files(root))
+    violations = []
+    violations += check_pattern_rule("R1", R1_PATTERNS, R1_ALLOW, root, files)
+    violations += check_pattern_rule("R2", R2_PATTERNS, R2_ALLOW, root, files,
+                                     scope=R2_SCOPE)
+    violations += check_r3(root, files)
+    violations += check_pattern_rule("R4", R4_PATTERNS, R4_ALLOW, root, files)
+    if with_headers:
+        violations += check_r5(root, compiler)
+    violations += check_r6(root, files)
+    violations += check_r7(root, files)
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="tp project lint: repo invariants clang cannot express")
+    parser.add_argument("--root", default=REPO_ROOT,
+                        help="repo root to lint (default: this repo)")
+    parser.add_argument("--no-headers", action="store_true",
+                        help="skip R5 header self-sufficiency (needs a "
+                             "compiler; the slowest rule)")
+    parser.add_argument("--compiler", default=os.environ.get("CXX", "c++"),
+                        help="compiler for R5 (default: $CXX or c++)")
+    parser.add_argument("--json", metavar="REPORT",
+                        help="also write violations as JSON to REPORT")
+    args = parser.parse_args(argv)
+
+    violations = run_lint(args.root, with_headers=not args.no_headers,
+                          compiler=args.compiler)
+    for v in violations:
+        print(v)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump({"violations": [v.as_dict() for v in violations]},
+                      f, indent=2)
+            f.write("\n")
+    if violations:
+        print(f"lint_invariants: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("lint_invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_compare.py --fail-on gating, over fixture JSONs.
+
+The CI bench job gates on requests_per_sec_warm:30 only; these tests pin
+the exact semantics that job depends on: a >30% warm-throughput drop
+fails, a smaller drop or any other metric's regression reports but
+passes, improvements pass, and a gated metric vanishing from the current
+run fails.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_compare  # noqa: E402
+
+BASELINE = {
+    "bench": "serve_throughput",
+    "requests_per_sec_warm": 100000.0,
+    "requests_per_sec_cold": 5000.0,
+    "hit_rate_warm": 0.95,
+    "p95_latency_us": 40.0,
+}
+
+
+class BenchCompareFailOnTests(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory(prefix="tp_bench_cmp_")
+        self.baseline = self.fixture("baseline.json", BASELINE)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def fixture(self, name, payload):
+        path = os.path.join(self._tmp.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(payload, f)
+        return path
+
+    def run_compare(self, current_payload, *extra_args):
+        current = self.fixture("current.json", current_payload)
+        return bench_compare.main([self.baseline, current, *extra_args])
+
+    def test_warm_drop_past_gate_fails(self):
+        rc = self.run_compare(
+            {**BASELINE, "requests_per_sec_warm": 60000.0},  # -40%
+            "--fail-on", "requests_per_sec_warm:30")
+        self.assertEqual(rc, 1)
+
+    def test_warm_drop_within_gate_passes(self):
+        rc = self.run_compare(
+            {**BASELINE, "requests_per_sec_warm": 80000.0},  # -20%
+            "--fail-on", "requests_per_sec_warm:30")
+        self.assertEqual(rc, 0)
+
+    def test_warm_improvement_passes(self):
+        rc = self.run_compare(
+            {**BASELINE, "requests_per_sec_warm": 200000.0},
+            "--fail-on", "requests_per_sec_warm:30")
+        self.assertEqual(rc, 0)
+
+    def test_other_metrics_stay_report_only(self):
+        # Cold throughput collapses and p95 triples: flagged, not fatal —
+        # only the gated metric can fail the run.
+        rc = self.run_compare(
+            {**BASELINE,
+             "requests_per_sec_cold": 1000.0,
+             "p95_latency_us": 120.0},
+            "--fail-on", "requests_per_sec_warm:30")
+        self.assertEqual(rc, 0)
+
+    def test_gated_metric_missing_from_current_fails(self):
+        current = {k: v for k, v in BASELINE.items()
+                   if k != "requests_per_sec_warm"}
+        rc = self.run_compare(current,
+                              "--fail-on", "requests_per_sec_warm:30")
+        self.assertEqual(rc, 1)
+
+    def test_gated_metric_missing_from_baseline_passes(self):
+        # A brand-new metric has nothing to regress against.
+        baseline = {k: v for k, v in BASELINE.items()
+                    if k != "requests_per_sec_warm"}
+        self.baseline = self.fixture("baseline2.json", baseline)
+        rc = self.run_compare(BASELINE,
+                              "--fail-on", "requests_per_sec_warm:30")
+        self.assertEqual(rc, 0)
+
+    def test_fail_on_defaults_to_threshold(self):
+        rc = self.run_compare(
+            {**BASELINE, "requests_per_sec_warm": 85000.0},  # -15%
+            "--threshold", "10", "--fail-on", "requests_per_sec_warm")
+        self.assertEqual(rc, 1)
+
+    def test_missing_baseline_file_passes(self):
+        current = self.fixture("current.json", BASELINE)
+        rc = bench_compare.main(
+            [os.path.join(self._tmp.name, "nonexistent.json"), current,
+             "--fail-on", "requests_per_sec_warm:30"])
+        self.assertEqual(rc, 0)
+
+    def test_fail_on_regression_still_global(self):
+        rc = self.run_compare(
+            {**BASELINE, "p95_latency_us": 120.0},
+            "--fail-on-regression")
+        self.assertEqual(rc, 1)
+
+    def test_fail_on_without_direction_errors(self):
+        with self.assertRaises(SystemExit):
+            self.run_compare(dict(BASELINE, bench="x"),
+                             "--fail-on", "bench:30")
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""Self-tests for the project lint engine.
+
+Each test seeds one violation into a synthetic repo tree and asserts the
+matching rule (and only it) fires; a final test asserts a clean tree
+passes. Runs the real engine end to end via run_lint(), so a silently
+broken rule fails here before it ships as a no-op CI gate.
+"""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import lint_invariants  # noqa: E402
+
+
+def write(root, rel, text):
+    path = os.path.join(root, rel)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text)
+    return path
+
+
+CLEAN_SOURCE = """\
+#include <cstdint>
+#include "common/annotations.hpp"
+
+namespace tp {
+inline std::uint64_t next(std::uint64_t s) { return s * 6364136223846793005ULL + 1; }
+}  // namespace tp
+"""
+
+
+class LintRuleTests(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory(prefix="tp_lint_test_")
+        self.root = self._tmp.name
+        # A minimal clean tree every test starts from.
+        write(self.root, "src/common/clean.hpp", CLEAN_SOURCE)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def lint(self):
+        # R5 needs a real compiler; exercised separately in test_r5.
+        return lint_invariants.run_lint(self.root, with_headers=False)
+
+    def assertOnlyRule(self, violations, rule, path_suffix):
+        self.assertTrue(violations, f"expected a {rule} violation")
+        self.assertEqual({v.rule for v in violations}, {rule})
+        self.assertTrue(any(v.path.endswith(path_suffix) for v in violations))
+
+    def test_clean_tree_passes(self):
+        self.assertEqual(self.lint(), [])
+
+    # -- R1 ---------------------------------------------------------------
+
+    def test_r1_system_clock(self):
+        write(self.root, "src/serve/bad.cpp",
+              "#include <chrono>\n"
+              "auto now() { return std::chrono::system_clock::now(); }\n")
+        self.assertOnlyRule(self.lint(), "R1", "src/serve/bad.cpp")
+
+    def test_r1_rand(self):
+        write(self.root, "src/serve/bad.cpp",
+              "#include <cstdlib>\nint roll() { return rand(); }\n")
+        self.assertOnlyRule(self.lint(), "R1", "src/serve/bad.cpp")
+
+    def test_r1_random_device(self):
+        write(self.root, "src/serve/bad.cpp",
+              "#include <random>\n"
+              "unsigned seed() { return std::random_device{}(); }\n")
+        self.assertOnlyRule(self.lint(), "R1", "src/serve/bad.cpp")
+
+    def test_r1_allows_common_rng(self):
+        write(self.root, "src/common/rng.cpp",
+              "#include <random>\n"
+              "unsigned entropy() { return std::random_device{}(); }\n")
+        self.assertEqual(self.lint(), [])
+
+    def test_r1_allows_bench(self):
+        write(self.root, "bench/bench_main.cpp",
+              "#include <chrono>\n"
+              "auto t0() { return std::chrono::system_clock::now(); }\n")
+        self.assertEqual(self.lint(), [])
+
+    def test_r1_ignores_comments(self):
+        write(self.root, "src/serve/ok.cpp",
+              "// std::chrono::system_clock would be wrong here: rand()\n"
+              "int x = 1;\n")
+        self.assertEqual(self.lint(), [])
+
+    # -- R2 ---------------------------------------------------------------
+
+    def test_r2_naked_mutex(self):
+        write(self.root, "src/serve/bad.hpp",
+              "#include <mutex>\nstruct S { std::mutex m; };\n")
+        self.assertOnlyRule(self.lint(), "R2", "src/serve/bad.hpp")
+
+    def test_r2_naked_lock_guard(self):
+        write(self.root, "src/serve/bad.cpp",
+              "#include <mutex>\n"
+              "void f(std::mutex& m) { std::lock_guard<std::mutex> l(m); }\n")
+        self.assertOnlyRule(self.lint(), "R2", "src/serve/bad.cpp")
+
+    def test_r2_naked_condition_variable(self):
+        write(self.root, "src/serve/bad.hpp",
+              "#include <condition_variable>\n"
+              "struct S { std::condition_variable cv; };\n")
+        self.assertOnlyRule(self.lint(), "R2", "src/serve/bad.hpp")
+
+    def test_r2_allows_annotations_header(self):
+        write(self.root, "src/common/annotations.hpp",
+              "#include <mutex>\nclass Mutex { std::mutex mu_; };\n")
+        self.assertEqual(self.lint(), [])
+
+    def test_r2_scoped_to_src(self):
+        write(self.root, "bench/bad.cpp",
+              "#include <mutex>\nstd::mutex g;\n")
+        self.assertEqual(self.lint(), [])
+
+    # -- R3 ---------------------------------------------------------------
+
+    def test_r3_unchecked_reserve(self):
+        write(self.root, "src/fleet/bad.cpp",
+              "#include <vector>\n"
+              "struct WireReader { unsigned readU32(); };\n"
+              "void decode(WireReader& r, std::vector<int>& v) {\n"
+              "  unsigned n = r.readU32();\n"
+              "  v.reserve(n);\n"
+              "}\n")
+        self.assertOnlyRule(self.lint(), "R3", "src/fleet/bad.cpp")
+
+    def test_r3_checked_reserve_passes(self):
+        write(self.root, "src/fleet/ok.cpp",
+              "#include <vector>\n"
+              "struct WireReader { unsigned readU32(); };\n"
+              "unsigned checkedCount(unsigned n);\n"
+              "void decode(WireReader& r, std::vector<int>& v) {\n"
+              "  const unsigned n = checkedCount(r.readU32());\n"
+              "  v.reserve(n);\n"
+              "}\n")
+        self.assertEqual(self.lint(), [])
+
+    def test_r3_size_based_reserve_passes(self):
+        write(self.root, "src/fleet/ok.cpp",
+              "#include <vector>\n"
+              "struct WireReader {};\n"
+              "void copy(const std::vector<int>& a, std::vector<int>& b) {\n"
+              "  b.reserve(a.size());\n"
+              "}\n")
+        self.assertEqual(self.lint(), [])
+
+    def test_r3_only_wirereader_files(self):
+        write(self.root, "src/serve/ok.cpp",
+              "#include <vector>\n"
+              "void f(std::vector<int>& v, unsigned n) { v.reserve(n); }\n")
+        self.assertEqual(self.lint(), [])
+
+    # -- R4 ---------------------------------------------------------------
+
+    def test_r4_memcpy(self):
+        write(self.root, "src/common/bad.cpp",
+              "#include <cstring>\n"
+              "void f(char* d, const char* s) { std::memcpy(d, s, 4); }\n")
+        self.assertOnlyRule(self.lint(), "R4", "src/common/bad.cpp")
+
+    def test_r4_ignores_comment_mentions(self):
+        write(self.root, "src/common/ok.hpp",
+              "// fixed by shifting (not memcpy), portable encoding\n"
+              "int x = 1;\n")
+        self.assertEqual(self.lint(), [])
+
+    # -- R5 ---------------------------------------------------------------
+
+    def test_r5_header_missing_include(self):
+        write(self.root, "src/serve/bad.hpp",
+              "#pragma once\n"
+              "inline std::uint32_t f() { return 0; }\n")  # no <cstdint>
+        violations = lint_invariants.check_r5(self.root, os.environ.get(
+            "CXX", "c++"))
+        self.assertOnlyRule(violations, "R5", "src/serve/bad.hpp")
+
+    def test_r5_self_sufficient_header_passes(self):
+        violations = lint_invariants.check_r5(self.root, os.environ.get(
+            "CXX", "c++"))
+        # clean.hpp includes common/annotations.hpp which does not exist in
+        # the synthetic tree; give it one.
+        if violations:
+            write(self.root, "src/common/annotations.hpp", "#pragma once\n")
+            violations = lint_invariants.check_r5(self.root, os.environ.get(
+                "CXX", "c++"))
+        self.assertEqual(violations, [])
+
+    # -- R6 ---------------------------------------------------------------
+
+    def test_r6_untagged_todo(self):
+        write(self.root, "src/serve/bad.cpp",
+              "// TODO: make this faster\nint x = 1;\n")
+        self.assertOnlyRule(self.lint(), "R6", "src/serve/bad.cpp")
+
+    def test_r6_tagged_todo_passes(self):
+        write(self.root, "src/serve/ok.cpp",
+              "// TODO(#42): make this faster\n"
+              "// FIXME(issue-wire-v2): tighten bound\n"
+              "int x = 1;\n")
+        self.assertEqual(self.lint(), [])
+
+    # -- R7 ---------------------------------------------------------------
+
+    def test_r7_bare_opt_out(self):
+        write(self.root, "src/serve/bad.hpp",
+              "void f() TP_NO_THREAD_SAFETY_ANALYSIS;\n")
+        self.assertOnlyRule(self.lint(), "R7", "src/serve/bad.hpp")
+
+    def test_r7_raw_attribute(self):
+        write(self.root, "src/serve/bad.hpp",
+              "void f() __attribute__((no_thread_safety_analysis));\n")
+        self.assertOnlyRule(self.lint(), "R7", "src/serve/bad.hpp")
+
+    def test_r7_audited_without_tsan_tag(self):
+        write(self.root, "src/serve/bad.hpp",
+              'void f() TP_LOCK_FREE_AUDITED("looks fine to me");\n')
+        self.assertOnlyRule(self.lint(), "R7", "src/serve/bad.hpp")
+
+    def test_r7_audited_with_tsan_tag_passes(self):
+        write(self.root, "src/serve/ok.hpp",
+              'void f() TP_LOCK_FREE_AUDITED(\n'
+              '    "seqlock reader; TSan: test_serve Foo.Bar");\n')
+        self.assertEqual(self.lint(), [])
+
+    def test_r7_allows_annotations_header_internals(self):
+        write(self.root, "src/common/annotations.hpp",
+              "#define TP_NO_THREAD_SAFETY_ANALYSIS \\\n"
+              "  __attribute__((no_thread_safety_analysis))\n"
+              "void waitImpl() TP_NO_THREAD_SAFETY_ANALYSIS;\n")
+        self.assertEqual(self.lint(), [])
+
+
+class RealTreeTest(unittest.TestCase):
+    """The actual repo must be clean under every pattern rule (R5 runs in
+    tier1/CI where a compiler is guaranteed)."""
+
+    def test_repo_is_clean(self):
+        violations = lint_invariants.run_lint(lint_invariants.REPO_ROOT,
+                                              with_headers=False)
+        self.assertEqual([str(v) for v in violations], [])
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -3,7 +3,15 @@
 # script so local and CI results cannot drift.
 set -eux
 cd "$(dirname "$0")/.."
+# lint: project invariants (scripts/lint_invariants.py) plus the lint
+# engine's own seeded-violation self-tests. Runs first — it is the
+# cheapest failure.
+python3 scripts/test_lint_invariants.py
+python3 scripts/lint_invariants.py --no-headers
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
+# R5 (header self-sufficiency) needs the compiler; run it after the
+# build so an ordinary compile error surfaces with full context first.
+python3 scripts/lint_invariants.py
 cd build
 ctest --output-on-failure -j "$(nproc)"

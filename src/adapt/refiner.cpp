@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <limits>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 #include "common/hash.hpp"
 #include "common/rng.hpp"
@@ -26,11 +26,11 @@ common::Fingerprint refineFingerprint(const RefineKey& key) noexcept {
 }
 
 struct Refiner::Shard {
-  mutable std::mutex mutex;
+  mutable common::Mutex mutex;
   std::unordered_map<common::Fingerprint, Entry, common::FingerprintHash>
-      entries;
-  common::Rng rng;
-  RefinerCounters counters;
+      entries TP_GUARDED_BY(mutex);
+  common::Rng rng TP_GUARDED_BY(mutex);
+  RefinerCounters counters TP_GUARDED_BY(mutex);
 };
 
 Refiner::Refiner(RefinerConfig config, Fingerprinter fingerprinter)
@@ -124,7 +124,8 @@ bool Refiner::electIncumbent(Entry& entry) const {
   return bestArm != before;
 }
 
-void Refiner::sweepSuperseded(Shard& shard, std::uint64_t version) {
+void Refiner::sweepSuperseded(Shard& shard, std::uint64_t version)
+    TP_REQUIRES(shard.mutex) {
   for (auto e = shard.entries.begin(); e != shard.entries.end();) {
     if (e->second.modelVersion < version) {
       e = shard.entries.erase(e);
@@ -141,7 +142,7 @@ RefineDecision Refiner::decide(const RefineKey& key,
   const auto fp = fingerprinter_(key);
   if (!fp.has_value()) {
     Shard& shard = shardFor(common::Fingerprint{});
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    common::MutexLock lock(shard.mutex);
     ++shard.counters.decisions;
     ++shard.counters.untracked;
     return RefineDecision{baseLabel, false, false};
@@ -155,7 +156,7 @@ RefineDecision Refiner::decide(const common::Fingerprint& fp,
                                std::size_t baseLabel,
                                const runtime::PartitioningSpace& space) {
   Shard& shard = shardFor(fp);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  common::MutexLock lock(shard.mutex);
   ++shard.counters.decisions;
 
   auto it = shard.entries.find(fp);
@@ -249,7 +250,7 @@ Observation Refiner::observe(const RefineKey& key, std::uint64_t modelVersion,
   const auto fp = fingerprinter_(key);
   if (!fp.has_value()) {
     Shard& shard = shardFor(common::Fingerprint{});
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    common::MutexLock lock(shard.mutex);
     ++shard.counters.staleObservations;
     return Observation{};
   }
@@ -261,7 +262,7 @@ Observation Refiner::observe(const common::Fingerprint& fp,
                              double seconds,
                              const runtime::PartitioningSpace& space) {
   Shard& shard = shardFor(fp);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  common::MutexLock lock(shard.mutex);
 
   Observation obs;
   const auto it = shard.entries.find(fp);
@@ -300,7 +301,7 @@ Observation Refiner::observe(const common::Fingerprint& fp,
 std::vector<WinRecord> Refiner::exportWins(bool refinedOnly) const {
   std::vector<WinRecord> out;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    common::MutexLock lock(shard.mutex);
     for (const auto& [fp, entry] : shard.entries) {
       (void)fp;
       const Arm& best = entry.arms[entry.incumbent];
@@ -341,7 +342,7 @@ MergeResult Refiner::mergeWins(const std::vector<WinRecord>& wins,
       continue;
     }
     Shard& shard = shardFor(*fp);
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    common::MutexLock lock(shard.mutex);
     auto it = shard.entries.find(*fp);
     if (it == shard.entries.end()) {
       if (shard.entries.size() >= maxKeysPerShard_) {
@@ -439,7 +440,7 @@ Refiner::Incumbent Refiner::incumbent(const RefineKey& key,
 Refiner::Incumbent Refiner::incumbent(const common::Fingerprint& fp,
                                       std::uint64_t modelVersion) const {
   Shard& shard = shardFor(fp);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  common::MutexLock lock(shard.mutex);
   Incumbent out;
   const auto it = shard.entries.find(fp);
   if (it == shard.entries.end() || it->second.modelVersion != modelVersion) {
@@ -458,7 +459,7 @@ Refiner::Incumbent Refiner::incumbent(const common::Fingerprint& fp,
 std::size_t Refiner::trackedKeys() const {
   std::size_t total = 0;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    common::MutexLock lock(shard.mutex);
     total += shard.entries.size();
   }
   return total;
@@ -467,7 +468,7 @@ std::size_t Refiner::trackedKeys() const {
 RefinerCounters Refiner::counters() const {
   RefinerCounters total;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    common::MutexLock lock(shard.mutex);
     total.decisions += shard.counters.decisions;
     total.explorations += shard.counters.explorations;
     total.exploitations += shard.counters.exploitations;

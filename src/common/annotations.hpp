@@ -1,0 +1,230 @@
+#pragma once
+
+// Clang Thread Safety Analysis macros and annotated synchronization
+// wrappers — the compile-time half of the repo's concurrency contracts.
+//
+// Every mutex-protected structure in the tree declares which capability
+// guards which field (TP_GUARDED_BY) and which functions require a
+// capability held (TP_REQUIRES). Under clang the declarations become
+// real `-Wthread-safety` attributes, so a refactor that drops a lock or
+// touches a guarded field from the wrong thread fails the CI clang build
+// at compile time. Under gcc (the local tier-1 toolchain) they expand to
+// nothing and cost nothing.
+//
+// Deliberately lock-free paths — seqlock cache slots, CAS-claimed inline
+// lanes, striped counters, the interner's release-published reads — must
+// not silently opt out of analysis. They carry a named
+// TP_LOCK_FREE_AUDITED("...") marker whose reason strings name the TSan
+// test that covers the path; scripts/lint_invariants.py rejects a bare
+// TP_NO_THREAD_SAFETY_ANALYSIS anywhere outside this header and rejects
+// an audit marker whose reason does not reference a test.
+//
+// Use the wrappers, not the std types: tp::common::Mutex / MutexLock /
+// SharedMutex / SharedMutexLock(Shared) / CondVar. The lint engine
+// forbids naked std::mutex / std::lock_guard outside this header so the
+// capability graph stays complete.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by) && __has_attribute(capability)
+#define TP_THREAD_SAFETY_ENABLED 1
+#endif
+#endif
+
+#ifdef TP_THREAD_SAFETY_ENABLED
+#define TP_TSA(x) __attribute__((x))
+#else
+#define TP_TSA(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define TP_CAPABILITY(name) TP_TSA(capability(name))
+/// Marks an RAII type that acquires on construction, releases on
+/// destruction.
+#define TP_SCOPED_CAPABILITY TP_TSA(scoped_lockable)
+
+/// Field is protected by `mu`; reads and writes require `mu` held.
+#define TP_GUARDED_BY(mu) TP_TSA(guarded_by(mu))
+/// Pointer field whose *pointee* is protected by `mu`.
+#define TP_PT_GUARDED_BY(mu) TP_TSA(pt_guarded_by(mu))
+
+/// Callers must hold `mu` (exclusively) before calling.
+#define TP_REQUIRES(...) TP_TSA(requires_capability(__VA_ARGS__))
+/// Callers must hold `mu` at least shared before calling.
+#define TP_REQUIRES_SHARED(...) TP_TSA(requires_shared_capability(__VA_ARGS__))
+/// Function acquires `mu` and does not release it before returning.
+#define TP_ACQUIRE(...) TP_TSA(acquire_capability(__VA_ARGS__))
+#define TP_ACQUIRE_SHARED(...) TP_TSA(acquire_shared_capability(__VA_ARGS__))
+/// Function releases `mu` held on entry.
+#define TP_RELEASE(...) TP_TSA(release_capability(__VA_ARGS__))
+#define TP_RELEASE_SHARED(...) TP_TSA(release_shared_capability(__VA_ARGS__))
+/// Function must be called with `mu` NOT held (deadlock guard).
+#define TP_EXCLUDES(...) TP_TSA(locks_excluded(__VA_ARGS__))
+/// try_lock-style: acquired iff the return value equals `result`.
+#define TP_TRY_ACQUIRE(...) TP_TSA(try_acquire_capability(__VA_ARGS__))
+/// Return value is a reference to a `mu`-guarded object.
+#define TP_RETURN_CAPABILITY(x) TP_TSA(lock_returned(x))
+
+/// Blanket opt-out. Reserved for the wrapper internals in this header;
+/// everywhere else use TP_LOCK_FREE_AUDITED so the opt-out carries an
+/// auditable reason (enforced by scripts/lint_invariants.py rule R7).
+#define TP_NO_THREAD_SAFETY_ANALYSIS TP_TSA(no_thread_safety_analysis)
+
+/// Named opt-out for deliberately lock-free code. `reason` must be a
+/// string literal naming the synchronization scheme and the TSan test
+/// that exercises it, e.g.
+///   TP_LOCK_FREE_AUDITED(
+///       "seqlock slot; torn reads retried; TSan: test_serve_cache")
+/// The reason is compile-time documentation only (discarded), but the
+/// lint engine requires the "TSan:" tag so every opt-out names its
+/// runtime coverage.
+#define TP_LOCK_FREE_AUDITED(reason) TP_TSA(no_thread_safety_analysis)
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+namespace tp::common {
+
+/// std::mutex with the capability attribute, so fields can be declared
+/// TP_GUARDED_BY(theMutex) and functions TP_REQUIRES(theMutex).
+class TP_CAPABILITY("mutex") Mutex {
+public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TP_ACQUIRE() { mu_.lock(); }
+  void unlock() TP_RELEASE() { mu_.unlock(); }
+  bool try_lock() TP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// For CondVar only — the analysis never sees the raw mutex.
+  std::mutex& native() TP_NO_THREAD_SAFETY_ANALYSIS { return mu_; }
+
+private:
+  std::mutex mu_;
+};
+
+/// Scoped lock over Mutex (the repo's std::lock_guard/unique_lock
+/// replacement). Supports early unlock()/relock for wait loops.
+class TP_SCOPED_CAPABILITY MutexLock {
+public:
+  explicit MutexLock(Mutex& mu) TP_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+    held_ = true;
+  }
+  ~MutexLock() TP_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() TP_RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+  void lock() TP_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+private:
+  Mutex& mu_;
+  bool held_ = false;
+};
+
+/// std::shared_mutex with the capability attribute (reader/writer).
+class TP_CAPABILITY("shared_mutex") SharedMutex {
+public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() TP_ACQUIRE() { mu_.lock(); }
+  void unlock() TP_RELEASE() { mu_.unlock(); }
+  void lock_shared() TP_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() TP_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+private:
+  std::shared_mutex mu_;
+};
+
+/// Exclusive (writer) scoped lock over SharedMutex.
+class TP_SCOPED_CAPABILITY SharedMutexLock {
+public:
+  explicit SharedMutexLock(SharedMutex& mu) TP_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~SharedMutexLock() TP_RELEASE() { mu_.unlock(); }
+  SharedMutexLock(const SharedMutexLock&) = delete;
+  SharedMutexLock& operator=(const SharedMutexLock&) = delete;
+
+private:
+  SharedMutex& mu_;
+};
+
+/// Shared (reader) scoped lock over SharedMutex.
+class TP_SCOPED_CAPABILITY SharedMutexLockShared {
+public:
+  explicit SharedMutexLockShared(SharedMutex& mu) TP_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~SharedMutexLockShared() TP_RELEASE() { mu_.unlock_shared(); }
+  SharedMutexLockShared(const SharedMutexLockShared&) = delete;
+  SharedMutexLockShared& operator=(const SharedMutexLockShared&) = delete;
+
+private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable over Mutex. Waits take the Mutex directly (callers
+/// hold it via MutexLock and pass the Mutex), so the analysis knows the
+/// capability is held across the wait. No predicate overloads on
+/// purpose: TSA analyzes lambda bodies as separate functions, which
+/// turns `cv.wait(lk, [&]{ return guardedField; })` into a guarded-field
+/// warning — write the explicit `while (!cond) cv.wait(mu);` loop
+/// instead.
+class CondVar {
+public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(Mutex& mu) TP_REQUIRES(mu) { waitImpl(mu); }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      TP_REQUIRES(mu) {
+    return waitUntilImpl(mu, deadline);
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& dur)
+      TP_REQUIRES(mu) {
+    return waitUntilImpl(mu, std::chrono::steady_clock::now() + dur);
+  }
+
+private:
+  // condition_variable_any unlocks/relocks the Mutex through its public
+  // lock()/unlock(); the capability is held again when the wait returns,
+  // which is exactly what TP_REQUIRES promises the caller. The internals
+  // run with analysis off so the transient release is not reported.
+  void waitImpl(Mutex& mu) TP_NO_THREAD_SAFETY_ANALYSIS { cv_.wait(mu); }
+
+  template <class Clock, class Duration>
+  std::cv_status waitUntilImpl(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      TP_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_until(mu, deadline);
+  }
+
+  std::condition_variable_any cv_;
+};
+
+}  // namespace tp::common

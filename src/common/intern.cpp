@@ -97,7 +97,7 @@ std::uint32_t PairInterner::internHashed(std::uint64_t hash,
       id != kInvalid) {
     return id;
   }
-  std::lock_guard<std::mutex> lock(insertMutex_);
+  MutexLock lock(insertMutex_);
   // Re-check under the lock: another thread may have interned it between
   // the lock-free miss above and our acquisition.
   if (const std::uint32_t id = findHashed(hash, first, head, tail, split);
@@ -105,7 +105,10 @@ std::uint32_t PairInterner::internHashed(std::uint64_t hash,
     return id;
   }
   const std::size_t n = size_.load(std::memory_order_relaxed);
-  if (n >= capacity_) return kInvalid;
+  if (n >= capacity_) {
+    fullRejections_.fetch_add(1, std::memory_order_relaxed);
+    return kInvalid;
+  }
   const auto id = static_cast<std::uint32_t>(n);
   Entry& entry = entries_[id];
   entry.first.assign(first);

@@ -19,9 +19,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "common/annotations.hpp"
 
 namespace tp::common {
 
@@ -36,10 +37,17 @@ public:
   explicit PairInterner(std::size_t capacity = 4096, char joiner = '/');
 
   /// Lock-free lookup; kInvalid when the pair was never interned.
-  std::uint32_t find(std::string_view first,
-                     std::string_view second) const noexcept;
+  std::uint32_t find(std::string_view first, std::string_view second)
+      const noexcept
+      TP_LOCK_FREE_AUDITED(
+          "open-addressing probe over release-published slots; entries are "
+          "immutable once their hash word is visible; TSan: "
+          "test_common InternerTest.ConcurrentInternAndFind");
   std::uint32_t find(std::string_view first, std::string_view secondHead,
-                     std::string_view secondTail) const noexcept;
+                     std::string_view secondTail) const noexcept
+      TP_LOCK_FREE_AUDITED(
+          "split-form probe, same publication contract as find(a, b); "
+          "TSan: test_common InternerTest.ConcurrentInternAndFind");
 
   /// Insert-or-get under a mutex; kInvalid when the table is full.
   std::uint32_t intern(std::string_view first, std::string_view second);
@@ -55,6 +63,14 @@ public:
     return size_.load(std::memory_order_acquire);
   }
   std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Number of intern() calls rejected because the table was full (each
+  /// such call degraded its caller to the uncached slow path). Monotonic;
+  /// a nonzero value usually means the configured capacity is undersized
+  /// for the traffic's pair variety.
+  std::uint64_t fullRejections() const noexcept {
+    return fullRejections_.load(std::memory_order_relaxed);
+  }
 
 private:
   struct Slot {
@@ -72,18 +88,26 @@ private:
               std::string_view tail, bool split) const noexcept;
   std::uint32_t findHashed(std::uint64_t hash, std::string_view first,
                            std::string_view head, std::string_view tail,
-                           bool split) const noexcept;
+                           bool split) const noexcept
+      TP_LOCK_FREE_AUDITED(
+          "reader half of the slot publication protocol: acquire-load of "
+          "the hash word orders the entry bytes; slots never removed; "
+          "TSan: test_common InternerTest.ConcurrentInternAndFind");
   std::uint32_t internHashed(std::uint64_t hash, std::string_view first,
                              std::string_view head, std::string_view tail,
-                             bool split);
+                             bool split) TP_EXCLUDES(insertMutex_);
 
   std::size_t capacity_;
   char joiner_;
   std::size_t mask_;  ///< table size - 1 (power of two)
+  // slots_/entries_ are written only under insertMutex_ but read lock-free
+  // (the audited probes above), so they carry no TP_GUARDED_BY — the
+  // publication protocol, not a capability, is their contract.
   std::unique_ptr<Slot[]> slots_;
   std::unique_ptr<Entry[]> entries_;  ///< indexed by id, set before publish
   std::atomic<std::size_t> size_{0};
-  std::mutex insertMutex_;
+  std::atomic<std::uint64_t> fullRejections_{0};
+  Mutex insertMutex_;
 };
 
 }  // namespace tp::common

@@ -2,13 +2,17 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/annotations.hpp"
 
 namespace tp::common {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
-std::mutex g_mutex;
+// Serializes stderr writes so interleaved log lines stay whole; guards no
+// data members (fprintf's stream lock handles the bytes, this keeps whole
+// messages atomic).
+Mutex g_mutex;
 }  // namespace
 
 void setLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
@@ -28,7 +32,7 @@ const char* logLevelName(LogLevel level) {
 }
 
 void logMessage(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[tp:%s] %s\n", logLevelName(level), message.c_str());
 }
 

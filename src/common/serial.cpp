@@ -69,13 +69,18 @@ std::string WireReader::str() {
   return std::string(reinterpret_cast<const char*>(p), n);
 }
 
+std::uint32_t WireReader::checkedCount(std::uint32_t n,
+                                       std::size_t minBytesPerElement) {
+  TP_REQUIRE(static_cast<std::size_t>(n) * minBytesPerElement <= remaining(),
+             "wire: truncated sequence (claims "
+                 << n << " elements of >= " << minBytesPerElement
+                 << " bytes, " << remaining() << " bytes left)");
+  return n;
+}
+
 std::vector<double> WireReader::doubles() {
-  const std::uint32_t n = u32();
   // Each element needs 8 bytes: reject absurd counts before reserving.
-  TP_REQUIRE(static_cast<std::size_t>(n) * 8 <= remaining(),
-             "wire: truncated double vector (claims " << n << " elements, "
-                                                      << remaining()
-                                                      << " bytes left)");
+  const std::uint32_t n = checkedCount(u32(), 8);
   std::vector<double> values;
   values.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) values.push_back(f64());

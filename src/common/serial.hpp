@@ -49,6 +49,13 @@ public:
   std::string str();
   std::vector<double> doubles();
 
+  /// Validate a decoded element count against the bytes actually left:
+  /// each of the `n` elements must need at least `minBytesPerElement`
+  /// more input, so a hostile length prefix fails here instead of
+  /// turning the following reserve() into an allocation bomb. Every
+  /// decode loop must size its reserve() through this (lint rule R3).
+  std::uint32_t checkedCount(std::uint32_t n, std::size_t minBytesPerElement);
+
   std::size_t remaining() const noexcept { return data_.size() - pos_; }
   bool atEnd() const noexcept { return pos_ == data_.size(); }
   /// Throws tp::Error unless every byte has been consumed.

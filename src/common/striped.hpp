@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
+
 namespace tp::common {
 
 inline constexpr std::size_t kCacheLineBytes = 64;
@@ -60,7 +62,11 @@ struct alignas(kCacheLineBytes) CachePadded {
 /// inside) and return the even value. Critical sections guarded this way
 /// must be short — claimants spin. Release with seqRelease(), which
 /// publishes the mutations and leaves the word even again.
-inline std::uint32_t seqClaim(std::atomic<std::uint32_t>& seq) noexcept {
+inline std::uint32_t seqClaim(std::atomic<std::uint32_t>& seq) noexcept
+    TP_LOCK_FREE_AUDITED(
+        "seqlock claim: CAS even->odd spin, acq_rel orders the critical "
+        "section; TSan: test_serve LatencyRecorder.SnapshotRacesWithWriters"
+        "Cleanly") {
   for (;;) {
     std::uint32_t s = seq.load(std::memory_order_relaxed);
     if ((s & 1u) == 0 &&
@@ -71,7 +77,11 @@ inline std::uint32_t seqClaim(std::atomic<std::uint32_t>& seq) noexcept {
 }
 
 inline void seqRelease(std::atomic<std::uint32_t>& seq,
-                       std::uint32_t claimed) noexcept {
+                       std::uint32_t claimed) noexcept
+    TP_LOCK_FREE_AUDITED(
+        "seqlock release: publishes the claimed section with a release "
+        "store; TSan: test_serve LatencyRecorder.SnapshotRacesWithWriters"
+        "Cleanly") {
   seq.store(claimed + 2, std::memory_order_release);
 }
 
@@ -82,7 +92,11 @@ public:
   explicit StripedCounter(std::size_t stripes = 0)
       : stripes_(stripes == 0 ? defaultStripes() : stripes) {}
 
-  void add(std::uint64_t n = 1) noexcept {
+  void add(std::uint64_t n = 1) noexcept
+      TP_LOCK_FREE_AUDITED(
+          "relaxed add on the caller's own stripe; monotonic counter, "
+          "per-field exact on read; TSan: test_serve "
+          "DecisionCacheContention.CountersAndCapacityStayConsistent") {
     stripes_[threadStripe(stripes_.size())].value.fetch_add(
         n, std::memory_order_relaxed);
   }

@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(std::size_t numThreads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -29,8 +29,8 @@ void ThreadPool::workerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) cv_.wait(mutex_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -38,7 +38,7 @@ void ThreadPool::workerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --active_;
       if (tasks_.empty() && active_ == 0) idleCv_.notify_all();
     }
@@ -47,7 +47,7 @@ void ThreadPool::workerLoop() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     TP_ASSERT(!stop_);
     tasks_.push(std::move(task));
   }
@@ -55,8 +55,8 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::waitIdle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idleCv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  MutexLock lock(mutex_);
+  while (!(tasks_.empty() && active_ == 0)) idleCv_.wait(mutex_);
 }
 
 void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
@@ -70,20 +70,26 @@ void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
     return;
   }
 
-  // Atomic chunk dispenser: workers grab [next, next+grain) slices.
+  // Atomic chunk dispenser: workers grab [next, next+grain) slices. The
+  // completion latch is a heap-shared state block so a worker finishing
+  // after parallelFor's frame would be gone (it never is — the wait below
+  // holds the frame — but the shared ownership makes that independent of
+  // scheduling) still touches live memory.
+  struct Latch {
+    Mutex mutex;
+    CondVar cv;
+    bool done TP_GUARDED_BY(mutex) = false;
+    std::exception_ptr error TP_GUARDED_BY(mutex);
+  };
   auto next = std::make_shared<std::atomic<std::size_t>>(begin);
   auto pending = std::make_shared<std::atomic<std::size_t>>(0);
-  auto firstError = std::make_shared<std::mutex>();
-  auto error = std::make_shared<std::exception_ptr>();
-  std::mutex doneMutex;
-  std::condition_variable doneCv;
-  bool done = false;
+  auto latch = std::make_shared<Latch>();
 
   const std::size_t numTasks =
       std::min(workers_.size(), (total + grain - 1) / grain);
   pending->store(numTasks);
 
-  auto body = [=, &doneMutex, &doneCv, &done] {
+  auto body = [=] {
     try {
       while (true) {
         const std::size_t lo = next->fetch_add(grain);
@@ -92,24 +98,26 @@ void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
         for (std::size_t i = lo; i < hi; ++i) fn(i);
       }
     } catch (...) {
-      std::lock_guard<std::mutex> lock(*firstError);
-      if (!*error) *error = std::current_exception();
+      MutexLock lock(latch->mutex);
+      if (!latch->error) latch->error = std::current_exception();
       // Drain the dispenser so other workers stop promptly.
       next->store(end);
     }
     if (pending->fetch_sub(1) == 1) {
-      std::lock_guard<std::mutex> lock(doneMutex);
-      done = true;
-      doneCv.notify_all();
+      MutexLock lock(latch->mutex);
+      latch->done = true;
+      latch->cv.notify_all();
     }
   };
 
   for (std::size_t t = 0; t < numTasks; ++t) submit(body);
+  std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(doneMutex);
-    doneCv.wait(lock, [&] { return done; });
+    MutexLock lock(latch->mutex);
+    while (!latch->done) latch->cv.wait(latch->mutex);
+    error = latch->error;
   }
-  if (*error) std::rethrow_exception(*error);
+  if (error) std::rethrow_exception(error);
 }
 
 ThreadPool& globalThreadPool() {

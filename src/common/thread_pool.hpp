@@ -8,13 +8,13 @@
 // suite and keeps behaviour easy to reason about.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.hpp"
 
 namespace tp::common {
 
@@ -45,12 +45,12 @@ private:
   void workerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable idleCv_;
-  std::size_t active_ = 0;
-  bool stop_ = false;
+  Mutex mutex_;
+  std::queue<std::function<void()>> tasks_ TP_GUARDED_BY(mutex_);
+  CondVar cv_;
+  CondVar idleCv_;
+  std::size_t active_ TP_GUARDED_BY(mutex_) = 0;
+  bool stop_ TP_GUARDED_BY(mutex_) = false;
 };
 
 /// Process-wide pool (lazily constructed, sized to hardware concurrency).

@@ -14,14 +14,14 @@
 // Tests and benchmarks drive runRound() manually (background = false)
 // for determinism; the background thread is for long-lived services.
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/annotations.hpp"
 
 namespace tp::fleet {
 
@@ -62,15 +62,18 @@ private:
   void loop();
 
   GossipConfig config_;
-  mutable std::mutex mutex_;  ///< guards participants_ + lifecycle state
-  std::mutex roundMutex_;     ///< held while a round invokes its fns
-  std::mutex stopMutex_;      ///< serializes start()/stop() callers
-  std::condition_variable stopCv_;
-  std::vector<std::pair<std::string, RoundFn>> participants_;
-  std::thread thread_;
-  bool running_ = false;
-  bool stopRequested_ = false;
-  std::uint64_t rounds_ = 0;
+  mutable common::Mutex mutex_;  ///< guards participants_ + lifecycle state
+  common::Mutex roundMutex_;     ///< held while a round invokes its fns
+  common::Mutex stopMutex_;      ///< serializes start()/stop() callers
+  common::CondVar stopCv_;
+  std::vector<std::pair<std::string, RoundFn>> participants_
+      TP_GUARDED_BY(mutex_);
+  /// Written by start(), joined by stop(); both hold stopMutex_, which is
+  /// what makes concurrent stoppers (and start-vs-stop) safe.
+  std::thread thread_ TP_GUARDED_BY(stopMutex_);
+  bool running_ TP_GUARDED_BY(mutex_) = false;
+  bool stopRequested_ TP_GUARDED_BY(mutex_) = false;
+  std::uint64_t rounds_ TP_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace tp::fleet

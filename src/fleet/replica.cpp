@@ -174,7 +174,7 @@ void Replica::publishWins() {
 Replica::FleetRetrain Replica::coordinateRetrain() {
   const std::size_t peers = transport_.nodes().size() - 1;
   {
-    std::lock_guard<std::mutex> lock(feedbackMutex_);
+    common::MutexLock lock(feedbackMutex_);
     pendingFeedback_.clear();
     collectingFeedback_ = true;
   }
@@ -186,10 +186,19 @@ Replica::FleetRetrain Replica::coordinateRetrain() {
 
   std::vector<runtime::FeatureDatabase> remote;
   {
-    std::unique_lock<std::mutex> lock(feedbackMutex_);
-    feedbackCv_.wait_for(
-        lock, std::chrono::duration<double>(config_.retrainWaitSeconds),
-        [&] { return pendingFeedback_.size() >= peers; });
+    common::MutexLock lock(feedbackMutex_);
+    // Explicit deadline loop instead of the predicate overload (analysis
+    // cannot see through the closure); semantics are identical: wake on
+    // quorum or give up at the deadline.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration<double>(config_.retrainWaitSeconds);
+    while (pendingFeedback_.size() < peers) {
+      if (feedbackCv_.wait_until(feedbackMutex_, deadline) ==
+          std::cv_status::timeout) {
+        break;
+      }
+    }
     collectingFeedback_ = false;
     remote = std::move(pendingFeedback_);
     pendingFeedback_.clear();
@@ -301,7 +310,7 @@ void Replica::handleFeedbackPull(const Envelope& envelope) {
 
 void Replica::handleFeedbackPush(const Envelope& envelope) {
   auto db = decodeFeedback(envelope.payload);
-  std::lock_guard<std::mutex> lock(feedbackMutex_);
+  common::MutexLock lock(feedbackMutex_);
   if (!collectingFeedback_) return;  // late reply from a previous pull
   pendingFeedback_.push_back(std::move(db));
   feedbackCv_.notify_all();

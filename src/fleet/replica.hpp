@@ -21,13 +21,13 @@
 // the caller's job (Fleet quiesces gossip before tearing replicas down).
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "common/annotations.hpp"
 
 #include "fleet/gossip.hpp"
 #include "fleet/snapshot.hpp"
@@ -121,10 +121,11 @@ private:
   std::atomic<std::size_t> skippedSinceBroadcast_{0};
 
   // Feedback fan-in for coordinateRetrain().
-  std::mutex feedbackMutex_;
-  std::condition_variable feedbackCv_;
-  bool collectingFeedback_ = false;
-  std::vector<runtime::FeatureDatabase> pendingFeedback_;
+  common::Mutex feedbackMutex_;
+  common::CondVar feedbackCv_;
+  bool collectingFeedback_ TP_GUARDED_BY(feedbackMutex_) = false;
+  std::vector<runtime::FeatureDatabase> pendingFeedback_
+      TP_GUARDED_BY(feedbackMutex_);
 
   struct Counters {
     std::atomic<std::uint64_t> winsSent{0};

@@ -72,7 +72,8 @@ ReplicaSnapshot decodeSnapshot(std::string_view bytes) {
              "snapshot: unsupported format version " << version);
   ReplicaSnapshot snapshot;
   snapshot.modelVersion = r.u64();
-  const std::uint32_t n = r.u32();
+  // Each blob carries two length-prefixed strings: >= 8 bytes of input.
+  const std::uint32_t n = r.checkedCount(r.u32(), 8);
   snapshot.models.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     ModelBlob blob;

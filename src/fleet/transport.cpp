@@ -3,18 +3,18 @@
 namespace tp::fleet {
 
 void LoopbackTransport::attach(const std::string& node, Handler handler) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   handlers_[node] = std::move(handler);
 }
 
 void LoopbackTransport::detach(const std::string& node) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   handlers_.erase(node);
 }
 
 std::vector<std::string> LoopbackTransport::nodes() const {
   std::vector<std::string> out;
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   out.reserve(handlers_.size());
   for (const auto& [node, handler] : handlers_) {
     (void)handler;
@@ -30,7 +30,7 @@ void LoopbackTransport::deliver(const std::string& to,
   // registry mutex would self-deadlock.
   Handler handler;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     const auto it = handlers_.find(to);
     if (it == handlers_.end()) {
       ++counters_.dropped;
@@ -49,7 +49,7 @@ void LoopbackTransport::send(const std::string& from, const std::string& to,
                              const Envelope& envelope) {
   (void)from;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     ++counters_.sent;
   }
   deliver(to, encodeEnvelope(envelope));
@@ -59,7 +59,7 @@ void LoopbackTransport::broadcast(const std::string& from,
                                   const Envelope& envelope) {
   std::vector<std::string> targets;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     ++counters_.broadcasts;
     for (const auto& [node, handler] : handlers_) {
       (void)handler;
@@ -71,7 +71,7 @@ void LoopbackTransport::broadcast(const std::string& from,
 }
 
 TransportCounters LoopbackTransport::counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return counters_;
 }
 

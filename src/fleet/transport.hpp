@@ -19,10 +19,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "fleet/wire.hpp"
 
 namespace tp::fleet {
@@ -75,9 +75,9 @@ public:
 private:
   void deliver(const std::string& to, const std::string& bytes);
 
-  mutable std::mutex mutex_;  ///< guards handlers_ + counters_
-  std::map<std::string, Handler> handlers_;
-  TransportCounters counters_;
+  mutable common::Mutex mutex_;  ///< guards handlers_ + counters_
+  std::map<std::string, Handler> handlers_ TP_GUARDED_BY(mutex_);
+  TransportCounters counters_ TP_GUARDED_BY(mutex_);
 };
 
 }  // namespace tp::fleet

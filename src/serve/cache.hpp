@@ -133,7 +133,11 @@ public:
   /// nullopt. Lock-free and allocation-free; sets the entry's CLOCK
   /// reference bit on a hit.
   std::optional<std::size_t> lookup(const common::Fingerprint& fp,
-                                    std::uint64_t version) noexcept;
+                                    std::uint64_t version) noexcept
+      TP_LOCK_FREE_AUDITED(
+          "seqlock reader: retries on a torn slot snapshot (odd or moved "
+          "sequence word); TSan: test_serve_cache "
+          "DecisionCacheDifferential.ConcurrentHitsUnderContentionStayExact");
 
   /// Insert or refresh. `key` must be the full key behind `fp` (stored
   /// for collision verification). Keys stamped with a stale model version
@@ -141,7 +145,12 @@ public:
   /// an insert racing a version sweep either carries the new version or
   /// is dropped/swept, never resurrected.
   void insert(const common::Fingerprint& fp, const DecisionKey& key,
-              std::size_t label);
+              std::size_t label)
+      TP_LOCK_FREE_AUDITED(
+          "seqlock writer: claims a slot by CAS-ing its sequence word odd, "
+          "releases even; racing same-key inserts carry equal labels; TSan: "
+          "test_serve_cache DecisionCacheDifferential."
+          "ConcurrentStreamWithVersionBumps");
 
   std::uint64_t version() const noexcept;
   /// Invalidate every cached decision of older generations: bump the

@@ -25,7 +25,7 @@ bool FeedbackRecorder::record(const runtime::Task& task,
                               const std::string& sizeLabel) {
   const DecisionKey key = dedupKey(task, machine.name);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     if (seen_.count(key) != 0) return false;
   }
   // The sweep simulates every partitioning — keep it outside the lock so
@@ -33,19 +33,19 @@ bool FeedbackRecorder::record(const runtime::Task& task,
   // duplicate of the same launch just loses the insert below.
   runtime::LaunchRecord rec =
       runtime::measureLaunch(task, machine, space, sizeLabel);
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (!seen_.insert(key).second) return false;
   db_.add(std::move(rec));
   return true;
 }
 
 std::size_t FeedbackRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return db_.size();
 }
 
 runtime::FeatureDatabase FeedbackRecorder::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return db_;
 }
 

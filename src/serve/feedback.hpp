@@ -12,10 +12,10 @@
 // through runtime::trainDeploymentModel().
 
 #include <cstddef>
-#include <mutex>
 #include <string>
 #include <unordered_set>
 
+#include "common/annotations.hpp"
 #include "runtime/database.hpp"
 #include "runtime/partitioning.hpp"
 #include "runtime/task.hpp"
@@ -50,9 +50,9 @@ private:
                        const std::string& machine) const;
 
   int roundDigits_;
-  mutable std::mutex mutex_;
-  runtime::FeatureDatabase db_;
-  std::unordered_set<DecisionKey, DecisionKeyHash> seen_;
+  mutable common::Mutex mutex_;
+  runtime::FeatureDatabase db_ TP_GUARDED_BY(mutex_);
+  std::unordered_set<DecisionKey, DecisionKeyHash> seen_ TP_GUARDED_BY(mutex_);
 };
 
 }  // namespace tp::serve

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <deque>
-#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -44,17 +43,21 @@ struct PartitionService::MachineState {
   sim::MachineConfig machine;
   runtime::PartitioningSpace space;
 
-  mutable std::shared_mutex modelMutex;
-  std::shared_ptr<const ml::Classifier> model;
-  std::uint64_t modelVersion = 0;  ///< cache generation this model serves
+  mutable common::SharedMutex modelMutex;
+  std::shared_ptr<const ml::Classifier> model TP_GUARDED_BY(modelMutex);
+  /// Cache generation this model serves.
+  std::uint64_t modelVersion TP_GUARDED_BY(modelMutex) = 0;
 
   // Request queue + lane occupancy, guarded by queueMutex. Each lane owns
   // a private context/scheduler so simulated clocks never interleave.
-  std::mutex queueMutex;
-  std::deque<PendingRequest> queue;
+  common::Mutex queueMutex;
+  std::deque<PendingRequest> queue TP_GUARDED_BY(queueMutex);
+  // laneContexts/lanes are built once in the constructor; a worker only
+  // touches lanes[l] while it owns laneBusy[l] (set under queueMutex), so
+  // the vectors themselves are immutable and carry no guard.
   std::vector<std::unique_ptr<vcl::Context>> laneContexts;
   std::vector<std::unique_ptr<runtime::Scheduler>> lanes;
-  std::vector<char> laneBusy;
+  std::vector<char> laneBusy TP_GUARDED_BY(queueMutex);
 
   // Inline execution lanes for cache hits served on caller threads.
   // Claimed with a single CAS, never a mutex; like the queue lanes, each
@@ -128,7 +131,7 @@ void PartitionService::addMachine(const sim::MachineConfig& machine,
   TP_REQUIRE(machine.numDevices() > 0,
              "PartitionService: machine " << machine.name << " has no devices");
   auto state = std::make_unique<MachineState>(machine, std::move(model), config_);
-  std::lock_guard<std::mutex> lock(machinesMutex_);
+  common::MutexLock lock(machinesMutex_);
   // The worker pool is sized to the registered lanes at the first
   // submit(), and the machine map is read lock-free afterwards; a machine
   // added later would be both under-provisioned and unsynchronized.
@@ -175,7 +178,7 @@ PartitionService::MachineState& PartitionService::state(
                "PartitionService: unknown machine '" << name << "'");
     return *ms;
   }
-  std::lock_guard<std::mutex> lock(machinesMutex_);
+  common::MutexLock lock(machinesMutex_);
   const auto it = machines_.find(name);
   TP_REQUIRE(it != machines_.end(),
              "PartitionService: unknown machine '" << name << "'");
@@ -197,8 +200,8 @@ DecisionKey PartitionService::fullKeyAt(const MachineState& ms,
 }
 
 common::ThreadPool& PartitionService::ensurePool() {
-  if (frozen_.load(std::memory_order_acquire)) return *pool_;
-  std::lock_guard<std::mutex> lock(machinesMutex_);
+  if (frozen_.load(std::memory_order_acquire)) return poolPostFreeze();
+  common::MutexLock lock(machinesMutex_);
   if (pool_ == nullptr) {
     std::size_t threads = config_.workerThreads;
     if (threads == 0) {
@@ -304,15 +307,18 @@ bool PartitionService::tryServeInline(MachineState& ms,
     throw;
   }
   lane->busy.store(0, std::memory_order_release);
-  if (config_.recordFeedback && feedback_ != nullptr &&
+  // Post-freeze path (checked on entry), so the recorder pointer is
+  // immutable and read through the audited accessor.
+  FeedbackRecorder* feedback = feedbackPostFreeze();
+  if (config_.recordFeedback && feedback != nullptr &&
       feedbackBackfill_.load(std::memory_order_relaxed)) {
     // Remote wins were merged into the cache at some point: this hit may
     // be a launch that never missed locally. Backfill through the
     // recorder's dedup so retrain() still sees it (see feedbackBackfill_).
-    feedback_->record(task, ms.machine, ms.space,
-                      request.sizeLabel.empty()
-                          ? "n=" + std::to_string(task.globalSize)
-                          : request.sizeLabel);
+    feedback->record(task, ms.machine, ms.space,
+                     request.sizeLabel.empty()
+                         ? "n=" + std::to_string(task.globalSize)
+                         : request.sizeLabel);
   }
   latency_.add(secondsSince(start_time));
   completed_.add();
@@ -365,7 +371,7 @@ std::future<LaunchResponse> PartitionService::enqueue(MachineState& ms,
   std::future<LaunchResponse> future = pending.promise.get_future();
 
   {
-    std::lock_guard<std::mutex> lock(ms.queueMutex);
+    common::MutexLock lock(ms.queueMutex);
     ms.queue.push_back(std::move(pending));
     // Wake one idle lane; busy lanes will drain the queue in batches.
     for (std::size_t l = 0; l < ms.laneBusy.size(); ++l) {
@@ -444,7 +450,7 @@ void PartitionService::workerLoop(MachineState& ms, std::size_t lane) {
   while (true) {
     std::vector<PendingRequest> batch;
     {
-      std::lock_guard<std::mutex> lock(ms.queueMutex);
+      common::MutexLock lock(ms.queueMutex);
       if (ms.queue.empty()) {
         ms.laneBusy[lane] = 0;
         return;
@@ -473,7 +479,7 @@ std::size_t PartitionService::predictWithModel(
     const MachineState& ms, const runtime::Task& task) const {
   const auto x =
       features::combinedFeatureVector(task.features, task.launchInfo());
-  std::shared_lock<std::shared_mutex> lock(ms.modelMutex);
+  common::SharedMutexLockShared lock(ms.modelMutex);
   const int label = ms.model->predict(x);
   TP_REQUIRE(label >= 0 && static_cast<std::size_t>(label) < ms.space.size(),
              "PartitionService: model for "
@@ -556,8 +562,10 @@ void PartitionService::process(MachineState& ms, std::size_t lane,
       // first missed — so the warm path never takes the feedback lock.
       // Exception: once remote wins were merged into the cache, hits may
       // be launches that never missed locally (see feedbackBackfill_).
-      feedback_->record(task, ms.machine, ms.space,
-                        pending.request.sizeLabel);
+      // Lane workers only run post-freeze, so the audited accessor is the
+      // right read.
+      feedbackPostFreeze()->record(task, ms.machine, ms.space,
+                                   pending.request.sizeLabel);
     }
     ok = true;
   } catch (...) {
@@ -579,20 +587,24 @@ std::size_t PartitionService::predictLabel(const std::string& machine,
 
 PartitionService::RetrainResult PartitionService::retrain() {
   RetrainResult result;
-  TP_REQUIRE(feedback_ != nullptr,
-             "PartitionService: retrain before any machine was added");
-  const runtime::FeatureDatabase db = feedback_->snapshot();
-  result.recordsUsed = db.size();
-
+  FeedbackRecorder* feedback = nullptr;
   std::vector<MachineState*> states;
   {
-    std::lock_guard<std::mutex> lock(machinesMutex_);
+    // feedback_ is written by addMachine() under machinesMutex_; read the
+    // pointer under the same lock (it is never reset once set, so using
+    // it after the unlock is safe).
+    common::MutexLock lock(machinesMutex_);
+    feedback = feedback_.get();
     states.reserve(machines_.size());
     for (const auto& [name, ms] : machines_) {
       (void)name;
       states.push_back(ms.get());
     }
   }
+  TP_REQUIRE(feedback != nullptr,
+             "PartitionService: retrain before any machine was added");
+  const runtime::FeatureDatabase db = feedback->snapshot();
+  result.recordsUsed = db.size();
   for (MachineState* ms : states) {
     if (db.forMachine(ms->machine.name).empty()) continue;
     // Train outside the model lock: serving continues on the old model
@@ -601,7 +613,7 @@ PartitionService::RetrainResult PartitionService::retrain() {
         db, ms->machine.name, config_.retrainSpec,
         runtime::FeatureSet::Combined, config_.retrainSeed);
     {
-      std::unique_lock<std::shared_mutex> lock(ms->modelMutex);
+      common::SharedMutexLock lock(ms->modelMutex);
       ms->model = std::move(model);
     }
     ++result.machinesRetrained;
@@ -614,7 +626,7 @@ PartitionService::RetrainResult PartitionService::retrain() {
   // Version plumbing: stamp every machine with the generation its model
   // now serves, so stats and the refiner's decay agree on "current".
   for (MachineState* ms : states) {
-    std::unique_lock<std::shared_mutex> lock(ms->modelMutex);
+    common::SharedMutexLock lock(ms->modelMutex);
     ms->modelVersion = result.modelVersion;
   }
   retrains_.fetch_add(1, std::memory_order_relaxed);
@@ -628,10 +640,10 @@ std::uint64_t PartitionService::modelVersion() const noexcept {
 std::vector<PartitionService::DeployedModel> PartitionService::deployedModels()
     const {
   std::vector<DeployedModel> out;
-  std::lock_guard<std::mutex> lock(machinesMutex_);
+  common::MutexLock lock(machinesMutex_);
   out.reserve(machines_.size());
   for (const auto& [name, ms] : machines_) {
-    std::shared_lock<std::shared_mutex> modelLock(ms->modelMutex);
+    common::SharedMutexLockShared modelLock(ms->modelMutex);
     out.push_back(DeployedModel{name, ms->model});
   }
   return out;
@@ -650,7 +662,7 @@ adapt::MergeResult PartitionService::mergeRemoteWins(
   {
     // Every machine spans the same space (enforced by addMachine), so
     // any registered one bounds the valid labels.
-    std::lock_guard<std::mutex> lock(machinesMutex_);
+    common::MutexLock lock(machinesMutex_);
     if (!machines_.empty()) spaceSize = machines_.begin()->second->space.size();
   }
   if (refiner_ == nullptr || spaceSize == 0) {
@@ -725,7 +737,7 @@ void PartitionService::installModels(const std::vector<ModelUpdate>& updates,
              "backward (" << version << " < " << cache_->version() << ")");
   std::vector<MachineState*> states;
   {
-    std::lock_guard<std::mutex> lock(machinesMutex_);
+    common::MutexLock lock(machinesMutex_);
     for (const ModelUpdate& update : updates) {
       TP_REQUIRE(update.model != nullptr,
                  "PartitionService: null model for machine "
@@ -734,7 +746,7 @@ void PartitionService::installModels(const std::vector<ModelUpdate>& updates,
       TP_REQUIRE(it != machines_.end(),
                  "PartitionService: installModels for unknown machine '"
                      << update.machine << "'");
-      std::unique_lock<std::shared_mutex> modelLock(it->second->modelMutex);
+      common::SharedMutexLock modelLock(it->second->modelMutex);
       it->second->model = update.model;
     }
     states.reserve(machines_.size());
@@ -756,15 +768,23 @@ void PartitionService::installModels(const std::vector<ModelUpdate>& updates,
     cache_->clear();
   }
   for (MachineState* ms : states) {
-    std::unique_lock<std::shared_mutex> lock(ms->modelMutex);
+    common::SharedMutexLock lock(ms->modelMutex);
     ms->modelVersion = current;
   }
 }
 
 runtime::FeatureDatabase PartitionService::trafficSnapshot() const {
-  TP_REQUIRE(feedback_ != nullptr,
+  FeedbackRecorder* feedback = nullptr;
+  {
+    // Racing a concurrent addMachine(): the recorder pointer is guarded
+    // by machinesMutex_ until the freeze, so read it under the lock (the
+    // pointee is internally synchronized and never destroyed before us).
+    common::MutexLock lock(machinesMutex_);
+    feedback = feedback_.get();
+  }
+  TP_REQUIRE(feedback != nullptr,
              "PartitionService: no feedback schema before addMachine()");
-  return feedback_->snapshot();
+  return feedback->snapshot();
 }
 
 void PartitionService::drain() {
@@ -782,7 +802,7 @@ void PartitionService::shutdown() {
   // any member they touch can be destroyed.
   common::ThreadPool* pool = nullptr;
   {
-    std::lock_guard<std::mutex> lock(machinesMutex_);
+    common::MutexLock lock(machinesMutex_);
     pool = pool_.get();
   }
   if (pool != nullptr) pool->waitIdle();
@@ -800,20 +820,26 @@ ServiceStats PartitionService::stats() const {
   s.cacheHitRate = s.cache.hitRate();
   s.modelVersion = cache_->version();
   s.retrains = retrains_.load(std::memory_order_relaxed);
-  s.feedbackRecords = feedback_ != nullptr ? feedback_->size() : 0;
   if (refiner_ != nullptr) {
     s.refiner = refiner_->counters();
     s.refinedKeys = refiner_->trackedKeys();
   }
   s.latency = latency_.summary();
 
-  std::lock_guard<std::mutex> lock(machinesMutex_);
+  // feedback_ is guarded by machinesMutex_ during registration — reading
+  // it outside the lock here raced a concurrent first addMachine() (the
+  // annotation pass surfaced this; the regression test hammers stats()
+  // against addMachine under TSan).
+  common::MutexLock lock(machinesMutex_);
+  s.feedbackRecords = feedback_ != nullptr ? feedback_->size() : 0;
+  s.internedPairs = interner_->size();
+  s.internRejections = interner_->fullRejections();
   for (const auto& [name, ms] : machines_) {
     (void)name;
     MachineStats m;
     m.machine = ms->machine.name;
     {
-      std::shared_lock<std::shared_mutex> modelLock(ms->modelMutex);
+      common::SharedMutexLockShared modelLock(ms->modelMutex);
       m.modelVersion = ms->modelVersion;
     }
     const MachineLoadStats::Snapshot load = ms->load.snapshot();
@@ -838,9 +864,13 @@ const runtime::PartitioningSpace& PartitionService::space(
 }
 
 void PartitionService::saveTraffic(const std::string& path) const {
-  TP_REQUIRE(feedback_ != nullptr,
-             "PartitionService: no traffic recorded yet");
-  feedback_->saveCsv(path);
+  FeedbackRecorder* feedback = nullptr;
+  {
+    common::MutexLock lock(machinesMutex_);
+    feedback = feedback_.get();
+  }
+  TP_REQUIRE(feedback != nullptr, "PartitionService: no traffic recorded yet");
+  feedback->saveCsv(path);
 }
 
 }  // namespace tp::serve

@@ -57,10 +57,10 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "adapt/refiner.hpp"
+#include "common/annotations.hpp"
 #include "common/intern.hpp"
 #include "common/striped.hpp"
 #include "common/thread_pool.hpp"
@@ -235,7 +235,30 @@ private:
 
   MachineState& state(const std::string& name) const;
   /// Lock-free machine lookup once the map is frozen; nullptr before.
-  MachineState* stateFast(const std::string& name) const noexcept;
+  /// Callers must have observed frozen_ == true (acquire).
+  MachineState* stateFast(const std::string& name) const noexcept
+      TP_LOCK_FREE_AUDITED(
+          "machines_ is immutable once frozen_ is published (release in "
+          "ensurePool, acquire here); TSan: test_serve "
+          "PartitionService.ConcurrentClientsGetConsistentDecisions");
+  /// The feedback recorder after the freeze: the pointer was written by
+  /// addMachine() under machinesMutex_ and published by the frozen_
+  /// release store; post-freeze readers need no lock.
+  FeedbackRecorder* feedbackPostFreeze() const noexcept
+      TP_LOCK_FREE_AUDITED(
+          "feedback_ is write-once before frozen_ is published; hot paths "
+          "only read it after an acquire of frozen_; TSan: test_serve "
+          "PartitionService.ConcurrentClientsGetConsistentDecisions") {
+    return feedback_.get();
+  }
+  /// The worker pool after the freeze (same publication contract).
+  common::ThreadPool& poolPostFreeze() const noexcept
+      TP_LOCK_FREE_AUDITED(
+          "pool_ is write-once before frozen_ is published; TSan: "
+          "test_serve PartitionService.RetrainUnderLiveTrafficDoesNot"
+          "Deadlock") {
+    return *pool_;
+  }
   /// The full decision key of a launch at an explicit generation — the
   /// one place the (machine, program, quantized signature) layout is
   /// materialized on serving paths.
@@ -274,11 +297,15 @@ private:
   ServiceConfig config_;
   std::unique_ptr<common::PairInterner> interner_;
   std::unique_ptr<DecisionCache> cache_;
-  std::unique_ptr<FeedbackRecorder> feedback_;  ///< set by first addMachine
-  std::unique_ptr<adapt::Refiner> refiner_;     ///< set when config_.refine
+  std::unique_ptr<adapt::Refiner> refiner_;  ///< set when config_.refine
 
-  mutable std::mutex machinesMutex_;  ///< guards machines_ map + pool_ init
-  std::map<std::string, std::unique_ptr<MachineState>> machines_;
+  /// Guards machines_, pool_ and feedback_ during registration; once
+  /// frozen_ is published all three are immutable and the audited
+  /// *PostFreeze()/stateFast() accessors read them lock-free.
+  mutable common::Mutex machinesMutex_;
+  std::map<std::string, std::unique_ptr<MachineState>> machines_
+      TP_GUARDED_BY(machinesMutex_);
+  std::unique_ptr<FeedbackRecorder> feedback_ TP_GUARDED_BY(machinesMutex_);
   /// Set (under machinesMutex_) when the pool spins up; from then on
   /// machines_ is immutable and read without the mutex.
   std::atomic<bool> frozen_{false};
@@ -303,7 +330,8 @@ private:
   std::atomic<std::uint64_t> retrains_{0};
   LatencyRecorder latency_;
 
-  std::unique_ptr<common::ThreadPool> pool_;  ///< created at first submit
+  /// Created at first submit (under machinesMutex_, published by frozen_).
+  std::unique_ptr<common::ThreadPool> pool_ TP_GUARDED_BY(machinesMutex_);
 };
 
 }  // namespace tp::serve

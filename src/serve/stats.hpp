@@ -42,7 +42,11 @@ public:
   explicit LatencyRecorder(std::size_t window = 8192,
                            std::size_t stripes = 0);  ///< 0 = auto
 
-  void add(double seconds);
+  void add(double seconds)
+      TP_LOCK_FREE_AUDITED(
+          "per-stripe seqlock: one CAS claim on the caller's own stripe, "
+          "release publish; TSan: test_serve "
+          "LatencyRecorder.SnapshotRacesWithWritersCleanly");
 
   struct Summary {
     std::uint64_t count = 0;
@@ -51,7 +55,11 @@ public:
     double p50Seconds = 0.0;  ///< over the pooled per-stripe windows
     double p95Seconds = 0.0;
   };
-  Summary summary() const;
+  Summary summary() const
+      TP_LOCK_FREE_AUDITED(
+          "claims each stripe's seqlock in turn for an atomic per-stripe "
+          "snapshot; TSan: test_serve "
+          "LatencyRecorder.SnapshotRacesWithWritersCleanly");
 
 private:
   struct alignas(common::kCacheLineBytes) Stripe {
@@ -141,6 +149,10 @@ struct ServiceStats {
   std::uint64_t modelVersion = 0;
   std::uint64_t retrains = 0;
   std::uint64_t feedbackRecords = 0;  ///< unique launches measured
+  std::uint64_t internedPairs = 0;  ///< distinct (machine, program) pairs
+  /// intern() calls rejected because the pair table was full; each one
+  /// served its launch through the uncached, unrefined model path.
+  std::uint64_t internRejections = 0;
   /// Online-refinement counters (all zero when refinement is disabled).
   adapt::RefinerCounters refiner;
   std::uint64_t refinedKeys = 0;  ///< launch signatures under refinement

@@ -10,9 +10,14 @@
 #include <sstream>
 #include <unordered_set>
 
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "common/csv.hpp"
 #include "common/error.hpp"
 #include "common/hash.hpp"
+#include "common/intern.hpp"
 #include "common/rng.hpp"
 #include "common/serial.hpp"
 #include "common/stats.hpp"
@@ -441,6 +446,169 @@ TEST(Serial, EncodingIsByteStable) {
   EXPECT_EQ(static_cast<unsigned char>(b[3]), 0x05);
   EXPECT_EQ(static_cast<unsigned char>(b[4]), 0x04);
   EXPECT_EQ(static_cast<unsigned char>(b[5]), 0x03);
+}
+
+TEST(Serial, CheckedCountRejectsHostileLengthPrefix) {
+  // A length prefix claiming more elements than the input has bytes must
+  // throw in checkedCount() — before any reserve() can turn it into a
+  // multi-gigabyte allocation (lint rule R3 pins every decode loop to
+  // this helper).
+  WireWriter w;
+  w.u32(0xFFFFFFFFu);  // claims ~4e9 elements...
+  w.u32(7);            // ...with 4 bytes of payload behind it
+  WireReader r(w.data());
+  const std::uint32_t claimed = r.u32();
+  EXPECT_THROW(r.checkedCount(claimed, 8), tp::Error);
+
+  // An honest count passes through unchanged.
+  WireWriter w2;
+  w2.u32(2);
+  w2.f64(1.0);
+  w2.f64(2.0);
+  WireReader r2(w2.data());
+  EXPECT_EQ(r2.checkedCount(r2.u32(), 8), 2u);
+}
+
+TEST(InternerTest, InternFindRoundTrip) {
+  PairInterner interner(16);
+  const std::uint32_t a = interner.intern("m0", "prog/kernel");
+  const std::uint32_t b = interner.intern("m1", "prog", "kernel");
+  ASSERT_NE(a, PairInterner::kInvalid);
+  ASSERT_NE(b, PairInterner::kInvalid);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.intern("m0", "prog/kernel"), a);  // idempotent
+  EXPECT_EQ(interner.find("m0", "prog/kernel"), a);
+  EXPECT_EQ(interner.find("m1", "prog", "kernel"), b);
+  EXPECT_EQ(interner.find("m1", "prog/kernel"), b);  // split == joined
+  EXPECT_EQ(interner.find("m2", "prog/kernel"), PairInterner::kInvalid);
+  EXPECT_EQ(interner.first(a), "m0");
+  EXPECT_EQ(interner.second(a), "prog/kernel");
+}
+
+TEST(InternerTest, ConcurrentInternAndFind) {
+  // Referenced by the TP_LOCK_FREE_AUDITED reasons on PairInterner's
+  // read path: under TSan this is the race test for the slot publication
+  // protocol. Writers intern disjoint pair sets while readers probe the
+  // full key space; a reader may race the publishing store, so the only
+  // legal outcomes are kInvalid (not yet visible) or the final id with
+  // fully readable strings.
+  PairInterner interner(512);
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 2;
+  constexpr int kPairsPerWriter = 128;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&interner, w] {
+      for (int i = 0; i < kPairsPerWriter; ++i) {
+        const std::string machine = "machine" + std::to_string(w);
+        const std::string program = "prog" + std::to_string(i) + "/k";
+        ASSERT_NE(interner.intern(machine, program), PairInterner::kInvalid);
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&interner, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int w = 0; w < kWriters; ++w) {
+          for (int i = 0; i < kPairsPerWriter; ++i) {
+            const std::string machine = "machine" + std::to_string(w);
+            const std::string head = "prog" + std::to_string(i);
+            const std::uint32_t id = interner.find(machine, head, "k");
+            if (id != PairInterner::kInvalid) {
+              ASSERT_EQ(interner.first(id), machine);
+              ASSERT_EQ(interner.second(id), head + "/k");
+            }
+          }
+        }
+      }
+    });
+  }
+  for (int t = 0; t < kWriters; ++t) threads[t].join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  // Every interned pair is findable once writers have quiesced.
+  EXPECT_EQ(interner.size(),
+            static_cast<std::size_t>(kWriters * kPairsPerWriter));
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kPairsPerWriter; ++i) {
+      const std::string machine = "machine" + std::to_string(w);
+      const std::string program = "prog" + std::to_string(i) + "/k";
+      EXPECT_NE(interner.find(machine, program), PairInterner::kInvalid);
+    }
+  }
+  EXPECT_EQ(interner.fullRejections(), 0u);
+}
+
+TEST(InternerTest, CapacityRejectionDegradesAndCounts) {
+  PairInterner interner(4);
+  std::vector<std::uint32_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(interner.intern("m", "p" + std::to_string(i)));
+    ASSERT_NE(ids.back(), PairInterner::kInvalid);
+  }
+  EXPECT_EQ(interner.size(), 4u);
+  EXPECT_EQ(interner.fullRejections(), 0u);
+
+  // New pairs are rejected and counted; each rejection degrades the
+  // caller to its uncached path but corrupts nothing.
+  EXPECT_EQ(interner.intern("m", "p4"), PairInterner::kInvalid);
+  EXPECT_EQ(interner.intern("m", "p5"), PairInterner::kInvalid);
+  EXPECT_EQ(interner.fullRejections(), 2u);
+  EXPECT_EQ(interner.size(), 4u);
+
+  // Existing pairs keep their fast path: re-intern is a hit, not a
+  // rejection, and lookups still resolve.
+  EXPECT_EQ(interner.intern("m", "p0"), ids[0]);
+  EXPECT_EQ(interner.fullRejections(), 2u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(interner.find("m", "p" + std::to_string(i)), ids[i]);
+  }
+  EXPECT_EQ(interner.find("m", "p4"), PairInterner::kInvalid);
+}
+
+TEST(InternerTest, ConcurrentReadersAtCapacity) {
+  // The degrade path under contention: the table is full, writers keep
+  // hammering intern() with fresh pairs (every call a counted
+  // rejection), and concurrent readers must keep resolving the resident
+  // pairs exactly — capacity pressure may slow new pairs down but can
+  // never corrupt published ones.
+  constexpr std::size_t kCapacity = 8;
+  PairInterner interner(kCapacity);
+  std::vector<std::uint32_t> ids;
+  for (std::size_t i = 0; i < kCapacity; ++i) {
+    ids.push_back(interner.intern("m", "resident" + std::to_string(i)));
+    ASSERT_NE(ids.back(), PairInterner::kInvalid);
+  }
+
+  constexpr int kAttemptsPerWriter = 200;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&interner, w] {
+      for (int i = 0; i < kAttemptsPerWriter; ++i) {
+        const std::string program =
+            "overflow" + std::to_string(w) + "_" + std::to_string(i);
+        ASSERT_EQ(interner.intern("m", program), PairInterner::kInvalid);
+      }
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&interner, &ids] {
+      for (int pass = 0; pass < 200; ++pass) {
+        for (std::size_t i = 0; i < kCapacity; ++i) {
+          ASSERT_EQ(interner.find("m", "resident" + std::to_string(i)),
+                    ids[i]);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(interner.size(), kCapacity);
+  EXPECT_EQ(interner.fullRejections(),
+            static_cast<std::uint64_t>(2 * kAttemptsPerWriter));
 }
 
 }  // namespace

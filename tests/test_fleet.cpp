@@ -299,6 +299,20 @@ TEST(SnapshotStore, KeepLastPrunesOldSnapshotsAfterSave) {
   std::filesystem::remove_all(unboundedDir);
 }
 
+TEST(SnapshotStore, HostileModelCountThrowsInsteadOfAllocating) {
+  // Regression: the model-blob count in the snapshot header went straight
+  // into models.reserve() unchecked (lint rule R3 caught it) — a corrupt
+  // or hostile count claimed ~4e9 blobs against a few bytes of payload.
+  ReplicaSnapshot snap;
+  snap.modelVersion = 1;
+  std::string bytes = encodeSnapshot(snap);
+  // Header layout: u32 magic + u16 format version + u64 model version,
+  // then the u32 model-blob count at offset 14.
+  ASSERT_GE(bytes.size(), 18u);
+  for (int i = 0; i < 4; ++i) bytes[14 + i] = static_cast<char>(0xff);
+  EXPECT_THROW(decodeSnapshot(bytes), Error);
+}
+
 TEST(SnapshotStore, RejectsCorruptBytes) {
   EXPECT_THROW(decodeSnapshot("garbage"), Error);
   ReplicaSnapshot snap;

@@ -691,6 +691,83 @@ TEST(PartitionService, RejectsUnknownMachineAndBadConfig) {
                Error);
 }
 
+TEST(PartitionService, StatsConcurrentWithAddMachineIsConsistent) {
+  // Regression: feedback_ (and the machine map) used to be read by
+  // stats()/trafficSnapshot() without machinesMutex_, racing the write in
+  // addMachine(). The thread-safety annotation pass surfaced it; under
+  // TSan this test is the watchdog. stats() must stay callable — and
+  // internally consistent — while registration is still in flight.
+  auto service = std::make_unique<PartitionService>();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> observers;
+  for (int i = 0; i < 2; ++i) {
+    observers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto s = service->stats();
+        ASSERT_LE(s.machines.size(), 2u);
+        ASSERT_EQ(s.requestsSubmitted, 0u);
+      }
+    });
+  }
+  for (const auto& machine : {sim::makeMc2(), sim::makeMc1()}) {
+    service->addMachine(machine, std::shared_ptr<const ml::Classifier>(
+                                     ml::makeClassifier("mostfreq")));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : observers) t.join();
+  EXPECT_EQ(service->stats().machines.size(), 2u);
+}
+
+TEST(PartitionService, InternTableOverflowDegradesToUncachedServing) {
+  ServiceConfig config;
+  config.internCapacity = 1;  // one (machine, program) pair, ever
+  ServiceFixture fx(config);
+
+  // A second machine whose (machine, program) pair cannot be interned.
+  const sim::MachineConfig other = sim::makeMc1();
+  const runtime::PartitioningSpace space(other.numDevices(),
+                                         config.divisions);
+  auto db = runtime::FeatureDatabase::withDefaultSchema(space.size());
+  for (auto& task : fx.tasks) {
+    db.add(runtime::measureLaunch(task, other, space, "sweep"));
+  }
+  fx.service->addMachine(other, std::shared_ptr<const ml::Classifier>(
+                                    runtime::trainDeploymentModel(
+                                        db, other.name, "tree")));
+  const auto requestOn = [&](const sim::MachineConfig& m, std::size_t t) {
+    LaunchRequest r;
+    r.machine = m.name;
+    r.task = fx.tasks[t % fx.tasks.size()];
+    return r;
+  };
+
+  // mc2 claims the single intern slot and keeps its full fast path:
+  // fingerprinted, cached, warm repeats hit.
+  const auto cold = fx.service->call(requestOn(fx.machine, 0));
+  EXPECT_EQ(cold.label,
+            fx.service->predictLabel(fx.machine.name, fx.tasks[0]));
+  EXPECT_TRUE(fx.service->call(requestOn(fx.machine, 0)).cacheHit);
+
+  // Every launch on the overflow machine serves uncached: never a cache
+  // hit (no fingerprint without a pair id), but the decision still equals
+  // the pure model prediction — capacity pressure degrades speed, never
+  // correctness.
+  constexpr int kRounds = 2;
+  for (int round = 0; round < kRounds; ++round) {
+    for (std::size_t t = 0; t < fx.tasks.size(); ++t) {
+      const auto r = fx.service->call(requestOn(other, t));
+      EXPECT_FALSE(r.cacheHit);
+      EXPECT_EQ(r.label, fx.service->predictLabel(other.name, fx.tasks[t]));
+    }
+  }
+
+  const auto stats = fx.service->stats();
+  EXPECT_EQ(stats.internedPairs, 1u);
+  EXPECT_GE(stats.internRejections,
+            static_cast<std::uint64_t>(kRounds * fx.tasks.size()));
+  EXPECT_EQ(stats.requestsFailed, 0u);
+}
+
 TEST(PartitionService, RefinementNeverWorseThanTheModelBaseline) {
   ServiceConfig config;
   config.refine = true;
