@@ -17,14 +17,18 @@
 //
 // Usage: fleet_scaling [--replicas N] [--waves W] [--requests R]
 //                      [--programs P] [--explore F] [--json PATH]
+//                      [--trace PATH] [--metrics PATH]
 //
 // With --json the headline numbers are written as a flat JSON object
 // (see scripts/bench.sh, which appends to the repo's perf trajectory as
-// BENCH_fleet.json).
+// BENCH_fleet.json). --trace captures a Chrome trace of the gossip
+// scenario; --metrics dumps the obs registry (per-replica namespaced
+// serve counters) after it.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -32,6 +36,8 @@
 #include "common/rng.hpp"
 #include "fleet/fleet.hpp"
 #include "harness_util.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/machine.hpp"
 #include "suite/benchmark.hpp"
 
@@ -50,6 +56,8 @@ struct Options {
   std::size_t sizesPerProgram = 2;
   double explore = 0.4;
   std::string jsonPath;
+  std::string tracePath;    ///< Chrome trace of the gossip scenario
+  std::string metricsPath;  ///< obs registry JSON dump after it
 };
 
 Options parseArgs(int argc, char** argv) {
@@ -75,11 +83,15 @@ Options parseArgs(int argc, char** argv) {
       opt.explore = std::strtod(value(), nullptr);
     } else if (arg == "--json") {
       opt.jsonPath = value();
+    } else if (arg == "--trace") {
+      opt.tracePath = value();
+    } else if (arg == "--metrics") {
+      opt.metricsPath = value();
     } else {
       std::fprintf(stderr,
                    "usage: fleet_scaling [--replicas N] [--waves W] "
                    "[--requests R] [--programs P] [--explore F] "
-                   "[--json PATH]\n");
+                   "[--json PATH] [--trace PATH] [--metrics PATH]\n");
       std::exit(2);
     }
   }
@@ -134,10 +146,14 @@ struct ScenarioResult {
 
 ScenarioResult runScenario(const Options& opt, const Workload& wl,
                            std::size_t replicas, bool gossip,
-                           std::size_t requestsPerWave) {
+                           std::size_t requestsPerWave,
+                           const std::string& metricsPath = "") {
   fleet::FleetConfig fc;
   fc.replicas = replicas;
   fc.gossipEnabled = gossip;
+  // The registry dump has to happen while the fleet is alive: each
+  // replica's service unregisters its readouts on destruction.
+  if (!metricsPath.empty()) fc.service.metrics = &obs::defaultRegistry();
   fc.service.refine = true;
   fc.service.lanesPerMachine = 2;
   fc.service.refiner.exploreFraction = opt.explore;
@@ -184,6 +200,11 @@ ScenarioResult runScenario(const Options& opt, const Workload& wl,
   }
   result.gossipBytes = stats.transport.bytesMoved;
   result.gossipMessages = stats.transport.delivered;
+  if (!metricsPath.empty()) {
+    std::ofstream out(metricsPath);
+    out << obs::defaultRegistry().exportJson() << "\n";
+    std::printf("metrics written to %s\n", metricsPath.c_str());
+  }
   return result;
 }
 
@@ -204,8 +225,16 @@ int main(int argc, char** argv) {
       runScenario(opt, wl, 1, /*gossip=*/false, perReplicaShare);
   const auto isolated =
       runScenario(opt, wl, opt.replicas, /*gossip=*/false, opt.requests);
-  const auto gossip =
-      runScenario(opt, wl, opt.replicas, /*gossip=*/true, opt.requests);
+  // Trace/metrics cover only the gossip scenario — the interesting one
+  // (serve + adapt + fleet layers all active).
+  if (!opt.tracePath.empty()) obs::traceRecorder().enable();
+  const auto gossip = runScenario(opt, wl, opt.replicas, /*gossip=*/true,
+                                  opt.requests, opt.metricsPath);
+  if (!opt.tracePath.empty()) {
+    obs::traceRecorder().disable();
+    obs::traceRecorder().writeChromeTraceFile(opt.tracePath);
+    std::printf("trace written to %s\n", opt.tracePath.c_str());
+  }
 
   bench::TablePrinter table(
       {"scenario", "probes/replica", "probes total", "wins", "adopted",

@@ -2,20 +2,24 @@
 // closed-loop multi-threaded load, cold (empty cache) vs. warm.
 //
 // Usage: serve_throughput [--requests N] [--threads T] [--programs P]
-//                         [--json PATH]
+//                         [--json PATH] [--trace PATH] [--metrics PATH]
 //
 // With --json the headline numbers are also written as a flat JSON object
 // (see scripts/bench.sh, which appends to the repo's perf trajectory as
-// BENCH_serve.json).
+// BENCH_serve.json). --trace captures a Chrome trace of both waves
+// (1-in-64 sampled warm hits); --metrics dumps the obs registry on exit.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/log.hpp"
 #include "harness_util.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/evaluation.hpp"
 #include "serve/service.hpp"
 #include "sim/machine.hpp"
@@ -30,6 +34,8 @@ struct Options {
   std::size_t threads = 8;
   std::size_t programs = 8;
   std::string jsonPath;
+  std::string tracePath;
+  std::string metricsPath;
 };
 
 Options parseArgs(int argc, char** argv) {
@@ -51,11 +57,15 @@ Options parseArgs(int argc, char** argv) {
       opt.programs = static_cast<std::size_t>(std::atoll(value()));
     } else if (arg == "--json") {
       opt.jsonPath = value();
+    } else if (arg == "--trace") {
+      opt.tracePath = value();
+    } else if (arg == "--metrics") {
+      opt.metricsPath = value();
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s'\nusage: serve_throughput "
                    "[--requests N] [--threads T] [--programs P] "
-                   "[--json PATH]\n",
+                   "[--json PATH] [--trace PATH] [--metrics PATH]\n",
                    arg.c_str());
       std::exit(2);
     }
@@ -76,10 +86,13 @@ int main(int argc, char** argv) {
   // shared with serve_scaling so both benches measure one traffic mix.
   auto [tasks, db] = bench::buildServeWorkload(opt.programs, machines, space);
 
+  if (!opt.tracePath.empty()) obs::traceRecorder().enable();
+
   serve::ServiceConfig config;
   config.cacheCapacity = 1024;
   config.lanesPerMachine = 2;
   config.recordFeedback = false;  // isolate the serving hot path
+  if (!opt.metricsPath.empty()) config.metrics = &obs::defaultRegistry();
   serve::PartitionService service(config);
   for (const auto& machine : machines) {
     service.addMachine(
@@ -152,6 +165,18 @@ int main(int argc, char** argv) {
     json.setInt("cache_evictions", warmStats.cache.evictions);
     bench::writeJson(opt.jsonPath, json);
     std::printf("\nwrote %s\n", opt.jsonPath.c_str());
+  }
+
+  if (!opt.tracePath.empty()) {
+    obs::traceRecorder().disable();
+    obs::traceRecorder().writeChromeTraceFile(opt.tracePath);
+    std::printf("trace written to %s\n", opt.tracePath.c_str());
+  }
+  if (!opt.metricsPath.empty()) {
+    // Dump before the service destructor unregisters its readouts.
+    std::ofstream out(opt.metricsPath);
+    out << obs::defaultRegistry().exportJson() << "\n";
+    std::printf("metrics written to %s\n", opt.metricsPath.c_str());
   }
   return 0;
 }

@@ -11,14 +11,31 @@
 //
 // Build & run:  ./build/examples/serve_traffic
 // Exits non-zero on any violated invariant (ctest smoke test).
+//
+// Observability flags (both optional; when either is given, a small
+// fleet segment runs after the waves so the output covers serve, adapt
+// and fleet spans):
+//   --trace <path>    enable tp::obs tracing (1-in-4 warm-hit sampling)
+//                     and write a Chrome trace-event JSON file on exit
+//   --metrics <path>  register service stats on obs::defaultRegistry()
+//                     and dump the JSON exposition on exit
+
+#include <unistd.h>
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "fleet/fleet.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/evaluation.hpp"
 #include "serve/service.hpp"
 #include "sim/machine.hpp"
@@ -44,8 +61,28 @@ void expect(bool ok, const std::string& what) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   common::setLogLevel(common::LogLevel::Warn);
+
+  std::string tracePath;
+  std::string metricsPath;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      tracePath = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metricsPath = argv[++i];
+    } else {
+      std::printf("usage: %s [--trace out.json] [--metrics out.json]\n",
+                  argv[0]);
+      return 2;
+    }
+  }
+
+  if (!tracePath.empty()) {
+    obs::TraceRecorder::Config tc;
+    tc.sampleEveryN = 4;  // keep warm-hit spans visible in a short run
+    obs::traceRecorder().enable(tc);
+  }
 
   const auto machines = sim::evaluationMachines();
   const runtime::PartitioningSpace space(machines[0].numDevices(), 10);
@@ -79,6 +116,9 @@ int main() {
   config.cacheCapacity = 256;
   config.lanesPerMachine = 2;
   config.retrainSpec = "forest:32";
+  if (!metricsPath.empty()) {
+    config.metrics = &obs::defaultRegistry();
+  }
   serve::PartitionService service(config);
   for (const auto& machine : machines) {
     service.addMachine(
@@ -184,6 +224,56 @@ int main() {
     }
     std::printf("\n");
     expect(m.requests > 0, "both machines saw traffic");
+  }
+
+  // ---- observability segment ----------------------------------------------
+  // Only with --trace/--metrics: run a small refine-enabled fleet so the
+  // emitted trace covers all three layers (serve.*, adapt.*, fleet.*),
+  // then dump the requested artifacts. The default ctest smoke run skips
+  // this block entirely.
+  if (!tracePath.empty() || !metricsPath.empty()) {
+    const std::string snapDir =
+        (std::filesystem::temp_directory_path() /
+         ("tp_serve_traffic_obs_" + std::to_string(::getpid())))
+            .string();
+    std::filesystem::remove_all(snapDir);
+    {
+      fleet::FleetConfig fc;
+      fc.replicas = 2;
+      fc.service = config;
+      fc.service.refine = true;  // exercises adapt.probe / adapt.win
+      fc.snapshotDir = snapDir;
+      fleet::Fleet fleet(fc);
+      for (const auto& machine : machines) {
+        fleet.addMachine(
+            machine, std::shared_ptr<const ml::Classifier>(
+                         runtime::trainDeploymentModel(db, machine.name,
+                                                       "forest:32")));
+      }
+      common::Rng rng(0xD15C0);
+      for (std::size_t r = 0; r < 200; ++r) {
+        serve::LaunchRequest request;
+        request.machine = machines[rng.below(machines.size())].name;
+        request.task = tasks[rng.below(tasks.size())];
+        (void)fleet.replica(r % 2).call(std::move(request));
+      }
+      fleet.gossipRound();
+      fleet.saveSnapshots();
+      fleet.replica(0).warmStart();  // fleet.snapshot_load span
+      fleet.drainAll();
+    }
+    std::filesystem::remove_all(snapDir);
+
+    if (!tracePath.empty()) {
+      obs::traceRecorder().disable();
+      obs::traceRecorder().writeChromeTraceFile(tracePath);
+      std::printf("\ntrace written to %s\n", tracePath.c_str());
+    }
+    if (!metricsPath.empty()) {
+      std::ofstream out(metricsPath);
+      out << obs::defaultRegistry().exportJson() << "\n";
+      std::printf("metrics written to %s\n", metricsPath.c_str());
+    }
   }
 
   service.shutdown();

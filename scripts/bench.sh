@@ -33,3 +33,53 @@ run_and_compare BENCH_serve.json ./build/bench/serve_throughput "$@"
 run_and_compare BENCH_serve_scaling.json ./build/bench/serve_scaling
 run_and_compare BENCH_adapt.json ./build/bench/adapt_convergence
 run_and_compare BENCH_fleet.json ./build/bench/fleet_scaling
+
+# ---- observability overhead (BENCH_obs.json) ------------------------------
+# Two builds of the same driver: the regular tree (tracing compiled in)
+# and build-obs-off (-DTP_TRACING=OFF). The contract is that obs-enabled
+# warm serving throughput stays within 5% of the compiled-out build.
+# The drivers run interleaved three times and each side's best run is
+# compared (scripts/bench_best.py) — machine load drifts between runs
+# by more than the overhead being measured. The gate is report-only
+# locally and fatal in CI (TP_OBS_GATE_FATAL=1).
+cmake -B build-obs-off -S . -DTP_TRACING=OFF
+cmake --build build-obs-off -j "$(nproc)" --target obs_overhead
+cmake --build build -j "$(nproc)" --target obs_overhead
+obs_tmp="$(mktemp -d)"
+for i in 1 2 3; do
+  ./build-obs-off/bench/obs_overhead --json "$obs_tmp/off_$i.json"
+  ./build/bench/obs_overhead --json "$obs_tmp/on_$i.json"
+done
+python3 scripts/bench_best.py --metric requests_per_sec_warm \
+  "$obs_tmp/off.json" "$obs_tmp"/off_?.json
+python3 scripts/bench_best.py --metric requests_per_sec_warm \
+  "$obs_tmp/on.json" "$obs_tmp"/on_?.json
+obs_off_rps="$(python3 -c "import json, sys
+print(json.load(open(sys.argv[1]))['requests_per_sec_warm'])" \
+  "$obs_tmp/off.json")"
+# Publish the best obs-enabled run (with the compiled-out reference
+# folded in) as the repo's BENCH_obs.json trajectory point.
+if [ -f BENCH_obs.json ]; then
+  python3 scripts/bench_compare.py BENCH_obs.json "$obs_tmp/on.json" \
+    || true
+fi
+python3 - "$obs_tmp/on.json" "$obs_off_rps" << 'EOF'
+import json, sys
+path, off_rps = sys.argv[1], float(sys.argv[2])
+doc = json.load(open(path))
+doc["requests_per_sec_compiled_out"] = off_rps
+doc["enabled_overhead_pct"] = (
+    100.0 * (off_rps - doc["requests_per_sec_warm"]) / off_rps)
+with open("BENCH_obs.json", "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+EOF
+if [ "${TP_OBS_GATE_FATAL:-0}" = "1" ]; then
+  python3 scripts/bench_compare.py "$obs_tmp/off.json" BENCH_obs.json \
+    --metric requests_per_sec_warm --fail-on requests_per_sec_warm:5
+else
+  python3 scripts/bench_compare.py "$obs_tmp/off.json" BENCH_obs.json \
+    --metric requests_per_sec_warm --fail-on requests_per_sec_warm:5 \
+    || true
+fi
+rm -rf "$obs_tmp"

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Pick the best of several BENCH_*.json runs by a headline metric.
+
+Usage: bench_best.py --metric NAME OUT.json IN1.json [IN2.json ...]
+
+Copies the input whose NAME value is highest to OUT.json. Used by the
+observability overhead gate: the compiled-out and obs-enabled drivers
+run interleaved several times, and each side's best run is compared —
+back-to-back single runs on a shared machine drift by more than the
+overhead being measured, while the per-side best over an interleaved
+set is stable.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--metric", required=True,
+                        help="numeric key to maximize")
+    parser.add_argument("out", help="destination JSON")
+    parser.add_argument("inputs", nargs="+", help="candidate run JSONs")
+    args = parser.parse_args()
+
+    best_path, best_value = None, None
+    for path in args.inputs:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            sys.exit(f"bench_best: cannot load '{path}': {e}")
+        value = doc.get(args.metric)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            sys.exit(f"bench_best: '{path}' has no numeric "
+                     f"'{args.metric}'")
+        if best_value is None or value > best_value:
+            best_path, best_value = path, value
+
+    shutil.copyfile(best_path, args.out)
+    print(f"bench_best: {args.out} <- {best_path} "
+          f"({args.metric}={best_value})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,12 @@ Rules (each with its own allowlist, see RULES below):
       TP_LOCK_FREE_AUDITED("..."), and its reason string must name the
       covering TSan test ("TSan:" tag) — no silent escapes from the
       analysis.
+  R8 sanctioned-monotonic-clock
+      std::chrono::steady_clock may be spelled only in obs/clock.hpp
+      (plus common/rng and bench mains, like R1). Everything else takes
+      timestamps through tp::obs::Clock / nowTicks(), so traces, latency
+      stats and timeouts all read one clock and tests can reason about a
+      single time source.
 
 Usage:
   python3 scripts/lint_invariants.py [--no-headers] [--json REPORT]
@@ -183,6 +189,14 @@ R1_PATTERNS = [
      "seed"),
 ]
 R1_ALLOW = ("src/common/rng.hpp", "src/common/rng.cpp", "bench/")
+
+R8_PATTERNS = [
+    (re.compile(r"std\s*::\s*chrono\s*::\s*steady_clock"),
+     "direct std::chrono::steady_clock; take time through tp::obs::Clock "
+     "(obs/clock.hpp), the one sanctioned monotonic-clock site"),
+]
+R8_ALLOW = ("src/obs/clock.hpp", "src/common/rng.hpp", "src/common/rng.cpp",
+            "bench/")
 
 R2_PATTERNS = [
     (re.compile(r"std\s*::\s*(mutex|shared_mutex|recursive_mutex|"
@@ -379,6 +393,7 @@ def run_lint(root, with_headers=True, compiler="c++"):
     files = list(iter_source_files(root))
     violations = []
     violations += check_pattern_rule("R1", R1_PATTERNS, R1_ALLOW, root, files)
+    violations += check_pattern_rule("R8", R8_PATTERNS, R8_ALLOW, root, files)
     violations += check_pattern_rule("R2", R2_PATTERNS, R2_ALLOW, root, files,
                                      scope=R2_SCOPE)
     violations += check_r3(root, files)

@@ -94,6 +94,32 @@ class LintRuleTests(unittest.TestCase):
               "int x = 1;\n")
         self.assertEqual(self.lint(), [])
 
+    # -- R8 ---------------------------------------------------------------
+
+    def test_r8_steady_clock_in_src(self):
+        write(self.root, "src/serve/bad.cpp",
+              "#include <chrono>\n"
+              "auto now() { return std::chrono::steady_clock::now(); }\n")
+        self.assertOnlyRule(self.lint(), "R8", "src/serve/bad.cpp")
+
+    def test_r8_allows_obs_clock(self):
+        write(self.root, "src/obs/clock.hpp",
+              "#include <chrono>\n"
+              "namespace tp::obs { using Clock = std::chrono::steady_clock; }\n")
+        self.assertEqual(self.lint(), [])
+
+    def test_r8_allows_bench(self):
+        write(self.root, "bench/timer.cpp",
+              "#include <chrono>\n"
+              "auto t0() { return std::chrono::steady_clock::now(); }\n")
+        self.assertEqual(self.lint(), [])
+
+    def test_r8_ignores_comments(self):
+        write(self.root, "src/serve/ok.cpp",
+              "// obs::Clock wraps std::chrono::steady_clock\n"
+              "int x = 1;\n")
+        self.assertEqual(self.lint(), [])
+
     # -- R2 ---------------------------------------------------------------
 
     def test_r2_naked_mutex(self):

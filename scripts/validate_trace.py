@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file emitted by tp::obs.
+
+Checks the structural contract that chrome://tracing / Perfetto rely on,
+plus the invariants our writer promises:
+
+  - top-level object with "traceEvents" (list), "displayTimeUnit" and
+    "otherData.dropped_events" (non-negative int)
+  - every event has name / ph / ts / pid / tid / args.arg, with
+    ph == "X" (complete, needs dur >= 0) or ph == "i" (instant, s == "t")
+  - timestamps are non-negative and globally sorted (the writer merges
+    per-thread rings and sorts before emitting)
+  - per tid, complete spans nest properly: RAII scopes can contain or
+    follow each other but never partially overlap
+  - with --require-prefix (repeatable), at least one event name must
+    start with each given prefix — used by ctest to prove a serve_traffic
+    trace actually covers the serve/adapt/fleet layers
+
+Usage: validate_trace.py trace.json [--require-prefix serve.] ...
+Exits non-zero with a diagnostic on the first violated contract.
+"""
+
+import argparse
+import json
+import sys
+
+VALID_PH = {"X", "i"}
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_event(i, ev):
+    for key in ("name", "ph", "ts", "pid", "tid", "args"):
+        if key not in ev:
+            fail(f"event {i} missing key '{key}': {ev}")
+    if not isinstance(ev["name"], str) or not ev["name"]:
+        fail(f"event {i} has empty/non-string name")
+    if ev["ph"] not in VALID_PH:
+        fail(f"event {i} has unexpected ph '{ev['ph']}'")
+    if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+        fail(f"event {i} has bad ts {ev['ts']!r}")
+    if not isinstance(ev["tid"], int):
+        fail(f"event {i} has non-integer tid {ev['tid']!r}")
+    if "arg" not in ev["args"]:
+        fail(f"event {i} args missing 'arg'")
+    if ev["ph"] == "X":
+        if "dur" not in ev or not isinstance(ev["dur"], (int, float)):
+            fail(f"complete event {i} ('{ev['name']}') missing dur")
+        if ev["dur"] < 0:
+            fail(f"complete event {i} ('{ev['name']}') has negative dur")
+    else:
+        if ev.get("s") != "t":
+            fail(f"instant event {i} ('{ev['name']}') missing s:\"t\"")
+
+
+def check_nesting(events):
+    """Complete spans on one thread come from RAII scopes: when sorted by
+    (ts, -dur) they must form a forest (contained or disjoint, never
+    partially overlapping)."""
+    by_tid = {}
+    for ev in events:
+        if ev["ph"] == "X":
+            by_tid.setdefault(ev["tid"], []).append(ev)
+    eps = 0.0005  # half the writer's 1ns resolution, absorbs rounding ties
+    for tid, spans in by_tid.items():
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []  # (end_ts, name) of open ancestors
+        for ev in spans:
+            begin, end = ev["ts"], ev["ts"] + ev["dur"]
+            while stack and begin >= stack[-1][0] - eps:
+                stack.pop()
+            if stack and end > stack[-1][0] + eps:
+                fail(f"tid {tid}: span '{ev['name']}' "
+                     f"[{begin}, {end}] partially overlaps enclosing "
+                     f"'{stack[-1][1]}' ending at {stack[-1][0]}")
+            stack.append((end, ev["name"]))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--require-prefix", action="append", default=[],
+                        metavar="PREFIX",
+                        help="require at least one event name with this "
+                             "prefix (repeatable)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load '{args.trace}': {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("'traceEvents' must be a list")
+    if "displayTimeUnit" not in doc:
+        fail("missing 'displayTimeUnit'")
+    dropped = doc.get("otherData", {}).get("dropped_events")
+    if not isinstance(dropped, int) or dropped < 0:
+        fail(f"otherData.dropped_events missing or bad: {dropped!r}")
+
+    for i, ev in enumerate(events):
+        check_event(i, ev)
+
+    for i in range(1, len(events)):
+        if events[i]["ts"] < events[i - 1]["ts"]:
+            fail(f"events not sorted by ts at index {i}: "
+                 f"{events[i - 1]['ts']} then {events[i]['ts']}")
+
+    check_nesting(events)
+
+    names = {ev["name"] for ev in events}
+    for prefix in args.require_prefix:
+        if not any(n.startswith(prefix) for n in names):
+            fail(f"no event name starts with required prefix '{prefix}' "
+                 f"(saw: {', '.join(sorted(names)) or '<none>'})")
+
+    print(f"validate_trace: OK: {len(events)} events, "
+          f"{len({e['tid'] for e in events})} threads, "
+          f"{dropped} dropped"
+          + (f", prefixes {args.require_prefix}" if args.require_prefix
+             else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/hash.hpp"
 #include "common/rng.hpp"
+#include "obs/trace.hpp"
 
 namespace tp::adapt {
 
@@ -232,6 +233,9 @@ RefineDecision Refiner::decide(const common::Fingerprint& fp,
     decision.label = entry.arms[probe].label;
     decision.explore = true;
     ++shard.counters.explorations;
+    // Probes are rare by construction (exploreFraction of warm traffic),
+    // so an unsampled instant never shows up on the fast path.
+    TP_TRACE_INSTANT("adapt.probe", decision.label);
   } else {
     decision.label = best.label;
     ++shard.counters.exploitations;
@@ -291,6 +295,7 @@ Observation Refiner::observe(const common::Fingerprint& fp,
   if (electIncumbent(entry)) {
     ++shard.counters.wins;
     obs.improved = true;
+    TP_TRACE_INSTANT("adapt.win", entry.arms[entry.incumbent].label);
     recenter(entry, space);
   }
   obs.bestLabel = entry.arms[entry.incumbent].label;
@@ -327,6 +332,7 @@ std::vector<WinRecord> Refiner::exportWins(bool refinedOnly) const {
 
 MergeResult Refiner::mergeWins(const std::vector<WinRecord>& wins,
                                std::uint64_t currentVersion) {
+  TP_TRACE_SPAN_ARG("adapt.merge_wins", wins.size());
   MergeResult result;
   for (const WinRecord& rec : wins) {
     if (rec.modelVersion != currentVersion) {

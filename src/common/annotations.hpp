@@ -207,7 +207,7 @@ public:
   std::cv_status wait_for(Mutex& mu,
                           const std::chrono::duration<Rep, Period>& dur)
       TP_REQUIRES(mu) {
-    return waitUntilImpl(mu, std::chrono::steady_clock::now() + dur);
+    return waitForImpl(mu, dur);
   }
 
 private:
@@ -222,6 +222,13 @@ private:
       Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
       TP_NO_THREAD_SAFETY_ANALYSIS {
     return cv_.wait_until(mu, deadline);
+  }
+
+  template <class Rep, class Period>
+  std::cv_status waitForImpl(Mutex& mu,
+                             const std::chrono::duration<Rep, Period>& dur)
+      TP_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_for(mu, dur);
   }
 
   std::condition_variable_any cv_;

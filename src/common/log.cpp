@@ -2,17 +2,24 @@
 
 #include <atomic>
 #include <cstdio>
+#include <deque>
 
 #include "common/annotations.hpp"
 
 namespace tp::common {
 
+namespace detail {
+Mutex logSinkMutex;
+}  // namespace detail
+
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
-// Serializes stderr writes so interleaved log lines stay whole; guards no
-// data members (fprintf's stream lock handles the bytes, this keeps whole
-// messages atomic).
-Mutex g_mutex;
+// The recent-events tap: a bounded ring of the latest records, included
+// in the obs metrics dump. Guarded by the sink mutex along with the
+// stderr stream (one lock, one critical section per record).
+std::size_t g_captureCapacity TP_GUARDED_BY(detail::logSinkMutex) = 256;
+std::uint64_t g_nextSeq TP_GUARDED_BY(detail::logSinkMutex) = 0;
+std::deque<LogRecord> g_recent TP_GUARDED_BY(detail::logSinkMutex);
 }  // namespace
 
 void setLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
@@ -32,8 +39,23 @@ const char* logLevelName(LogLevel level) {
 }
 
 void logMessage(LogLevel level, const std::string& message) {
-  MutexLock lock(g_mutex);
+  MutexLock lock(detail::logSinkMutex);
   std::fprintf(stderr, "[tp:%s] %s\n", logLevelName(level), message.c_str());
+  const std::uint64_t seq = g_nextSeq++;
+  if (g_captureCapacity == 0) return;
+  g_recent.push_back(LogRecord{level, seq, message});
+  while (g_recent.size() > g_captureCapacity) g_recent.pop_front();
+}
+
+void setLogCaptureCapacity(std::size_t capacity) {
+  MutexLock lock(detail::logSinkMutex);
+  g_captureCapacity = capacity;
+  while (g_recent.size() > g_captureCapacity) g_recent.pop_front();
+}
+
+std::vector<LogRecord> recentLogRecords() {
+  MutexLock lock(detail::logSinkMutex);
+  return std::vector<LogRecord>(g_recent.begin(), g_recent.end());
 }
 
 }  // namespace tp::common

@@ -1,23 +1,57 @@
 #pragma once
 
-// Minimal leveled logger. Thread-safe, writes to stderr.
+// Minimal leveled logger. Thread-safe, writes to stderr and retains a
+// bounded ring of recent records for the obs exposition (the tp::obs
+// registry includes recentLogRecords() in its JSON dump, so a metrics
+// snapshot carries the log context that led up to it).
 // Level is process-global; benchmarks lower it to Warn to keep output clean.
 
+#include <cstdint>
 #include <sstream>
 #include <string>
+#include <vector>
+
+#include "common/annotations.hpp"
 
 namespace tp::common {
 
 enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, ErrorLevel = 4, Off = 5 };
+
+namespace detail {
+/// The sink lock: serializes stderr writes (whole-message atomicity) and
+/// guards the recent-events ring. Exposed only so the sink entry points
+/// can carry TP_EXCLUDES — under the clang TSA build, code that logs
+/// while holding it (i.e. logs from inside the sink) fails to compile.
+extern Mutex logSinkMutex;
+}  // namespace detail
 
 /// Set the global log threshold; messages below it are dropped.
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
 
 /// Emit one log record (used by the TP_LOG macro; callable directly too).
-void logMessage(LogLevel level, const std::string& message);
+void logMessage(LogLevel level, const std::string& message)
+    TP_EXCLUDES(detail::logSinkMutex);
 
 const char* logLevelName(LogLevel level);
+
+/// One retained record of the recent-events ring. `seq` increases
+/// monotonically across the process (a monotonic sequence, not a
+/// timestamp: common sits below obs/clock.hpp, and the obs dump pairs
+/// the tap with trace timestamps anyway).
+struct LogRecord {
+  LogLevel level = LogLevel::Info;
+  std::uint64_t seq = 0;
+  std::string message;
+};
+
+/// Resize the recent-events ring (default 256 records; 0 disables
+/// capture and drops the retained records).
+void setLogCaptureCapacity(std::size_t capacity)
+    TP_EXCLUDES(detail::logSinkMutex);
+
+/// Oldest-first copy of the retained recent records.
+std::vector<LogRecord> recentLogRecords() TP_EXCLUDES(detail::logSinkMutex);
 
 }  // namespace tp::common
 

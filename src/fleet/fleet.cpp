@@ -16,6 +16,12 @@ Fleet::Fleet(FleetConfig config)
     // the same arms in lockstep, and gossip could never save a probe.
     rc.service.refiner.seed =
         config_.service.refiner.seed + 0x9E3779B9ull * r;
+    if (config_.service.metrics != nullptr) {
+      // One registry, many replicas: namespace each service's entries by
+      // replica id so readouts never collide (and removeByPrefix in one
+      // replica's destructor cannot unhook a sibling's).
+      rc.service.metricsPrefix = rc.id + "." + config_.service.metricsPrefix;
+    }
     if (!config_.snapshotDir.empty()) {
       rc.snapshotDir = config_.snapshotDir + "/" + rc.id;
     }

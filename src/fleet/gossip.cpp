@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "common/error.hpp"
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
 
 namespace tp::fleet {
 
@@ -46,6 +48,7 @@ std::size_t GossipBus::runRound() {
   // (replica teardown) from other threads. roundMutex_ is what leave()
   // waits on to drain an in-flight round.
   common::MutexLock round(roundMutex_);
+  TP_TRACE_SPAN("fleet.gossip_round");
   std::vector<RoundFn> fns;
   {
     common::MutexLock lock(mutex_);
@@ -98,7 +101,7 @@ void GossipBus::loop() {
       // Explicit wait loop (not a predicate overload): the analysis
       // treats lambda bodies as separate functions, so a predicate
       // closure reading stopRequested_ could not prove it holds mutex_.
-      const auto deadline = std::chrono::steady_clock::now() + interval;
+      const auto deadline = obs::Clock::now() + interval;
       while (!stopRequested_) {
         if (stopCv_.wait_until(mutex_, deadline) == std::cv_status::timeout) {
           break;

@@ -7,6 +7,8 @@
 #include "common/error.hpp"
 #include "common/hash.hpp"
 #include "common/log.hpp"
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
 #include "runtime/evaluation.hpp"
 
 namespace tp::fleet {
@@ -88,6 +90,7 @@ bool Replica::warmStart() {
   if (!store_.has_value()) return false;
   const auto snapshot = store_->loadLatest();
   if (!snapshot.has_value()) return false;
+  TP_TRACE_SPAN_ARG("fleet.snapshot_load", snapshot->wins.size());
 
   std::vector<serve::PartitionService::ModelUpdate> updates;
   updates.reserve(snapshot->models.size());
@@ -114,6 +117,7 @@ bool Replica::warmStart() {
 }
 
 std::uint64_t Replica::saveSnapshot() {
+  TP_TRACE_SPAN("fleet.snapshot_save");
   TP_REQUIRE(store_.has_value(),
              "Replica " << config_.id << ": no snapshotDir configured");
   // Models, generation and refiner state are read in separate calls; a
@@ -138,6 +142,7 @@ std::uint64_t Replica::saveSnapshot() {
 }
 
 void Replica::publishWins() {
+  TP_TRACE_SPAN("fleet.gossip_publish");
   // Full-state anti-entropy, not a refined-only delta: the measured
   // evidence for *unrefined* neighborhoods is worth as much as the wins
   // (a peer that merges it stops probing those arms), and re-offering
@@ -172,6 +177,7 @@ void Replica::publishWins() {
 }
 
 Replica::FleetRetrain Replica::coordinateRetrain() {
+  TP_TRACE_SPAN("fleet.coordinate_retrain");
   const std::size_t peers = transport_.nodes().size() - 1;
   {
     common::MutexLock lock(feedbackMutex_);
@@ -191,7 +197,7 @@ Replica::FleetRetrain Replica::coordinateRetrain() {
     // cannot see through the closure); semantics are identical: wake on
     // quorum or give up at the deadline.
     const auto deadline =
-        std::chrono::steady_clock::now() +
+        obs::Clock::now() +
         std::chrono::duration<double>(config_.retrainWaitSeconds);
     while (pendingFeedback_.size() < peers) {
       if (feedbackCv_.wait_until(feedbackMutex_, deadline) ==
@@ -290,6 +296,7 @@ void Replica::handle(const Envelope& envelope) {
 }
 
 void Replica::handleWins(const Envelope& envelope) {
+  TP_TRACE_SPAN_ARG("fleet.gossip_merge", envelope.payload.size());
   const auto wins = decodeWins(envelope.payload);
   const adapt::MergeResult result = service_->mergeRemoteWins(wins);
   counters_.winsReceived += wins.size();
@@ -317,6 +324,7 @@ void Replica::handleFeedbackPush(const Envelope& envelope) {
 }
 
 void Replica::applyModelInstall(const ModelInstallMsg& msg) {
+  TP_TRACE_SPAN_ARG("fleet.model_install", msg.modelVersion);
   std::vector<serve::PartitionService::ModelUpdate> updates;
   updates.reserve(msg.models.size());
   for (const ModelBlob& blob : msg.models) {

@@ -1,0 +1,50 @@
+#pragma once
+
+// The single sanctioned monotonic clock for the whole tree.
+//
+// Every steady-clock read outside common/rng and bench mains goes
+// through these helpers (lint rule R8 enforces the textual invariant:
+// `std::chrono::steady_clock` may only be spelled here). Centralizing
+// the clock keeps trace timestamps, latency accounting, and gossip
+// deadlines on one timebase, and gives a future simulated/virtual clock
+// exactly one seam to replace.
+//
+// Ticks are nanoseconds since the steady clock's (arbitrary) epoch —
+// monotonic within a process, meaningless across processes.
+
+#include <chrono>
+#include <cstdint>
+
+namespace tp::obs {
+
+using Clock = std::chrono::steady_clock;
+
+/// Monotonic nanoseconds-since-epoch, the trace recorder's event unit.
+inline std::uint64_t nowTicks() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+/// Chrome trace-event timestamps are microseconds (fractional ok).
+inline double ticksToMicros(std::uint64_t ticks) noexcept {
+  return static_cast<double>(ticks) / 1000.0;
+}
+
+inline double ticksToSeconds(std::uint64_t ticks) noexcept {
+  return static_cast<double>(ticks) * 1e-9;
+}
+
+/// Elapsed seconds between two nowTicks() reads.
+inline double secondsBetween(std::uint64_t beginTicks,
+                             std::uint64_t endTicks) noexcept {
+  return ticksToSeconds(endTicks - beginTicks);
+}
+
+/// Elapsed seconds since a Clock::time_point (latency accounting).
+inline double secondsSince(Clock::time_point start) noexcept {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace tp::obs

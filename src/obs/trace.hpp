@@ -1,0 +1,233 @@
+#pragma once
+
+// tp::obs trace recorder: per-thread lock-free span/instant capture,
+// drained into Chrome trace-event JSON (chrome://tracing / Perfetto).
+//
+// Recording discipline (the same seqlock pattern as LatencyRecorder and
+// common/striped): each recording thread owns a private fixed-size ring
+// of POD TraceEvents, guarded by a per-buffer sequence word. A writer
+// claims its OWN buffer with one CAS — uncontended except against a
+// concurrent snapshot() drain — writes one slot, and releases. No mutex,
+// no allocation on the record path (the ring is preallocated when a
+// thread records its first event of a session).
+//
+// Cost model, enforced by bench/obs_overhead (BENCH_obs.json):
+//   - compiled out (TP_TRACING=OFF): the macros expand to nothing;
+//   - runtime-disabled: one relaxed load + branch per macro site;
+//   - enabled, SAMPLED spans: 1-in-N threads-local sampling keeps the
+//     warm serving path allocation- and lock-free (CI gates warm
+//     throughput with sampled tracing to within 5% of compiled-out).
+//
+// Events carry begin/end ticks from the single sanctioned monotonic
+// clock (obs/clock.hpp), an interned name id, the recording thread's
+// ordinal, and one u64 argument. Ring overflow overwrites the oldest
+// event and counts the drop exactly (trace ring wraparound test).
+
+#ifndef TP_OBS_TRACING
+#define TP_OBS_TRACING 1
+#endif
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "obs/clock.hpp"
+
+namespace tp::obs {
+
+/// One POD ring slot. end == 0 marks an instant event (spans never
+/// record a zero end: nowTicks() is never 0 on a running clock).
+struct TraceEvent {
+  std::uint64_t begin = 0;  ///< nowTicks() at open (or the instant time)
+  std::uint64_t end = 0;    ///< nowTicks() at close; 0 = instant
+  std::uint32_t nameId = 0;
+  std::uint32_t tid = 0;  ///< common::threadOrdinal() of the recorder
+  std::uint64_t arg = 0;
+};
+
+class TraceRecorder {
+public:
+  struct Config {
+    std::size_t ringCapacity = 1 << 14;  ///< events retained per thread
+    std::uint32_t sampleEveryN = 64;     ///< 1-in-N for *_SAMPLED spans
+  };
+
+  TraceRecorder();
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Start a fresh capture session: previous buffers leave the snapshot
+  /// set (they stay alive for stragglers mid-record), the session base
+  /// timestamp resets, and recording turns on.
+  void enable(Config config) TP_EXCLUDES(mutex_);
+  void enable() TP_EXCLUDES(mutex_) { enable(Config()); }
+  /// Stop recording; buffered events stay drainable via snapshot().
+  void disable() noexcept { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Stable id for a span/instant name. Ids survive enable() cycles, so
+  /// macro sites can cache them in function-local statics. Takes the
+  /// registry mutex — call once per site, not per event.
+  std::uint32_t internName(std::string_view name) TP_EXCLUDES(mutex_);
+
+  /// Thread-local 1-in-N tick for sampled spans (N from the session
+  /// config; N <= 1 keeps every event).
+  bool shouldSample() noexcept {
+    const std::uint32_t n = sampleEveryN_.load(std::memory_order_relaxed);
+    if (n <= 1) return true;
+    thread_local std::uint32_t counter = 0;
+    return (counter++ % n) == 0;
+  }
+
+  /// Append one event to the calling thread's ring (no-op when
+  /// disabled). Pass end == 0 for an instant.
+  void record(std::uint32_t nameId, std::uint64_t begin, std::uint64_t end,
+              std::uint64_t arg)
+      TP_LOCK_FREE_AUDITED(
+          "per-thread ring guarded by its own seqlock word: one CAS claim "
+          "on the caller's buffer, release publish; contends only with a "
+          "concurrent snapshot drain; TSan: test_obs "
+          "TraceRecorder.ConcurrentRecordAndSnapshotUnderContention");
+
+  struct ThreadEvents {
+    std::uint32_t tid = 0;
+    std::uint64_t dropped = 0;  ///< exact count of overwritten events
+    std::vector<TraceEvent> events;  ///< oldest first
+  };
+  struct Snapshot {
+    std::uint64_t baseTicks = 0;  ///< session start (ts 0 of the trace)
+    std::vector<std::string> names;  ///< indexed by TraceEvent::nameId
+    std::vector<ThreadEvents> threads;
+    std::uint64_t totalEvents = 0;
+    std::uint64_t totalDropped = 0;
+  };
+  /// Consistent per-buffer drain (each ring is claimed while copied; a
+  /// writer racing the drain spins for the copy, never tears).
+  Snapshot snapshot() const TP_EXCLUDES(mutex_);
+
+  /// Chrome trace-event JSON ("traceEvents" array of ph:"X" spans and
+  /// ph:"i" instants, ts/dur in microseconds, tid = thread ordinal).
+  /// Load via chrome://tracing or https://ui.perfetto.dev.
+  void writeChromeTrace(std::ostream& os) const;
+  void writeChromeTraceFile(const std::string& path) const;
+
+private:
+  struct ThreadBuffer;
+
+  /// The calling thread's buffer for `epoch` (created on first use;
+  /// nullptr when racing an enable() that already moved the epoch on).
+  ThreadBuffer* threadBuffer(std::uint64_t epoch) TP_EXCLUDES(mutex_);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> epoch_{0};  ///< bumped by every enable()
+  std::atomic<std::uint32_t> sampleEveryN_{64};
+  std::atomic<std::uint64_t> baseTicks_{0};
+
+  mutable common::Mutex mutex_;
+  std::size_t ringCapacity_ TP_GUARDED_BY(mutex_) = 1 << 14;
+  /// Current-session buffers (snapshot set), one per recording thread.
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ TP_GUARDED_BY(mutex_);
+  /// Previous sessions' buffers: kept alive (a writer that cached one
+  /// may complete a stale record into it harmlessly) but never drained.
+  std::vector<std::unique_ptr<ThreadBuffer>> retired_ TP_GUARDED_BY(mutex_);
+  std::vector<std::string> names_ TP_GUARDED_BY(mutex_);
+  std::map<std::string, std::uint32_t, std::less<>> nameIds_
+      TP_GUARDED_BY(mutex_);
+};
+
+/// The process-wide recorder every macro site records into.
+TraceRecorder& traceRecorder();
+
+/// RAII span: open() stamps the begin tick, the destructor records the
+/// completed span. A default-constructed (never-opened) span costs one
+/// branch in the destructor and records nothing.
+class ScopedSpan {
+public:
+  ScopedSpan() noexcept = default;
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (begin_ != 0) {
+      traceRecorder().record(nameId_, begin_, nowTicks(), arg_);
+    }
+  }
+
+  /// Arm the span (macro internals; callers use TP_TRACE_SPAN*). With
+  /// `sampled` set the span records only on the thread's 1-in-N tick.
+  void open(std::uint32_t nameId, std::uint64_t arg, bool sampled) noexcept {
+    if (sampled && !traceRecorder().shouldSample()) return;
+    nameId_ = nameId;
+    arg_ = arg;
+    begin_ = nowTicks();
+  }
+
+  /// Update the recorded argument before close (e.g. a batch size known
+  /// only mid-span). No-op on an unarmed span.
+  void setArg(std::uint64_t arg) noexcept {
+    if (begin_ != 0) arg_ = arg;
+  }
+
+private:
+  std::uint64_t begin_ = 0;  ///< 0 = not armed (disabled or unsampled)
+  std::uint64_t arg_ = 0;
+  std::uint32_t nameId_ = 0;
+};
+
+}  // namespace tp::obs
+
+// ---------------------------------------------------------------------------
+// Macro API. `name` must be a string literal (the id is interned once
+// per site in a function-local static); `arg` must be side-effect-free
+// (it is not evaluated when tracing is compiled out or disabled).
+
+#define TP_OBS_CAT_(a, b) a##b
+#define TP_OBS_CAT(a, b) TP_OBS_CAT_(a, b)
+
+#if TP_OBS_TRACING
+
+#define TP_OBS_SPAN_IMPL(name, arg, sampled)                             \
+  ::tp::obs::ScopedSpan TP_OBS_CAT(tp_obs_span_, __LINE__);              \
+  if (::tp::obs::traceRecorder().enabled()) {                            \
+    static const std::uint32_t TP_OBS_CAT(tp_obs_nid_, __LINE__) =       \
+        ::tp::obs::traceRecorder().internName(name);                     \
+    TP_OBS_CAT(tp_obs_span_, __LINE__)                                   \
+        .open(TP_OBS_CAT(tp_obs_nid_, __LINE__), (arg), (sampled));      \
+  }                                                                      \
+  static_assert(true, "")
+
+/// Scoped span, recorded on every pass (cold/slow paths).
+#define TP_TRACE_SPAN(name) TP_OBS_SPAN_IMPL(name, 0, false)
+#define TP_TRACE_SPAN_ARG(name, arg) TP_OBS_SPAN_IMPL(name, arg, false)
+/// Scoped span recorded on the thread's 1-in-N sampling tick only —
+/// the required form on warm/hot paths.
+#define TP_TRACE_SPAN_SAMPLED(name, arg) TP_OBS_SPAN_IMPL(name, arg, true)
+
+/// Point event (no duration), recorded on every pass.
+#define TP_TRACE_INSTANT(name, arg)                                      \
+  do {                                                                   \
+    if (::tp::obs::traceRecorder().enabled()) {                          \
+      static const std::uint32_t tp_obs_nid =                            \
+          ::tp::obs::traceRecorder().internName(name);                   \
+      ::tp::obs::traceRecorder().record(tp_obs_nid,                      \
+                                        ::tp::obs::nowTicks(), 0,        \
+                                        (arg));                          \
+    }                                                                    \
+  } while (0)
+
+#else  // !TP_OBS_TRACING: every macro compiles to nothing.
+
+#define TP_TRACE_SPAN(name) static_assert(true, "")
+#define TP_TRACE_SPAN_ARG(name, arg) static_assert(true, "")
+#define TP_TRACE_SPAN_SAMPLED(name, arg) static_assert(true, "")
+#define TP_TRACE_INSTANT(name, arg) static_assert(true, "")
+
+#endif  // TP_OBS_TRACING

@@ -8,6 +8,8 @@
 
 #include "common/error.hpp"
 #include "features/runtime_features.hpp"
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
 #include "ocl/context.hpp"
 #include "runtime/evaluation.hpp"
 #include "runtime/scheduler.hpp"
@@ -16,7 +18,7 @@ namespace tp::serve {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+using Clock = obs::Clock;
 
 double secondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
@@ -120,9 +122,93 @@ PartitionService::PartitionService(ServiceConfig config)
           return launchFingerprint(pairId, key.signature);
         });
   }
+  if (config_.metrics != nullptr) registerMetrics();
 }
 
-PartitionService::~PartitionService() { shutdown(); }
+PartitionService::~PartitionService() {
+  shutdown();
+  if (config_.metrics != nullptr) {
+    // Drops the readout callbacks (they capture `this`) and the owned
+    // latency histogram; no request can be in flight after shutdown().
+    config_.metrics->removeByPrefix(config_.metricsPrefix);
+  }
+}
+
+void PartitionService::registerMetrics() {
+  obs::Registry& reg = *config_.metrics;
+  const std::string& p = config_.metricsPrefix;
+  reg.registerCounter(p + "requests_submitted",
+                      [this] { return submitted_.total(); });
+  reg.registerCounter(p + "requests_completed",
+                      [this] { return completed_.total(); });
+  reg.registerCounter(p + "requests_failed",
+                      [this] { return failed_.total(); });
+  reg.registerCounter(p + "requests_inline",
+                      [this] { return inlineHits_.total(); });
+  reg.registerCounter(p + "batches", [this] {
+    return batches_.load(std::memory_order_relaxed);
+  });
+  reg.registerGauge(p + "max_batch", [this] {
+    return static_cast<double>(maxBatch_.load(std::memory_order_relaxed));
+  });
+  reg.registerCounter(p + "retrains", [this] {
+    return retrains_.load(std::memory_order_relaxed);
+  });
+  reg.registerGauge(p + "model_version", [this] {
+    return static_cast<double>(cache_->version());
+  });
+  reg.registerCounter(p + "cache.lookups",
+                      [this] { return cache_->counters().lookups; });
+  reg.registerCounter(p + "cache.hits",
+                      [this] { return cache_->counters().hits; });
+  reg.registerCounter(p + "cache.misses",
+                      [this] { return cache_->counters().misses; });
+  reg.registerCounter(p + "cache.insertions",
+                      [this] { return cache_->counters().insertions; });
+  reg.registerCounter(p + "cache.evictions",
+                      [this] { return cache_->counters().evictions; });
+  reg.registerCounter(p + "cache.invalidations",
+                      [this] { return cache_->counters().invalidations; });
+  reg.registerCounter(p + "cache.collisions",
+                      [this] { return cache_->counters().collisions; });
+  reg.registerGauge(p + "cache.hit_rate",
+                    [this] { return cache_->counters().hitRate(); });
+  reg.registerGauge(p + "interned_pairs", [this] {
+    return static_cast<double>(interner_->size());
+  });
+  reg.registerCounter(p + "intern_rejections",
+                      [this] { return interner_->fullRejections(); });
+  if (refiner_ != nullptr) {
+    reg.registerCounter(p + "refiner.decisions",
+                        [this] { return refiner_->counters().decisions; });
+    reg.registerCounter(p + "refiner.explorations",
+                        [this] { return refiner_->counters().explorations; });
+    reg.registerCounter(p + "refiner.exploitations",
+                        [this] { return refiner_->counters().exploitations; });
+    reg.registerCounter(p + "refiner.observations",
+                        [this] { return refiner_->counters().observations; });
+    reg.registerCounter(p + "refiner.wins",
+                        [this] { return refiner_->counters().wins; });
+    reg.registerCounter(p + "refiner.merged_wins",
+                        [this] { return refiner_->counters().mergedWins; });
+    reg.registerCounter(p + "refiner.resets",
+                        [this] { return refiner_->counters().resets; });
+    reg.registerCounter(p + "refiner.stale_observations", [this] {
+      return refiner_->counters().staleObservations;
+    });
+    reg.registerCounter(p + "refiner.untracked",
+                        [this] { return refiner_->counters().untracked; });
+    reg.registerGauge(p + "refiner.tracked_keys", [this] {
+      return static_cast<double>(refiner_->trackedKeys());
+    });
+  }
+  reg.registerSummary(p + "latency", [this] {
+    const LatencyRecorder::Summary s = latency_.summary();
+    return obs::SummarySnapshot{s.count, s.meanSeconds, s.maxSeconds,
+                                s.p50Seconds, s.p95Seconds};
+  });
+  obsLatency_ = &reg.histogram(p + "latency_ns");
+}
 
 void PartitionService::addMachine(const sim::MachineConfig& machine,
                                   std::shared_ptr<const ml::Classifier> model) {
@@ -285,6 +371,9 @@ bool PartitionService::tryServeInline(MachineState& ms,
   }
   if (lane == nullptr) return false;
 
+  // Sampled (1-in-N per thread): the warm path stays allocation- and
+  // lock-free; an unsampled pass costs one relaxed load + branch.
+  TP_TRACE_SPAN_SAMPLED("serve.inline_hit", task.globalSize);
   const auto start_time = Clock::now();
   response.label = carry.label;
   response.cacheHit = carry.cacheHit;
@@ -320,7 +409,7 @@ bool PartitionService::tryServeInline(MachineState& ms,
                          ? "n=" + std::to_string(task.globalSize)
                          : request.sizeLabel);
   }
-  latency_.add(secondsSince(start_time));
+  recordLatency(secondsSince(start_time));
   completed_.add();
   inlineHits_.add();
   return true;
@@ -359,6 +448,7 @@ void PartitionService::finishDecided(MachineState& ms,
 std::future<LaunchResponse> PartitionService::enqueue(MachineState& ms,
                                                       LaunchRequest request,
                                                       PreDecision carry) {
+  TP_TRACE_INSTANT("serve.submit_miss", request.task.globalSize);
   common::ThreadPool& pool = ensurePool();
 
   PendingRequest pending;
@@ -469,6 +559,7 @@ void PartitionService::workerLoop(MachineState& ms, std::size_t lane) {
            !maxBatch_.compare_exchange_weak(seen, batch.size(),
                                             std::memory_order_relaxed)) {
     }
+    TP_TRACE_SPAN_ARG("serve.lane_batch", batch.size());
     for (auto& pending : batch) {
       process(ms, lane, std::move(pending));
     }
@@ -510,9 +601,11 @@ void PartitionService::process(MachineState& ms, std::size_t lane,
     if (!d.decided) {
       // Exactly one cache probe per request: a miss already recorded on
       // the submit path is not probed (or counted) again here.
-      const auto hit = d.fingerprinted && !d.lookedUp
-                           ? cache_->lookup(d.fp, d.version)
-                           : std::optional<std::size_t>();
+      std::optional<std::size_t> hit;
+      if (d.fingerprinted && !d.lookedUp) {
+        TP_TRACE_SPAN("serve.cache_probe");
+        hit = cache_->lookup(d.fp, d.version);
+      }
       // Materialized once, shared by the cache insert (which copies) and
       // the RefineKey (which moves out of it).
       DecisionKey full;
@@ -523,12 +616,16 @@ void PartitionService::process(MachineState& ms, std::size_t lane,
         d.label = *hit;
         d.cacheHit = true;
       } else {
-        d.label = predictWithModel(ms, task);
+        {
+          TP_TRACE_SPAN("serve.model_inference");
+          d.label = predictWithModel(ms, task);
+        }
         if (d.fingerprinted) {
           cache_->insert(d.fp, full, d.label);
         }
       }
       if (refiner_ != nullptr && d.fingerprinted) {
+        TP_TRACE_SPAN("serve.refiner_decide");
         // Miss-path refinement: the full key is in hand, so absent
         // entries are created here.
         adapt::RefineKey refineKey;
@@ -552,7 +649,10 @@ void PartitionService::process(MachineState& ms, std::size_t lane,
     response.modelVersion = d.version;
     response.explored = d.explore;
     response.refined = d.refined;
-    finishDecided(ms, *ms.lanes[lane], task, response, d);
+    {
+      TP_TRACE_SPAN_ARG("serve.execute", task.globalSize);
+      finishDecided(ms, *ms.lanes[lane], task, response, d);
+    }
 
     if (config_.recordFeedback &&
         (!response.cacheHit ||
@@ -573,7 +673,7 @@ void PartitionService::process(MachineState& ms, std::size_t lane,
     pending.promise.set_exception(std::current_exception());
   }
   if (ok) {
-    latency_.add(secondsSince(pending.enqueued));
+    recordLatency(secondsSince(pending.enqueued));
     completed_.add();
     pending.promise.set_value(std::move(response));
   }
@@ -586,6 +686,7 @@ std::size_t PartitionService::predictLabel(const std::string& machine,
 }
 
 PartitionService::RetrainResult PartitionService::retrain() {
+  TP_TRACE_SPAN("serve.retrain");
   RetrainResult result;
   FeedbackRecorder* feedback = nullptr;
   std::vector<MachineState*> states;
@@ -603,10 +704,14 @@ PartitionService::RetrainResult PartitionService::retrain() {
   }
   TP_REQUIRE(feedback != nullptr,
              "PartitionService: retrain before any machine was added");
-  const runtime::FeatureDatabase db = feedback->snapshot();
+  const runtime::FeatureDatabase db = [&] {
+    TP_TRACE_SPAN("serve.retrain.snapshot");
+    return feedback->snapshot();
+  }();
   result.recordsUsed = db.size();
   for (MachineState* ms : states) {
     if (db.forMachine(ms->machine.name).empty()) continue;
+    TP_TRACE_SPAN_ARG("serve.retrain.fit", result.recordsUsed);
     // Train outside the model lock: serving continues on the old model
     // until the swap below.
     auto model = runtime::trainDeploymentModel(
@@ -618,6 +723,7 @@ PartitionService::RetrainResult PartitionService::retrain() {
     }
     ++result.machinesRetrained;
   }
+  TP_TRACE_SPAN("serve.retrain.sweep");
   // New generation: every cached decision of the old models is stale.
   // (Swap-then-bump: a prediction racing the swap is cached under the old
   // version and swept here; the reverse order would let old-model labels
@@ -657,6 +763,7 @@ std::vector<adapt::WinRecord> PartitionService::exportRefinedWins(
 
 adapt::MergeResult PartitionService::mergeRemoteWins(
     const std::vector<adapt::WinRecord>& wins) {
+  TP_TRACE_SPAN_ARG("serve.merge_remote_wins", wins.size());
   adapt::MergeResult result;
   std::size_t spaceSize = 0;
   {

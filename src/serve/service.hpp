@@ -65,6 +65,7 @@
 #include "common/striped.hpp"
 #include "common/thread_pool.hpp"
 #include "ml/classifier.hpp"
+#include "obs/metrics.hpp"
 #include "ocl/queue.hpp"
 #include "runtime/partitioning.hpp"
 #include "serve/cache.hpp"
@@ -100,6 +101,18 @@ struct ServiceConfig {
   /// model prediction on explored/refined traffic.
   bool refine = false;
   adapt::RefinerConfig refiner;
+  /// Optional metrics registry. When set, the service registers readout
+  /// callbacks for its existing striped counters, cache/refiner/interner
+  /// counters and latency summary under `metricsPrefix` — the service
+  /// counters stay the single source of truth; the registry samples them
+  /// at exposition time (no double accounting). It also records request
+  /// latency into an owned `<prefix>latency_ns` histogram. Everything
+  /// under the prefix is removed in the destructor, so the registry must
+  /// outlive the service.
+  obs::Registry* metrics = nullptr;
+  /// Namespace for this service's registry entries. Fleets override it
+  /// per replica (e.g. "replica0.serve.") to keep entries distinct.
+  std::string metricsPrefix = "serve.";
 };
 
 class PartitionService {
@@ -265,6 +278,16 @@ private:
   DecisionKey fullKeyAt(const MachineState& ms, const runtime::Task& task,
                         std::uint64_t version) const;
   common::ThreadPool& ensurePool();
+  /// Hook this service's counters/summaries into config_.metrics under
+  /// config_.metricsPrefix (constructor-only; callbacks capture `this`).
+  void registerMetrics();
+  /// Record one served request into the striped latency structures.
+  void recordLatency(double seconds) noexcept {
+    latency_.add(seconds);
+    if (obsLatency_ != nullptr) {
+      obsLatency_->record(static_cast<std::uint64_t>(seconds * 1e9));
+    }
+  }
   void workerLoop(MachineState& ms, std::size_t lane);
   void process(MachineState& ms, std::size_t lane, PendingRequest pending);
   std::size_t predictWithModel(const MachineState& ms,
@@ -329,6 +352,9 @@ private:
   std::atomic<std::uint64_t> maxBatch_{0};
   std::atomic<std::uint64_t> retrains_{0};
   LatencyRecorder latency_;
+  /// Owned by config_.metrics (created in registerMetrics, destroyed by
+  /// the destructor's removeByPrefix); nullptr when metrics are off.
+  obs::Histogram* obsLatency_ = nullptr;
 
   /// Created at first submit (under machinesMutex_, published by frozen_).
   std::unique_ptr<common::ThreadPool> pool_ TP_GUARDED_BY(machinesMutex_);
