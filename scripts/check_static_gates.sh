@@ -72,3 +72,105 @@ echo "ok: clang-tidy gate rejects a seeded use-after-move"
 #    is fed a synthetic violating tree and must flag it).
 python3 scripts/test_lint_invariants.py
 echo "ok: lint gate self-tests pass"
+
+# 5. Concurrency analyzer gate (rules A1-A4): the full fixture suite
+#    (violating + conforming pair per rule) through the shared rule
+#    engine...
+python3 scripts/test_analyze_ast.py
+echo "ok: analyzer self-tests pass"
+
+# 6. ... and one end-to-end seeded violation per rule family through the
+#    CLI itself, asserting exit 1 on a violating tree and exit 0 on its
+#    conforming twin — so the process-level wiring (arg parsing, exit
+#    codes, allowlist validation) is covered, not just the engine.
+seed_ast_case() {
+  # $1 = rule tag, $2 = violating TU text, $3 = conforming TU text
+  rule=$1
+  rm -rf "$tmp/ast/src"
+  mkdir -p "$tmp/ast/src/m"
+  printf '%s\n' "$2" > "$tmp/ast/src/m/seeded.cpp"
+  if python3 scripts/analyze_ast.py --backend=token \
+      --root "$tmp/ast" >/dev/null 2>&1; then
+    echo "FAIL: analyze_ast $rule accepted its seeded violation" >&2
+    exit 1
+  fi
+  printf '%s\n' "$3" > "$tmp/ast/src/m/seeded.cpp"
+  if ! python3 scripts/analyze_ast.py --backend=token \
+      --root "$tmp/ast" >/dev/null 2>&1; then
+    echo "FAIL: analyze_ast $rule rejected its conforming twin" >&2
+    exit 1
+  fi
+  echo "ok: analyzer $rule fails seeded violation, passes conforming twin"
+}
+
+AUDIT='TP_LOCK_FREE_AUDITED("gate fixture; TSan: test_x F.T")'
+seed_ast_case A1 "
+struct S {
+  std::atomic<int> v{0};
+  void touch() $AUDIT { v.store(1); }
+};" "
+struct S {
+  std::atomic<int> v{0};
+  void touch() $AUDIT { v.store(1, std::memory_order_relaxed); }
+};"
+
+seed_ast_case A2 "
+struct Slot { std::atomic<unsigned> seq{0};
+              std::atomic<unsigned long long> meta{0}; };
+struct C {
+  Slot slot;
+  void put(unsigned long long m) $AUDIT {
+    const unsigned s = seqClaim(slot.seq);
+    slot.meta.store(m, std::memory_order_relaxed);
+    seqRelease(slot.seq, s);
+  }
+};" "
+struct Slot { std::atomic<unsigned> seq{0};
+              std::atomic<unsigned long long> meta{0}; };
+struct C {
+  Slot slot;
+  void put(unsigned long long m) $AUDIT {
+    const unsigned s = seqClaim(slot.seq);
+    slot.meta.store(m, std::memory_order_release);
+    seqRelease(slot.seq, s);
+  }
+};"
+
+seed_ast_case A3 "
+struct Lane { std::atomic<unsigned> busy{0}; };
+struct Svc {
+  Lane lane;
+  int work();
+  int serve() $AUDIT {
+    unsigned expected = 0;
+    if (!lane.busy.compare_exchange_strong(
+            expected, 1, std::memory_order_acq_rel)) return -1;
+    const int r = work();
+    lane.busy.store(0, std::memory_order_release);
+    return r;
+  }
+};" "
+struct Lane { std::atomic<unsigned> busy{0}; };
+struct Svc {
+  Lane lane;
+  int work();
+  int serve() $AUDIT {
+    common::ClaimGuard claim(lane.busy);
+    if (!claim.claimed()) return -1;
+    const int r = work();
+    claim.release();
+    return r;
+  }
+};"
+
+seed_ast_case A4 "
+struct G {
+  std::atomic<int> flag{0};
+  int peek() { return flag.load(std::memory_order_relaxed); }
+};" "
+struct G {
+  std::atomic<int> flag{0};
+  int peek() $AUDIT {
+    return flag.load(std::memory_order_relaxed);
+  }
+};"

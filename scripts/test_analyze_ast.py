@@ -1,0 +1,452 @@
+#!/usr/bin/env python3
+"""Self-tests for the AST-grade concurrency analyzer (rules A1-A4).
+
+Mirrors test_lint_invariants.py: each test seeds one violating fixture
+TU into a synthetic tree and asserts the matching rule (and only it)
+fires, with a conforming twin asserting the rule stays quiet. The
+fixtures run through the token backend (no toolchain needed), which
+shares the rule engine with the clang backend — a silently broken rule
+fails here before it ships as a no-op CI gate. The clang backend's
+missing-libclang path is asserted to be a hard failure (exit 3), never
+a skip.
+"""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import analyze_ast  # noqa: E402
+
+
+def write(root, rel, text):
+    path = os.path.join(root, rel)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text)
+    return path
+
+
+# Fixtures are scanned, never compiled: includes and macro definitions
+# are unnecessary, only the textual patterns matter.
+CLEAN_SOURCE = """\
+struct Counter {
+  std::atomic<unsigned long long> hits{0};
+  void bump() TP_LOCK_FREE_AUDITED(
+      "relaxed monotonic counter; TSan: test_x Fixture.Clean") {
+    hits.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+"""
+
+
+class AnalyzeAstRuleTests(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory(prefix="tp_ast_test_")
+        self.root = self._tmp.name
+        write(self.root, "src/common/clean.cpp", CLEAN_SOURCE)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def analyze(self):
+        return analyze_ast.analyze_token(self.root)
+
+    def assertOnlyRule(self, findings, rule, path_suffix):
+        self.assertTrue(findings, f"expected an {rule} finding")
+        self.assertEqual({f.rule for f in findings}, {rule},
+                         "\n".join(str(f) for f in findings))
+        self.assertTrue(any(f.path.endswith(path_suffix) for f in findings))
+
+    def test_clean_tree_passes(self):
+        self.assertEqual([str(f) for f in self.analyze()], [])
+
+    # -- A1: explicit memory order ------------------------------------------
+
+    def test_a1_implicit_store(self):
+        write(self.root, "src/serve/bad.cpp",
+              "struct S {\n"
+              "  std::atomic<int> v{0};\n"
+              "  void touch() TP_LOCK_FREE_AUDITED(\n"
+              '      "fixture; TSan: test_x F.T") { v.store(1); }\n'
+              "};\n")
+        self.assertOnlyRule(self.analyze(), "A1", "src/serve/bad.cpp")
+
+    def test_a1_implicit_load_and_rmw(self):
+        write(self.root, "src/serve/bad.cpp",
+              "struct S {\n"
+              "  std::atomic<int> v{0};\n"
+              "  int touch() TP_LOCK_FREE_AUDITED(\n"
+              '      "fixture; TSan: test_x F.T") {\n'
+              "    v.fetch_add(2);\n"
+              "    return v.load();\n"
+              "  }\n"
+              "};\n")
+        findings = self.analyze()
+        self.assertOnlyRule(findings, "A1", "src/serve/bad.cpp")
+        self.assertEqual(len(findings), 2)
+
+    def test_a1_compound_assignment(self):
+        write(self.root, "src/fleet/bad.cpp",
+              "struct Counters { std::atomic<unsigned long long> wins{0}; };\n"
+              "struct R {\n"
+              "  Counters counters_;\n"
+              "  void merge(unsigned n) TP_LOCK_FREE_AUDITED(\n"
+              '      "fixture; TSan: test_x F.T") { counters_.wins += n; }\n'
+              "};\n")
+        self.assertOnlyRule(self.analyze(), "A1", "src/fleet/bad.cpp")
+
+    def test_a1_explicit_orders_pass(self):
+        write(self.root, "src/serve/ok.cpp",
+              "struct S {\n"
+              "  std::atomic<int> v{0};\n"
+              "  int touch() TP_LOCK_FREE_AUDITED(\n"
+              '      "fixture; TSan: test_x F.T") {\n'
+              "    v.store(1, std::memory_order_release);\n"
+              "    v.fetch_add(2, std::memory_order_relaxed);\n"
+              "    return v.load(std::memory_order_acquire);\n"
+              "  }\n"
+              "};\n")
+        self.assertEqual([str(f) for f in self.analyze()], [])
+
+    def test_a1_multiline_call_sees_order(self):
+        # The order argument lives on the next line: balanced-paren
+        # argument parsing must still find it (a grep would not).
+        write(self.root, "src/serve/ok.cpp",
+              "struct S {\n"
+              "  std::atomic<unsigned long long> v{0};\n"
+              "  void touch(unsigned long long m) TP_LOCK_FREE_AUDITED(\n"
+              '      "fixture; TSan: test_x F.T") {\n'
+              "    v.store(m,\n"
+              "            std::memory_order_release);\n"
+              "  }\n"
+              "};\n")
+        self.assertEqual([str(f) for f in self.analyze()], [])
+
+    def test_a1_shadowing_local_is_not_an_assignment(self):
+        # `const uint64_t meta = slot.meta.load(...)` declares a local
+        # shadowing the atomic's field name; it is not operator= on the
+        # atomic (the cache.cpp pattern that must stay clean).
+        write(self.root, "src/serve/ok.cpp",
+              "struct Slot { std::atomic<unsigned long long> meta{0}; };\n"
+              "struct C {\n"
+              "  Slot slot;\n"
+              "  unsigned long long peek() TP_LOCK_FREE_AUDITED(\n"
+              '      "fixture; TSan: test_x F.T") {\n'
+              "    const unsigned long long meta =\n"
+              "        slot.meta.load(std::memory_order_acquire);\n"
+              "    return meta;\n"
+              "  }\n"
+              "};\n")
+        self.assertEqual([str(f) for f in self.analyze()], [])
+
+    def test_a1_container_construction_is_not_an_atomic_op(self):
+        write(self.root, "src/serve/ok.cpp",
+              "struct S {\n"
+              "  std::vector<std::atomic<unsigned long long>> stripes_;\n"
+              "  explicit S(unsigned n) {\n"
+              "    stripes_ = std::vector<std::atomic<unsigned long long>>(n);\n"
+              "  }\n"
+              "};\n")
+        self.assertEqual([str(f) for f in self.analyze()], [])
+
+    # -- A2: seqlock protocol -----------------------------------------------
+
+    SEQ_STRUCT = ("struct Slot {\n"
+                  "  std::atomic<unsigned> seq{0};\n"
+                  "  std::atomic<unsigned long long> meta{0};\n"
+                  "};\n")
+
+    def test_a2_writer_relaxed_store_in_window(self):
+        write(self.root, "src/serve/bad.cpp",
+              self.SEQ_STRUCT +
+              "struct C {\n"
+              "  Slot slot;\n"
+              "  void put(unsigned long long m) TP_LOCK_FREE_AUDITED(\n"
+              '      "fixture; TSan: test_x F.T") {\n'
+              "    const unsigned s = seqClaim(slot.seq);\n"
+              "    slot.meta.store(m, std::memory_order_relaxed);\n"
+              "    seqRelease(slot.seq, s);\n"
+              "  }\n"
+              "};\n")
+        findings = self.analyze()
+        self.assertOnlyRule(findings, "A2", "src/serve/bad.cpp")
+        self.assertIn("without release order", str(findings[0]))
+
+    def test_a2_writer_store_outside_window(self):
+        write(self.root, "src/serve/bad.cpp",
+              self.SEQ_STRUCT +
+              "struct C {\n"
+              "  Slot slot;\n"
+              "  void put(unsigned long long m) TP_LOCK_FREE_AUDITED(\n"
+              '      "fixture; TSan: test_x F.T") {\n'
+              "    const unsigned s = seqClaim(slot.seq);\n"
+              "    seqRelease(slot.seq, s);\n"
+              "    slot.meta.store(m, std::memory_order_release);\n"
+              "  }\n"
+              "};\n")
+        findings = self.analyze()
+        self.assertOnlyRule(findings, "A2", "src/serve/bad.cpp")
+        self.assertIn("outside the claim window", str(findings[0]))
+
+    def test_a2_writer_unbalanced_claim(self):
+        write(self.root, "src/serve/bad.cpp",
+              self.SEQ_STRUCT +
+              "struct C {\n"
+              "  Slot slot;\n"
+              "  void put(unsigned long long m) TP_LOCK_FREE_AUDITED(\n"
+              '      "fixture; TSan: test_x F.T") {\n'
+              "    const unsigned s = seqClaim(slot.seq);\n"
+              "    slot.meta.store(m, std::memory_order_release);\n"
+              "  }\n"
+              "};\n")
+        findings = self.analyze()
+        self.assertTrue(any("seqClaim vs" in str(f) for f in findings))
+        self.assertEqual({f.rule for f in findings}, {"A2"})
+
+    def test_a2_conforming_writer_passes(self):
+        write(self.root, "src/serve/ok.cpp",
+              self.SEQ_STRUCT +
+              "struct C {\n"
+              "  Slot slot;\n"
+              "  void put(unsigned long long m) TP_LOCK_FREE_AUDITED(\n"
+              '      "fixture; TSan: test_x F.T") {\n'
+              "    const unsigned s = seqClaim(slot.seq);\n"
+              "    slot.meta.store(m, std::memory_order_release);\n"
+              "    seqRelease(slot.seq, s);\n"
+              "  }\n"
+              "};\n")
+        self.assertEqual([str(f) for f in self.analyze()], [])
+
+    def test_a2_reader_missing_recheck(self):
+        write(self.root, "src/serve/bad.cpp",
+              self.SEQ_STRUCT +
+              "struct C {\n"
+              "  Slot slot;\n"
+              "  unsigned long long read() TP_LOCK_FREE_AUDITED(\n"
+              '      "fixture; TSan: test_x F.T") {\n'
+              "    const unsigned s1 = slot.seq.load(std::memory_order_acquire);\n"
+              "    return slot.meta.load(std::memory_order_acquire);\n"
+              "  }\n"
+              "};\n")
+        findings = self.analyze()
+        self.assertOnlyRule(findings, "A2", "src/serve/bad.cpp")
+        self.assertIn("never re-checks", str(findings[0]))
+
+    def test_a2_reader_non_acquire_sequence_load(self):
+        write(self.root, "src/serve/bad.cpp",
+              self.SEQ_STRUCT +
+              "struct C {\n"
+              "  Slot slot;\n"
+              "  unsigned long long read() TP_LOCK_FREE_AUDITED(\n"
+              '      "fixture; TSan: test_x F.T") {\n'
+              "    const unsigned s1 = slot.seq.load(std::memory_order_relaxed);\n"
+              "    const unsigned long long m =\n"
+              "        slot.meta.load(std::memory_order_acquire);\n"
+              "    if (slot.seq.load(std::memory_order_relaxed) != s1) return 0;\n"
+              "    return m;\n"
+              "  }\n"
+              "};\n")
+        findings = self.analyze()
+        self.assertOnlyRule(findings, "A2", "src/serve/bad.cpp")
+        self.assertIn("without acquire order", str(findings[0]))
+
+    def test_a2_conforming_reader_passes(self):
+        write(self.root, "src/serve/ok.cpp",
+              self.SEQ_STRUCT +
+              "struct C {\n"
+              "  Slot slot;\n"
+              "  unsigned long long read() TP_LOCK_FREE_AUDITED(\n"
+              '      "fixture; TSan: test_x F.T") {\n'
+              "    for (;;) {\n"
+              "      const unsigned s1 = slot.seq.load(std::memory_order_acquire);\n"
+              "      if (s1 & 1u) continue;\n"
+              "      const unsigned long long m =\n"
+              "          slot.meta.load(std::memory_order_acquire);\n"
+              "      if (slot.seq.load(std::memory_order_relaxed) == s1) return m;\n"
+              "    }\n"
+              "  }\n"
+              "};\n")
+        self.assertEqual([str(f) for f in self.analyze()], [])
+
+    # -- A3: claim/release exception safety ---------------------------------
+
+    def test_a3_throwing_call_between_claim_and_release(self):
+        write(self.root, "src/serve/bad.cpp",
+              "struct Lane { std::atomic<unsigned> busy{0}; };\n"
+              "struct Svc {\n"
+              "  Lane lane;\n"
+              "  int work();\n"
+              "  int serve() TP_LOCK_FREE_AUDITED(\n"
+              '      "fixture; TSan: test_x F.T") {\n'
+              "    unsigned expected = 0;\n"
+              "    if (!lane.busy.compare_exchange_strong(\n"
+              "            expected, 1, std::memory_order_acq_rel)) return -1;\n"
+              "    const int r = work();\n"
+              "    lane.busy.store(0, std::memory_order_release);\n"
+              "    return r;\n"
+              "  }\n"
+              "};\n")
+        findings = self.analyze()
+        self.assertOnlyRule(findings, "A3", "src/serve/bad.cpp")
+        self.assertIn("ClaimGuard", str(findings[0]))
+
+    def test_a3_raii_guard_passes(self):
+        # No manual release store: the guard owns the flag, so a throwing
+        # call inside the section is exception-safe by construction.
+        write(self.root, "src/serve/ok.cpp",
+              "struct Lane { std::atomic<unsigned> busy{0}; };\n"
+              "struct Svc {\n"
+              "  Lane lane;\n"
+              "  int work();\n"
+              "  int serve() TP_LOCK_FREE_AUDITED(\n"
+              '      "fixture; TSan: test_x F.T") {\n'
+              "    common::ClaimGuard claim(lane.busy);\n"
+              "    if (!claim.claimed()) return -1;\n"
+              "    const int r = work();\n"
+              "    claim.release();\n"
+              "    return r;\n"
+              "  }\n"
+              "};\n")
+        self.assertEqual([str(f) for f in self.analyze()], [])
+
+    def test_a3_safe_calls_only_pass(self):
+        write(self.root, "src/serve/ok.cpp",
+              "struct Lane { std::atomic<unsigned> busy{0};\n"
+              "              std::atomic<unsigned> hits{0}; };\n"
+              "struct Svc {\n"
+              "  Lane lane;\n"
+              "  void serve() TP_LOCK_FREE_AUDITED(\n"
+              '      "fixture; TSan: test_x F.T") {\n'
+              "    unsigned expected = 0;\n"
+              "    if (!lane.busy.compare_exchange_strong(\n"
+              "            expected, 1, std::memory_order_acq_rel)) return;\n"
+              "    lane.hits.fetch_add(1, std::memory_order_relaxed);\n"
+              "    lane.busy.store(0, std::memory_order_release);\n"
+              "  }\n"
+              "};\n")
+        self.assertEqual([str(f) for f in self.analyze()], [])
+
+    # -- A4: audit coverage --------------------------------------------------
+
+    def test_a4_unaudited_member_touch(self):
+        write(self.root, "src/obs/bad.cpp",
+              "struct G {\n"
+              "  std::atomic<int> flag{0};\n"
+              "  int peek() { return flag.load(std::memory_order_relaxed); }\n"
+              "};\n")
+        self.assertOnlyRule(self.analyze(), "A4", "src/obs/bad.cpp")
+
+    def test_a4_audited_passes(self):
+        write(self.root, "src/obs/ok.cpp",
+              "struct G {\n"
+              "  std::atomic<int> flag{0};\n"
+              "  int peek() TP_LOCK_FREE_AUDITED(\n"
+              '      "fixture; TSan: test_x F.T") {\n'
+              "    return flag.load(std::memory_order_relaxed);\n"
+              "  }\n"
+              "};\n")
+        self.assertEqual([str(f) for f in self.analyze()], [])
+
+    def test_a4_mutex_scope_passes(self):
+        # A function whose atomic touches sit under a MutexLock is not
+        # lock-free code; the capability, not an audit string, covers it.
+        write(self.root, "src/obs/ok.cpp",
+              "struct G {\n"
+              "  common::Mutex mu_;\n"
+              "  std::atomic<int> flag{0};\n"
+              "  void set() {\n"
+              "    common::MutexLock lock(mu_);\n"
+              "    flag.store(1, std::memory_order_relaxed);\n"
+              "  }\n"
+              "};\n")
+        self.assertEqual([str(f) for f in self.analyze()], [])
+
+    def test_a4_locals_exempt(self):
+        write(self.root, "src/common/ok.cpp",
+              "void f() {\n"
+              "  std::atomic<int> local{0};\n"
+              "  local.store(1, std::memory_order_relaxed);\n"
+              "}\n")
+        self.assertEqual([str(f) for f in self.analyze()], [])
+
+    # -- allowlists ----------------------------------------------------------
+
+    def test_allowlist_entry_requires_reason(self):
+        old = analyze_ast.RULES["A1"]
+        analyze_ast.RULES["A1"] = (old[0], (("src/x.cpp", None, ""),))
+        try:
+            with self.assertRaises(ValueError):
+                analyze_ast.validate_allowlists()
+        finally:
+            analyze_ast.RULES["A1"] = old
+
+    def test_real_allowlists_validate(self):
+        analyze_ast.validate_allowlists()  # must not raise
+
+    def test_allowlist_suppresses_by_path_and_symbol(self):
+        write(self.root, "src/serve/bad.cpp",
+              "struct S {\n"
+              "  std::atomic<int> v{0};\n"
+              "  void touch() TP_LOCK_FREE_AUDITED(\n"
+              '      "fixture; TSan: test_x F.T") { v.store(1); }\n'
+              "};\n")
+        old = analyze_ast.RULES["A1"]
+        analyze_ast.RULES["A1"] = (old[0], (
+            ("src/serve/bad.cpp", "v",
+             "fixture: this implicit seq_cst is the point of the test"),))
+        try:
+            self.assertEqual([str(f) for f in self.analyze()], [])
+        finally:
+            analyze_ast.RULES["A1"] = old
+
+
+class ExitCodeTests(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory(prefix="tp_ast_main_")
+        self.root = self._tmp.name
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def test_token_backend_exit_codes_and_json(self):
+        write(self.root, "src/m/bad.cpp",
+              "struct S {\n"
+              "  std::atomic<int> v{0};\n"
+              "  void touch() TP_LOCK_FREE_AUDITED(\n"
+              '      "fixture; TSan: test_x F.T") { v.store(1); }\n'
+              "};\n")
+        report = os.path.join(self.root, "report.json")
+        self.assertEqual(analyze_ast.main(
+            ["--backend=token", "--root", self.root, "--json", report]), 1)
+        import json
+        with open(report, encoding="utf-8") as f:
+            data = json.load(f)
+        self.assertEqual(data["backend"], "token")
+        self.assertEqual({f["rule"] for f in data["findings"]}, {"A1"})
+        write(self.root, "src/m/bad.cpp", "int x = 1;\n")
+        self.assertEqual(analyze_ast.main(
+            ["--backend=token", "--root", self.root]), 0)
+
+    def test_clang_backend_absence_is_exit_3_not_skip(self):
+        cindex, err = analyze_ast._load_cindex()
+        if cindex is not None:
+            self.skipTest(f"libclang available here: {err or 'ok'}")
+        write(self.root, "src/m/ok.cpp", "int x = 1;\n")
+        self.assertEqual(analyze_ast.main(
+            ["--backend=clang", "--root", self.root,
+             "-p", os.path.join(self.root, "no-such-build")]), 3)
+
+
+class RealTreeTest(unittest.TestCase):
+    """The actual repo must be clean: zero unsuppressed findings."""
+
+    def test_repo_is_clean(self):
+        findings = analyze_ast.analyze_token(analyze_ast.REPO_ROOT)
+        self.assertEqual([str(f) for f in findings], [])
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -59,7 +59,11 @@ public:
   const std::string& first(std::uint32_t id) const;
   const std::string& second(std::uint32_t id) const;
 
-  std::size_t size() const noexcept {
+  std::size_t size() const noexcept
+      TP_LOCK_FREE_AUDITED(
+          "acquire-load pairs with the release publish of each new entry in "
+          "internHashed; TSan: test_common "
+          "InternerTest.ConcurrentInternAndFind") {
     return size_.load(std::memory_order_acquire);
   }
   std::size_t capacity() const noexcept { return capacity_; }
@@ -68,7 +72,10 @@ public:
   /// such call degraded its caller to the uncached slow path). Monotonic;
   /// a nonzero value usually means the configured capacity is undersized
   /// for the traffic's pair variety.
-  std::uint64_t fullRejections() const noexcept {
+  std::uint64_t fullRejections() const noexcept
+      TP_LOCK_FREE_AUDITED(
+          "relaxed monotonic stat counter, no payload ordered behind it; "
+          "TSan: test_common InternerTest.ConcurrentReadersAtCapacity") {
     return fullRejections_.load(std::memory_order_relaxed);
   }
 

@@ -22,9 +22,23 @@ std::uint64_t g_nextSeq TP_GUARDED_BY(detail::logSinkMutex) = 0;
 std::deque<LogRecord> g_recent TP_GUARDED_BY(detail::logSinkMutex);
 }  // namespace
 
-void setLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+// The level word is a standalone filter knob: no other data is published
+// through it, so relaxed is enough — a racing reader sees either the old
+// or the new level, both valid filter states.
+void setLogLevel(LogLevel level)
+    TP_LOCK_FREE_AUDITED(
+        "relaxed store of an independent filter knob; no payload is ordered "
+        "behind it; TSan: test_serve "
+        "PartitionService.ConcurrentClientsGetConsistentDecisions") {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
-LogLevel logLevel() { return static_cast<LogLevel>(g_level.load()); }
+LogLevel logLevel()
+    TP_LOCK_FREE_AUDITED(
+        "relaxed load of the filter knob, see setLogLevel; TSan: test_serve "
+        "PartitionService.ConcurrentClientsGetConsistentDecisions") {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
 
 const char* logLevelName(LogLevel level) {
   switch (level) {

@@ -85,6 +85,54 @@ inline void seqRelease(std::atomic<std::uint32_t>& seq,
   seq.store(claimed + 2, std::memory_order_release);
 }
 
+/// RAII claim of a CAS busy flag (0 = free, 1 = claimed). Construction
+/// attempts one claim; check claimed() before touching the protected
+/// state. The destructor releases, so any exception thrown inside the
+/// critical section leaves the flag free instead of leaking the claim —
+/// the invariant lint rule A3 enforces for every claim/release section.
+/// Call release() explicitly where the protocol wants the flag dropped
+/// before trailing work (it is idempotent; the destructor then no-ops).
+class ClaimGuard {
+public:
+  explicit ClaimGuard(std::atomic<std::uint32_t>& flag) noexcept
+      TP_LOCK_FREE_AUDITED(
+          "single CAS 0->1 claim attempt, acq_rel so the critical section "
+          "is ordered against the previous owner's release; TSan: "
+          "test_serve PartitionService.ConcurrentClientsGetConsistent"
+          "Decisions")
+      : flag_(&flag) {
+    std::uint32_t expected = 0;
+    claimed_ = flag.load(std::memory_order_relaxed) == 0 &&
+               flag.compare_exchange_strong(expected, 1,
+                                            std::memory_order_acq_rel);
+  }
+  ClaimGuard(const ClaimGuard&) = delete;
+  ClaimGuard& operator=(const ClaimGuard&) = delete;
+  ClaimGuard(ClaimGuard&& other) noexcept
+      : flag_(other.flag_), claimed_(other.claimed_) {
+    other.claimed_ = false;
+  }
+  ClaimGuard& operator=(ClaimGuard&&) = delete;
+  ~ClaimGuard() { release(); }
+
+  bool claimed() const noexcept { return claimed_; }
+
+  void release() noexcept
+      TP_LOCK_FREE_AUDITED(
+          "release store of 0 publishes the critical section to the next "
+          "claimant's acq_rel CAS; idempotent; TSan: test_serve "
+          "PartitionService.ConcurrentClientsGetConsistentDecisions") {
+    if (claimed_) {
+      flag_->store(0, std::memory_order_release);
+      claimed_ = false;
+    }
+  }
+
+private:
+  std::atomic<std::uint32_t>* flag_;
+  bool claimed_ = false;
+};
+
 /// Monotonic counter, striped per thread. add() is a relaxed atomic add on
 /// the caller's stripe; total() sums all stripes.
 class StripedCounter {

@@ -87,12 +87,16 @@ void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
 
   const std::size_t numTasks =
       std::min(workers_.size(), (total + grain - 1) / grain);
-  pending->store(numTasks);
+  // Happens-before into the workers is carried by submit()'s queue mutex,
+  // so the latch seed needs no ordering of its own.
+  pending->store(numTasks, std::memory_order_relaxed);
 
   auto body = [=] {
     try {
       while (true) {
-        const std::size_t lo = next->fetch_add(grain);
+        // Pure index dispenser: the claimed range carries no data other
+        // workers must observe, only mutual exclusion of the counter.
+        const std::size_t lo = next->fetch_add(grain, std::memory_order_relaxed);
         if (lo >= end) break;
         const std::size_t hi = std::min(lo + grain, end);
         for (std::size_t i = lo; i < hi; ++i) fn(i);
@@ -100,10 +104,14 @@ void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
     } catch (...) {
       MutexLock lock(latch->mutex);
       if (!latch->error) latch->error = std::current_exception();
-      // Drain the dispenser so other workers stop promptly.
-      next->store(end);
+      // Drain the dispenser so other workers stop promptly. Relaxed: any
+      // worker that misses this value just runs one more empty slice check.
+      next->store(end, std::memory_order_relaxed);
     }
-    if (pending->fetch_sub(1) == 1) {
+    // acq_rel: each worker's release publishes its fn(i) effects into the
+    // latch word; the final decrement's acquire collects them all, so the
+    // caller returning from parallelFor observes every iteration.
+    if (pending->fetch_sub(1, std::memory_order_acq_rel) == 1) {
       MutexLock lock(latch->mutex);
       latch->done = true;
       latch->cv.notify_all();

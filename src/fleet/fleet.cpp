@@ -1,5 +1,6 @@
 #include "fleet/fleet.hpp"
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 
 namespace tp::fleet {
@@ -53,8 +54,13 @@ void Fleet::addMachine(const sim::MachineConfig& machine,
   }
 }
 
-std::future<serve::LaunchResponse> Fleet::submit(serve::LaunchRequest request) {
-  const std::size_t r = nextReplica_.fetch_add(1) % replicas_.size();
+std::future<serve::LaunchResponse> Fleet::submit(serve::LaunchRequest request)
+    TP_LOCK_FREE_AUDITED(
+        "relaxed round-robin ticket; only fairness depends on it and each "
+        "replica synchronizes internally; TSan: test_fleet "
+        "Fleet.CountersReconcileUnderConcurrentGossipAndRetrain") {
+  const std::size_t r =
+      nextReplica_.fetch_add(1, std::memory_order_relaxed) % replicas_.size();
   return replicas_[r]->submit(std::move(request));
 }
 

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 #include "common/hash.hpp"
 #include "common/log.hpp"
@@ -86,7 +87,13 @@ serve::LaunchResponse Replica::call(serve::LaunchRequest request) {
   return service_->call(std::move(request));
 }
 
-bool Replica::warmStart() {
+// All counters_ members are monotonic stat words folded into stats();
+// they publish no payload, so every bump below is relaxed.
+bool Replica::warmStart()
+    TP_LOCK_FREE_AUDITED(
+        "relaxed monotonic stat bumps; snapshot state itself is installed "
+        "through installModels/mergeRemoteWins which synchronize internally; "
+        "TSan: test_fleet Fleet.CountersReconcileUnderConcurrentGossipAndRetrain") {
   if (!store_.has_value()) return false;
   const auto snapshot = store_->loadLatest();
   if (!snapshot.has_value()) return false;
@@ -106,17 +113,23 @@ bool Replica::warmStart() {
   // shows up in the same counters): every record carries the snapshot's
   // generation, which installModels just made current.
   const adapt::MergeResult result = service_->mergeRemoteWins(snapshot->wins);
-  counters_.winsReceived += snapshot->wins.size();
-  counters_.winsMerged += result.merged();
-  counters_.winsAdopted += result.adopted;
-  counters_.winsRejectedStale += result.stale;
-  counters_.winsDropped += result.dropped;
-  counters_.snapshotsLoaded += 1;
-  counters_.modelInstalls += 1;
+  counters_.winsReceived.fetch_add(snapshot->wins.size(),
+                                   std::memory_order_relaxed);
+  counters_.winsMerged.fetch_add(result.merged(), std::memory_order_relaxed);
+  counters_.winsAdopted.fetch_add(result.adopted, std::memory_order_relaxed);
+  counters_.winsRejectedStale.fetch_add(result.stale,
+                                        std::memory_order_relaxed);
+  counters_.winsDropped.fetch_add(result.dropped, std::memory_order_relaxed);
+  counters_.snapshotsLoaded.fetch_add(1, std::memory_order_relaxed);
+  counters_.modelInstalls.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
-std::uint64_t Replica::saveSnapshot() {
+std::uint64_t Replica::saveSnapshot()
+    TP_LOCK_FREE_AUDITED(
+        "relaxed monotonic stat bump; the snapshot bytes are sequenced by "
+        "SnapshotStore::save itself; TSan: test_fleet "
+        "Fleet.CountersReconcileUnderConcurrentGossipAndRetrain") {
   TP_TRACE_SPAN("fleet.snapshot_save");
   TP_REQUIRE(store_.has_value(),
              "Replica " << config_.id << ": no snapshotDir configured");
@@ -137,11 +150,16 @@ std::uint64_t Replica::saveSnapshot() {
     if (service_->modelVersion() == snapshot.modelVersion) break;
   }
   const std::uint64_t seq = store_->save(snapshot);
-  counters_.snapshotsWritten += 1;
+  counters_.snapshotsWritten.fetch_add(1, std::memory_order_relaxed);
   return seq;
 }
 
-void Replica::publishWins() {
+void Replica::publishWins()
+    TP_LOCK_FREE_AUDITED(
+        "digest/skip words are a broadcast-suppression heuristic private to "
+        "the gossip round: a stale read only costs one redundant (idempotent) "
+        "re-offer, so every access is relaxed; counters are monotonic stats; "
+        "TSan: test_fleet Fleet.CountersReconcileUnderConcurrentGossipAndRetrain") {
   TP_TRACE_SPAN("fleet.gossip_publish");
   // Full-state anti-entropy, not a refined-only delta: the measured
   // evidence for *unrefined* neighborhoods is worth as much as the wins
@@ -151,29 +169,30 @@ void Replica::publishWins() {
   // below keeps steady-state rounds free.
   const auto wins = service_->exportRefinedWins(/*refinedOnly=*/false);
   if (wins.empty()) {
-    counters_.gossipRoundsSkipped += 1;
+    counters_.gossipRoundsSkipped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   const std::uint64_t digest = winsDigest(wins, transport_.nodes().size());
-  if (lastWinsDigest_.exchange(digest) == digest) {
+  if (lastWinsDigest_.exchange(digest, std::memory_order_relaxed) == digest) {
     // Unchanged state — but never stay silent forever: a peer that
     // (re)joined at the same node count, or missed a broadcast, only
     // converges if the state is periodically re-offered.
-    const std::size_t skipped = skippedSinceBroadcast_.fetch_add(1) + 1;
+    const std::size_t skipped =
+        skippedSinceBroadcast_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (config_.gossipRefreshRounds == 0 ||
         skipped < config_.gossipRefreshRounds) {
-      counters_.gossipRoundsSkipped += 1;
+      counters_.gossipRoundsSkipped.fetch_add(1, std::memory_order_relaxed);
       return;
     }
   }
-  skippedSinceBroadcast_.store(0);
+  skippedSinceBroadcast_.store(0, std::memory_order_relaxed);
   Envelope envelope;
   envelope.kind = MsgKind::WinsGossip;
   envelope.from = config_.id;
   envelope.seq = nextSeq();
   envelope.payload = encodeWins(wins);
   transport_.broadcast(config_.id, envelope);
-  counters_.winsSent += wins.size();
+  counters_.winsSent.fetch_add(wins.size(), std::memory_order_relaxed);
 }
 
 Replica::FleetRetrain Replica::coordinateRetrain() {
@@ -253,18 +272,27 @@ Replica::FleetRetrain Replica::coordinateRetrain() {
   return result;
 }
 
-serve::ServiceStats Replica::stats() const {
+serve::ServiceStats Replica::stats() const
+    TP_LOCK_FREE_AUDITED(
+        "relaxed snapshot of independent monotonic counters; readers accept "
+        "per-word (not cross-word) consistency by contract; TSan: test_fleet "
+        "Fleet.CountersReconcileUnderConcurrentGossipAndRetrain") {
   serve::ServiceStats s = service_->stats();
-  s.fleet.winsSent = counters_.winsSent.load();
-  s.fleet.winsReceived = counters_.winsReceived.load();
-  s.fleet.winsMerged = counters_.winsMerged.load();
-  s.fleet.winsAdopted = counters_.winsAdopted.load();
-  s.fleet.winsRejectedStale = counters_.winsRejectedStale.load();
-  s.fleet.winsDropped = counters_.winsDropped.load();
-  s.fleet.snapshotsWritten = counters_.snapshotsWritten.load();
-  s.fleet.snapshotsLoaded = counters_.snapshotsLoaded.load();
-  s.fleet.modelInstalls = counters_.modelInstalls.load();
-  s.fleet.gossipRoundsSkipped = counters_.gossipRoundsSkipped.load();
+  using std::memory_order_relaxed;
+  s.fleet.winsSent = counters_.winsSent.load(memory_order_relaxed);
+  s.fleet.winsReceived = counters_.winsReceived.load(memory_order_relaxed);
+  s.fleet.winsMerged = counters_.winsMerged.load(memory_order_relaxed);
+  s.fleet.winsAdopted = counters_.winsAdopted.load(memory_order_relaxed);
+  s.fleet.winsRejectedStale =
+      counters_.winsRejectedStale.load(memory_order_relaxed);
+  s.fleet.winsDropped = counters_.winsDropped.load(memory_order_relaxed);
+  s.fleet.snapshotsWritten =
+      counters_.snapshotsWritten.load(memory_order_relaxed);
+  s.fleet.snapshotsLoaded =
+      counters_.snapshotsLoaded.load(memory_order_relaxed);
+  s.fleet.modelInstalls = counters_.modelInstalls.load(memory_order_relaxed);
+  s.fleet.gossipRoundsSkipped =
+      counters_.gossipRoundsSkipped.load(memory_order_relaxed);
   return s;
 }
 
@@ -295,15 +323,20 @@ void Replica::handle(const Envelope& envelope) {
   }
 }
 
-void Replica::handleWins(const Envelope& envelope) {
+void Replica::handleWins(const Envelope& envelope)
+    TP_LOCK_FREE_AUDITED(
+        "relaxed monotonic stat bumps after mergeRemoteWins (which holds the "
+        "refiner's own locks); TSan: test_fleet "
+        "Fleet.CountersReconcileUnderConcurrentGossipAndRetrain") {
   TP_TRACE_SPAN_ARG("fleet.gossip_merge", envelope.payload.size());
   const auto wins = decodeWins(envelope.payload);
   const adapt::MergeResult result = service_->mergeRemoteWins(wins);
-  counters_.winsReceived += wins.size();
-  counters_.winsMerged += result.merged();
-  counters_.winsAdopted += result.adopted;
-  counters_.winsRejectedStale += result.stale;
-  counters_.winsDropped += result.dropped;
+  counters_.winsReceived.fetch_add(wins.size(), std::memory_order_relaxed);
+  counters_.winsMerged.fetch_add(result.merged(), std::memory_order_relaxed);
+  counters_.winsAdopted.fetch_add(result.adopted, std::memory_order_relaxed);
+  counters_.winsRejectedStale.fetch_add(result.stale,
+                                        std::memory_order_relaxed);
+  counters_.winsDropped.fetch_add(result.dropped, std::memory_order_relaxed);
 }
 
 void Replica::handleFeedbackPull(const Envelope& envelope) {
@@ -323,7 +356,11 @@ void Replica::handleFeedbackPush(const Envelope& envelope) {
   feedbackCv_.notify_all();
 }
 
-void Replica::applyModelInstall(const ModelInstallMsg& msg) {
+void Replica::applyModelInstall(const ModelInstallMsg& msg)
+    TP_LOCK_FREE_AUDITED(
+        "relaxed monotonic stat bump; the install itself synchronizes inside "
+        "installModels; TSan: test_fleet "
+        "Fleet.CountersReconcileUnderConcurrentGossipAndRetrain") {
   TP_TRACE_SPAN_ARG("fleet.model_install", msg.modelVersion);
   std::vector<serve::PartitionService::ModelUpdate> updates;
   updates.reserve(msg.models.size());
@@ -334,7 +371,7 @@ void Replica::applyModelInstall(const ModelInstallMsg& msg) {
         std::shared_ptr<const ml::Classifier>(ml::loadClassifier(is))});
   }
   service_->installModels(updates, msg.modelVersion);
-  counters_.modelInstalls += 1;
+  counters_.modelInstalls.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace tp::fleet

@@ -108,7 +108,15 @@ private:
   void handleFeedbackPush(const Envelope& envelope);
   void applyModelInstall(const ModelInstallMsg& msg);
 
-  std::uint64_t nextSeq() { return seq_.fetch_add(1) + 1; }
+  // Relaxed: sequence numbers only need to be unique and monotonic per
+  // replica; receivers order messages by value, not by this RMW.
+  std::uint64_t nextSeq()
+      TP_LOCK_FREE_AUDITED(
+          "relaxed unique-ticket counter, ordering carried by the message "
+          "payload itself; TSan: test_fleet "
+          "Fleet.CountersReconcileUnderConcurrentGossipAndRetrain") {
+    return seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 
   ReplicaConfig config_;
   Transport& transport_;

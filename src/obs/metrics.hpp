@@ -45,9 +45,17 @@ namespace tp::obs {
 /// Last-write-wins double value (model versions, hit rates, sizes).
 class Gauge {
 public:
-  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void set(double v) noexcept
+      TP_LOCK_FREE_AUDITED(
+          "relaxed last-write-wins word, no payload ordered behind it; "
+          "TSan: test_obs Registry.OwnedInstrumentsAndExposition") {
+    value_.store(v, std::memory_order_relaxed);
+  }
   void add(double v) noexcept { common::atomicAdd(value_, v); }
-  double value() const noexcept {
+  double value() const noexcept
+      TP_LOCK_FREE_AUDITED(
+          "relaxed read of the last-write-wins word, see set(); TSan: "
+          "test_obs Registry.OwnedInstrumentsAndExposition") {
     return value_.load(std::memory_order_relaxed);
   }
 

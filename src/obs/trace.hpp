@@ -69,8 +69,17 @@ public:
   void enable(Config config) TP_EXCLUDES(mutex_);
   void enable() TP_EXCLUDES(mutex_) { enable(Config()); }
   /// Stop recording; buffered events stay drainable via snapshot().
-  void disable() noexcept { enabled_.store(false, std::memory_order_relaxed); }
-  bool enabled() const noexcept {
+  void disable() noexcept
+      TP_LOCK_FREE_AUDITED(
+          "relaxed flip of the recording flag; an in-flight record() may "
+          "keep one more event, which snapshot() tolerates; TSan: test_obs "
+          "TraceRecorder.ConcurrentRecordAndSnapshotUnderContention") {
+    enabled_.store(false, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept
+      TP_LOCK_FREE_AUDITED(
+          "relaxed read of the recording flag, see disable(); TSan: "
+          "test_obs TraceRecorder.ConcurrentRecordAndSnapshotUnderContention") {
     return enabled_.load(std::memory_order_relaxed);
   }
 
@@ -81,7 +90,11 @@ public:
 
   /// Thread-local 1-in-N tick for sampled spans (N from the session
   /// config; N <= 1 keeps every event).
-  bool shouldSample() noexcept {
+  bool shouldSample() noexcept
+      TP_LOCK_FREE_AUDITED(
+          "relaxed read of the session's sampling knob; a stale N only "
+          "shifts which events a racing thread keeps; TSan: test_obs "
+          "TraceRecorder.ConcurrentRecordAndSnapshotUnderContention") {
     const std::uint32_t n = sampleEveryN_.load(std::memory_order_relaxed);
     if (n <= 1) return true;
     thread_local std::uint32_t counter = 0;

@@ -121,7 +121,12 @@ DecisionCache::DecisionCache(std::size_t capacity, int roundDigits)
 }
 
 DecisionKey DecisionCache::makeKey(std::string machine, std::string program,
-                                   std::vector<double> features) const {
+                                   std::vector<double> features) const
+    TP_LOCK_FREE_AUDITED(
+        "acquire-load of the version word pairs with the acq_rel bump in "
+        "bumpVersion/advanceVersion, so a key stamped with generation v "
+        "observes generation v's models; TSan: test_serve_cache "
+        "DecisionCacheDifferential.ConcurrentStreamWithVersionBumps") {
   DecisionKey key;
   key.machine = std::move(machine);
   key.program = std::move(program);
@@ -280,17 +285,30 @@ void DecisionCache::insert(const common::Fingerprint& fp,
   }
 }
 
-std::uint64_t DecisionCache::version() const noexcept {
+std::uint64_t DecisionCache::version() const noexcept
+    TP_LOCK_FREE_AUDITED(
+        "acquire-load pairing with the acq_rel version movement, see "
+        "makeKey; TSan: test_serve_cache "
+        "DecisionCacheDifferential.ConcurrentStreamWithVersionBumps") {
   return version_.load(std::memory_order_acquire);
 }
 
-std::uint64_t DecisionCache::bumpVersion() {
+std::uint64_t DecisionCache::bumpVersion()
+    TP_LOCK_FREE_AUDITED(
+        "acq_rel increment of the version word invalidates older "
+        "generations; stale in-flight inserts are dropped inside the slot "
+        "critical section; TSan: test_serve_cache "
+        "DecisionCacheDifferential.ConcurrentStreamWithVersionBumps") {
   const std::uint64_t v = version_.fetch_add(1, std::memory_order_acq_rel) + 1;
   clearStale();
   return v;
 }
 
-std::uint64_t DecisionCache::advanceVersion(std::uint64_t version) {
+std::uint64_t DecisionCache::advanceVersion(std::uint64_t version)
+    TP_LOCK_FREE_AUDITED(
+        "acq_rel CAS race to move the version forward; exactly one winner "
+        "sweeps, same contract as bumpVersion; TSan: test_serve_cache "
+        "DecisionCacheDifferential.ConcurrentStreamWithVersionBumps") {
   std::uint64_t current = version_.load(std::memory_order_acquire);
   while (current < version &&
          !version_.compare_exchange_weak(current, version,
@@ -305,7 +323,13 @@ std::uint64_t DecisionCache::advanceVersion(std::uint64_t version) {
   return current;
 }
 
-void DecisionCache::sweep(bool staleOnly) {
+void DecisionCache::sweep(bool staleOnly)
+    TP_LOCK_FREE_AUDITED(
+        "seqlock writer over every slot: claim odd, clear fields with "
+        "release stores (a reader observing cleared fields also observes "
+        "the odd sequence and retries), release even; TSan: "
+        "test_serve_cache DecisionCacheDifferential."
+        "ConcurrentStreamWithVersionBumps") {
   CounterStripe& counters = stripe();
   for (std::size_t i = 0; i < numSlots_; ++i) {
     Slot& slot = slots_[i];
@@ -333,7 +357,12 @@ void DecisionCache::clearStale() { sweep(/*staleOnly=*/true); }
 
 void DecisionCache::clear() { sweep(/*staleOnly=*/false); }
 
-std::size_t DecisionCache::size() const {
+std::size_t DecisionCache::size() const
+    TP_LOCK_FREE_AUDITED(
+        "seqlock reader: acquire-load of the even sequence word, then meta, "
+        "then a re-check; bounded retries, count is advisory under churn; "
+        "TSan: test_serve_cache "
+        "DecisionCacheContention.CountersAndCapacityStayConsistent") {
   std::size_t occupied = 0;
   for (const Slot& slot : slots_) {
     for (int attempt = 0; attempt < 8; ++attempt) {
@@ -348,7 +377,11 @@ std::size_t DecisionCache::size() const {
   return occupied;
 }
 
-CacheCounters DecisionCache::counters() const {
+CacheCounters DecisionCache::counters() const
+    TP_LOCK_FREE_AUDITED(
+        "relaxed sums over per-stripe monotonic counters; cross-stripe "
+        "consistency is not promised; TSan: test_serve_cache "
+        "DecisionCacheContention.CountersAndCapacityStayConsistent") {
   CacheCounters total;
   for (const CounterStripe& s : counterStripes_) {
     total.lookups += s.lookups.load(std::memory_order_relaxed);

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <deque>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/striped.hpp"
 #include "features/runtime_features.hpp"
 #include "obs/clock.hpp"
 #include "obs/trace.hpp"
@@ -134,7 +136,12 @@ PartitionService::~PartitionService() {
   }
 }
 
-void PartitionService::registerMetrics() {
+void PartitionService::registerMetrics()
+    TP_LOCK_FREE_AUDITED(
+        "registers readout lambdas doing relaxed loads of independent "
+        "monotonic stat words; per-word exactness is the contract; TSan: "
+        "test_serve PartitionService.StatsConcurrentWithAddMachineIs"
+        "Consistent") {
   obs::Registry& reg = *config_.metrics;
   const std::string& p = config_.metricsPrefix;
   reg.registerCounter(p + "requests_submitted",
@@ -304,7 +311,15 @@ common::ThreadPool& PartitionService::ensurePool() {
   return *pool_;
 }
 
-void PartitionService::requestDone() noexcept {
+// seq_cst (deliberate, A1-explicit): the in-flight latch and the
+// accepting_ gate form a Dekker-style pair with drain()/shutdown() —
+// weaker orders would let a final decrement and the drain's load pass
+// each other and strand the waiter.
+void PartitionService::requestDone() noexcept
+    TP_LOCK_FREE_AUDITED(
+        "seq_cst completion latch: final decrement notifies drain()'s "
+        "seq_cst wait loop; TSan: test_serve "
+        "PartitionService.RetrainUnderLiveTrafficDoesNotDeadlock") {
   if (inFlight_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
     inFlight_.notify_all();
   }
@@ -313,7 +328,12 @@ void PartitionService::requestDone() noexcept {
 bool PartitionService::tryServeInline(MachineState& ms,
                                       const LaunchRequest& request,
                                       LaunchResponse& response,
-                                      PreDecision& carry) {
+                                      PreDecision& carry)
+    TP_LOCK_FREE_AUDITED(
+        "acquire-load of frozen_ pairs with its release store (publishes "
+        "pool_ and the machine map); lane ownership is a ClaimGuard CAS "
+        "claim released on every path including unwind; TSan: test_serve "
+        "PartitionService.ConcurrentClientsGetConsistentDecisions") {
   // Pre-freeze traffic takes the queue path (which initializes the pool
   // and freezes the machine map).
   if (!frozen_.load(std::memory_order_acquire)) return false;
@@ -355,16 +375,17 @@ bool PartitionService::tryServeInline(MachineState& ms,
   // Claim an inline lane with one CAS; all busy -> batching queue (the
   // decision travels along). Start the scan at a per-thread offset so
   // concurrent callers spread over lanes instead of convoying on lane 0.
+  // The RAII guard keeps the claim exception-safe: any throw below
+  // releases the lane on unwind instead of leaking it (lint rule A3).
   const std::size_t numLanes = ms.inlineLanes.size();
   const std::size_t start = common::threadStripe(numLanes);
   MachineState::InlineLane* lane = nullptr;
+  std::optional<common::ClaimGuard> claim;
   for (std::size_t i = 0; i < numLanes; ++i) {
     MachineState::InlineLane& candidate =
         ms.inlineLanes[(start + i) % numLanes];
-    std::uint32_t expected = 0;
-    if (candidate.busy.load(std::memory_order_relaxed) == 0 &&
-        candidate.busy.compare_exchange_strong(expected, 1,
-                                               std::memory_order_acq_rel)) {
+    claim.emplace(candidate.busy);
+    if (claim->claimed()) {
       lane = &candidate;
       break;
     }
@@ -380,22 +401,17 @@ bool PartitionService::tryServeInline(MachineState& ms,
   response.modelVersion = carry.version;
   response.explored = false;
   response.refined = carry.refined;
-  try {
-    if (lane->scheduler == nullptr) {
-      // First claim of this lane: build its private context/scheduler now
-      // (one-time; we own the lane exclusively until the busy release).
-      lane->context = std::make_unique<vcl::Context>(
-          ms.machine, config_.execMode, ms.computePool);
-      lane->scheduler = std::make_unique<runtime::Scheduler>(*lane->context);
-    }
-    finishDecided(ms, *lane->scheduler, task, response, carry);
-  } catch (...) {
-    // The busy flag must be released on ANY throw (including a failed
-    // lazy construction), or the lane would be claimed forever.
-    lane->busy.store(0, std::memory_order_release);
-    throw;
+  if (lane->scheduler == nullptr) {
+    // First claim of this lane: build its private context/scheduler now
+    // (one-time; we own the lane exclusively until the busy release).
+    lane->context = std::make_unique<vcl::Context>(
+        ms.machine, config_.execMode, ms.computePool);
+    lane->scheduler = std::make_unique<runtime::Scheduler>(*lane->context);
   }
-  lane->busy.store(0, std::memory_order_release);
+  finishDecided(ms, *lane->scheduler, task, response, carry);
+  // Release the lane before the feedback/stat trailing work — none of it
+  // touches lane state, so the next claimant can start immediately.
+  claim->release();
   // Post-freeze path (checked on entry), so the recorder pointer is
   // immutable and read through the audited accessor.
   FeedbackRecorder* feedback = feedbackPostFreeze();
@@ -477,7 +493,12 @@ std::future<LaunchResponse> PartitionService::enqueue(MachineState& ms,
 
 PartitionService::AdmitResult PartitionService::admitAndTryInline(
     LaunchRequest& request, LaunchResponse& response, PreDecision& carry,
-    bool& inlineFault) {
+    bool& inlineFault)
+    TP_LOCK_FREE_AUDITED(
+        "seq_cst (deliberate, A1-explicit) increment-then-check against the "
+        "accepting_ gate: pairs with shutdown()'s store-then-drain so no "
+        "request slips past a closing service uncounted; TSan: test_serve "
+        "PartitionService.RetrainUnderLiveTrafficDoesNotDeadlock") {
   // Resolve + lifecycle-check before counting the request, mirroring the
   // queue-era semantics: unknown machines and post-shutdown submissions
   // throw and are never counted as submitted.
@@ -580,7 +601,12 @@ std::size_t PartitionService::predictWithModel(
 }
 
 void PartitionService::process(MachineState& ms, std::size_t lane,
-                               PendingRequest pending) {
+                               PendingRequest pending)
+    TP_LOCK_FREE_AUDITED(
+        "relaxed read of the feedbackBackfill_ hint flag; a stale value "
+        "only delays backfill by one request, the recorder dedups; TSan: "
+        "test_serve PartitionService.ConcurrentClientsGetConsistent"
+        "Decisions") {
   LaunchResponse response;
   bool ok = false;
   try {
@@ -894,7 +920,11 @@ runtime::FeatureDatabase PartitionService::trafficSnapshot() const {
   return feedback->snapshot();
 }
 
-void PartitionService::drain() {
+void PartitionService::drain()
+    TP_LOCK_FREE_AUDITED(
+        "seq_cst (deliberate, A1-explicit) wait loop on the in-flight "
+        "latch, pairing with requestDone()'s decrement+notify; TSan: "
+        "test_serve PartitionService.RetrainUnderLiveTrafficDoesNotDeadlock") {
   for (;;) {
     const std::uint64_t v = inFlight_.load(std::memory_order_seq_cst);
     if (v == 0) return;
