@@ -19,12 +19,30 @@
 //                     and write a Chrome trace-event JSON file on exit
 //   --metrics <path>  register service stats on obs::defaultRegistry()
 //                     and dump the JSON exposition on exit
+//
+// Health flags (any of them turns on per-machine SLO tracking plus the
+// stock detector rules, evaluated four times after the waves):
+//   --health              SLO tracking + health evaluation with a
+//                         generous default p99 target (0.5s)
+//   --slo-p99-us <us>     explicit p99 target in microseconds. Values
+//                         below 1us are a SEEDED BREACH run: the example
+//                         then asserts exactly one deduped latency_slo
+//                         event (and, with a postmortem dir, exactly one
+//                         bundle) — the ctest/CI smoke mode
+//   --postmortem-dir <d>  attach an obs::FlightRecorder dumping
+//                         postmortem bundles into <d> on breach (implies
+//                         tracing, so bundles carry spans); a demand
+//                         dump is written when no breach fired, so the
+//                         validator always has a bundle to check
 
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -34,6 +52,8 @@
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "fleet/fleet.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/evaluation.hpp"
@@ -66,19 +86,32 @@ int main(int argc, char** argv) {
 
   std::string tracePath;
   std::string metricsPath;
+  std::string postmortemDir;
+  bool healthFlag = false;
+  double sloP99Us = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       tracePath = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metricsPath = argv[++i];
+    } else if (std::strcmp(argv[i], "--health") == 0) {
+      healthFlag = true;
+    } else if (std::strcmp(argv[i], "--slo-p99-us") == 0 && i + 1 < argc) {
+      sloP99Us = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--postmortem-dir") == 0 && i + 1 < argc) {
+      postmortemDir = argv[++i];
     } else {
-      std::printf("usage: %s [--trace out.json] [--metrics out.json]\n",
-                  argv[0]);
+      std::printf(
+          "usage: %s [--trace out.json] [--metrics out.json] [--health] "
+          "[--slo-p99-us N] [--postmortem-dir dir]\n",
+          argv[0]);
       return 2;
     }
   }
+  const bool healthMode =
+      healthFlag || sloP99Us > 0.0 || !postmortemDir.empty();
 
-  if (!tracePath.empty()) {
+  if (!tracePath.empty() || !postmortemDir.empty()) {
     obs::TraceRecorder::Config tc;
     tc.sampleEveryN = 4;  // keep warm-hit spans visible in a short run
     obs::traceRecorder().enable(tc);
@@ -116,8 +149,16 @@ int main(int argc, char** argv) {
   config.cacheCapacity = 256;
   config.lanesPerMachine = 2;
   config.retrainSpec = "forest:32";
-  if (!metricsPath.empty()) {
+  if (!metricsPath.empty() || healthMode) {
+    // Health mode needs the registry regardless of --metrics: the SLO
+    // gauges and any postmortem bundle's metrics section read from it.
     config.metrics = &obs::defaultRegistry();
+  }
+  if (healthMode) {
+    config.slo.windowSeconds = 30.0;  // the whole run fits in the horizon
+    config.slo.subWindows = 6;
+    config.slo.minSamples = 50;
+    config.slo.targetP99Seconds = sloP99Us > 0.0 ? sloP99Us * 1e-6 : 0.5;
   }
   serve::PartitionService service(config);
   for (const auto& machine : machines) {
@@ -224,6 +265,87 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
     expect(m.requests > 0, "both machines saw traffic");
+  }
+
+  // ---- health & postmortem segment ----------------------------------------
+  // Four manual evaluation passes against the traffic just served: with
+  // triggerAfter=2, a sustained breach emits its event on pass 2 and is
+  // suppressed (deduped) on passes 3 and 4 — exactly one event, however
+  // long the breach lasts.
+  if (healthMode) {
+    for (const auto& machine : machines) {
+      const obs::SloTracker::Report r = service.sloReport(machine.name);
+      std::printf("slo %s: %llu samples, p50 %.0fus p99 %.0fus "
+                  "(target %.0fus), burn %.2fx%s\n",
+                  machine.name.c_str(),
+                  static_cast<unsigned long long>(r.count),
+                  r.p50Seconds * 1e6, r.p99Seconds * 1e6,
+                  config.slo.targetP99Seconds * 1e6, r.burnRateP99,
+                  r.breached ? "  BREACHED" : "");
+      expect(r.count > 0, "slo tracker saw the served traffic");
+    }
+
+    obs::HealthMonitor monitor;
+    service.registerHealthRules(monitor);
+    std::unique_ptr<obs::FlightRecorder> recorder;
+    // Bundles persist across runs (sequence continuity is a recorder
+    // feature), so the exactly-one-bundle check below must count new
+    // sequences, not directory contents.
+    std::uint64_t seqBefore = 0;
+    if (!postmortemDir.empty()) {
+      obs::FlightRecorderConfig frc;
+      frc.dir = postmortemDir;
+      frc.metrics = &obs::defaultRegistry();
+      frc.trace = &obs::traceRecorder();
+      frc.health = &monitor;
+      recorder = std::make_unique<obs::FlightRecorder>(frc);
+      seqBefore = recorder->highestSequence();
+      recorder->attach();
+    }
+    std::size_t emitted = 0;
+    for (int pass = 0; pass < 4; ++pass) emitted += monitor.evaluateOnce();
+    const auto events = monitor.events();
+    const obs::HealthCounters hc = monitor.counters();
+    std::printf("health: %zu rules, 4 passes, %zu event(s), "
+                "%llu suppressed firing(s)\n",
+                monitor.ruleCount(), emitted,
+                static_cast<unsigned long long>(hc.suppressedFirings));
+    for (const auto& event : events) {
+      std::printf("  [%s] %s: %s\n", obs::severityName(event.severity),
+                  event.rule.c_str(), event.message.c_str());
+    }
+
+    if (sloP99Us > 0.0 && sloP99Us < 1.0) {
+      // Seeded breach: a sub-microsecond p99 target is unservable, so
+      // the latency SLO must breach — and dedup must keep it to ONE
+      // event and ONE bundle across all four passes.
+      std::size_t breachEvents = 0;
+      for (const auto& event : events) {
+        if (!event.cleared && event.rule == config.metricsPrefix +
+                                                "latency_slo") {
+          ++breachEvents;
+        }
+      }
+      expect(breachEvents == 1,
+             "seeded SLO breach emits exactly one deduped event");
+      expect(hc.suppressedFirings >= 1,
+             "sustained breach is suppressed, not re-emitted");
+      if (recorder != nullptr) {
+        expect(recorder->highestSequence() == seqBefore + 1,
+               "one breach event -> exactly one new postmortem bundle");
+      }
+    }
+    if (recorder != nullptr) {
+      if (recorder->bundleCount() == 0) {
+        recorder->dump("on-demand");  // healthy run: validator still gets one
+      }
+      std::printf("postmortem bundle(s): %zu in %s (latest %s)\n",
+                  recorder->bundleCount(), recorder->dir().c_str(),
+                  recorder->pathFor(recorder->highestSequence()).c_str());
+    }
+    // The rules capture the service; drop them before anything outlives
+    // this scope (the monitor is scoped, but be explicit about intent).
+    monitor.removeRulesByPrefix("");
   }
 
   // ---- observability segment ----------------------------------------------

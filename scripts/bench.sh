@@ -83,3 +83,42 @@ else
     || true
 fi
 rm -rf "$obs_tmp"
+
+# ---- health overhead (BENCH_health.json) ----------------------------------
+# The PR 9 gate: warm serving throughput with the full health stack
+# (per-machine SLO trackers + detector rules on a background monitor +
+# an attached flight recorder) stays within 5% of the obs-enabled
+# baseline. The driver interleaves the two configurations wave by wave
+# inside one process, so each run is already drift-resistant; three runs
+# and best-of keep parity with the obs gate. The same-run baseline is
+# projected into a one-key JSON so the standard bench_compare gate
+# applies (fatal in CI via TP_OBS_GATE_FATAL=1).
+cmake --build build -j "$(nproc)" --target health_overhead
+health_tmp="$(mktemp -d)"
+for i in 1 2 3; do
+  ./build/bench/health_overhead --json "$health_tmp/run_$i.json"
+done
+python3 scripts/bench_best.py --metric requests_per_sec_warm \
+  "$health_tmp/best.json" "$health_tmp"/run_?.json
+if [ -f BENCH_health.json ]; then
+  python3 scripts/bench_compare.py BENCH_health.json \
+    "$health_tmp/best.json" || true
+fi
+cp "$health_tmp/best.json" BENCH_health.json
+python3 - "$health_tmp/best.json" "$health_tmp/baseline_view.json" << 'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+with open(sys.argv[2], "w") as f:
+    json.dump({"requests_per_sec_warm": doc["requests_per_sec_baseline"]}, f)
+EOF
+if [ "${TP_OBS_GATE_FATAL:-0}" = "1" ]; then
+  python3 scripts/bench_compare.py "$health_tmp/baseline_view.json" \
+    BENCH_health.json \
+    --metric requests_per_sec_warm --fail-on requests_per_sec_warm:5
+else
+  python3 scripts/bench_compare.py "$health_tmp/baseline_view.json" \
+    BENCH_health.json \
+    --metric requests_per_sec_warm --fail-on requests_per_sec_warm:5 \
+    || true
+fi
+rm -rf "$health_tmp"

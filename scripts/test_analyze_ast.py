@@ -364,6 +364,36 @@ class AnalyzeAstRuleTests(unittest.TestCase):
               "};\n")
         self.assertEqual([str(f) for f in self.analyze()], [])
 
+    def test_a1_implicit_order_in_slo_shaped_fixture(self):
+        # Mirrors SloTracker::record's slice-stamp check: dropping the
+        # explicit order from the acquire load must trip A1 even though
+        # the function carries an audit tag.
+        write(self.root, "src/obs/slo.cpp",
+              "struct SubWindow { std::atomic<unsigned long long> slice; };\n"
+              "struct Tracker {\n"
+              "  SubWindow sub_;\n"
+              "  bool stale(unsigned long long s) TP_LOCK_FREE_AUDITED(\n"
+              '      "fixture; TSan: test_x F.T") {\n'
+              "    return sub_.slice.load() != s;\n"
+              "  }\n"
+              "};\n")
+        self.assertOnlyRule(self.analyze(), "A1", "src/obs/slo.cpp")
+
+    def test_a4_unaudited_touch_in_health_shaped_fixture(self):
+        # Mirrors a detector rule peeking at a liveness counter: a
+        # member-atomic touch in src/obs/health.cpp outside any audit,
+        # mutex scope or TP_REQUIRES must trip A4 — the real rules
+        # register under audited functions, and that exemption must not
+        # silently widen to the whole file.
+        write(self.root, "src/obs/health.cpp",
+              "struct Monitor {\n"
+              "  std::atomic<unsigned long long> rounds{0};\n"
+              "  unsigned long long peek() {\n"
+              "    return rounds.load(std::memory_order_relaxed);\n"
+              "  }\n"
+              "};\n")
+        self.assertOnlyRule(self.analyze(), "A4", "src/obs/health.cpp")
+
     def test_a4_locals_exempt(self):
         write(self.root, "src/common/ok.cpp",
               "void f() {\n"

@@ -114,6 +114,22 @@ class LintRuleTests(unittest.TestCase):
               "auto t0() { return std::chrono::steady_clock::now(); }\n")
         self.assertEqual(self.lint(), [])
 
+    def test_r8_fires_in_obs_health_and_slo(self):
+        # The obs/ carve-out covers ONLY clock.hpp: the PR 9 health
+        # files (health.cpp, slo.cpp) must go through obs::Clock, so a
+        # raw steady_clock seeded into either must still trip R8.
+        write(self.root, "src/obs/health.cpp",
+              "#include <chrono>\n"
+              "auto t() { return std::chrono::steady_clock::now(); }\n")
+        write(self.root, "src/obs/slo.cpp",
+              "#include <chrono>\n"
+              "auto t() { return std::chrono::steady_clock::now(); }\n")
+        violations = self.lint()
+        self.assertEqual({v.rule for v in violations}, {"R8"})
+        paths = {v.path for v in violations}
+        self.assertTrue(any(p.endswith("src/obs/health.cpp") for p in paths))
+        self.assertTrue(any(p.endswith("src/obs/slo.cpp") for p in paths))
+
     def test_r8_ignores_comments(self):
         write(self.root, "src/serve/ok.cpp",
               "// obs::Clock wraps std::chrono::steady_clock\n"

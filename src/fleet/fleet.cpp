@@ -98,6 +98,13 @@ void Fleet::shutdownAll() {
   for (const auto& replica : replicas_) replica->service().shutdown();
 }
 
+void Fleet::registerHealthRules(obs::HealthMonitor& monitor,
+                                const FleetHealthConfig& rules) {
+  for (const auto& replica : replicas_) {
+    replica->registerHealthRules(monitor, rules);
+  }
+}
+
 Fleet::FleetStats Fleet::stats() const {
   FleetStats stats;
   stats.replicas.reserve(replicas_.size());

@@ -70,6 +70,13 @@ public:
   void drainAll();
   void shutdownAll();
 
+  /// Install every replica's detector rules into `monitor` (see
+  /// Replica::registerHealthRules). Per-replica id prefixes and
+  /// metricsPrefixes keep the rule names distinct. Stop the monitor
+  /// before this fleet is destroyed.
+  void registerHealthRules(obs::HealthMonitor& monitor,
+                           const FleetHealthConfig& rules = {});
+
   struct FleetStats {
     std::vector<serve::ServiceStats> replicas;  ///< index order
     TransportCounters transport;

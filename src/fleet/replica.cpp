@@ -161,6 +161,10 @@ void Replica::publishWins()
         "re-offer, so every access is relaxed; counters are monotonic stats; "
         "TSan: test_fleet Fleet.CountersReconcileUnderConcurrentGossipAndRetrain") {
   TP_TRACE_SPAN("fleet.gossip_publish");
+  // Liveness heartbeat for the gossip_stall detector: counted on entry,
+  // before any skip path — a stalled *bus* is the failure mode, not a
+  // digest-quiet round.
+  gossipRounds_.fetch_add(1, std::memory_order_relaxed);
   // Full-state anti-entropy, not a refined-only delta: the measured
   // evidence for *unrefined* neighborhoods is worth as much as the wins
   // (a peer that merges it stops probing those arms), and re-offering
@@ -197,6 +201,7 @@ void Replica::publishWins()
 
 Replica::FleetRetrain Replica::coordinateRetrain() {
   TP_TRACE_SPAN("fleet.coordinate_retrain");
+  const auto retrainStart = obs::Clock::now();
   const std::size_t peers = transport_.nodes().size() - 1;
   {
     common::MutexLock lock(feedbackMutex_);
@@ -269,7 +274,60 @@ Replica::FleetRetrain Replica::coordinateRetrain() {
   // The coordinator applies the same decoded message it broadcast, so
   // every replica — including this one — serves byte-identical models.
   applyModelInstall(decodeModelInstall(install.payload));
+  lastRetrainSeconds_.store(
+      std::chrono::duration<double>(obs::Clock::now() - retrainStart).count(),
+      std::memory_order_relaxed);
   return result;
+}
+
+void Replica::registerHealthRules(obs::HealthMonitor& monitor,
+                                  const FleetHealthConfig& rules)
+    TP_LOCK_FREE_AUDITED(
+        "registers rule lambdas doing relaxed loads of the monotonic "
+        "gossip-round word and the last-retrain word; the monitor runs "
+        "them serially under its own mutex; TSan: test_health "
+        "HealthMonitor.BreachWhileDrainStaysConsistent") {
+  if (rules.includeServiceRules) {
+    service_->registerHealthRules(monitor, rules.service);
+  }
+  if (bus_ != nullptr) {
+    obs::DetectorRule rule;
+    rule.name = config_.id + ".gossip_stall";
+    rule.triggerAfter = rules.gossipStallEvals;
+    rule.clearAfter = 1;  // one advancing round proves liveness again
+    rule.evaluate = [this, prev = std::uint64_t{0},
+                     baselined = false]() mutable -> std::optional<obs::Firing> {
+      const std::uint64_t rounds =
+          gossipRounds_.load(std::memory_order_relaxed);
+      const std::uint64_t before = prev;
+      prev = rounds;
+      if (!baselined) {
+        baselined = true;
+        return std::nullopt;  // first evaluation only takes the baseline
+      }
+      // Quiet until the first round has run: not-yet-started is not
+      // stalled (see FleetHealthConfig).
+      if (rounds == 0 || rounds != before) return std::nullopt;
+      return obs::Firing{static_cast<double>(rounds), 0.0,
+                         "gossip rounds stalled at " + std::to_string(rounds) +
+                             " on " + config_.id};
+    };
+    monitor.addRule(std::move(rule));
+  }
+  {
+    obs::DetectorRule rule;
+    rule.name = config_.id + ".retrain_overrun";
+    rule.triggerAfter = rules.service.triggerAfter;
+    rule.clearAfter = rules.service.clearAfter;
+    rule.evaluate = [this, rules]() -> std::optional<obs::Firing> {
+      const double last = lastRetrainSeconds_.load(std::memory_order_relaxed);
+      if (last <= rules.retrainOverrunSeconds) return std::nullopt;
+      return obs::Firing{last, rules.retrainOverrunSeconds,
+                         "last fleet retrain coordinated by " + config_.id +
+                             " took " + std::to_string(last) + "s"};
+    };
+    monitor.addRule(std::move(rule));
+  }
 }
 
 serve::ServiceStats Replica::stats() const

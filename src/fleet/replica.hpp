@@ -32,9 +32,28 @@
 #include "fleet/gossip.hpp"
 #include "fleet/snapshot.hpp"
 #include "fleet/transport.hpp"
+#include "obs/health.hpp"
 #include "serve/service.hpp"
 
 namespace tp::fleet {
+
+/// Thresholds for the fleet-level detector rules
+/// Replica::registerHealthRules() installs on top of the service's
+/// stock set.
+struct FleetHealthConfig {
+  /// gossip_stall: consecutive evaluations the replica's gossip-round
+  /// counter must fail to advance before the event fires. The rule
+  /// stays quiet until the first round has run (a fleet that has not
+  /// started gossip yet is not stalled), so start gossip before the
+  /// monitor if you want the detector armed from the first evaluation.
+  std::size_t gossipStallEvals = 3;
+  /// retrain_overrun: wall seconds of the last coordinateRetrain().
+  double retrainOverrunSeconds = 60.0;
+  /// Also install the service's stock rules (namespaced under this
+  /// replica's metricsPrefix, so per-replica prefixes keep them apart).
+  bool includeServiceRules = true;
+  serve::HealthRulesConfig service;
+};
 
 struct ReplicaConfig {
   std::string id;                 ///< transport address, must be unique
@@ -101,6 +120,14 @@ public:
   /// Service stats with the fleet counter group populated.
   serve::ServiceStats stats() const;
 
+  /// Install this replica's detector rules into `monitor`: gossip_stall
+  /// and retrain_overrun under the "<id>." prefix, plus (by default) the
+  /// wrapped service's stock rules under its metricsPrefix. The closures
+  /// capture `this`: stop the monitor (or removeRulesByPrefix) before
+  /// the replica is destroyed.
+  void registerHealthRules(obs::HealthMonitor& monitor,
+                           const FleetHealthConfig& rules = {});
+
 private:
   void handle(const Envelope& envelope);
   void handleWins(const Envelope& envelope);
@@ -127,6 +154,12 @@ private:
   std::atomic<std::uint64_t> seq_{0};
   std::atomic<std::uint64_t> lastWinsDigest_{0};
   std::atomic<std::size_t> skippedSinceBroadcast_{0};
+  /// Gossip rounds entered (including digest-skipped ones); the
+  /// gossip_stall detector watches this for liveness, not outcomes.
+  std::atomic<std::uint64_t> gossipRounds_{0};
+  /// Wall seconds of the last coordinateRetrain() (last-write-wins; the
+  /// retrain_overrun detector's input).
+  std::atomic<double> lastRetrainSeconds_{0.0};
 
   // Feedback fan-in for coordinateRetrain().
   common::Mutex feedbackMutex_;

@@ -1,0 +1,86 @@
+#pragma once
+
+// tp::obs flight recorder: the black box. On a health breach (or on
+// demand) it freezes the process's telemetry into one atomic postmortem
+// bundle — `postmortem-<seq>.json`, written tmp+rename, pruned to the
+// last K like fleet::SnapshotStore — so the evidence of what went wrong
+// survives the process that produced it.
+//
+// Bundle anatomy (schema "tp-postmortem-v1", validated by
+// scripts/validate_postmortem.py):
+//
+//   {
+//     "schema": "tp-postmortem-v1",
+//     "seq": 3, "reason": "health: serve.latency_slo", "ticks": ...,
+//     "kept_events": N, "dropped_events": M,   // trace ring accounting
+//     "trace": { Chrome trace-event object },  // drained rings
+//     "metrics": { Registry::exportJson },     // incl. recent-log tap
+//     "health_events": [ HealthEvent... ],     // bounded history
+//     "health_counters": { ... }
+//   }
+//
+// kept/dropped and the embedded trace come from ONE TraceRecorder
+// snapshot, so `kept_events == len(trace.traceEvents)` and
+// `dropped_events == trace.otherData.dropped_events` hold exactly —
+// the validator asserts the accounting carried through. Sections whose
+// source is not configured are emitted empty-but-valid, never omitted.
+//
+// dump() is serialized by a mutex (sequence allocation + the fs window)
+// and safe concurrently with traffic: everything it reads is a
+// thread-safe snapshot surface. attach() wires dump() as the monitor's
+// onEvent callback: every non-cleared event at or above dumpAtOrAbove
+// severity writes one bundle — the monitor's dedup/hysteresis already
+// guarantees one event (hence one bundle) per sustained breach.
+
+#include <cstdint>
+#include <string>
+
+#include "common/annotations.hpp"
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tp::obs {
+
+struct FlightRecorderConfig {
+  std::string dir;          ///< bundle directory, created on first dump
+  std::size_t keepLast = 8; ///< prune older bundles; 0 keeps every one
+  /// Sources; any may be nullptr (its section is emitted empty).
+  Registry* metrics = nullptr;
+  TraceRecorder* trace = nullptr;
+  HealthMonitor* health = nullptr;
+  /// attach(): minimum severity of a non-cleared event that triggers an
+  /// automatic dump.
+  Severity dumpAtOrAbove = Severity::Warning;
+};
+
+class FlightRecorder {
+public:
+  explicit FlightRecorder(FlightRecorderConfig config);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Write one bundle; returns its sequence number. Sequences continue
+  /// past bundles already in the directory (tmp+rename, then prune).
+  std::uint64_t dump(const std::string& reason) TP_EXCLUDES(mutex_);
+
+  /// Register as config.health's event callback (replaces any previous
+  /// one): dump on every non-cleared event at or above dumpAtOrAbove.
+  /// Requires config.health. The recorder must outlive the monitor's
+  /// last evaluation.
+  void attach();
+
+  std::string pathFor(std::uint64_t seq) const;
+  /// Highest bundle sequence in dir (0 = none).
+  std::uint64_t highestSequence() const TP_EXCLUDES(mutex_);
+  /// Bundles currently on disk.
+  std::size_t bundleCount() const TP_EXCLUDES(mutex_);
+  const std::string& dir() const noexcept { return config_.dir; }
+
+private:
+  FlightRecorderConfig config_;
+  mutable common::Mutex mutex_;  ///< serializes dump's seq + fs window
+};
+
+}  // namespace tp::obs

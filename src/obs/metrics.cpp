@@ -56,6 +56,31 @@ std::string promName(const std::string& name) {
   return out;
 }
 
+/// # HELP text: the exposition format escapes backslash and newline.
+std::string escapeHelp(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// One # HELP + # TYPE preamble (the name doubles as default help).
+void promPreamble(std::ostringstream& os, const std::string& metric,
+                  const std::string& name, const std::string& help,
+                  const char* type) {
+  os << "# HELP " << metric << " "
+     << escapeHelp(help.empty() ? name : help) << "\n";
+  os << "# TYPE " << metric << " " << type << "\n";
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -117,7 +142,32 @@ std::uint64_t Histogram::Snapshot::quantile(double q) const noexcept {
 // ---------------------------------------------------------------------------
 // Registry
 
+bool Registry::validName(const std::string& name) noexcept {
+  if (name.empty()) return false;
+  const char first = name.front();
+  const bool firstOk = (first >= 'a' && first <= 'z') ||
+                       (first >= 'A' && first <= 'Z') || first == '_';
+  if (!firstOk) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == ':';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+namespace {
+
+void requireValidName(const std::string& name) {
+  TP_REQUIRE(Registry::validName(name),
+             "Registry: invalid metric name '"
+                 << name << "' (want [a-zA-Z_][a-zA-Z0-9_.:]*)");
+}
+
+}  // namespace
+
 common::StripedCounter& Registry::counter(const std::string& name) {
+  requireValidName(name);
   common::MutexLock lock(mutex_);
   Entry& entry = entries_[name];
   if (entry.ownedCounter == nullptr) {
@@ -132,6 +182,7 @@ common::StripedCounter& Registry::counter(const std::string& name) {
 }
 
 Gauge& Registry::gauge(const std::string& name) {
+  requireValidName(name);
   common::MutexLock lock(mutex_);
   Entry& entry = entries_[name];
   if (entry.ownedGauge == nullptr) {
@@ -146,6 +197,7 @@ Gauge& Registry::gauge(const std::string& name) {
 }
 
 Histogram& Registry::histogram(const std::string& name, std::size_t stripes) {
+  requireValidName(name);
   common::MutexLock lock(mutex_);
   Entry& entry = entries_[name];
   if (entry.ownedHistogram == nullptr) {
@@ -158,32 +210,47 @@ Histogram& Registry::histogram(const std::string& name, std::size_t stripes) {
   return *entry.ownedHistogram;
 }
 
+Registry::Entry& Registry::resetEntry(const std::string& name) {
+  // Re-registering replaces the instrument but keeps the help metadata.
+  Entry& entry = entries_[name];
+  std::string help = std::move(entry.help);
+  entry = Entry{};
+  entry.help = std::move(help);
+  return entry;
+}
+
 void Registry::registerCounter(const std::string& name,
                                std::function<std::uint64_t()> read) {
+  requireValidName(name);
   common::MutexLock lock(mutex_);
-  entries_[name] = Entry{};
-  entries_[name].counterFn = std::move(read);
+  resetEntry(name).counterFn = std::move(read);
 }
 
 void Registry::registerGauge(const std::string& name,
                              std::function<double()> read) {
+  requireValidName(name);
   common::MutexLock lock(mutex_);
-  entries_[name] = Entry{};
-  entries_[name].gaugeFn = std::move(read);
+  resetEntry(name).gaugeFn = std::move(read);
 }
 
 void Registry::registerHistogram(const std::string& name,
                                  std::function<Histogram::Snapshot()> read) {
+  requireValidName(name);
   common::MutexLock lock(mutex_);
-  entries_[name] = Entry{};
-  entries_[name].histogramFn = std::move(read);
+  resetEntry(name).histogramFn = std::move(read);
 }
 
 void Registry::registerSummary(const std::string& name,
                                std::function<SummarySnapshot()> read) {
+  requireValidName(name);
   common::MutexLock lock(mutex_);
-  entries_[name] = Entry{};
-  entries_[name].summaryFn = std::move(read);
+  resetEntry(name).summaryFn = std::move(read);
+}
+
+void Registry::setHelp(const std::string& name, const std::string& help) {
+  requireValidName(name);
+  common::MutexLock lock(mutex_);
+  entries_[name].help = help;
 }
 
 std::size_t Registry::removeByPrefix(const std::string& prefix) {
@@ -294,16 +361,18 @@ std::string Registry::exportPrometheus() const {
       const std::uint64_t v = entry.ownedCounter != nullptr
                                   ? entry.ownedCounter->total()
                                   : entry.counterFn();
-      os << "# TYPE " << metric << " counter\n" << metric << " " << v << "\n";
+      promPreamble(os, metric, name, entry.help, "counter");
+      os << metric << " " << v << "\n";
     } else if (entry.ownedGauge != nullptr || entry.gaugeFn) {
       const double v = entry.ownedGauge != nullptr ? entry.ownedGauge->value()
                                                    : entry.gaugeFn();
-      os << "# TYPE " << metric << " gauge\n" << metric << " " << v << "\n";
+      promPreamble(os, metric, name, entry.help, "gauge");
+      os << metric << " " << v << "\n";
     } else if (entry.ownedHistogram != nullptr || entry.histogramFn) {
       const Histogram::Snapshot snap = entry.ownedHistogram != nullptr
                                            ? entry.ownedHistogram->snapshot()
                                            : entry.histogramFn();
-      os << "# TYPE " << metric << " histogram\n";
+      promPreamble(os, metric, name, entry.help, "histogram");
       std::uint64_t cumulative = 0;
       for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
         if (snap.buckets[b] == 0) continue;
@@ -316,7 +385,7 @@ std::string Registry::exportPrometheus() const {
       os << metric << "_count " << snap.count << "\n";
     } else if (entry.summaryFn) {
       const SummarySnapshot snap = entry.summaryFn();
-      os << "# TYPE " << metric << " summary\n";
+      promPreamble(os, metric, name, entry.help, "summary");
       os << metric << "{quantile=\"0.5\"} " << snap.p50Seconds << "\n";
       os << metric << "{quantile=\"0.95\"} " << snap.p95Seconds << "\n";
       os << metric << "_sum "

@@ -136,6 +136,12 @@ public:
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
+  /// Registered names must match [a-zA-Z_][a-zA-Z0-9_.:]* — dots are the
+  /// project's namespacing convention and map to '_' in the Prometheus
+  /// exposition. Every registration path validates and throws tp::Error
+  /// on a name that would sanitize ambiguously (spaces, dashes, empty).
+  static bool validName(const std::string& name) noexcept;
+
   /// Owned instruments, created on first use. Throws tp::Error when the
   /// name is already registered as a different kind.
   common::StripedCounter& counter(const std::string& name)
@@ -158,6 +164,12 @@ public:
                        std::function<SummarySnapshot()> read)
       TP_EXCLUDES(mutex_);
 
+  /// Attach a # HELP string to a metric (exposition metadata; the name
+  /// itself is emitted when unset). May be called before or after the
+  /// instrument exists; removed with the entry by removeByPrefix().
+  void setHelp(const std::string& name, const std::string& help)
+      TP_EXCLUDES(mutex_);
+
   /// Drop every entry whose name starts with `prefix` (a component
   /// unhooking its readouts before destruction). Returns the number
   /// removed. Invalidates owned-instrument references under the prefix.
@@ -169,12 +181,19 @@ public:
   /// name, plus (by default) the common/log recent-events tap.
   std::string exportJson(bool includeRecentLog = true) const
       TP_EXCLUDES(mutex_);
-  /// Prometheus text exposition (names sanitized, tp_ prefixed).
+  /// Prometheus text exposition (names sanitized, tp_ prefixed): a
+  /// # HELP and # TYPE line per metric, cumulative _bucket{le=}/+Inf
+  /// plus _sum/_count series for histograms, {quantile=} series plus
+  /// _sum/_count for summaries.
   std::string exportPrometheus() const TP_EXCLUDES(mutex_);
 
 private:
   struct Entry {
-    // Exactly one member is set; the entry's kind follows from which.
+    /// Exposition metadata, orthogonal to the kind (may be set before
+    /// the instrument registers).
+    std::string help;
+    // Exactly one instrument member is set; the entry's kind follows
+    // from which.
     std::unique_ptr<common::StripedCounter> ownedCounter;
     std::unique_ptr<Gauge> ownedGauge;
     std::unique_ptr<Histogram> ownedHistogram;
@@ -183,6 +202,9 @@ private:
     std::function<Histogram::Snapshot()> histogramFn;
     std::function<SummarySnapshot()> summaryFn;
   };
+
+  /// Reset `name`'s instrument for re-registration, preserving help.
+  Entry& resetEntry(const std::string& name) TP_REQUIRES(mutex_);
 
   mutable common::Mutex mutex_;
   std::map<std::string, Entry> entries_ TP_GUARDED_BY(mutex_);

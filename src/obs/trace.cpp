@@ -156,7 +156,10 @@ TraceRecorder::Snapshot TraceRecorder::snapshot() const {
 }
 
 void TraceRecorder::writeChromeTrace(std::ostream& os) const {
-  const Snapshot snap = snapshot();
+  writeChromeTrace(os, snapshot());
+}
+
+void TraceRecorder::writeChromeTrace(std::ostream& os, const Snapshot& snap) {
   std::vector<TraceEvent> events;
   events.reserve(snap.totalEvents);
   for (const ThreadEvents& thread : snap.threads) {

@@ -132,6 +132,9 @@ public:
   /// Load via chrome://tracing or https://ui.perfetto.dev.
   void writeChromeTrace(std::ostream& os) const;
   void writeChromeTraceFile(const std::string& path) const;
+  /// Render an already-taken snapshot (the FlightRecorder embeds the
+  /// trace AND accounts kept/dropped from one consistent drain).
+  static void writeChromeTrace(std::ostream& os, const Snapshot& snap);
 
 private:
   struct ThreadBuffer;

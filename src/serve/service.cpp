@@ -81,6 +81,10 @@ struct PartitionService::MachineState {
   common::ThreadPool* computePool = nullptr;  ///< Compute-mode helper pool
 
   MachineLoadStats load;  ///< striped per-thread request accounting
+  /// Sliding-window SLO judgment; set when config.slo.enabled(). Fed by
+  /// recordLatency on both serving paths, drained by sloReport() and the
+  /// latency_slo detector.
+  std::unique_ptr<obs::SloTracker> slo;
 
   MachineState(const sim::MachineConfig& m,
                std::shared_ptr<const ml::Classifier> mdl,
@@ -100,6 +104,9 @@ struct PartitionService::MachineState {
     }
     laneBusy.assign(numLanes, 0);
     inlineLanes = std::vector<InlineLane>(autoInlineLanes(config.inlineLanes));
+    if (config.slo.enabled()) {
+      slo = std::make_unique<obs::SloTracker>(config.slo);
+    }
   }
 };
 
@@ -152,6 +159,8 @@ void PartitionService::registerMetrics()
                       [this] { return failed_.total(); });
   reg.registerCounter(p + "requests_inline",
                       [this] { return inlineHits_.total(); });
+  reg.registerCounter(p + "inline_lane_exhausted",
+                      [this] { return inlineLaneExhausted_.total(); });
   reg.registerCounter(p + "batches", [this] {
     return batches_.load(std::memory_order_relaxed);
   });
@@ -217,6 +226,13 @@ void PartitionService::registerMetrics()
   obsLatency_ = &reg.histogram(p + "latency_ns");
 }
 
+void PartitionService::recordLatency(MachineState& ms, double seconds) noexcept {
+  latency_.add(seconds);
+  const auto ns = static_cast<std::uint64_t>(seconds * 1e9);
+  if (obsLatency_ != nullptr) obsLatency_->record(ns);
+  if (ms.slo != nullptr) ms.slo->record(ns);
+}
+
 void PartitionService::addMachine(const sim::MachineConfig& machine,
                                   std::shared_ptr<const ml::Classifier> model) {
   TP_REQUIRE(model != nullptr, "PartitionService: null model for machine "
@@ -224,29 +240,50 @@ void PartitionService::addMachine(const sim::MachineConfig& machine,
   TP_REQUIRE(machine.numDevices() > 0,
              "PartitionService: machine " << machine.name << " has no devices");
   auto state = std::make_unique<MachineState>(machine, std::move(model), config_);
-  common::MutexLock lock(machinesMutex_);
-  // The worker pool is sized to the registered lanes at the first
-  // submit(), and the machine map is read lock-free afterwards; a machine
-  // added later would be both under-provisioned and unsynchronized.
-  TP_REQUIRE(pool_ == nullptr,
-             "PartitionService: register machine "
-                 << machine.name << " before the first submit()");
-  TP_REQUIRE(machines_.count(machine.name) == 0,
-             "PartitionService: machine " << machine.name
-                                          << " already registered");
-  if (feedback_ == nullptr) {
-    feedback_ = std::make_unique<FeedbackRecorder>(state->space.size(),
-                                                   config_.cacheRoundDigits);
-  } else {
-    // Feedback records share one CSV schema: the time vector is indexed by
-    // partitioning label, so every machine must span the same space.
-    const auto firstSize = machines_.begin()->second->space.size();
-    TP_REQUIRE(state->space.size() == firstSize,
-               "PartitionService: machine "
-                   << machine.name << " has a partitioning space of size "
-                   << state->space.size() << ", expected " << firstSize);
+  MachineState* ms = state.get();
+  {
+    common::MutexLock lock(machinesMutex_);
+    // The worker pool is sized to the registered lanes at the first
+    // submit(), and the machine map is read lock-free afterwards; a machine
+    // added later would be both under-provisioned and unsynchronized.
+    TP_REQUIRE(pool_ == nullptr,
+               "PartitionService: register machine "
+                   << machine.name << " before the first submit()");
+    TP_REQUIRE(machines_.count(machine.name) == 0,
+               "PartitionService: machine " << machine.name
+                                            << " already registered");
+    if (feedback_ == nullptr) {
+      feedback_ = std::make_unique<FeedbackRecorder>(state->space.size(),
+                                                     config_.cacheRoundDigits);
+    } else {
+      // Feedback records share one CSV schema: the time vector is indexed by
+      // partitioning label, so every machine must span the same space.
+      const auto firstSize = machines_.begin()->second->space.size();
+      TP_REQUIRE(state->space.size() == firstSize,
+                 "PartitionService: machine "
+                     << machine.name << " has a partitioning space of size "
+                     << state->space.size() << ", expected " << firstSize);
+    }
+    machines_.emplace(machine.name, std::move(state));
   }
-  machines_.emplace(machine.name, std::move(state));
+  if (config_.metrics != nullptr && ms->slo != nullptr) {
+    // Per-machine SLO gauges. The closures capture the MachineState
+    // pointer directly: machines are never removed, report() is a
+    // thread-safe snapshot surface, and the destructor's removeByPrefix
+    // unhooks these before the state is destroyed.
+    obs::Registry& reg = *config_.metrics;
+    const std::string p = config_.metricsPrefix + "slo." + machine.name + ".";
+    reg.registerGauge(p + "p99_seconds",
+                      [ms] { return ms->slo->report().p99Seconds; });
+    reg.registerGauge(p + "p999_seconds",
+                      [ms] { return ms->slo->report().p999Seconds; });
+    reg.registerGauge(p + "burn_rate_p99",
+                      [ms] { return ms->slo->report().burnRateP99; });
+    reg.registerGauge(p + "burn_rate_p999",
+                      [ms] { return ms->slo->report().burnRateP999; });
+    reg.registerGauge(p + "breached",
+                      [ms] { return ms->slo->report().breached ? 1.0 : 0.0; });
+  }
 }
 
 void PartitionService::addMachine(const sim::MachineConfig& machine,
@@ -390,7 +427,10 @@ bool PartitionService::tryServeInline(MachineState& ms,
       break;
     }
   }
-  if (lane == nullptr) return false;
+  if (lane == nullptr) {
+    inlineLaneExhausted_.add();
+    return false;
+  }
 
   // Sampled (1-in-N per thread): the warm path stays allocation- and
   // lock-free; an unsampled pass costs one relaxed load + branch.
@@ -425,7 +465,7 @@ bool PartitionService::tryServeInline(MachineState& ms,
                          ? "n=" + std::to_string(task.globalSize)
                          : request.sizeLabel);
   }
-  recordLatency(secondsSince(start_time));
+  recordLatency(ms, secondsSince(start_time));
   completed_.add();
   inlineHits_.add();
   return true;
@@ -699,7 +739,7 @@ void PartitionService::process(MachineState& ms, std::size_t lane,
     pending.promise.set_exception(std::current_exception());
   }
   if (ok) {
-    recordLatency(secondsSince(pending.enqueued));
+    recordLatency(ms, secondsSince(pending.enqueued));
     completed_.add();
     pending.promise.set_value(std::move(response));
   }
@@ -713,6 +753,7 @@ std::size_t PartitionService::predictLabel(const std::string& machine,
 
 PartitionService::RetrainResult PartitionService::retrain() {
   TP_TRACE_SPAN("serve.retrain");
+  const auto retrainStart = Clock::now();
   RetrainResult result;
   FeedbackRecorder* feedback = nullptr;
   std::vector<MachineState*> states;
@@ -762,6 +803,8 @@ PartitionService::RetrainResult PartitionService::retrain() {
     ms->modelVersion = result.modelVersion;
   }
   retrains_.fetch_add(1, std::memory_order_relaxed);
+  lastRetrainSeconds_.store(secondsSince(retrainStart),
+                            std::memory_order_relaxed);
   return result;
 }
 
@@ -953,6 +996,7 @@ ServiceStats PartitionService::stats() const {
   s.batches = batches_.load(std::memory_order_relaxed);
   s.maxBatch = maxBatch_.load(std::memory_order_relaxed);
   s.requestsInline = inlineHits_.total();
+  s.inlineLaneExhausted = inlineLaneExhausted_.total();
   s.cache = cache_->counters();
   s.cacheHitRate = s.cache.hitRate();
   s.modelVersion = cache_->version();
@@ -998,6 +1042,165 @@ ServiceStats PartitionService::stats() const {
 const runtime::PartitioningSpace& PartitionService::space(
     const std::string& machine) const {
   return state(machine).space;
+}
+
+obs::SloTracker::Report PartitionService::sloReport(
+    const std::string& machine) const {
+  const MachineState& ms = state(machine);
+  return ms.slo != nullptr ? ms.slo->report() : obs::SloTracker::Report{};
+}
+
+void PartitionService::registerHealthRules(obs::HealthMonitor& monitor,
+                                           const HealthRulesConfig& rules)
+    TP_LOCK_FREE_AUDITED(
+        "registers rule lambdas reading thread-safe snapshot surfaces "
+        "(SLO reports, cache counter snapshots, striped-counter totals, "
+        "one relaxed load of the last-retrain word); the monitor runs "
+        "them serially under its own mutex; TSan: test_health "
+        "HealthMonitor.BreachWhileDrainStaysConsistent") {
+  const std::string p = config_.metricsPrefix;
+
+  // ONE aggregated latency rule, not one per machine: a fleet-wide
+  // latency incident should page once. The firing carries the worst
+  // burn rate and names its machine.
+  {
+    obs::DetectorRule rule;
+    rule.name = p + "latency_slo";
+    rule.severity = obs::Severity::Critical;
+    rule.triggerAfter = rules.triggerAfter;
+    rule.clearAfter = rules.clearAfter;
+    rule.evaluate = [this]() -> std::optional<obs::Firing> {
+      double worstBurn = 0.0;
+      std::string worstMachine;
+      common::MutexLock lock(machinesMutex_);
+      for (const auto& [name, ms] : machines_) {
+        if (ms->slo == nullptr) continue;
+        const obs::SloTracker::Report r = ms->slo->report();
+        if (!r.breached) continue;
+        const double burn = std::max(r.burnRateP99, r.burnRateP999);
+        if (burn >= worstBurn) {
+          worstBurn = burn;
+          worstMachine = name;
+        }
+      }
+      if (worstMachine.empty()) return std::nullopt;
+      return obs::Firing{worstBurn, 1.0,
+                         "latency SLO breached on " + worstMachine +
+                             ": error budget burning at " +
+                             std::to_string(worstBurn) + "x"};
+    };
+    monitor.addRule(std::move(rule));
+  }
+
+  {
+    obs::DetectorRule rule;
+    rule.name = p + "cache_hit_collapse";
+    rule.triggerAfter = rules.triggerAfter;
+    rule.clearAfter = rules.clearAfter;
+    rule.evaluate = [this, rules, prevLookups = std::uint64_t{0},
+                     prevHits =
+                         std::uint64_t{0}]() mutable -> std::optional<obs::Firing> {
+      const CacheCounters c = cache_->counters();
+      const std::uint64_t dLookups = c.lookups - prevLookups;
+      const std::uint64_t dHits = c.hits - prevHits;
+      prevLookups = c.lookups;
+      prevHits = c.hits;
+      if (dLookups < rules.minLookupsPerEval) return std::nullopt;
+      const double rate = static_cast<double>(dHits) / dLookups;
+      if (rate >= rules.hitRateFloor) return std::nullopt;
+      return obs::Firing{rate, rules.hitRateFloor,
+                         "cache hit rate collapsed to " +
+                             std::to_string(rate) + " over the last " +
+                             std::to_string(dLookups) + " lookups"};
+    };
+    monitor.addRule(std::move(rule));
+  }
+
+  {
+    obs::DetectorRule rule;
+    rule.name = p + "eviction_storm";
+    rule.triggerAfter = rules.triggerAfter;
+    rule.clearAfter = rules.clearAfter;
+    rule.evaluate = [this, rules, prevLookups = std::uint64_t{0},
+                     prevEvictions =
+                         std::uint64_t{0}]() mutable -> std::optional<obs::Firing> {
+      const CacheCounters c = cache_->counters();
+      const std::uint64_t dLookups = c.lookups - prevLookups;
+      const std::uint64_t dEvictions = c.evictions - prevEvictions;
+      prevLookups = c.lookups;
+      prevEvictions = c.evictions;
+      if (dLookups < rules.minLookupsPerEval) return std::nullopt;
+      const double rate = static_cast<double>(dEvictions) / dLookups;
+      if (rate <= rules.evictionStormCeiling) return std::nullopt;
+      return obs::Firing{rate, rules.evictionStormCeiling,
+                         "cache evicting at " + std::to_string(rate) +
+                             " per lookup (undersized for the working set)"};
+    };
+    monitor.addRule(std::move(rule));
+  }
+
+  if (refiner_ != nullptr) {
+    obs::DetectorRule rule;
+    rule.name = p + "probe_storm";
+    rule.triggerAfter = rules.triggerAfter;
+    rule.clearAfter = rules.clearAfter;
+    rule.evaluate = [this, rules, prevDecisions = std::uint64_t{0},
+                     prevExplorations =
+                         std::uint64_t{0}]() mutable -> std::optional<obs::Firing> {
+      const adapt::RefinerCounters c = refiner_->counters();
+      const std::uint64_t dDecisions = c.decisions - prevDecisions;
+      const std::uint64_t dExplorations = c.explorations - prevExplorations;
+      prevDecisions = c.decisions;
+      prevExplorations = c.explorations;
+      if (dDecisions < rules.minLookupsPerEval) return std::nullopt;
+      const double rate = static_cast<double>(dExplorations) / dDecisions;
+      if (rate <= rules.probeStormCeiling) return std::nullopt;
+      return obs::Firing{rate, rules.probeStormCeiling,
+                         "refiner probing on " + std::to_string(rate) +
+                             " of decisions (exploration never converging)"};
+    };
+    monitor.addRule(std::move(rule));
+  }
+
+  {
+    obs::DetectorRule rule;
+    rule.name = p + "lane_exhaustion";
+    rule.triggerAfter = rules.triggerAfter;
+    rule.clearAfter = rules.clearAfter;
+    rule.evaluate = [this, rules, prevSubmitted = std::uint64_t{0},
+                     prevExhausted =
+                         std::uint64_t{0}]() mutable -> std::optional<obs::Firing> {
+      const std::uint64_t submitted = submitted_.total();
+      const std::uint64_t exhausted = inlineLaneExhausted_.total();
+      const std::uint64_t dSubmitted = submitted - prevSubmitted;
+      const std::uint64_t dExhausted = exhausted - prevExhausted;
+      prevSubmitted = submitted;
+      prevExhausted = exhausted;
+      if (dSubmitted < rules.minSubmitsPerEval) return std::nullopt;
+      const double rate = static_cast<double>(dExhausted) / dSubmitted;
+      if (rate <= rules.laneExhaustionCeiling) return std::nullopt;
+      return obs::Firing{rate, rules.laneExhaustionCeiling,
+                         "inline lanes exhausted on " + std::to_string(rate) +
+                             " of submissions (warm hits convoying on the "
+                             "batching queue)"};
+    };
+    monitor.addRule(std::move(rule));
+  }
+
+  {
+    obs::DetectorRule rule;
+    rule.name = p + "retrain_overrun";
+    rule.triggerAfter = rules.triggerAfter;
+    rule.clearAfter = rules.clearAfter;
+    rule.evaluate = [this, rules]() -> std::optional<obs::Firing> {
+      const double last = lastRetrainSeconds_.load(std::memory_order_relaxed);
+      if (last <= rules.retrainOverrunSeconds) return std::nullopt;
+      return obs::Firing{last, rules.retrainOverrunSeconds,
+                         "last retrain took " + std::to_string(last) +
+                             "s (model refresh falling behind traffic)"};
+    };
+    monitor.addRule(std::move(rule));
+  }
 }
 
 void PartitionService::saveTraffic(const std::string& path) const {

@@ -65,7 +65,9 @@
 #include "common/striped.hpp"
 #include "common/thread_pool.hpp"
 #include "ml/classifier.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "ocl/queue.hpp"
 #include "runtime/partitioning.hpp"
 #include "serve/cache.hpp"
@@ -113,6 +115,39 @@ struct ServiceConfig {
   /// Namespace for this service's registry entries. Fleets override it
   /// per replica (e.g. "replica0.serve.") to keep entries distinct.
   std::string metricsPrefix = "serve.";
+  /// Per-machine latency SLO tracking (obs::SloTracker). Off unless the
+  /// config carries a target (slo.enabled()); when on, every served
+  /// request also records into its machine's sliding-window tracker, and
+  /// sloReport()/registerHealthRules() judge the window against the
+  /// targets. With metrics set, per-machine burn-rate gauges register
+  /// under `<metricsPrefix>slo.<machine>.*`.
+  obs::SloConfig slo;
+};
+
+/// Thresholds for the stock detector rules registerHealthRules()
+/// installs. Rate rules judge deltas between consecutive evaluations —
+/// recent behaviour, not lifetime averages — so each keeps its own
+/// previous-counter state inside the rule closure (the monitor runs
+/// rules serially under its mutex; see obs/health.hpp).
+struct HealthRulesConfig {
+  std::size_t triggerAfter = 2;  ///< consecutive firings before the event
+  std::size_t clearAfter = 2;    ///< consecutive quiets before recovery
+  /// cache_hit_collapse: hit rate since the last evaluation below this
+  /// floor (with at least minLookupsPerEval lookups) fires.
+  double hitRateFloor = 0.5;
+  std::uint64_t minLookupsPerEval = 256;
+  /// eviction_storm: evictions per lookup since the last evaluation.
+  double evictionStormCeiling = 0.25;
+  /// probe_storm (refinement only): exploration probes per refiner
+  /// decision since the last evaluation.
+  double probeStormCeiling = 0.5;
+  /// lane_exhaustion: all-inline-lanes-busy bounces per submitted
+  /// request since the last evaluation.
+  double laneExhaustionCeiling = 0.25;
+  std::uint64_t minSubmitsPerEval = 256;
+  /// retrain_overrun: wall seconds of the most recent retrain() pass
+  /// (stays firing until a faster retrain lands).
+  double retrainOverrunSeconds = 30.0;
 };
 
 class PartitionService {
@@ -218,6 +253,22 @@ public:
 
   ServiceStats stats() const;
 
+  /// The machine's sliding-window SLO judgment (quantiles, burn rates,
+  /// breached flag); a default-constructed Report when SLO tracking is
+  /// disabled. Safe concurrently with traffic.
+  obs::SloTracker::Report sloReport(const std::string& machine) const;
+
+  /// Install this service's stock detector rules into `monitor`, named
+  /// under metricsPrefix (so removeRulesByPrefix(metricsPrefix) unhooks
+  /// them): latency_slo (Critical, aggregated over machines — a
+  /// fleet-wide latency incident pages once, the firing names the worst
+  /// burner), cache_hit_collapse, eviction_storm, probe_storm (with
+  /// refinement on), lane_exhaustion and retrain_overrun. The closures
+  /// capture `this`: stop the monitor (or remove the rules) before this
+  /// service is destroyed.
+  void registerHealthRules(obs::HealthMonitor& monitor,
+                           const HealthRulesConfig& rules = {});
+
   const runtime::PartitioningSpace& space(const std::string& machine) const;
   const DecisionCache& cache() const noexcept { return *cache_; }
   const common::PairInterner& interner() const noexcept { return *interner_; }
@@ -281,13 +332,9 @@ private:
   /// Hook this service's counters/summaries into config_.metrics under
   /// config_.metricsPrefix (constructor-only; callbacks capture `this`).
   void registerMetrics();
-  /// Record one served request into the striped latency structures.
-  void recordLatency(double seconds) noexcept {
-    latency_.add(seconds);
-    if (obsLatency_ != nullptr) {
-      obsLatency_->record(static_cast<std::uint64_t>(seconds * 1e9));
-    }
-  }
+  /// Record one served request into the striped latency structures and
+  /// the machine's SLO tracker (when configured).
+  void recordLatency(MachineState& ms, double seconds) noexcept;
   void workerLoop(MachineState& ms, std::size_t lane);
   void process(MachineState& ms, std::size_t lane, PendingRequest pending);
   std::size_t predictWithModel(const MachineState& ms,
@@ -348,9 +395,15 @@ private:
   common::StripedCounter completed_;
   common::StripedCounter failed_;
   common::StripedCounter inlineHits_;
+  /// Warm hits bounced to the batching queue because every inline lane
+  /// was busy (the lane_exhaustion detector's numerator).
+  common::StripedCounter inlineLaneExhausted_;
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> maxBatch_{0};
   std::atomic<std::uint64_t> retrains_{0};
+  /// Wall seconds of the most recent retrain() pass (last-write-wins;
+  /// the retrain_overrun detector's input).
+  std::atomic<double> lastRetrainSeconds_{0.0};
   LatencyRecorder latency_;
   /// Owned by config_.metrics (created in registerMetrics, destroyed by
   /// the destructor's removeByPrefix); nullptr when metrics are off.

@@ -144,6 +144,8 @@ struct ServiceStats {
   std::uint64_t batches = 0;  ///< worker wakeups that drained >= 1 request
   std::uint64_t maxBatch = 0;  ///< largest single drain observed
   std::uint64_t requestsInline = 0;  ///< warm hits served on caller threads
+  /// Warm hits bounced to the queue because every inline lane was busy.
+  std::uint64_t inlineLaneExhausted = 0;
   CacheCounters cache;
   double cacheHitRate = 0.0;
   std::uint64_t modelVersion = 0;

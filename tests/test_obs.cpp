@@ -369,6 +369,123 @@ TEST(Registry, RemoveByPrefixScopesOwnership) {
   EXPECT_NE(json.find("\"b.x\""), std::string::npos);
 }
 
+// Exposition-format conformance: every metric carries a # HELP + # TYPE
+// preamble, histograms expose cumulative _bucket/_sum/_count series,
+// summaries expose quantile-labelled samples, and names outside the
+// Prometheus charset are sanitized under the tp_ prefix.
+TEST(Registry, PrometheusExpositionConformance) {
+  Registry reg;
+  reg.counter("test.requests").add(3);
+  reg.setHelp("test.requests", "Requests served\nsince boot \\ total");
+  reg.gauge("test.depth").set(2.5);
+  Histogram& hist = reg.histogram("test.latency_ns");
+  hist.record(1);     // bucket le="1"
+  hist.record(1000);  // bucket le="1023"
+  hist.record(1000);
+  reg.registerSummary("test.summary", [] {
+    return tp::obs::SummarySnapshot{10, 0.002, 0.01, 0.001, 0.005};
+  });
+
+  const std::string prom = reg.exportPrometheus();
+
+  // HELP precedes TYPE precedes samples; newline/backslash escaped.
+  const auto helpPos =
+      prom.find("# HELP tp_test_requests Requests served\\nsince boot "
+                "\\\\ total\n");
+  const auto typePos = prom.find("# TYPE tp_test_requests counter\n");
+  const auto samplePos = prom.find("tp_test_requests 3\n");
+  ASSERT_NE(helpPos, std::string::npos);
+  ASSERT_NE(typePos, std::string::npos);
+  ASSERT_NE(samplePos, std::string::npos);
+  EXPECT_LT(helpPos, typePos);
+  EXPECT_LT(typePos, samplePos);
+
+  // Unset help falls back to the registry name.
+  EXPECT_NE(prom.find("# HELP tp_test_depth test.depth\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE tp_test_depth gauge\n"), std::string::npos);
+
+  // Histogram: cumulative buckets, then _sum and _count.
+  EXPECT_NE(prom.find("# TYPE tp_test_latency_ns histogram\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("tp_test_latency_ns_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("tp_test_latency_ns_bucket{le=\"1023\"} 3\n"),
+            std::string::npos)
+      << "buckets must be cumulative, not per-bucket";
+  EXPECT_NE(prom.find("tp_test_latency_ns_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("tp_test_latency_ns_sum 2001\n"), std::string::npos);
+  EXPECT_NE(prom.find("tp_test_latency_ns_count 3\n"), std::string::npos);
+
+  // Summary: quantile-labelled samples plus _sum/_count.
+  EXPECT_NE(prom.find("# TYPE tp_test_summary summary\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("tp_test_summary{quantile=\"0.5\"} 0.001\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("tp_test_summary{quantile=\"0.95\"} 0.005\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("tp_test_summary_count 10\n"), std::string::npos);
+
+  // '.' is legal in the registry but not in Prometheus: every exported
+  // token must be sanitized ([a-zA-Z0-9_:] only after the tp_ prefix).
+  EXPECT_EQ(prom.find("tp_test."), std::string::npos);
+  std::istringstream lines(prom);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# ", 0) == 0) continue;  // HELP/TYPE free text
+    const auto nameEnd = line.find_first_of(" {");
+    ASSERT_NE(nameEnd, std::string::npos) << line;
+    for (const char c : line.substr(0, nameEnd)) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      EXPECT_TRUE(ok) << "bad exposition name char '" << c << "' in "
+                      << line;
+    }
+  }
+}
+
+// Registration-time name validation: one malformed name would poison
+// the whole exposition, so every path rejects it up front.
+TEST(Registry, InvalidMetricNamesThrowOnEveryRegistrationPath) {
+  Registry reg;
+  for (const std::string bad :
+       {"", "9starts.with.digit", "has space", "has-dash", "emoji\xF0\x9F",
+        ".leading.dot"}) {
+    EXPECT_THROW(reg.counter(bad), tp::Error) << "counter('" << bad << "')";
+    EXPECT_THROW(reg.gauge(bad), tp::Error);
+    EXPECT_THROW(reg.histogram(bad), tp::Error);
+    EXPECT_THROW(reg.registerCounter(bad, [] { return std::uint64_t{0}; }),
+                 tp::Error);
+    EXPECT_THROW(reg.registerGauge(bad, [] { return 0.0; }), tp::Error);
+    EXPECT_THROW(
+        reg.registerHistogram(bad, [] { return Histogram::Snapshot{}; }),
+        tp::Error);
+    EXPECT_THROW(
+        reg.registerSummary(bad, [] { return tp::obs::SummarySnapshot{}; }),
+        tp::Error);
+    EXPECT_THROW(reg.setHelp(bad, "help"), tp::Error);
+  }
+  EXPECT_EQ(reg.size(), 0u) << "rejected names must not leave entries";
+  // The accepted charset: letters, digits, '_', '.', ':'.
+  reg.counter("Ok_name.with:all4");
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Registry, HelpSurvivesReRegistration) {
+  Registry reg;
+  reg.registerGauge("test.replaced", [] { return 1.0; });
+  reg.setHelp("test.replaced", "the original help text");
+  // Components re-register readouts on reconfiguration (addMachine does
+  // this); operator-facing help must not vanish when they do.
+  reg.registerGauge("test.replaced", [] { return 2.0; });
+  const std::string prom = reg.exportPrometheus();
+  EXPECT_NE(prom.find("# HELP tp_test_replaced the original help text\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("tp_test_replaced 2\n"), std::string::npos)
+      << "the new readout, with the old help";
+}
+
 // ---------------------------------------------------------------------------
 
 TEST(LogTap, CapturesRecentRecordsBounded) {
