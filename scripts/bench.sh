@@ -12,7 +12,8 @@ set -eux
 cd "$(dirname "$0")/.."
 cmake -B build -S .
 cmake --build build -j "$(nproc)" \
-  --target serve_throughput serve_scaling adapt_convergence fleet_scaling
+  --target serve_throughput serve_scaling adapt_convergence fleet_scaling \
+  chaos_soak
 
 run_and_compare() {
   json="$1"
@@ -33,6 +34,13 @@ run_and_compare BENCH_serve.json ./build/bench/serve_throughput "$@"
 run_and_compare BENCH_serve_scaling.json ./build/bench/serve_scaling
 run_and_compare BENCH_adapt.json ./build/bench/adapt_convergence
 run_and_compare BENCH_fleet.json ./build/bench/fleet_scaling
+# The chaos soak exits non-zero unless every post-heal check passes
+# (decision equivalence, counter reconciliation, deduped health events),
+# so the trajectory point doubles as a correctness gate.
+soak_state="$(mktemp -d)"
+run_and_compare BENCH_soak.json ./build/bench/chaos_soak \
+  --state-dir "$soak_state/state"
+rm -rf "$soak_state"
 
 # ---- observability overhead (BENCH_obs.json) ------------------------------
 # Two builds of the same driver: the regular tree (tracing compiled in)

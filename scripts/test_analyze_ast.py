@@ -394,6 +394,38 @@ class AnalyzeAstRuleTests(unittest.TestCase):
               "};\n")
         self.assertOnlyRule(self.analyze(), "A4", "src/obs/health.cpp")
 
+    def test_a1_implicit_order_in_fault_injector_shaped_fixture(self):
+        # Mirrors FaultyTransport::send's injection ledger: the audited
+        # hot path bumps per-fault counters with relaxed order, and
+        # dropping the explicit order from one bump must trip A1 even
+        # under the audit tag — chaos plumbing gets no slack.
+        write(self.root, "src/fleet/faulty.cpp",
+              "struct FaultyTransport {\n"
+              "  std::atomic<unsigned long long> seen_{0};\n"
+              "  std::atomic<unsigned long long> injectedDrops_{0};\n"
+              "  bool send() TP_LOCK_FREE_AUDITED(\n"
+              '      "fixture; TSan: test_x F.T") {\n'
+              "    seen_.fetch_add(1, std::memory_order_relaxed);\n"
+              "    injectedDrops_.fetch_add(1);\n"
+              "    return false;\n"
+              "  }\n"
+              "};\n")
+        self.assertOnlyRule(self.analyze(), "A1", "src/fleet/faulty.cpp")
+
+    def test_a4_unaudited_touch_in_fault_injector_shaped_fixture(self):
+        # A counters() accessor reading the injection ledger outside any
+        # audit, mutex scope or TP_REQUIRES must trip A4: the real
+        # faulty_transport.hpp audits every reader, and that coverage
+        # must not silently erode as fault kinds are added.
+        write(self.root, "src/fleet/faulty.cpp",
+              "struct FaultyTransport {\n"
+              "  std::atomic<unsigned long long> injectedDrops_{0};\n"
+              "  unsigned long long drops() {\n"
+              "    return injectedDrops_.load(std::memory_order_relaxed);\n"
+              "  }\n"
+              "};\n")
+        self.assertOnlyRule(self.analyze(), "A4", "src/fleet/faulty.cpp")
+
     def test_a4_locals_exempt(self):
         write(self.root, "src/common/ok.cpp",
               "void f() {\n"

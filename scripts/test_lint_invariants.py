@@ -76,6 +76,22 @@ class LintRuleTests(unittest.TestCase):
               "unsigned seed() { return std::random_device{}(); }\n")
         self.assertOnlyRule(self.lint(), "R1", "src/serve/bad.cpp")
 
+    def test_r1_catches_adhoc_randomness_in_fault_injection(self):
+        # A fault-injection decorator that rolls its own dice instead of
+        # threading a seeded common::Rng: exactly the file shape PR 10
+        # bans (CONTRIBUTING "fault injection"), and R1 must catch both
+        # the rand() drop coin and the random_device seed grab.
+        write(self.root, "src/fleet/faulty.cpp",
+              "#include <cstdlib>\n"
+              "#include <random>\n"
+              "struct FaultyTransport {\n"
+              "  unsigned seed_ = std::random_device{}();\n"
+              "  bool shouldDrop() { return rand() % 100 < 25; }\n"
+              "};\n")
+        violations = self.lint()
+        self.assertOnlyRule(violations, "R1", "src/fleet/faulty.cpp")
+        self.assertEqual(len(violations), 2)
+
     def test_r1_allows_common_rng(self):
         write(self.root, "src/common/rng.cpp",
               "#include <random>\n"

@@ -1,0 +1,234 @@
+#include "fleet/faulty_transport.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace tp::fleet {
+
+namespace {
+
+void validatePlan(const FaultPlan& plan) {
+  const double probs[] = {plan.dropProbability, plan.throwProbability,
+                          plan.corruptProbability, plan.duplicateProbability,
+                          plan.delayProbability};
+  for (double p : probs) {
+    TP_REQUIRE(p >= 0.0 && p <= 1.0,
+               "FaultPlan: probability " << p << " outside [0, 1]");
+  }
+  TP_REQUIRE(plan.total() <= 1.0 + 1e-12,
+             "FaultPlan: probabilities sum to " << plan.total()
+                                                << " > 1 (faults are "
+                                                   "mutually exclusive)");
+}
+
+}  // namespace
+
+FaultyTransport::FaultyTransport(Transport& inner, std::uint64_t seed)
+    : inner_(inner), rng_(seed) {}
+
+void FaultyTransport::attach(const std::string& node, Handler handler) {
+  inner_.attach(node, std::move(handler));
+}
+
+void FaultyTransport::detach(const std::string& node) { inner_.detach(node); }
+
+std::vector<std::string> FaultyTransport::nodes() const {
+  return inner_.nodes();
+}
+
+void FaultyTransport::corruptPayload(Envelope& envelope) {
+  if (envelope.payload.empty()) {
+    // Kinds with empty payloads (FeedbackPull) are corrupted by growing
+    // one; the handler rejects any non-empty body for them.
+    envelope.payload.push_back('\xFF');
+  } else {
+    // A strict prefix of a valid payload always fails its decoder: the
+    // decode read sequence is deterministic and consumed every original
+    // byte, so some read must now cross the cut and throw.
+    envelope.payload.resize(envelope.payload.size() / 2);
+  }
+}
+
+bool FaultyTransport::evaluate(
+    const std::string& from, const std::string& to, const Envelope& envelope,
+    std::vector<std::pair<std::string, Envelope>>& out) {
+  // Fire any schedule entries due at this seen-count before evaluating.
+  while (!schedule_.empty() && schedule_.begin()->first <= counters_.seen) {
+    defaultPlan_ = schedule_.begin()->second;
+    schedule_.erase(schedule_.begin());
+  }
+  ++counters_.seen;
+
+  const Link link{from, to};
+  if (blockedLinks_.count(link) != 0) {
+    ++counters_.partitionedDrops;
+    return false;
+  }
+
+  const auto planIt = linkPlans_.find(link);
+  const FaultPlan& plan =
+      planIt != linkPlans_.end() ? planIt->second : defaultPlan_;
+
+  const std::size_t before = out.size();
+  bool throwAfter = false;
+  // One draw, cumulative thresholds: at most one fault per message.
+  const double roll = plan.total() > 0.0 ? rng_.uniform() : 1.0;
+  double edge = plan.dropProbability;
+  if (roll < edge) {
+    ++counters_.injectedDrops;
+  } else if (roll < (edge += plan.throwProbability)) {
+    ++counters_.injectedThrows;
+    throwAfter = true;
+  } else if (roll < (edge += plan.corruptProbability)) {
+    ++counters_.injectedCorruptions;
+    Envelope corrupted = envelope;
+    corruptPayload(corrupted);
+    out.emplace_back(to, std::move(corrupted));
+  } else if (roll < (edge += plan.duplicateProbability)) {
+    ++counters_.injectedDuplicates;
+    out.emplace_back(to, envelope);
+    out.emplace_back(to, envelope);
+  } else if (roll < (edge += plan.delayProbability)) {
+    ++counters_.injectedDelays;
+    pendingDelayed_[link].push_back(envelope);
+    ++pendingCount_;
+  } else {
+    out.emplace_back(to, envelope);
+  }
+
+  // A forwarded message releases everything the link held back, AFTER
+  // itself — that is the reorder.
+  if (out.size() > before) {
+    const auto pendIt = pendingDelayed_.find(link);
+    if (pendIt != pendingDelayed_.end()) {
+      for (Envelope& held : pendIt->second) {
+        ++counters_.deliveredLate;
+        --pendingCount_;
+        out.emplace_back(to, std::move(held));
+      }
+      pendingDelayed_.erase(pendIt);
+    }
+  }
+  counters_.forwarded += out.size() - before;
+  return throwAfter;
+}
+
+void FaultyTransport::send(const std::string& from, const std::string& to,
+                           const Envelope& envelope) {
+  std::vector<std::pair<std::string, Envelope>> deliveries;
+  bool throwAfter = false;
+  {
+    common::MutexLock lock(mutex_);
+    throwAfter = evaluate(from, to, envelope, deliveries);
+  }
+  // The inner transport runs with no decorator lock held: loopback
+  // delivery is synchronous and handlers send reentrantly (the retrain
+  // fan-in), which must not self-deadlock through this decorator.
+  for (auto& [target, env] : deliveries) inner_.send(from, target, env);
+  if (throwAfter) {
+    TP_THROW("FaultyTransport: injected send failure " << from << " -> "
+                                                       << to);
+  }
+}
+
+void FaultyTransport::broadcast(const std::string& from,
+                                const Envelope& envelope) {
+  {
+    common::MutexLock lock(mutex_);
+    ++broadcasts_;
+  }
+  // Expand to per-link sends so each link rolls its own faults. An
+  // injected throw aborts the remaining fan-out — exactly what a failed
+  // socket write mid-broadcast does — so resilient callers fan out
+  // per-peer themselves.
+  for (const std::string& to : inner_.nodes()) {
+    if (to != from) send(from, to, envelope);
+  }
+}
+
+TransportCounters FaultyTransport::counters() const {
+  TransportCounters merged = inner_.counters();
+  common::MutexLock lock(mutex_);
+  merged.broadcasts += broadcasts_;
+  return merged;
+}
+
+void FaultyTransport::setDefaultPlan(const FaultPlan& plan) {
+  validatePlan(plan);
+  common::MutexLock lock(mutex_);
+  defaultPlan_ = plan;
+}
+
+void FaultyTransport::setPlan(const std::string& from, const std::string& to,
+                              const FaultPlan& plan) {
+  validatePlan(plan);
+  common::MutexLock lock(mutex_);
+  linkPlans_[Link{from, to}] = plan;
+}
+
+void FaultyTransport::clearFaults() {
+  common::MutexLock lock(mutex_);
+  defaultPlan_ = FaultPlan{};
+  linkPlans_.clear();
+  schedule_.clear();
+  blockedLinks_.clear();
+}
+
+void FaultyTransport::partition(const std::string& a, const std::string& b) {
+  common::MutexLock lock(mutex_);
+  blockedLinks_.insert(Link{a, b});
+  blockedLinks_.insert(Link{b, a});
+}
+
+void FaultyTransport::partitionOneWay(const std::string& from,
+                                      const std::string& to) {
+  common::MutexLock lock(mutex_);
+  blockedLinks_.insert(Link{from, to});
+}
+
+void FaultyTransport::heal() {
+  common::MutexLock lock(mutex_);
+  blockedLinks_.clear();
+}
+
+void FaultyTransport::scheduleDefaultPlan(std::uint64_t atSeenCount,
+                                          const FaultPlan& plan) {
+  validatePlan(plan);
+  common::MutexLock lock(mutex_);
+  schedule_[atSeenCount] = plan;
+}
+
+std::size_t FaultyTransport::flushDelayed() {
+  std::vector<std::pair<std::string, Envelope>> deliveries;
+  {
+    common::MutexLock lock(mutex_);
+    for (auto& [link, held] : pendingDelayed_) {
+      for (Envelope& env : held) {
+        ++counters_.deliveredLate;
+        ++counters_.forwarded;
+        --pendingCount_;
+        deliveries.emplace_back(link.second, std::move(env));
+      }
+    }
+    pendingDelayed_.clear();
+  }
+  for (auto& [target, env] : deliveries) {
+    // `from` only routes partitions/plans, which flushing bypasses by
+    // design; the original sender id is inside the envelope.
+    inner_.send(env.from, target, env);
+  }
+  return deliveries.size();
+}
+
+std::size_t FaultyTransport::pendingDelayed() const {
+  common::MutexLock lock(mutex_);
+  return pendingCount_;
+}
+
+FaultCounters FaultyTransport::faultCounters() const {
+  common::MutexLock lock(mutex_);
+  return counters_;
+}
+
+}  // namespace tp::fleet

@@ -1,0 +1,160 @@
+#pragma once
+
+// FaultyTransport — deterministic fault injection over any Transport.
+//
+// A decorator that sits between the fleet and a real transport and
+// injects faults from a seeded common::Rng, so every chaos run is
+// reproducible bit-for-bit from its seed (lint rule R1: no wall-clock,
+// no unseeded randomness). Faults are selected EXCLUSIVELY per
+// link-message — one uniform draw against the plan's cumulative
+// probabilities picks at most one of drop / throw / corrupt / duplicate
+// / delay — so the injected-fault counters reconcile exactly against
+// what consumers observe:
+//
+//   seen == injectedDrops + partitionedDrops + injectedThrows
+//         + injectedCorruptions + injectedDuplicates + injectedDelays
+//         + forwarded-clean
+//   forwarded == clean + corruptions + 2*duplicates + deliveredLate
+//
+// Fault semantics:
+//   drop      — message vanishes; send() returns normally.
+//   throw     — message vanishes AND send() throws tp::Error (what a
+//               socket transport's connection reset looks like).
+//   corrupt   — payload bytes are mangled (truncated, or one garbage
+//               byte appended to an empty payload) such that the
+//               receiver's payload decode deterministically fails; the
+//               envelope frame itself stays valid, so the rejection is
+//               exercised in the Replica handler, not the frame decoder.
+//   duplicate — delivered twice back-to-back (same seq: the receiver's
+//               replay window must reject the copy).
+//   delay     — held back and released only after the NEXT forwarded
+//               message on the same link (true reordering). Delays are
+//               traffic-paced, not time-paced, so runs stay
+//               deterministic; flushDelayed() releases stragglers.
+//
+// Directed partitions block links outright (partition()/partitionOneWay(),
+// heal()); a scriptable schedule switches the default plan when the
+// total seen-message count crosses programmed thresholds, so drop storms
+// start and stop at exact, reproducible points in the traffic.
+//
+// broadcast() expands to per-peer send() so every link evaluates its own
+// faults (and the inner transport's `sent` counts each copy); handlers
+// may send reentrantly, therefore the inner transport is always invoked
+// with no FaultyTransport lock held.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/rng.hpp"
+#include "fleet/transport.hpp"
+
+namespace tp::fleet {
+
+/// Per-link fault probabilities, all in [0, 1]. Their sum must be <= 1
+/// (faults are mutually exclusive per message); setPlan validates.
+struct FaultPlan {
+  double dropProbability = 0.0;
+  double throwProbability = 0.0;
+  double corruptProbability = 0.0;
+  double duplicateProbability = 0.0;
+  double delayProbability = 0.0;
+
+  double total() const {
+    return dropProbability + throwProbability + corruptProbability +
+           duplicateProbability + delayProbability;
+  }
+};
+
+/// Exact injected-fault accounting; tests assert *what* was injected,
+/// not just that consumers survived.
+struct FaultCounters {
+  std::uint64_t seen = 0;                ///< link-messages evaluated
+  std::uint64_t injectedDrops = 0;
+  std::uint64_t injectedThrows = 0;
+  std::uint64_t injectedCorruptions = 0;
+  std::uint64_t injectedDuplicates = 0;
+  std::uint64_t injectedDelays = 0;
+  std::uint64_t partitionedDrops = 0;    ///< blocked by partition()
+  std::uint64_t deliveredLate = 0;       ///< delayed messages released
+  std::uint64_t forwarded = 0;           ///< inner send() invocations
+};
+
+class FaultyTransport final : public Transport {
+public:
+  /// Decorates `inner` (not owned; must outlive this object). All
+  /// randomness flows from `seed`.
+  FaultyTransport(Transport& inner, std::uint64_t seed);
+
+  // Transport interface: attach/detach/nodes forward untouched.
+  void attach(const std::string& node, Handler handler) override;
+  void detach(const std::string& node) override;
+  std::vector<std::string> nodes() const override;
+  void send(const std::string& from, const std::string& to,
+            const Envelope& envelope) override;
+  void broadcast(const std::string& from, const Envelope& envelope) override;
+  /// Inner counters with this decorator's broadcast() calls folded in.
+  TransportCounters counters() const override;
+
+  /// Default plan for links without a per-link override.
+  void setDefaultPlan(const FaultPlan& plan) TP_EXCLUDES(mutex_);
+  /// Per-link (directed, from -> to) override.
+  void setPlan(const std::string& from, const std::string& to,
+               const FaultPlan& plan) TP_EXCLUDES(mutex_);
+  /// Drop every plan and partition (delayed messages stay pending until
+  /// flushDelayed() or follow-on traffic releases them).
+  void clearFaults() TP_EXCLUDES(mutex_);
+
+  /// Block both directions between a and b.
+  void partition(const std::string& a, const std::string& b)
+      TP_EXCLUDES(mutex_);
+  /// Block only from -> to.
+  void partitionOneWay(const std::string& from, const std::string& to)
+      TP_EXCLUDES(mutex_);
+  /// Remove every partition.
+  void heal() TP_EXCLUDES(mutex_);
+
+  /// Switch the default plan when the total seen count reaches
+  /// `atSeenCount` (applied before that message is evaluated). Entries
+  /// may be added in any order; they fire in threshold order.
+  void scheduleDefaultPlan(std::uint64_t atSeenCount, const FaultPlan& plan)
+      TP_EXCLUDES(mutex_);
+
+  /// Forward every delayed message now (in original order per link).
+  /// Returns how many were released.
+  std::size_t flushDelayed() TP_EXCLUDES(mutex_);
+  /// Delayed messages still buffered.
+  std::size_t pendingDelayed() const TP_EXCLUDES(mutex_);
+
+  FaultCounters faultCounters() const TP_EXCLUDES(mutex_);
+
+private:
+  using Link = std::pair<std::string, std::string>;
+
+  /// Applies due schedule entries, then evaluates one message; appends
+  /// the deliveries to make (possibly none) to `out`. Returns true when
+  /// an injected throw must be raised after the lock is dropped.
+  bool evaluate(const std::string& from, const std::string& to,
+                const Envelope& envelope,
+                std::vector<std::pair<std::string, Envelope>>& out)
+      TP_REQUIRES(mutex_);
+  static void corruptPayload(Envelope& envelope);
+
+  Transport& inner_;
+  mutable common::Mutex mutex_;
+  common::Rng rng_ TP_GUARDED_BY(mutex_);
+  FaultPlan defaultPlan_ TP_GUARDED_BY(mutex_);
+  std::map<Link, FaultPlan> linkPlans_ TP_GUARDED_BY(mutex_);
+  std::set<Link> blockedLinks_ TP_GUARDED_BY(mutex_);
+  std::map<std::uint64_t, FaultPlan> schedule_ TP_GUARDED_BY(mutex_);
+  std::map<Link, std::vector<Envelope>> pendingDelayed_ TP_GUARDED_BY(mutex_);
+  std::size_t pendingCount_ TP_GUARDED_BY(mutex_) = 0;
+  FaultCounters counters_ TP_GUARDED_BY(mutex_);
+  std::uint64_t broadcasts_ TP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace tp::fleet

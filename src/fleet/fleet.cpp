@@ -20,14 +20,42 @@ Fleet::Fleet(FleetConfig config)
     if (config_.service.metrics != nullptr) {
       // One registry, many replicas: namespace each service's entries by
       // replica id so readouts never collide (and removeByPrefix in one
-      // replica's destructor cannot unhook a sibling's).
-      rc.service.metricsPrefix = rc.id + "." + config_.service.metricsPrefix;
+      // replica's destructor cannot unhook a sibling's). Replica ids are
+      // transport addresses and may contain '-', which Registry names
+      // must not — sanitize the prefix, not the id.
+      std::string prefix = rc.id;
+      for (char& c : prefix) {
+        if (c == '-') c = '_';
+      }
+      rc.service.metricsPrefix = prefix + "." + config_.service.metricsPrefix;
     }
     if (!config_.snapshotDir.empty()) {
       rc.snapshotDir = config_.snapshotDir + "/" + rc.id;
     }
     replicas_.push_back(std::make_unique<Replica>(
         std::move(rc), transport_, config_.gossipEnabled ? &bus_ : nullptr));
+  }
+  if (config_.service.metrics != nullptr) {
+    // The shared transport's counters through the registry: delivery
+    // accounting for the whole fleet under one prefix, sampled at
+    // exposition time like every other registered counter.
+    obs::Registry& reg = *config_.service.metrics;
+    const std::string p = config_.metricsPrefix + "transport.";
+    reg.registerCounter(p + "sent",
+                        [this] { return transport_.counters().sent; });
+    reg.registerCounter(p + "broadcasts",
+                        [this] { return transport_.counters().broadcasts; });
+    reg.registerCounter(p + "delivered",
+                        [this] { return transport_.counters().delivered; });
+    reg.registerCounter(p + "bytes_moved",
+                        [this] { return transport_.counters().bytesMoved; });
+    reg.registerCounter(p + "dropped",
+                        [this] { return transport_.counters().dropped; });
+    reg.registerCounter(p + "delivery_failures", [this] {
+      return transport_.counters().deliveryFailures;
+    });
+    reg.registerCounter(p + "gossip_round_errors",
+                        [this] { return bus_.roundErrors(); });
   }
 }
 
@@ -37,6 +65,11 @@ Fleet::~Fleet() {
   // nothing in flight.
   bus_.stop();
   shutdownAll();
+  if (config_.service.metrics != nullptr) {
+    // The callbacks above capture `this`; unhook them before the members
+    // they read are destroyed.
+    config_.service.metrics->removeByPrefix(config_.metricsPrefix);
+  }
 }
 
 Replica& Fleet::replica(std::size_t index) {
@@ -113,6 +146,7 @@ Fleet::FleetStats Fleet::stats() const {
   }
   stats.transport = transport_.counters();
   stats.gossipRounds = bus_.rounds();
+  stats.gossipRoundErrors = bus_.roundErrors();
   return stats;
 }
 

@@ -31,6 +31,11 @@ struct FleetConfig {
   /// empty = persistence off.
   std::string snapshotDir;
   std::string idPrefix = "replica-";
+  /// Namespace for the fleet's own registry entries (the shared
+  /// transport's counters register under "<metricsPrefix>transport.*"
+  /// when service.metrics is set; per-replica service entries are
+  /// namespaced by replica id separately). Removed in the destructor.
+  std::string metricsPrefix = "fleet.";
 };
 
 class Fleet {
@@ -81,6 +86,8 @@ public:
     std::vector<serve::ServiceStats> replicas;  ///< index order
     TransportCounters transport;
     std::uint64_t gossipRounds = 0;
+    /// Participant exceptions caught by the bus's round failure boundary.
+    std::uint64_t gossipRoundErrors = 0;
   };
   FleetStats stats() const;
 

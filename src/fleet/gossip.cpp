@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "obs/clock.hpp"
 #include "obs/trace.hpp"
 
@@ -59,7 +61,23 @@ std::size_t GossipBus::runRound() {
     }
     ++rounds_;
   }
-  for (const RoundFn& fn : fns) fn();
+  for (std::size_t i = 0; i < fns.size(); ++i) {
+    // Failure boundary: one participant's exception must not starve the
+    // rest of the round or kill the background thread (a peer's decode
+    // error used to propagate here and std::terminate the bus). Count
+    // and log — never swallow silently.
+    try {
+      fns[i]();
+    } catch (const std::exception& e) {
+      TP_WARN("gossip round participant " << i << " threw: " << e.what());
+      common::MutexLock lock(mutex_);
+      ++roundErrors_;
+    } catch (...) {
+      TP_WARN("gossip round participant " << i << " threw a non-exception");
+      common::MutexLock lock(mutex_);
+      ++roundErrors_;
+    }
+  }
   return fns.size();
 }
 
@@ -116,6 +134,11 @@ void GossipBus::loop() {
 std::uint64_t GossipBus::rounds() const {
   common::MutexLock lock(mutex_);
   return rounds_;
+}
+
+std::uint64_t GossipBus::roundErrors() const {
+  common::MutexLock lock(mutex_);
+  return roundErrors_;
 }
 
 }  // namespace tp::fleet

@@ -48,7 +48,11 @@ public:
   void leave(const std::string& node);
 
   /// One anti-entropy round: every participant's fn, in join order.
-  /// Returns the number of participants invoked.
+  /// Each fn runs inside a failure boundary: a throwing participant is
+  /// counted (roundErrors()) and logged, the remaining participants
+  /// still run, and the background thread survives — mirroring
+  /// HealthMonitor's per-rule error counting. Returns the number of
+  /// participants invoked.
   std::size_t runRound();
 
   /// Start/stop the background round thread. Idempotent.
@@ -57,6 +61,8 @@ public:
   bool running() const;
 
   std::uint64_t rounds() const;
+  /// Participant fns that threw (each counted once per round it threw).
+  std::uint64_t roundErrors() const;
 
 private:
   void loop();
@@ -74,6 +80,7 @@ private:
   bool running_ TP_GUARDED_BY(mutex_) = false;
   bool stopRequested_ TP_GUARDED_BY(mutex_) = false;
   std::uint64_t rounds_ TP_GUARDED_BY(mutex_) = 0;
+  std::uint64_t roundErrors_ TP_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace tp::fleet

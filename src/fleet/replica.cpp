@@ -1,5 +1,6 @@
 #include "fleet/replica.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 #include <unordered_set>
@@ -56,10 +57,22 @@ std::uint64_t recordDedupHash(const runtime::LaunchRecord& rec) {
 Replica::Replica(ReplicaConfig config, Transport& transport, GossipBus* bus)
     : config_(std::move(config)), transport_(transport), bus_(bus) {
   TP_REQUIRE(!config_.id.empty(), "Replica: empty id");
+  TP_REQUIRE(config_.quorumFraction >= 0.0 && config_.quorumFraction <= 1.0,
+             "Replica: quorumFraction must be in [0, 1], got "
+                 << config_.quorumFraction);
   service_ = std::make_unique<serve::PartitionService>(config_.service);
   if (!config_.snapshotDir.empty()) {
     store_.emplace(config_.snapshotDir, config_.snapshotKeepLast);
   }
+  {
+    common::MutexLock lock(gossipMutex_);
+    retryRng_.reseed(config_.retrySeed);
+  }
+  // Start sequence numbers at the monotonic clock: a killed-and-restarted
+  // replica reusing its id resumes with sequence numbers *above* anything
+  // it sent in its previous life, so peers' replay windows never mistake
+  // its fresh messages for replays.
+  seq_.store(obs::nowTicks(), std::memory_order_relaxed);
   transport_.attach(config_.id,
                     [this](const Envelope& envelope) { handle(envelope); });
   if (bus_ != nullptr) {
@@ -176,7 +189,9 @@ void Replica::publishWins()
     counters_.gossipRoundsSkipped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  const std::uint64_t digest = winsDigest(wins, transport_.nodes().size());
+  const auto nodes = transport_.nodes();
+  const std::uint64_t digest = winsDigest(wins, nodes.size());
+  bool fullRound = true;
   if (lastWinsDigest_.exchange(digest, std::memory_order_relaxed) == digest) {
     // Unchanged state — but never stay silent forever: a peer that
     // (re)joined at the same node count, or missed a broadcast, only
@@ -186,23 +201,201 @@ void Replica::publishWins()
     if (config_.gossipRefreshRounds == 0 ||
         skipped < config_.gossipRefreshRounds) {
       counters_.gossipRoundsSkipped.fetch_add(1, std::memory_order_relaxed);
-      return;
+      fullRound = false;
     }
   }
-  skippedSinceBroadcast_.store(0, std::memory_order_relaxed);
+  if (fullRound) skippedSinceBroadcast_.store(0, std::memory_order_relaxed);
+
+  // Per-peer targets instead of a fire-and-forget broadcast: healthy
+  // peers get every full round; a peer whose last send threw is skipped
+  // until its backoff elapses and then retried — even on digest-quiet
+  // rounds, so recovery is not gated on new local state.
+  std::vector<std::string> targets;
+  std::vector<bool> isRetry;
+  {
+    const std::uint64_t now = obs::nowTicks();
+    common::MutexLock lock(gossipMutex_);
+    for (const std::string& peer : nodes) {
+      if (peer == config_.id) continue;
+      const auto it = peerBackoff_.find(peer);
+      const bool failing = it != peerBackoff_.end();
+      if (failing && now < it->second.nextRetryTicks) continue;
+      if (fullRound || failing) {
+        targets.push_back(peer);
+        isRetry.push_back(failing);
+      }
+    }
+  }
+  if (targets.empty()) return;
+
   Envelope envelope;
   envelope.kind = MsgKind::WinsGossip;
   envelope.from = config_.id;
   envelope.seq = nextSeq();
   envelope.payload = encodeWins(wins);
-  transport_.broadcast(config_.id, envelope);
-  counters_.winsSent.fetch_add(wins.size(), std::memory_order_relaxed);
+  bool anyDelivered = false;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (isRetry[i]) {
+      counters_.sendRetries.fetch_add(1, std::memory_order_relaxed);
+    }
+    try {
+      transport_.send(config_.id, targets[i], envelope);
+      anyDelivered = true;
+      common::MutexLock lock(gossipMutex_);
+      peerBackoff_.erase(targets[i]);
+    } catch (const std::exception& e) {
+      TP_WARN("replica " << config_.id << ": gossip send to " << targets[i]
+                         << " failed: " << e.what());
+      notePeerSendFailure(targets[i]);
+    } catch (...) {
+      TP_WARN("replica " << config_.id << ": gossip send to " << targets[i]
+                         << " failed (non-exception)");
+      notePeerSendFailure(targets[i]);
+    }
+  }
+  if (anyDelivered) {
+    counters_.winsSent.fetch_add(wins.size(), std::memory_order_relaxed);
+  }
+}
+
+void Replica::notePeerSendFailure(const std::string& peer) {
+  counters_.sendFailures.fetch_add(1, std::memory_order_relaxed);
+  common::MutexLock lock(gossipMutex_);
+  PeerBackoff& backoff = peerBackoff_[peer];
+  ++backoff.failCount;
+  // Decorrelated jitter: next delay is uniform between the base and 3x
+  // the previous delay, capped — retries from many replicas decorrelate
+  // instead of thundering back in lockstep.
+  const double base = std::max(0.0, config_.retryBackoffBaseSeconds);
+  const double cap = std::max(base, config_.retryBackoffCapSeconds);
+  const double prev = backoff.backoffSeconds > 0.0 ? backoff.backoffSeconds
+                                                   : base;
+  const double next = retryRng_.uniform(base, std::min(cap, prev * 3.0));
+  backoff.backoffSeconds = std::max(base, next);
+  backoff.nextRetryTicks =
+      obs::nowTicks() +
+      static_cast<std::uint64_t>(backoff.backoffSeconds * 1e9);
+}
+
+std::size_t Replica::quorumOf(std::size_t nodes) const {
+  if (nodes == 0) return 1;
+  const auto bar = static_cast<std::size_t>(static_cast<double>(nodes) *
+                                            config_.quorumFraction) +
+                   1;
+  return std::min(nodes, bar);
+}
+
+bool Replica::tryGrantLease(const std::string& holder,
+                            std::uint64_t generation, std::uint64_t ttlNanos,
+                            std::string* conflictHolder) {
+  common::MutexLock lock(leaseMutex_);
+  const std::uint64_t now = obs::nowTicks();
+  // A live lease by someone else blocks only same-or-newer generations:
+  // a request for generation g+1 proves the requester already saw the
+  // install that lease g protected, so it cannot conflict with it.
+  if (!leaseHolder_.empty() && leaseHolder_ != holder &&
+      now < leaseExpiryTicks_ && leaseGeneration_ >= generation) {
+    if (conflictHolder != nullptr) *conflictHolder = leaseHolder_;
+    return false;
+  }
+  leaseHolder_ = holder;
+  leaseGeneration_ = generation;
+  leaseExpiryTicks_ = now + ttlNanos;
+  if (conflictHolder != nullptr) *conflictHolder = holder;
+  return true;
+}
+
+void Replica::releaseLease(std::uint64_t generation) {
+  common::MutexLock lock(leaseMutex_);
+  if (leaseHolder_ == config_.id && leaseGeneration_ == generation) {
+    leaseHolder_.clear();
+    leaseExpiryTicks_ = 0;
+  }
 }
 
 Replica::FleetRetrain Replica::coordinateRetrain() {
   TP_TRACE_SPAN("fleet.coordinate_retrain");
   const auto retrainStart = obs::Clock::now();
-  const std::size_t peers = transport_.nodes().size() - 1;
+  const auto nodes = transport_.nodes();
+  const std::size_t peers = nodes.empty() ? 0 : nodes.size() - 1;
+  const std::uint64_t generation = service_->modelVersion() + 1;
+  const auto ttlNanos =
+      static_cast<std::uint64_t>(config_.leaseTtlSeconds * 1e9);
+
+  FleetRetrain result;
+  result.modelVersion = generation;
+  result.quorumNeeded = quorumOf(nodes.size());
+
+  const auto abortRetrain = [&](const std::string& why) {
+    counters_.retrainsAborted.fetch_add(1, std::memory_order_relaxed);
+    result.aborted = true;
+    releaseLease(generation);
+    TP_WARN("replica " << config_.id << ": retrain for generation "
+                       << generation << " aborted: " << why);
+    lastRetrainSeconds_.store(
+        std::chrono::duration<double>(obs::Clock::now() - retrainStart)
+            .count(),
+        std::memory_order_relaxed);
+    return result;
+  };
+
+  // Phase 1 — the lease. Self-grant first: a coordinator that cannot
+  // hold its own lease is already racing a live coordinator. Then ask
+  // every peer, and require a quorum of grants (self included) before
+  // anything irreversible happens.
+  std::string conflict;
+  if (!tryGrantLease(config_.id, generation, ttlNanos, &conflict)) {
+    return abortRetrain("lease held by " + conflict);
+  }
+  {
+    common::MutexLock lock(leaseMutex_);
+    collectingGrants_ = true;
+    collectingGeneration_ = generation;
+    grantsReceived_ = 0;
+    leaseRepliesReceived_ = 0;
+  }
+  LeaseRequestMsg leaseMsg;
+  leaseMsg.generation = generation;
+  leaseMsg.ttlNanos = ttlNanos;
+  Envelope leaseEnvelope;
+  leaseEnvelope.kind = MsgKind::LeaseRequest;
+  leaseEnvelope.from = config_.id;
+  leaseEnvelope.seq = nextSeq();
+  leaseEnvelope.payload = encodeLeaseRequest(leaseMsg);
+  for (const std::string& peer : nodes) {
+    if (peer == config_.id) continue;
+    try {
+      transport_.send(config_.id, peer, leaseEnvelope);
+    } catch (const std::exception& e) {
+      counters_.sendFailures.fetch_add(1, std::memory_order_relaxed);
+      TP_WARN("replica " << config_.id << ": lease request to " << peer
+                         << " failed: " << e.what());
+    }
+  }
+  std::size_t grants = 1;  // the self-grant
+  {
+    common::MutexLock lock(leaseMutex_);
+    const auto deadline =
+        obs::Clock::now() +
+        std::chrono::duration<double>(config_.retrainWaitSeconds);
+    while (grantsReceived_ + 1 < result.quorumNeeded &&
+           leaseRepliesReceived_ < peers) {
+      if (leaseCv_.wait_until(leaseMutex_, deadline) ==
+          std::cv_status::timeout) {
+        break;
+      }
+    }
+    grants += grantsReceived_;
+    collectingGrants_ = false;
+  }
+  result.leaseGrants = grants;
+  if (grants < result.quorumNeeded) {
+    return abortRetrain("won " + std::to_string(grants) + "/" +
+                        std::to_string(result.quorumNeeded) +
+                        " lease grants");
+  }
+
+  // Phase 2 — feedback fan-in.
   {
     common::MutexLock lock(feedbackMutex_);
     pendingFeedback_.clear();
@@ -212,7 +405,16 @@ Replica::FleetRetrain Replica::coordinateRetrain() {
   pull.kind = MsgKind::FeedbackPull;
   pull.from = config_.id;
   pull.seq = nextSeq();
-  transport_.broadcast(config_.id, pull);
+  for (const std::string& peer : nodes) {
+    if (peer == config_.id) continue;
+    try {
+      transport_.send(config_.id, peer, pull);
+    } catch (const std::exception& e) {
+      counters_.sendFailures.fetch_add(1, std::memory_order_relaxed);
+      TP_WARN("replica " << config_.id << ": feedback pull to " << peer
+                         << " failed: " << e.what());
+    }
+  }
 
   std::vector<runtime::FeatureDatabase> remote;
   {
@@ -233,6 +435,12 @@ Replica::FleetRetrain Replica::coordinateRetrain() {
     remote = std::move(pendingFeedback_);
     pendingFeedback_.clear();
   }
+  if (remote.size() + 1 < result.quorumNeeded) {
+    result.peersHeard = remote.size();
+    return abortRetrain("heard " + std::to_string(remote.size()) +
+                        " feedback peers, quorum needs " +
+                        std::to_string(result.quorumNeeded - 1));
+  }
 
   // Union of the fleet's traffic, deduplicated the way FeedbackRecorder
   // deduplicates locally: one record per distinct launch.
@@ -247,12 +455,12 @@ Replica::FleetRetrain Replica::coordinateRetrain() {
     }
   }
 
-  FleetRetrain result;
   result.recordsUsed = db.size();
   result.peersHeard = remote.size();
 
+  // Phase 3 — train on the union and fan the new generation out.
   ModelInstallMsg msg;
-  msg.modelVersion = service_->modelVersion() + 1;
+  msg.modelVersion = generation;
   for (const auto& deployed : service_->deployedModels()) {
     if (db.forMachine(deployed.machine).empty()) continue;
     const auto model = runtime::trainDeploymentModel(
@@ -262,7 +470,6 @@ Replica::FleetRetrain Replica::coordinateRetrain() {
     model->save(os);
     msg.models.push_back(ModelBlob{deployed.machine, os.str()});
   }
-  result.modelVersion = msg.modelVersion;
   result.machinesRetrained = msg.models.size();
 
   Envelope install;
@@ -270,10 +477,42 @@ Replica::FleetRetrain Replica::coordinateRetrain() {
   install.from = config_.id;
   install.seq = nextSeq();
   install.payload = encodeModelInstall(msg);
-  transport_.broadcast(config_.id, install);
-  // The coordinator applies the same decoded message it broadcast, so
+  for (const std::string& peer : nodes) {
+    if (peer == config_.id) continue;
+    // A couple of bounded immediate retries: an install send is the one
+    // message worth being stubborn about (a missed peer serves a stale
+    // generation until the next retrain).
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      try {
+        transport_.send(config_.id, peer, install);
+        if (attempt > 0) {
+          counters_.sendRetries.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      } catch (const std::exception& e) {
+        counters_.sendFailures.fetch_add(1, std::memory_order_relaxed);
+        if (attempt == 2) {
+          TP_WARN("replica " << config_.id << ": model install to " << peer
+                             << " failed after 3 attempts: " << e.what());
+        }
+      }
+    }
+  }
+  // The coordinator applies the same decoded message it fanned out, so
   // every replica — including this one — serves byte-identical models.
-  applyModelInstall(decodeModelInstall(install.payload));
+  // A racing coordinator can land a newer generation here between the
+  // fan-out above and this self-apply; installModels then rejects the
+  // backward move by throwing. Peers contain that throw in handle() —
+  // the coordinator must too: the fleet is converging on the newer
+  // generation (backward installs are rejected identically everywhere),
+  // so this retrain simply lost the race. Counted as an abort.
+  try {
+    applyModelInstall(decodeModelInstall(install.payload), config_.id);
+  } catch (const std::exception& e) {
+    return abortRetrain(std::string("superseded before self-install: ") +
+                        e.what());
+  }
+  releaseLease(generation);
   lastRetrainSeconds_.store(
       std::chrono::duration<double>(obs::Clock::now() - retrainStart).count(),
       std::memory_order_relaxed);
@@ -351,10 +590,74 @@ serve::ServiceStats Replica::stats() const
   s.fleet.modelInstalls = counters_.modelInstalls.load(memory_order_relaxed);
   s.fleet.gossipRoundsSkipped =
       counters_.gossipRoundsSkipped.load(memory_order_relaxed);
+  s.fleet.sendFailures = counters_.sendFailures.load(memory_order_relaxed);
+  s.fleet.sendRetries = counters_.sendRetries.load(memory_order_relaxed);
+  s.fleet.envelopesReceived =
+      counters_.envelopesReceived.load(memory_order_relaxed);
+  s.fleet.decodeFailures = counters_.decodeFailures.load(memory_order_relaxed);
+  s.fleet.replaysRejected =
+      counters_.replaysRejected.load(memory_order_relaxed);
+  s.fleet.retrainsAborted =
+      counters_.retrainsAborted.load(memory_order_relaxed);
+  s.fleet.installsRejectedLease =
+      counters_.installsRejectedLease.load(memory_order_relaxed);
+  s.fleet.snapshotsSalvaged =
+      store_.has_value() ? store_->corruptSnapshotsSkipped() : 0;
   return s;
 }
 
-void Replica::handle(const Envelope& envelope) {
+Replica::GossipCounters Replica::gossipCounters() const
+    TP_LOCK_FREE_AUDITED(
+        "relaxed snapshot of independent monotonic counters; TSan: "
+        "test_fleet Fleet.CountersReconcileUnderConcurrentGossipAndRetrain") {
+  using std::memory_order_relaxed;
+  GossipCounters g;
+  g.sendFailures = counters_.sendFailures.load(memory_order_relaxed);
+  g.sendRetries = counters_.sendRetries.load(memory_order_relaxed);
+  g.envelopesReceived = counters_.envelopesReceived.load(memory_order_relaxed);
+  g.decodeFailures = counters_.decodeFailures.load(memory_order_relaxed);
+  g.replaysRejected = counters_.replaysRejected.load(memory_order_relaxed);
+  g.retrainsAborted = counters_.retrainsAborted.load(memory_order_relaxed);
+  g.installsRejectedLease =
+      counters_.installsRejectedLease.load(memory_order_relaxed);
+  g.snapshotsSalvaged =
+      store_.has_value() ? store_->corruptSnapshotsSkipped() : 0;
+  return g;
+}
+
+bool Replica::acceptSeq(const std::string& sender, std::uint64_t seq) {
+  common::MutexLock lock(replayMutex_);
+  ReplayWindow& window = replayWindows_[sender];
+  if (seq > window.high) {
+    const std::uint64_t advance = seq - window.high;
+    window.bits = advance >= 64 ? 0 : window.bits << advance;
+    window.bits |= 1;  // bit 0 tracks `high` itself
+    window.high = seq;
+    return true;
+  }
+  const std::uint64_t age = window.high - seq;
+  // Older than the window: indistinguishable from a replay, reject.
+  if (age >= 64) return false;
+  const std::uint64_t bit = std::uint64_t{1} << age;
+  if ((window.bits & bit) != 0) return false;  // duplicate
+  window.bits |= bit;  // benign reorder inside the window
+  return true;
+}
+
+void Replica::handle(const Envelope& envelope)
+    TP_LOCK_FREE_AUDITED(
+        "relaxed monotonic rejection/arrival counters on the delivery "
+        "thread; replay window and payload handlers synchronize via their "
+        "own mutexes; TSan: test_fleet "
+        "Fleet.CountersReconcileUnderConcurrentGossipAndRetrain") {
+  counters_.envelopesReceived.fetch_add(1, std::memory_order_relaxed);
+  if (!acceptSeq(envelope.from, envelope.seq)) {
+    counters_.replaysRejected.fetch_add(1, std::memory_order_relaxed);
+    TP_WARN("replica " << config_.id << ": rejecting replayed "
+                       << msgKindName(envelope.kind) << " seq " << envelope.seq
+                       << " from " << envelope.from);
+    return;
+  }
   try {
     switch (envelope.kind) {
       case MsgKind::WinsGossip:
@@ -367,14 +670,24 @@ void Replica::handle(const Envelope& envelope) {
         handleFeedbackPush(envelope);
         return;
       case MsgKind::ModelInstall:
-        applyModelInstall(decodeModelInstall(envelope.payload));
+        applyModelInstall(decodeModelInstall(envelope.payload),
+                          envelope.from);
+        return;
+      case MsgKind::LeaseRequest:
+        handleLeaseRequest(envelope);
+        return;
+      case MsgKind::LeaseReply:
+        handleLeaseReply(envelope);
         return;
     }
     TP_THROW("Replica: unhandled message kind "
              << static_cast<int>(envelope.kind));
   } catch (const std::exception& e) {
     // A malformed or unexpected message must not take the replica down
-    // with it (the sender's state is not ours to trust).
+    // with it (the sender's state is not ours to trust) — counted, so
+    // chaos harnesses can reconcile injected corruption against
+    // observed rejections.
+    counters_.decodeFailures.fetch_add(1, std::memory_order_relaxed);
     TP_WARN("replica " << config_.id << ": dropping "
                        << msgKindName(envelope.kind) << " from "
                        << envelope.from << ": " << e.what());
@@ -398,12 +711,43 @@ void Replica::handleWins(const Envelope& envelope)
 }
 
 void Replica::handleFeedbackPull(const Envelope& envelope) {
+  // A pull carries no body; anything else is corruption (the chaos
+  // transport's byte-flips land here) and must be a counted rejection.
+  TP_REQUIRE(envelope.payload.empty(),
+             "FeedbackPull carries no payload, got "
+                 << envelope.payload.size() << " bytes");
   Envelope push;
   push.kind = MsgKind::FeedbackPush;
   push.from = config_.id;
   push.seq = nextSeq();
   push.payload = encodeFeedback(service_->trafficSnapshot());
   transport_.send(config_.id, envelope.from, push);
+}
+
+void Replica::handleLeaseRequest(const Envelope& envelope) {
+  const LeaseRequestMsg msg = decodeLeaseRequest(envelope.payload);
+  LeaseReplyMsg reply;
+  reply.generation = msg.generation;
+  reply.granted =
+      tryGrantLease(envelope.from, msg.generation, msg.ttlNanos,
+                    &reply.holder);
+  Envelope out;
+  out.kind = MsgKind::LeaseReply;
+  out.from = config_.id;
+  out.seq = nextSeq();
+  out.payload = encodeLeaseReply(reply);
+  transport_.send(config_.id, envelope.from, out);
+}
+
+void Replica::handleLeaseReply(const Envelope& envelope) {
+  const LeaseReplyMsg msg = decodeLeaseReply(envelope.payload);
+  common::MutexLock lock(leaseMutex_);
+  if (!collectingGrants_ || msg.generation != collectingGeneration_) {
+    return;  // late reply from an abandoned lease round
+  }
+  ++leaseRepliesReceived_;
+  if (msg.granted) ++grantsReceived_;
+  leaseCv_.notify_all();
 }
 
 void Replica::handleFeedbackPush(const Envelope& envelope) {
@@ -414,12 +758,30 @@ void Replica::handleFeedbackPush(const Envelope& envelope) {
   feedbackCv_.notify_all();
 }
 
-void Replica::applyModelInstall(const ModelInstallMsg& msg)
+void Replica::applyModelInstall(const ModelInstallMsg& msg,
+                                const std::string& sender)
     TP_LOCK_FREE_AUDITED(
         "relaxed monotonic stat bump; the install itself synchronizes inside "
         "installModels; TSan: test_fleet "
         "Fleet.CountersReconcileUnderConcurrentGossipAndRetrain") {
   TP_TRACE_SPAN_ARG("fleet.model_install", msg.modelVersion);
+  {
+    // The lease's last line of defense: while this generation is leased,
+    // only the holder's install may land. A racing coordinator that lost
+    // the quorum but still fanned out (or a replayed install) is a
+    // counted no-op, never a conflicting same-version model swap.
+    common::MutexLock lock(leaseMutex_);
+    if (!leaseHolder_.empty() && leaseHolder_ != sender &&
+        obs::nowTicks() < leaseExpiryTicks_ &&
+        leaseGeneration_ == msg.modelVersion) {
+      counters_.installsRejectedLease.fetch_add(1, std::memory_order_relaxed);
+      TP_WARN("replica " << config_.id << ": rejecting model install at "
+                         << "leased generation " << msg.modelVersion
+                         << " from " << sender << " (lease holder is "
+                         << leaseHolder_ << ")");
+      return;
+    }
+  }
   std::vector<serve::PartitionService::ModelUpdate> updates;
   updates.reserve(msg.models.size());
   for (const ModelBlob& blob : msg.models) {

@@ -1,10 +1,14 @@
 #include "fleet/snapshot.hpp"
 
+#include <algorithm>
+#include <exception>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "common/serial.hpp"
 
 namespace tp::fleet {
@@ -146,15 +150,37 @@ void SnapshotStore::prune(std::uint64_t newestSeq) const {
   }
 }
 
-std::optional<ReplicaSnapshot> SnapshotStore::loadLatest() const {
-  const std::uint64_t seq = highestSequence();
-  if (seq == 0) return std::nullopt;
-  const fs::path path = fs::path(dir_) / fileName(seq);
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw IoError("SnapshotStore: cannot open " + path.string());
-  std::ostringstream buffer;
-  buffer << is.rdbuf();
-  return decodeSnapshot(buffer.str());
+std::optional<ReplicaSnapshot> SnapshotStore::loadLatest() const
+    TP_LOCK_FREE_AUDITED(
+        "only corruptSkipped_ is touched lock-free (relaxed monotonic "
+        "counter); TSan: test_fleet Fleet.CountersReconcileUnderConcurrent"
+        "GossipAndRetrain") {
+  // Collect every sequence on disk, newest first, and salvage: the first
+  // snapshot that opens and decodes wins. A corrupt newest file (torn
+  // write that still got renamed, bit rot, truncation) falls back to
+  // the next-older valid one instead of failing warm start.
+  std::vector<std::uint64_t> sequences;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::uint64_t seq = sequenceOf(entry.path().filename().string());
+    if (seq > 0) sequences.push_back(seq);
+  }
+  std::sort(sequences.rbegin(), sequences.rend());
+  for (const std::uint64_t seq : sequences) {
+    const fs::path path = fs::path(dir_) / fileName(seq);
+    try {
+      std::ifstream is(path, std::ios::binary);
+      if (!is) throw IoError("SnapshotStore: cannot open " + path.string());
+      std::ostringstream buffer;
+      buffer << is.rdbuf();
+      return decodeSnapshot(buffer.str());
+    } catch (const std::exception& e) {
+      corruptSkipped_.fetch_add(1, std::memory_order_relaxed);
+      TP_WARN("SnapshotStore: skipping corrupt snapshot "
+              << path.string() << " (" << e.what() << "), trying next-older");
+    }
+  }
+  return std::nullopt;
 }
 
 std::size_t SnapshotStore::count() const {

@@ -10,14 +10,20 @@
 // directory, written atomically (temp file + rename) in the fleet wire
 // encoding with its own magic/version header; loadLatest() picks the
 // highest sequence number, so a crash mid-write never corrupts the
-// recovery path — the previous snapshot still wins.
+// recovery path — the previous snapshot still wins. If the newest
+// snapshot is corrupt or truncated anyway (torn disk, bit rot, hostile
+// bytes), loadLatest() salvages: it falls back through older snapshots
+// in sequence order until one decodes, counting and logging every file
+// it skips — warm start degrades to older state instead of failing.
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "adapt/refiner.hpp"
+#include "common/annotations.hpp"
 #include "fleet/wire.hpp"
 
 namespace tp::fleet {
@@ -48,9 +54,21 @@ public:
   /// keep-last retention policy after the new snapshot is published.
   std::uint64_t save(const ReplicaSnapshot& snapshot);
 
-  /// The snapshot with the highest sequence number, or nullopt when the
-  /// directory holds none.
+  /// The newest snapshot that decodes. Corrupt/truncated/unreadable
+  /// files are skipped (counted in corruptSnapshotsSkipped(), logged)
+  /// and the next-older sequence is tried; nullopt when the directory
+  /// holds no valid snapshot at all.
   std::optional<ReplicaSnapshot> loadLatest() const;
+
+  /// Snapshots skipped by loadLatest() because they failed to open or
+  /// decode, cumulative over this store's lifetime.
+  std::uint64_t corruptSnapshotsSkipped() const noexcept
+      TP_LOCK_FREE_AUDITED(
+          "relaxed monotonic counter, bumped only inside loadLatest; "
+          "TSan: test_fleet Fleet.CountersReconcileUnderConcurrent"
+          "GossipAndRetrain") {
+    return corruptSkipped_.load(std::memory_order_relaxed);
+  }
 
   /// Snapshots currently on disk.
   std::size_t count() const;
@@ -61,6 +79,7 @@ private:
 
   std::string dir_;
   std::size_t keepLast_;
+  mutable std::atomic<std::uint64_t> corruptSkipped_{0};
 };
 
 }  // namespace tp::fleet

@@ -41,8 +41,16 @@ void LoopbackTransport::deliver(const std::string& to,
     counters_.bytesMoved += bytes.size();
   }
   // The receiving edge decodes from bytes — the wire format is the only
-  // thing that crosses between replicas.
-  handler(decodeEnvelope(bytes));
+  // thing that crosses between replicas. A throwing decode or handler is
+  // counted, then rethrown: the sender decides whether a failed delivery
+  // is fatal (gossip rounds count + retry; tests assert exact counts).
+  try {
+    handler(decodeEnvelope(bytes));
+  } catch (...) {
+    common::MutexLock lock(mutex_);
+    ++counters_.deliveryFailures;
+    throw;
+  }
 }
 
 void LoopbackTransport::send(const std::string& from, const std::string& to,

@@ -33,6 +33,11 @@ struct TransportCounters {
   std::uint64_t delivered = 0;   ///< handler invocations
   std::uint64_t bytesMoved = 0;  ///< encoded bytes across all deliveries
   std::uint64_t dropped = 0;     ///< unknown destination
+  /// Handler (or envelope decode) threw during a delivery. The exception
+  /// still propagates to the sender — the transport counts the failure,
+  /// it never swallows it. `delivered` includes these, so
+  /// delivered == handler-completions + deliveryFailures.
+  std::uint64_t deliveryFailures = 0;
 };
 
 class Transport {

@@ -32,6 +32,8 @@ const char* msgKindName(MsgKind kind) {
     case MsgKind::FeedbackPull: return "FeedbackPull";
     case MsgKind::FeedbackPush: return "FeedbackPush";
     case MsgKind::ModelInstall: return "ModelInstall";
+    case MsgKind::LeaseRequest: return "LeaseRequest";
+    case MsgKind::LeaseReply: return "LeaseReply";
   }
   return "unknown";
 }
@@ -60,8 +62,8 @@ Envelope decodeEnvelope(std::string_view bytes) {
                                                        << kWireVersion << ")");
   Envelope envelope;
   const std::uint8_t kind = r.u8();
-  TP_REQUIRE(kind >= 1 && kind <= 4, "fleet wire: unknown message kind "
-                                         << static_cast<int>(kind));
+  TP_REQUIRE(kind >= 1 && kind <= kMaxMsgKind,
+             "fleet wire: unknown message kind " << static_cast<int>(kind));
   envelope.kind = static_cast<MsgKind>(kind);
   envelope.from = r.str();
   envelope.seq = r.u64();
@@ -148,6 +150,42 @@ ModelInstallMsg decodeModelInstall(std::string_view bytes) {
     blob.model = r.str();
     msg.models.push_back(std::move(blob));
   }
+  r.expectEnd();
+  return msg;
+}
+
+// ---- LeaseRequest / LeaseReply ---------------------------------------------
+
+std::string encodeLeaseRequest(const LeaseRequestMsg& msg) {
+  WireWriter w;
+  w.u64(msg.generation);
+  w.u64(msg.ttlNanos);
+  return w.take();
+}
+
+LeaseRequestMsg decodeLeaseRequest(std::string_view bytes) {
+  WireReader r(bytes);
+  LeaseRequestMsg msg;
+  msg.generation = r.u64();
+  msg.ttlNanos = r.u64();
+  r.expectEnd();
+  return msg;
+}
+
+std::string encodeLeaseReply(const LeaseReplyMsg& msg) {
+  WireWriter w;
+  w.u64(msg.generation);
+  w.u8(msg.granted ? 1 : 0);
+  w.str(msg.holder);
+  return w.take();
+}
+
+LeaseReplyMsg decodeLeaseReply(std::string_view bytes) {
+  WireReader r(bytes);
+  LeaseReplyMsg msg;
+  msg.generation = r.u64();
+  msg.granted = r.u8() != 0;
+  msg.holder = r.str();
   r.expectEnd();
   return msg;
 }

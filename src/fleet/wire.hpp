@@ -16,6 +16,8 @@
 //   FeedbackPull  — "send me your recorded traffic" (fleet retrain)
 //   FeedbackPush  — a FeatureDatabase snapshot (reply to FeedbackPull)
 //   ModelInstall  — retrained per-machine models + the new generation
+//   LeaseRequest  — "grant me the retrain lease for generation g"
+//   LeaseReply    — grant/deny (reply to LeaseRequest)
 
 #include <cstdint>
 #include <string>
@@ -35,7 +37,12 @@ enum class MsgKind : std::uint8_t {
   FeedbackPull = 2,
   FeedbackPush = 3,
   ModelInstall = 4,
+  LeaseRequest = 5,
+  LeaseReply = 6,
 };
+
+/// Highest kind decodeEnvelope accepts; keep in sync with MsgKind.
+inline constexpr std::uint8_t kMaxMsgKind = 6;
 
 const char* msgKindName(MsgKind kind);
 
@@ -75,5 +82,28 @@ ModelInstallMsg decodeModelInstall(std::string_view bytes);
 
 std::string encodeFeedback(const runtime::FeatureDatabase& db);
 runtime::FeatureDatabase decodeFeedback(std::string_view bytes);
+
+// ---- LeaseRequest / LeaseReply payloads ------------------------------------
+
+/// A retrain coordinator asks every peer for the lease on `generation`
+/// (the model version it intends to install). The holder id is the
+/// envelope `from`. `ttlNanos` is a relative duration: each grantor
+/// stamps its own obs::Clock expiry, so no absolute clocks cross the
+/// wire.
+struct LeaseRequestMsg {
+  std::uint64_t generation = 0;
+  std::uint64_t ttlNanos = 0;
+};
+
+struct LeaseReplyMsg {
+  std::uint64_t generation = 0;  ///< echoed from the request
+  bool granted = false;
+  std::string holder;  ///< on deny: who holds the conflicting lease
+};
+
+std::string encodeLeaseRequest(const LeaseRequestMsg& msg);
+LeaseRequestMsg decodeLeaseRequest(std::string_view bytes);
+std::string encodeLeaseReply(const LeaseReplyMsg& msg);
+LeaseReplyMsg decodeLeaseReply(std::string_view bytes);
 
 }  // namespace tp::fleet

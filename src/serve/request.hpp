@@ -33,6 +33,11 @@ struct LaunchResponse {
   std::uint64_t modelVersion = 0;  ///< model generation that decided
   bool explored = false;  ///< refinement probe (bypassed the cache)
   bool refined = false;   ///< label differs from the model's prediction
+  /// Load-shed fast-fail: the machine's admission breaker was open, so
+  /// the request was answered immediately WITHOUT deciding or executing
+  /// anything — label/partitioning/execution are default-constructed.
+  /// Clients should back off and retry later.
+  bool shed = false;
 };
 
 }  // namespace tp::serve

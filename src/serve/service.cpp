@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "common/striped.hpp"
 #include "features/runtime_features.hpp"
 #include "obs/clock.hpp"
@@ -86,6 +87,19 @@ struct PartitionService::MachineState {
   /// latency_slo detector.
   std::unique_ptr<obs::SloTracker> slo;
 
+  // Admission breaker (ServiceConfig::breaker). The warm path touches
+  // only admitTick (relaxed bump) and shedding (relaxed load); everything
+  // else belongs to the single evaluation winner holding evalBusy via
+  // ClaimGuard — the claim's acq_rel CAS orders the streak/prev fields
+  // between consecutive winners, so they need no mutex and no atomics.
+  std::atomic<std::uint64_t> admitTick{0};
+  std::atomic<std::uint32_t> evalBusy{0};
+  std::atomic<std::uint32_t> shedding{0};
+  std::size_t hotStreak = 0;            ///< evalBusy holder only
+  std::size_t coolStreak = 0;           ///< evalBusy holder only
+  std::uint64_t prevSubmitted = 0;      ///< evalBusy holder only
+  std::uint64_t prevExhausted = 0;      ///< evalBusy holder only
+
   MachineState(const sim::MachineConfig& m,
                std::shared_ptr<const ml::Classifier> mdl,
                const ServiceConfig& config)
@@ -161,6 +175,20 @@ void PartitionService::registerMetrics()
                       [this] { return inlineHits_.total(); });
   reg.registerCounter(p + "inline_lane_exhausted",
                       [this] { return inlineLaneExhausted_.total(); });
+  reg.registerCounter(p + "requests_shed", [this] { return shed_.total(); });
+  reg.registerCounter(p + "breaker_trips", [this] {
+    return breakerTrips_.load(std::memory_order_relaxed);
+  });
+  reg.registerGauge(p + "breaker_open", [this] {
+    // Number of machines currently shedding (0 = all breakers closed).
+    double open = 0.0;
+    common::MutexLock lock(machinesMutex_);
+    for (const auto& [name, ms] : machines_) {
+      (void)name;
+      if (ms->shedding.load(std::memory_order_relaxed) != 0) open += 1.0;
+    }
+    return open;
+  });
   reg.registerCounter(p + "batches", [this] {
     return batches_.load(std::memory_order_relaxed);
   });
@@ -549,6 +577,22 @@ PartitionService::AdmitResult PartitionService::admitAndTryInline(
     throw Error("PartitionService: submit after shutdown");
   }
   submitted_.add();
+  if (config_.breaker.enabled) {
+    maybeEvaluateBreaker(ms);
+    if (ms.shedding.load(std::memory_order_relaxed) != 0) {
+      // Fast-fail: answer immediately without deciding or executing.
+      // Sheds count as completed — every admitted request is answered
+      // exactly once — and the response carries the shed flag so the
+      // client can back off.
+      shed_.add();
+      completed_.add();
+      response = LaunchResponse{};
+      response.shed = true;
+      response.modelVersion = cache_->version();
+      requestDone();
+      return AdmitResult{&ms, true};
+    }
+  }
   bool served = false;
   try {
     served = tryServeInline(ms, request, response, carry);
@@ -997,6 +1041,8 @@ ServiceStats PartitionService::stats() const {
   s.maxBatch = maxBatch_.load(std::memory_order_relaxed);
   s.requestsInline = inlineHits_.total();
   s.inlineLaneExhausted = inlineLaneExhausted_.total();
+  s.requestsShed = shed_.total();
+  s.breakerTrips = breakerTrips_.load(std::memory_order_relaxed);
   s.cache = cache_->counters();
   s.cacheHitRate = s.cache.hitRate();
   s.modelVersion = cache_->version();
@@ -1048,6 +1094,94 @@ obs::SloTracker::Report PartitionService::sloReport(
     const std::string& machine) const {
   const MachineState& ms = state(machine);
   return ms.slo != nullptr ? ms.slo->report() : obs::SloTracker::Report{};
+}
+
+void PartitionService::maybeEvaluateBreaker(MachineState& ms)
+    TP_LOCK_FREE_AUDITED(
+        "relaxed admission-tick bump; an occasionally duplicated or "
+        "skipped evaluation only shifts WHEN the breaker re-judges the "
+        "window, never what it judges; TSan: test_serve "
+        "PartitionService.BreakerShedsUnderOverloadAndRecovers") {
+  const std::uint64_t tick = ms.admitTick.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t every = std::max<std::uint64_t>(1, config_.breaker.evalEvery);
+  if (tick % every != 0) return;
+  evaluateBreaker(ms);
+}
+
+void PartitionService::evaluateBreaker(MachineState& ms)
+    TP_LOCK_FREE_AUDITED(
+        "single-winner evaluation: the ClaimGuard CAS (acq_rel) hands the "
+        "streak/prev words from winner to winner; losers return without "
+        "touching them; the shedding flag itself is a relaxed on/off word "
+        "read by the admission path; TSan: test_serve "
+        "PartitionService.BreakerShedsUnderOverloadAndRecovers") {
+  common::ClaimGuard claim(ms.evalBusy);
+  if (!claim.claimed()) return;  // another admission is already judging
+
+  bool hot = false;
+  double value = 0.0;
+  double threshold = 0.0;
+  if (ms.slo != nullptr) {
+    const obs::SloTracker::Report report = ms.slo->report();
+    const double burn = std::max(report.burnRateP99, report.burnRateP999);
+    if (report.breached && burn > config_.breaker.burnRateCeiling) {
+      hot = true;
+      value = burn;
+      threshold = config_.breaker.burnRateCeiling;
+    }
+  }
+  // Lane-exhaustion arm: bounce rate since the previous evaluation.
+  // Service-wide counters (they are striped per thread, not per machine);
+  // with one overloaded machine that is exactly the victim signal.
+  const std::uint64_t submitted = submitted_.total();
+  const std::uint64_t exhausted = inlineLaneExhausted_.total();
+  const std::uint64_t dSubmitted = submitted - ms.prevSubmitted;
+  const std::uint64_t dExhausted = exhausted - ms.prevExhausted;
+  ms.prevSubmitted = submitted;
+  ms.prevExhausted = exhausted;
+  if (!hot && dSubmitted >= config_.breaker.minSamplesPerEval) {
+    const double rate =
+        static_cast<double>(dExhausted) / static_cast<double>(dSubmitted);
+    if (rate > config_.breaker.laneExhaustionCeiling) {
+      hot = true;
+      value = rate;
+      threshold = config_.breaker.laneExhaustionCeiling;
+    }
+  }
+
+  if (hot) {
+    ms.coolStreak = 0;
+    ++ms.hotStreak;
+    if (ms.hotStreak >= config_.breaker.tripAfter &&
+        ms.shedding.load(std::memory_order_relaxed) == 0) {
+      ms.shedding.store(1, std::memory_order_relaxed);
+      breakerTrips_.fetch_add(1, std::memory_order_relaxed);
+      TP_WARN("admission breaker OPEN on " << ms.machine.name << ": "
+                                           << value << " > " << threshold
+                                           << " — shedding load");
+    }
+  } else {
+    ms.hotStreak = 0;
+    ++ms.coolStreak;
+    if (ms.coolStreak >= config_.breaker.clearAfter &&
+        ms.shedding.load(std::memory_order_relaxed) != 0) {
+      ms.shedding.store(0, std::memory_order_relaxed);
+      TP_INFO("admission breaker closed on " << ms.machine.name
+                                             << ": window recovered");
+    }
+  }
+}
+
+void PartitionService::evaluateBreakerNow(const std::string& machine) {
+  if (!config_.breaker.enabled) return;
+  evaluateBreaker(state(machine));
+}
+
+bool PartitionService::breakerOpen(const std::string& machine) const
+    TP_LOCK_FREE_AUDITED(
+        "one relaxed load of the on/off shedding word; TSan: test_serve "
+        "PartitionService.BreakerShedsUnderOverloadAndRecovers") {
+  return state(machine).shedding.load(std::memory_order_relaxed) != 0;
 }
 
 void PartitionService::registerHealthRules(obs::HealthMonitor& monitor,
@@ -1198,6 +1332,41 @@ void PartitionService::registerHealthRules(obs::HealthMonitor& monitor,
       return obs::Firing{last, rules.retrainOverrunSeconds,
                          "last retrain took " + std::to_string(last) +
                              "s (model refresh falling behind traffic)"};
+    };
+    monitor.addRule(std::move(rule));
+  }
+
+  if (config_.breaker.enabled) {
+    // load_shed fires while the service sheds (new sheds since the last
+    // evaluation OR a breaker still open), clears once shedding stopped
+    // and every breaker closed — so one overload incident produces one
+    // deduped breach/clear pair, not one per shed request.
+    obs::DetectorRule rule;
+    rule.name = p + "load_shed";
+    rule.severity = obs::Severity::Critical;
+    rule.triggerAfter = 1;  // the breaker's own hysteresis already gates
+    rule.clearAfter = rules.clearAfter;
+    rule.evaluate = [this, prevShed = std::uint64_t{0}]() mutable
+        -> std::optional<obs::Firing> {
+      const std::uint64_t shed = shed_.total();
+      const std::uint64_t dShed = shed - prevShed;
+      prevShed = shed;
+      bool anyOpen = false;
+      {
+        common::MutexLock lock(machinesMutex_);
+        for (const auto& [name, ms] : machines_) {
+          (void)name;
+          if (ms->shedding.load(std::memory_order_relaxed) != 0) {
+            anyOpen = true;
+            break;
+          }
+        }
+      }
+      if (dShed == 0 && !anyOpen) return std::nullopt;
+      return obs::Firing{static_cast<double>(dShed), 0.0,
+                         "admission breaker shedding load (" +
+                             std::to_string(dShed) +
+                             " requests since the last evaluation)"};
     };
     monitor.addRule(std::move(rule));
   }

@@ -78,6 +78,33 @@
 
 namespace tp::serve {
 
+/// Per-machine admission breaker: when the machine's SLO window burns
+/// error budget past the ceiling (or inline lanes exhaust faster than
+/// the ceiling), new requests for it are shed — answered immediately
+/// with LaunchResponse::shed set, nothing decided or executed — until
+/// the window recovers. Evaluation is amortized (every evalEvery-th
+/// admission, single winner via CAS claim) so the warm path pays one
+/// relaxed counter bump and one relaxed flag load. Trip and clear both
+/// take consecutive agreeing evaluations (hysteresis mirroring
+/// obs::HealthMonitor), so one bad window cannot flap the breaker.
+struct BreakerConfig {
+  bool enabled = false;
+  /// Trip when the SLO report is breached AND max(burnRateP99,
+  /// burnRateP999) exceeds this.
+  double burnRateCeiling = 2.0;
+  /// Trip when inline-lane-exhaustion bounces per submitted request
+  /// (delta since the previous evaluation) exceed this.
+  double laneExhaustionCeiling = 0.5;
+  std::size_t tripAfter = 2;   ///< consecutive hot evaluations to open
+  std::size_t clearAfter = 3;  ///< consecutive cool evaluations to close
+  /// Evaluate once per this many admissions to the machine.
+  std::uint64_t evalEvery = 256;
+  /// Lane-exhaustion judgment needs at least this many submissions since
+  /// the previous evaluation (the SLO arm judges regardless — its own
+  /// minSamples gate lives in the tracker).
+  std::uint64_t minSamplesPerEval = 64;
+};
+
 struct ServiceConfig {
   int divisions = 10;  ///< partitioning-space step granularity (10 = 10%)
   std::size_t cacheCapacity = 1024;  ///< rounded up to a power of two
@@ -122,6 +149,9 @@ struct ServiceConfig {
   /// targets. With metrics set, per-machine burn-rate gauges register
   /// under `<metricsPrefix>slo.<machine>.*`.
   obs::SloConfig slo;
+  /// SLO-driven admission breaker (load shedding). Off by default; the
+  /// burn-rate arm additionally needs slo.enabled().
+  BreakerConfig breaker;
 };
 
 /// Thresholds for the stock detector rules registerHealthRules()
@@ -258,6 +288,13 @@ public:
   /// disabled. Safe concurrently with traffic.
   obs::SloTracker::Report sloReport(const std::string& machine) const;
 
+  /// Run one admission-breaker evaluation for `machine` right now
+  /// (deterministic test hook; production evaluations ride every
+  /// breaker.evalEvery-th admission). No-op unless config.breaker.enabled.
+  void evaluateBreakerNow(const std::string& machine);
+  /// Whether `machine`'s admission breaker is currently open (shedding).
+  bool breakerOpen(const std::string& machine) const;
+
   /// Install this service's stock detector rules into `monitor`, named
   /// under metricsPrefix (so removeRulesByPrefix(metricsPrefix) unhooks
   /// them): latency_slo (Critical, aggregated over machines — a
@@ -356,6 +393,13 @@ private:
   AdmitResult admitAndTryInline(LaunchRequest& request,
                                 LaunchResponse& response, PreDecision& carry,
                                 bool& inlineFault);
+  /// Amortized breaker evaluation on the admission path: bumps the
+  /// machine's admission tick and runs evaluateBreaker() on every
+  /// breaker.evalEvery-th admission.
+  void maybeEvaluateBreaker(MachineState& ms);
+  /// One breaker evaluation: judge the SLO burn rate and lane-exhaustion
+  /// delta, advance the trip/clear streaks, flip the shedding flag.
+  void evaluateBreaker(MachineState& ms);
   std::future<LaunchResponse> enqueue(MachineState& ms, LaunchRequest request,
                                       PreDecision carry);
   /// Execute + observe + account one decided request (both paths).
@@ -398,6 +442,11 @@ private:
   /// Warm hits bounced to the batching queue because every inline lane
   /// was busy (the lane_exhaustion detector's numerator).
   common::StripedCounter inlineLaneExhausted_;
+  /// Requests fast-failed by an open admission breaker (they count as
+  /// completed too — every admitted request is answered exactly once).
+  common::StripedCounter shed_;
+  /// Closed-to-open breaker transitions across all machines.
+  std::atomic<std::uint64_t> breakerTrips_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> maxBatch_{0};
   std::atomic<std::uint64_t> retrains_{0};

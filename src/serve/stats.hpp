@@ -120,9 +120,10 @@ struct MachineStats {
   std::vector<DeviceUtilization> devices;
 };
 
-/// Fleet-replication counters: gossiped refiner wins and snapshot
-/// persistence. Populated by fleet::Replica::stats() (all zero when the
-/// service is not part of a fleet). Reconciliation invariant:
+/// Fleet-replication counters: gossiped refiner wins, snapshot
+/// persistence, and the fault boundaries. Populated by
+/// fleet::Replica::stats() (all zero when the service is not part of a
+/// fleet). Reconciliation invariant:
 /// winsReceived == winsMerged + winsRejectedStale + winsDropped.
 struct FleetCounters {
   std::uint64_t winsSent = 0;      ///< win records broadcast to peers
@@ -135,6 +136,15 @@ struct FleetCounters {
   std::uint64_t snapshotsLoaded = 0;
   std::uint64_t modelInstalls = 0;  ///< fleet retrain fan-ins applied
   std::uint64_t gossipRoundsSkipped = 0;  ///< no-change rounds (digest hit)
+  // Fault-path counters (the chaos boundaries; exact by construction).
+  std::uint64_t sendFailures = 0;   ///< peer sends that threw
+  std::uint64_t sendRetries = 0;    ///< sends re-attempted after a failure
+  std::uint64_t envelopesReceived = 0;  ///< every envelope handler entry
+  std::uint64_t decodeFailures = 0;  ///< corrupt/unexpected payloads dropped
+  std::uint64_t replaysRejected = 0;  ///< duplicate/stale sequence numbers
+  std::uint64_t retrainsAborted = 0;  ///< quorum/lease safe no-ops
+  std::uint64_t installsRejectedLease = 0;  ///< installs from non-holders
+  std::uint64_t snapshotsSalvaged = 0;  ///< corrupt snapshots skipped on load
 };
 
 struct ServiceStats {
@@ -146,6 +156,11 @@ struct ServiceStats {
   std::uint64_t requestsInline = 0;  ///< warm hits served on caller threads
   /// Warm hits bounced to the queue because every inline lane was busy.
   std::uint64_t inlineLaneExhausted = 0;
+  /// Requests fast-failed by an open admission breaker (included in
+  /// requestsCompleted; the response carried LaunchResponse::shed).
+  std::uint64_t requestsShed = 0;
+  /// Closed-to-open admission-breaker transitions across all machines.
+  std::uint64_t breakerTrips = 0;
   CacheCounters cache;
   double cacheHitRate = 0.0;
   std::uint64_t modelVersion = 0;

@@ -12,11 +12,13 @@
 
 #include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/serial.hpp"
+#include "fleet/faulty_transport.hpp"
 #include "fleet/fleet.hpp"
 #include "runtime/compiler.hpp"
 #include "runtime/evaluation.hpp"
@@ -168,6 +170,69 @@ TEST(LoopbackTransport, DeliversSerializedMessages) {
   EXPECT_EQ(bLog.size(), 2u);
 }
 
+TEST(LoopbackTransport, CountsAndRethrowsDeliveryFailures) {
+  LoopbackTransport transport;
+  transport.attach("bomb",
+                   [](const Envelope&) { throw Error("handler exploded"); });
+  Envelope e;
+  e.kind = MsgKind::WinsGossip;
+  e.from = "src";
+  // The transport counts the failure but never swallows it: the sender
+  // decides whether a failed delivery is fatal.
+  EXPECT_THROW(transport.send("src", "bomb", e), Error);
+  const auto counters = transport.counters();
+  EXPECT_EQ(counters.delivered, 1u);
+  EXPECT_EQ(counters.deliveryFailures, 1u);
+}
+
+TEST(LoopbackTransport, DetachDuringBroadcastReconciles) {
+  // TSan target: broadcasters race a node flapping attach/detach. The
+  // handler is copied out of the registry lock before invocation, so a
+  // detach mid-broadcast must never free a handler under a caller — and
+  // every delivery the transport counted must have run a handler.
+  LoopbackTransport transport;
+  std::atomic<std::uint64_t> received{0};
+  transport.attach("sink", [&](const Envelope&) {
+    received.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  std::atomic<bool> stop{false};
+  std::thread flapper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      transport.attach("flappy", [&](const Envelope&) {
+        received.fetch_add(1, std::memory_order_relaxed);
+      });
+      std::this_thread::yield();
+      transport.detach("flappy");
+    }
+  });
+
+  constexpr std::size_t kSenders = 4;
+  constexpr std::size_t kRounds = 200;
+  Envelope e;
+  e.kind = MsgKind::WinsGossip;
+  e.from = "src";
+  e.payload = "x";
+  std::vector<std::thread> senders;
+  for (std::size_t s = 0; s < kSenders; ++s) {
+    senders.emplace_back([&] {
+      for (std::size_t r = 0; r < kRounds; ++r) transport.broadcast("src", e);
+    });
+  }
+  for (auto& s : senders) s.join();
+  stop.store(true, std::memory_order_relaxed);
+  flapper.join();
+
+  const auto counters = transport.counters();
+  // No handler throws, so every counted delivery completed in a handler;
+  // broadcasts that snapshot "flappy" just before its detach count the
+  // miss as dropped, never as a lost delivery.
+  EXPECT_EQ(counters.delivered, received.load());
+  EXPECT_EQ(counters.deliveryFailures, 0u);
+  EXPECT_GE(counters.delivered, kSenders * kRounds);  // "sink" got them all
+  EXPECT_EQ(counters.broadcasts, kSenders * kRounds);
+}
+
 TEST(LoopbackTransport, HandlersMaySendReentrantly) {
   LoopbackTransport transport;
   std::string echoed;
@@ -203,6 +268,39 @@ TEST(GossipBus, RunsParticipantsPerRound) {
   EXPECT_EQ(bus.rounds(), 2u);
 }
 
+TEST(GossipBus, ThrowingParticipantIsCountedAndIsolated) {
+  // Regression: a participant's exception used to propagate out of
+  // runRound() — on the background thread that is std::terminate. The
+  // failure boundary must count the error and still run everyone else.
+  GossipBus bus;
+  int healthy = 0;
+  bus.join("bad", [] { throw Error("participant exploded"); });
+  bus.join("good", [&] { ++healthy; });
+  EXPECT_EQ(bus.runRound(), 2u);
+  EXPECT_EQ(bus.roundErrors(), 1u);
+  EXPECT_EQ(healthy, 1);
+  // The bus stays usable; errors accumulate, never swallow silently.
+  EXPECT_EQ(bus.runRound(), 2u);
+  EXPECT_EQ(bus.roundErrors(), 2u);
+  EXPECT_EQ(healthy, 2);
+}
+
+TEST(GossipBus, BackgroundThreadSurvivesThrowingParticipant) {
+  GossipConfig config;
+  config.intervalSeconds = 0.002;
+  GossipBus bus(config);
+  std::atomic<int> ticks{0};
+  bus.join("bad", [] { throw Error("boom"); });
+  bus.join("good", [&] { ticks.fetch_add(1); });
+  bus.start();
+  while (ticks.load() < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  bus.stop();
+  EXPECT_GE(bus.roundErrors(), 3u);
+  EXPECT_GE(bus.rounds(), 3u);
+}
+
 TEST(GossipBus, BackgroundThreadRunsRounds) {
   GossipConfig config;
   config.intervalSeconds = 0.002;
@@ -216,6 +314,171 @@ TEST(GossipBus, BackgroundThreadRunsRounds) {
   bus.stop();
   EXPECT_FALSE(bus.running());
   EXPECT_GE(bus.rounds(), 3u);
+}
+
+// ---- faulty transport ------------------------------------------------------
+
+Envelope gossipEnvelope(const std::string& from, std::uint64_t seq,
+                        const std::string& payload = "payload") {
+  Envelope e;
+  e.kind = MsgKind::WinsGossip;
+  e.from = from;
+  e.seq = seq;
+  e.payload = payload;
+  return e;
+}
+
+TEST(FaultyTransport, CertainFaultsAreExactlyCounted) {
+  LoopbackTransport inner;
+  FaultyTransport net(inner, /*seed=*/7);
+  std::vector<std::string> log;
+  net.attach("b", [&](const Envelope& e) { log.push_back(e.payload); });
+
+  FaultPlan plan;
+  plan.dropProbability = 1.0;
+  net.setDefaultPlan(plan);
+  net.send("a", "b", gossipEnvelope("a", 1));
+  EXPECT_TRUE(log.empty());
+
+  plan = FaultPlan{};
+  plan.throwProbability = 1.0;
+  net.setDefaultPlan(plan);
+  EXPECT_THROW(net.send("a", "b", gossipEnvelope("a", 2)), Error);
+
+  plan = FaultPlan{};
+  plan.corruptProbability = 1.0;
+  net.setDefaultPlan(plan);
+  net.send("a", "b", gossipEnvelope("a", 3, "0123456789"));
+  // The envelope frame stays valid (it reached the handler); the payload
+  // is a strict prefix, so the receiver's payload decode must fail.
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.back(), "01234");
+
+  plan = FaultPlan{};
+  plan.duplicateProbability = 1.0;
+  net.setDefaultPlan(plan);
+  net.send("a", "b", gossipEnvelope("a", 4));
+  EXPECT_EQ(log.size(), 3u);  // delivered twice back-to-back
+
+  const auto f = net.faultCounters();
+  EXPECT_EQ(f.seen, 4u);
+  EXPECT_EQ(f.injectedDrops, 1u);
+  EXPECT_EQ(f.injectedThrows, 1u);
+  EXPECT_EQ(f.injectedCorruptions, 1u);
+  EXPECT_EQ(f.injectedDuplicates, 1u);
+  EXPECT_EQ(f.forwarded, 3u);
+  EXPECT_EQ(inner.counters().delivered, 3u);
+}
+
+TEST(FaultyTransport, DelayReordersBehindFollowingTraffic) {
+  LoopbackTransport inner;
+  FaultyTransport net(inner, 7);
+  std::vector<std::uint64_t> order;
+  net.attach("b", [&](const Envelope& e) { order.push_back(e.seq); });
+
+  FaultPlan delay;
+  delay.delayProbability = 1.0;
+  net.setDefaultPlan(delay);
+  net.send("a", "b", gossipEnvelope("a", 1));
+  EXPECT_TRUE(order.empty());
+  EXPECT_EQ(net.pendingDelayed(), 1u);
+
+  net.clearFaults();  // plans drop; the delayed message stays pending
+  net.send("a", "b", gossipEnvelope("a", 2));
+  // True reordering: #2 forwards first, then releases the held-back #1.
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{2, 1}));
+  EXPECT_EQ(net.pendingDelayed(), 0u);
+
+  // flushDelayed() releases stragglers when no follow-on traffic comes.
+  net.setDefaultPlan(delay);
+  net.send("a", "b", gossipEnvelope("a", 3));
+  EXPECT_EQ(net.pendingDelayed(), 1u);
+  EXPECT_EQ(net.flushDelayed(), 1u);
+  EXPECT_EQ(order.back(), 3u);
+  const auto f = net.faultCounters();
+  EXPECT_EQ(f.injectedDelays, 2u);
+  EXPECT_EQ(f.deliveredLate, 2u);
+}
+
+TEST(FaultyTransport, PartitionBlocksLinksUntilHealed) {
+  LoopbackTransport inner;
+  FaultyTransport net(inner, 7);
+  std::size_t aHeard = 0, bHeard = 0;
+  net.attach("a", [&](const Envelope&) { ++aHeard; });
+  net.attach("b", [&](const Envelope&) { ++bHeard; });
+
+  net.partition("a", "b");
+  net.send("a", "b", gossipEnvelope("a", 1));
+  net.send("b", "a", gossipEnvelope("b", 1));
+  EXPECT_EQ(aHeard, 0u);
+  EXPECT_EQ(bHeard, 0u);
+  EXPECT_EQ(net.faultCounters().partitionedDrops, 2u);
+
+  net.heal();
+  net.send("a", "b", gossipEnvelope("a", 2));
+  net.send("b", "a", gossipEnvelope("b", 2));
+  EXPECT_EQ(aHeard, 1u);
+  EXPECT_EQ(bHeard, 1u);
+
+  // One-way partitions block only the named direction.
+  net.partitionOneWay("a", "b");
+  net.send("a", "b", gossipEnvelope("a", 3));
+  net.send("b", "a", gossipEnvelope("b", 3));
+  EXPECT_EQ(bHeard, 1u);
+  EXPECT_EQ(aHeard, 2u);
+}
+
+TEST(FaultyTransport, ScheduleSwitchesPlansAtSeenCounts) {
+  LoopbackTransport inner;
+  FaultyTransport net(inner, 7);
+  std::size_t heard = 0;
+  net.attach("b", [&](const Envelope&) { ++heard; });
+
+  // Drop storm starting at the 3rd message (seen == 2), calm again two
+  // messages later — exact, reproducible points in the traffic.
+  FaultPlan storm;
+  storm.dropProbability = 1.0;
+  net.scheduleDefaultPlan(2, storm);
+  net.scheduleDefaultPlan(4, FaultPlan{});
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    net.send("a", "b", gossipEnvelope("a", i + 1));
+  }
+  EXPECT_EQ(heard, 4u);
+  EXPECT_EQ(net.faultCounters().injectedDrops, 2u);
+}
+
+TEST(FaultyTransport, SameSeedReproducesIdenticalFaults) {
+  FaultPlan mixed;
+  mixed.dropProbability = 0.2;
+  mixed.corruptProbability = 0.2;
+  mixed.duplicateProbability = 0.2;
+  mixed.delayProbability = 0.2;
+
+  const auto run = [&](std::uint64_t seed) {
+    LoopbackTransport inner;
+    FaultyTransport net(inner, seed);
+    std::vector<std::string> log;
+    net.attach("b", [&](const Envelope& e) { log.push_back(e.payload); });
+    net.setDefaultPlan(mixed);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      net.send("a", "b", gossipEnvelope("a", i + 1, "payload" +
+                                                        std::to_string(i)));
+    }
+    net.flushDelayed();
+    return std::make_pair(net.faultCounters(), log);
+  };
+
+  const auto [f1, log1] = run(0xDECAF);
+  const auto [f2, log2] = run(0xDECAF);
+  EXPECT_EQ(f1.injectedDrops, f2.injectedDrops);
+  EXPECT_EQ(f1.injectedCorruptions, f2.injectedCorruptions);
+  EXPECT_EQ(f1.injectedDuplicates, f2.injectedDuplicates);
+  EXPECT_EQ(f1.injectedDelays, f2.injectedDelays);
+  EXPECT_EQ(f1.forwarded, f2.forwarded);
+  EXPECT_EQ(log1, log2);  // byte-identical delivery sequence
+  EXPECT_GT(f1.injectedDrops + f1.injectedCorruptions +
+                f1.injectedDuplicates + f1.injectedDelays,
+            0u);
 }
 
 // ---- snapshot store --------------------------------------------------------
@@ -321,6 +584,47 @@ TEST(SnapshotStore, RejectsCorruptBytes) {
   EXPECT_THROW(decodeSnapshot(bytes.substr(0, bytes.size() / 2)), Error);
   const ReplicaSnapshot back = decodeSnapshot(bytes);
   EXPECT_EQ(back.modelVersion, 9u);
+}
+
+void corruptFile(const std::filesystem::path& path) {
+  ASSERT_TRUE(std::filesystem::exists(path)) << path;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << "garbage bytes, definitely not a snapshot";
+}
+
+std::filesystem::path snapshotPath(const std::string& dir, std::uint64_t seq) {
+  std::ostringstream name;
+  name << "snapshot-";
+  name.width(8);
+  name.fill('0');
+  name << seq << ".tpsnap";
+  return std::filesystem::path(dir) / name.str();
+}
+
+TEST(SnapshotStore, LoadLatestSalvagesOlderWhenNewestCorrupt) {
+  const std::string dir = tempDir("salvage");
+  SnapshotStore store(dir);
+  ReplicaSnapshot snap;
+  for (std::uint64_t v = 1; v <= 3; ++v) {
+    snap.modelVersion = v;
+    EXPECT_EQ(store.save(snap), v);
+  }
+
+  // Torn newest snapshot: warm start must degrade to the next-older
+  // valid one instead of failing (or worse, trusting the bytes).
+  corruptFile(snapshotPath(dir, 3));
+  const auto salvaged = store.loadLatest();
+  ASSERT_TRUE(salvaged.has_value());
+  EXPECT_EQ(salvaged->modelVersion, 2u);
+  EXPECT_EQ(store.corruptSnapshotsSkipped(), 1u);
+
+  // Everything corrupt: loadLatest reports nothing to recover, counting
+  // every file it had to skip.
+  corruptFile(snapshotPath(dir, 2));
+  corruptFile(snapshotPath(dir, 1));
+  EXPECT_FALSE(store.loadLatest().has_value());
+  EXPECT_EQ(store.corruptSnapshotsSkipped(), 4u);  // 3 re-skipped + 2 + 1
+  std::filesystem::remove_all(dir);
 }
 
 // ---- fleet end to end ------------------------------------------------------
@@ -718,6 +1022,332 @@ TEST(Fleet, CountersReconcileUnderConcurrentGossipAndRetrain) {
   }
   EXPECT_EQ(completed, kClients * kRequestsPerClient);
   EXPECT_EQ(stats.transport.dropped, 0u);
+}
+
+// ---- chaos: replicas over a faulty transport -------------------------------
+
+/// Replica config for manual wiring over a FaultyTransport (what Fleet
+/// does internally, minus the fleet so tests control every link).
+/// Backoff base 0 = a failed peer is retried on the very next round;
+/// retrainWaitSeconds small = partitioned coordinators abort fast.
+ReplicaConfig chaosReplicaConfig(const FleetFixture& fx, const std::string& id,
+                                 std::size_t index) {
+  ReplicaConfig rc;
+  rc.id = id;
+  rc.service = fx.config(1, /*gossipEnabled=*/false).service;
+  rc.service.refiner.seed += 0x9E3779B9ull * index;
+  rc.retryBackoffBaseSeconds = 0.0;
+  rc.retryBackoffCapSeconds = 0.0;
+  rc.retrainWaitSeconds = 0.05;
+  return rc;
+}
+
+TEST(Fleet, GossipSendFailureBacksOffAndRetries) {
+  FleetFixture fx;
+  LoopbackTransport inner;
+  FaultyTransport net(inner, 0xC0FFEE);
+  Replica r0(chaosReplicaConfig(fx, "r0", 0), net);
+  Replica r1(chaosReplicaConfig(fx, "r1", 1), net);
+  r0.addMachine(fx.machine, fx.weakModel);
+  r1.addMachine(fx.machine, fx.weakModel);
+  refineReplica(r0, fx, 400);
+  const auto wins = r0.service().exportRefinedWins();
+  ASSERT_FALSE(wins.empty());
+
+  FaultPlan throwing;
+  throwing.throwProbability = 1.0;
+  net.setPlan("r0", "r1", throwing);
+  r0.publishWins();
+  auto g0 = r0.gossipCounters();
+  EXPECT_EQ(g0.sendFailures, 1u);
+  EXPECT_EQ(g0.sendRetries, 0u);
+  EXPECT_EQ(r0.stats().fleet.winsSent, 0u);  // nothing delivered
+  EXPECT_EQ(r1.stats().fleet.winsReceived, 0u);
+
+  // The link heals. The next round is digest-quiet (no new local state),
+  // but the failed peer is retried anyway — recovery must not be gated
+  // on new wins.
+  net.clearFaults();
+  r0.publishWins();
+  g0 = r0.gossipCounters();
+  EXPECT_EQ(g0.sendFailures, 1u);
+  EXPECT_EQ(g0.sendRetries, 1u);
+  EXPECT_GT(r0.stats().fleet.winsSent, 0u);
+  const auto s1 = r1.stats().fleet;
+  EXPECT_GT(s1.winsReceived, 0u);
+  EXPECT_EQ(s1.winsAdopted, wins.size());  // converged despite the outage
+
+  // Healthy again: no further retries are recorded for this peer.
+  r0.publishWins();
+  EXPECT_EQ(r0.gossipCounters().sendRetries, 1u);
+}
+
+TEST(Fleet, DuplicatedDeliveriesAreRejectedByReplayWindow) {
+  FleetFixture fx;
+  LoopbackTransport inner;
+  FaultyTransport net(inner, 0xD0D0);
+  Replica r0(chaosReplicaConfig(fx, "r0", 0), net);
+  Replica r1(chaosReplicaConfig(fx, "r1", 1), net);
+  r0.addMachine(fx.machine, fx.weakModel);
+  r1.addMachine(fx.machine, fx.weakModel);
+  refineReplica(r0, fx, 400);
+  const auto wins = r0.service().exportRefinedWins();
+  ASSERT_FALSE(wins.empty());
+
+  FaultPlan duplicating;
+  duplicating.duplicateProbability = 1.0;
+  net.setPlan("r0", "r1", duplicating);
+  r0.publishWins();
+
+  EXPECT_EQ(net.faultCounters().injectedDuplicates, 1u);
+  const auto g1 = r1.gossipCounters();
+  EXPECT_EQ(g1.envelopesReceived, 2u);  // both copies reached the handler
+  EXPECT_EQ(g1.replaysRejected, 1u);    // the second was rejected by seq
+  const auto s1 = r1.stats().fleet;
+  // Merged exactly once: the duplicate never re-counted a win.
+  EXPECT_EQ(s1.winsMerged, s1.winsReceived);
+  EXPECT_EQ(s1.winsAdopted, wins.size());
+}
+
+TEST(Fleet, CorruptPayloadsAreCountedRejections) {
+  FleetFixture fx;
+  LoopbackTransport inner;
+  FaultyTransport net(inner, 0xBAD);
+  Replica r0(chaosReplicaConfig(fx, "r0", 0), net);
+  Replica r1(chaosReplicaConfig(fx, "r1", 1), net);
+  r0.addMachine(fx.machine, fx.weakModel);
+  r1.addMachine(fx.machine, fx.weakModel);
+  refineReplica(r0, fx, 400);
+
+  FaultPlan corrupting;
+  corrupting.corruptProbability = 1.0;
+  net.setPlan("r0", "r1", corrupting);
+  r0.publishWins();
+
+  EXPECT_EQ(net.faultCounters().injectedCorruptions, 1u);
+  const auto g1 = r1.gossipCounters();
+  EXPECT_EQ(g1.envelopesReceived, 1u);
+  EXPECT_EQ(g1.decodeFailures, 1u);  // injected corruption == observed
+  EXPECT_EQ(r1.stats().fleet.winsReceived, 0u);
+  // The replica's boundary absorbed it: the transport never saw the
+  // handler throw, and the replica still serves traffic.
+  EXPECT_EQ(inner.counters().deliveryFailures, 0u);
+  EXPECT_GT(r1.call(fx.request(0)).execution.makespan, 0.0);
+}
+
+TEST(Fleet, PartitionedCoordinatorAbortsRetrainWithoutQuorum) {
+  FleetFixture fx;
+  LoopbackTransport inner;
+  FaultyTransport net(inner, 0x5117);
+  Replica r0(chaosReplicaConfig(fx, "r0", 0), net);
+  Replica r1(chaosReplicaConfig(fx, "r1", 1), net);
+  Replica r2(chaosReplicaConfig(fx, "r2", 2), net);
+  for (Replica* r : {&r0, &r1, &r2}) {
+    r->addMachine(fx.machine, fx.weakModel);
+  }
+  for (std::size_t t = 0; t < fx.tasks.size(); ++t) {
+    (void)r0.call(fx.request(t));
+  }
+
+  // The coordinator is cut off from both peers: its lease requests die
+  // in the partition, the self-grant alone misses quorum, and the
+  // retrain must be a safe no-op.
+  net.partition("r0", "r1");
+  net.partition("r0", "r2");
+  const auto before = r1.service().modelVersion();
+  const auto result = r0.coordinateRetrain();
+  EXPECT_TRUE(result.aborted);
+  EXPECT_EQ(result.quorumNeeded, 2u);
+  EXPECT_EQ(result.leaseGrants, 1u);  // only the self-grant
+  EXPECT_EQ(r0.gossipCounters().retrainsAborted, 1u);
+  EXPECT_EQ(r0.service().modelVersion(), before);
+  EXPECT_EQ(r1.service().modelVersion(), before);
+  EXPECT_GE(net.faultCounters().partitionedDrops, 2u);
+
+  // Healed, the same coordinator wins quorum and fans out normally.
+  net.heal();
+  const auto again = r0.coordinateRetrain();
+  EXPECT_FALSE(again.aborted);
+  EXPECT_EQ(again.leaseGrants, 3u);
+  EXPECT_EQ(r0.service().modelVersion(), again.modelVersion);
+  EXPECT_EQ(r1.service().modelVersion(), again.modelVersion);
+  EXPECT_EQ(r2.service().modelVersion(), again.modelVersion);
+}
+
+// ---- quorum / lease --------------------------------------------------------
+
+TEST(Fleet, RetrainAbortsWhileLeaseHeldElsewhereAndResumesAfterExpiry) {
+  FleetFixture fx;
+  Fleet fleet(fx.config(3, /*gossipEnabled=*/true));
+  fleet.addMachine(fx.machine, fx.weakModel);
+  for (std::size_t r = 0; r < fleet.size(); ++r) {
+    for (std::size_t t = r; t < fx.tasks.size(); t += fleet.size()) {
+      (void)fleet.replica(r).call(fx.request(t));
+    }
+  }
+  const std::uint64_t generation =
+      fleet.replica(0).service().modelVersion() + 1;
+
+  // An "intruder" coordinator grabs the lease for the next generation on
+  // both peers with a long TTL (then drops off the transport, as a
+  // crashed coordinator would).
+  auto& transport = fleet.transport();
+  std::vector<LeaseReplyMsg> replies;
+  transport.attach("intruder", [&](const Envelope& e) {
+    if (e.kind == MsgKind::LeaseReply) {
+      replies.push_back(decodeLeaseReply(e.payload));
+    }
+  });
+  LeaseRequestMsg request;
+  request.generation = generation;
+  request.ttlNanos = static_cast<std::uint64_t>(3600e9);
+  Envelope env;
+  env.kind = MsgKind::LeaseRequest;
+  env.from = "intruder";
+  env.payload = encodeLeaseRequest(request);
+  env.seq = 1;
+  transport.send("intruder", "replica-1", env);
+  env.seq = 2;
+  transport.send("intruder", "replica-2", env);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_TRUE(replies[0].granted && replies[1].granted);
+  transport.detach("intruder");
+
+  // The real coordinator self-grants but both peers refuse: safe no-op.
+  const auto aborted = fleet.retrainFleet(0);
+  EXPECT_TRUE(aborted.aborted);
+  EXPECT_EQ(aborted.leaseGrants, 1u);
+  EXPECT_EQ(aborted.quorumNeeded, 2u);
+  EXPECT_EQ(fleet.replica(0).service().modelVersion(), generation - 1);
+  EXPECT_EQ(fleet.replica(0).stats().fleet.retrainsAborted, 1u);
+  for (std::size_t r = 0; r < fleet.size(); ++r) {
+    EXPECT_EQ(fleet.replica(r).stats().fleet.modelInstalls, 0u);
+  }
+
+  // The intruder "crashes": renew its lease with a ttl that is already
+  // expired by the next clock read. Expiry frees the fleet — the same
+  // coordinator now wins quorum and fans out.
+  transport.attach("intruder", [](const Envelope&) {});
+  request.ttlNanos = 0;
+  env.payload = encodeLeaseRequest(request);
+  env.seq = 3;
+  transport.send("intruder", "replica-1", env);
+  env.seq = 4;
+  transport.send("intruder", "replica-2", env);
+  transport.detach("intruder");
+
+  const auto result = fleet.retrainFleet(0);
+  EXPECT_FALSE(result.aborted);
+  EXPECT_EQ(result.modelVersion, generation);
+  for (std::size_t r = 0; r < fleet.size(); ++r) {
+    EXPECT_EQ(fleet.replica(r).service().modelVersion(), generation);
+    EXPECT_EQ(fleet.replica(r).stats().fleet.modelInstalls, 1u);
+  }
+}
+
+TEST(Fleet, RacingCoordinatorsCannotFanOutConflictingGenerations) {
+  FleetFixture fx;
+  Fleet fleet(fx.config(3, /*gossipEnabled=*/true));
+  fleet.addMachine(fx.machine, fx.weakModel);
+  for (std::size_t r = 0; r < fleet.size(); ++r) {
+    for (std::size_t t = r; t < fx.tasks.size(); t += fleet.size()) {
+      (void)fleet.replica(r).call(fx.request(t));
+    }
+  }
+  const std::uint64_t before = fleet.replica(0).service().modelVersion();
+
+  // Two coordinators race. Overlapping, at most one can win the lease
+  // quorum (the third replica grants exactly one of them); sequential,
+  // both may win but at distinct generations. Either way no two
+  // successful retrains may share a generation.
+  Replica::FleetRetrain ra, rb;
+  std::thread ta([&] { ra = fleet.retrainFleet(0); });
+  std::thread tb([&] { rb = fleet.retrainFleet(1); });
+  ta.join();
+  tb.join();
+
+  const std::size_t succeeded =
+      static_cast<std::size_t>(!ra.aborted) +
+      static_cast<std::size_t>(!rb.aborted);
+  EXPECT_GE(succeeded, 1u);  // somebody always wins the race
+  if (succeeded == 2) {
+    EXPECT_NE(ra.modelVersion, rb.modelVersion);
+  }
+  std::uint64_t abortsCounted = 0;
+  for (std::size_t r = 0; r < fleet.size(); ++r) {
+    abortsCounted += fleet.replica(r).stats().fleet.retrainsAborted;
+  }
+  EXPECT_EQ(abortsCounted, 2u - succeeded);
+
+  // One clean sequential retrain afterwards reconverges the fleet: every
+  // replica serves the same generation and identical decisions.
+  const auto final = fleet.retrainFleet(0);
+  EXPECT_FALSE(final.aborted);
+  for (std::size_t r = 0; r < fleet.size(); ++r) {
+    auto& service = fleet.replica(r).service();
+    EXPECT_EQ(service.modelVersion(), final.modelVersion);
+    EXPECT_GT(final.modelVersion, before);
+    for (std::size_t t = 0; t < fx.tasks.size(); ++t) {
+      EXPECT_EQ(service.predictLabel(fx.machine.name, fx.tasks[t]),
+                fleet.replica(0).service().predictLabel(fx.machine.name,
+                                                        fx.tasks[t]));
+    }
+  }
+}
+
+// ---- snapshot salvage through a replica ------------------------------------
+
+TEST(Fleet, WarmStartSalvagesCorruptNewestSnapshot) {
+  FleetFixture fx;
+  const std::string dir = tempDir("salvage_fleet");
+  FleetConfig fc = fx.config(1, /*gossipEnabled=*/false);
+  fc.snapshotDir = dir;
+  fc.replicas = 1;
+  const std::string storeDir = dir + "/replica-0";
+
+  {
+    Fleet fleet(fc);
+    fleet.addMachine(fx.machine, fx.weakModel);
+    for (std::size_t t = 0; t < fx.tasks.size(); ++t) {
+      (void)fleet.replica(0).call(fx.request(t));
+    }
+    (void)fleet.replica(0).service().retrain();  // -> generation 1
+    EXPECT_EQ(fleet.replica(0).saveSnapshot(), 1u);
+    for (std::size_t t = 0; t < fx.tasks.size(); ++t) {
+      (void)fleet.replica(0).call(fx.request(t));
+    }
+    (void)fleet.replica(0).service().retrain();  // -> generation 2
+    EXPECT_EQ(fleet.replica(0).saveSnapshot(), 2u);
+  }
+
+  // Bit rot on the newest snapshot: the restarted replica must fall back
+  // to the older one instead of cold-starting (or crashing).
+  corruptFile(snapshotPath(storeDir, 2));
+  {
+    Fleet restarted(fc);
+    restarted.addMachine(fx.machine, fx.weakModel);
+    ASSERT_TRUE(restarted.replica(0).warmStart());
+    const auto stats = restarted.replica(0).stats();
+    EXPECT_EQ(stats.fleet.snapshotsLoaded, 1u);
+    EXPECT_EQ(stats.fleet.snapshotsSalvaged, 1u);
+    EXPECT_EQ(restarted.replica(0).service().modelVersion(), 1u);
+    // Salvaged state serves: warm decisions at the salvaged generation.
+    const auto response = restarted.replica(0).call(fx.request(0));
+    EXPECT_EQ(response.modelVersion, 1u);
+  }
+
+  // Everything corrupt: warm start reports false and the replica serves
+  // from its cold deployment model instead of dying.
+  corruptFile(snapshotPath(storeDir, 1));
+  {
+    Fleet cold(fc);
+    cold.addMachine(fx.machine, fx.weakModel);
+    EXPECT_FALSE(cold.replica(0).warmStart());
+    EXPECT_EQ(cold.replica(0).stats().fleet.snapshotsSalvaged, 2u);
+    EXPECT_EQ(cold.replica(0).service().modelVersion(), 0u);
+    EXPECT_GT(cold.replica(0).call(fx.request(0)).execution.makespan, 0.0);
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -9,12 +9,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <thread>
 
 #include "common/intern.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/health.hpp"
 #include "runtime/compiler.hpp"
 #include "runtime/evaluation.hpp"
 #include "serve/service.hpp"
@@ -844,6 +846,107 @@ TEST(PartitionService, FeedbackRecorderDeduplicates) {
   ASSERT_EQ(db.size(), 2u);
   EXPECT_EQ(db.records()[0].machine, machine.name);
   EXPECT_EQ(db.records()[0].times.size(), space.size());
+}
+
+// ---- admission breaker (load shedding) -------------------------------------
+
+/// A config whose SLO is impossible (1 ns p99 target over a short
+/// window), so every served request burns budget and the breaker's SLO
+/// arm sees a breach as soon as minSamples have landed. evalEvery is
+/// pushed out of reach: tests drive evaluations deterministically
+/// through evaluateBreakerNow().
+ServiceConfig overloadedConfig() {
+  ServiceConfig config;
+  config.slo.windowSeconds = 0.25;
+  config.slo.subWindows = 2;
+  config.slo.targetP99Seconds = 1e-9;
+  config.slo.minSamples = 8;
+  config.breaker.enabled = true;
+  config.breaker.burnRateCeiling = 1.0;
+  config.breaker.tripAfter = 2;
+  config.breaker.clearAfter = 2;
+  config.breaker.evalEvery = std::uint64_t{1} << 30;
+  return config;
+}
+
+TEST(PartitionService, BreakerShedsUnderOverloadAndRecovers) {
+  ServiceFixture fx(overloadedConfig());
+  const std::string& machine = fx.machine.name;
+
+  for (std::size_t i = 0; i < 32; ++i) {
+    const auto response = fx.service->call(fx.request(i));
+    EXPECT_FALSE(response.shed);  // breaker closed: everything serves
+  }
+  ASSERT_TRUE(fx.service->sloReport(machine).breached);
+
+  // Hysteresis: one hot evaluation arms the trip streak, the second
+  // opens the breaker.
+  fx.service->evaluateBreakerNow(machine);
+  EXPECT_FALSE(fx.service->breakerOpen(machine));
+  fx.service->evaluateBreakerNow(machine);
+  ASSERT_TRUE(fx.service->breakerOpen(machine));
+
+  // Open breaker: the request is answered immediately as shed — not
+  // decided, not executed, no latency recorded.
+  const auto shed = fx.service->call(fx.request(0));
+  EXPECT_TRUE(shed.shed);
+  EXPECT_FALSE(shed.cacheHit);
+  auto stats = fx.service->stats();
+  EXPECT_EQ(stats.requestsShed, 1u);
+  EXPECT_EQ(stats.breakerTrips, 1u);
+  EXPECT_EQ(stats.requestsCompleted, stats.requestsSubmitted);
+
+  // Shed responses record no latency, so the SLO window drains while the
+  // breaker sheds; once the horizon passes, the breach clears and the
+  // clear streak (again two evaluations) closes the breaker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  ASSERT_FALSE(fx.service->sloReport(machine).breached);
+  fx.service->evaluateBreakerNow(machine);
+  EXPECT_TRUE(fx.service->breakerOpen(machine));  // hysteresis again
+  fx.service->evaluateBreakerNow(machine);
+  EXPECT_FALSE(fx.service->breakerOpen(machine));
+
+  const auto served = fx.service->call(fx.request(0));
+  EXPECT_FALSE(served.shed);
+  stats = fx.service->stats();
+  EXPECT_EQ(stats.requestsShed, 1u);    // shedding stopped
+  EXPECT_EQ(stats.breakerTrips, 1u);    // no flapping
+}
+
+TEST(PartitionService, LoadShedHealthRuleEmitsOneBreachClearPair) {
+  ServiceFixture fx(overloadedConfig());
+  const std::string& machine = fx.machine.name;
+
+  for (std::size_t i = 0; i < 32; ++i) (void)fx.service->call(fx.request(i));
+  fx.service->evaluateBreakerNow(machine);
+  fx.service->evaluateBreakerNow(machine);
+  ASSERT_TRUE(fx.service->breakerOpen(machine));
+
+  obs::HealthMonitor monitor;
+  fx.service->registerHealthRules(monitor);
+  (void)fx.service->call(fx.request(0));  // one shed while open
+
+  // Sustained shedding: one breach event, then suppression.
+  (void)monitor.evaluateOnce();
+  (void)monitor.evaluateOnce();
+
+  // Recovery: drain the window, close the breaker, and let the rule's
+  // clear streak (clearAfter = 2) emit exactly one recovery event.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  fx.service->evaluateBreakerNow(machine);
+  fx.service->evaluateBreakerNow(machine);
+  ASSERT_FALSE(fx.service->breakerOpen(machine));
+  (void)monitor.evaluateOnce();
+  (void)monitor.evaluateOnce();
+
+  std::size_t breaches = 0, clears = 0;
+  for (const auto& event : monitor.events()) {
+    if (event.rule.find("load_shed") == std::string::npos) continue;
+    if (!event.cleared) EXPECT_EQ(event.severity, obs::Severity::Critical);
+    event.cleared ? ++clears : ++breaches;
+  }
+  EXPECT_EQ(breaches, 1u);  // deduped: sustained shedding pages once
+  EXPECT_EQ(clears, 1u);
 }
 
 }  // namespace
